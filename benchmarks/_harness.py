@@ -1,0 +1,75 @@
+"""Shared experiment runners for the benchmark suite.
+
+The controlled-noise protocol follows §3.2/§3.3: draw a random initial
+simplex, wrap the test function with ``resample``-mode Gaussian noise of
+inherent scale ``sigma0`` (the paper's "artificial Gaussian noise ... with a
+variance inversely proportional to the duration for which the vertex had
+been active"), run an algorithm under tolerance + walltime + step-cap
+termination, and score (N, R, D) against the known optimum.  Noise streams
+are decoupled from the initial-state stream so paired comparisons share
+initial simplexes, as in the figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core import ALGORITHMS, default_termination
+from repro.core.state import OptimizationResult
+from repro.functions import get_function, random_vertices
+from repro.functions.suite import TestFunction
+from repro.noise import StochasticFunction
+
+#: Default sweep termination (scaled down from the paper's multi-day runs).
+WALLTIME = 3e4
+MAX_STEPS = 600
+TAU = 1e-3
+
+
+def controlled_run(
+    algorithm: str,
+    function: str = "rosenbrock",
+    dim: int = 4,
+    sigma0: float = 1000.0,
+    seed: int = 0,
+    low: float = -5.0,
+    high: float = 5.0,
+    walltime: float = WALLTIME,
+    max_steps: int = MAX_STEPS,
+    tau: float = TAU,
+    noise_mode: str = "resample",
+    record_trace: bool = False,
+    **options,
+) -> Tuple[OptimizationResult, TestFunction]:
+    """One §3.2-protocol run; returns (result, test function)."""
+    f = get_function(function, dim)
+    init_rng = np.random.default_rng(seed)
+    vertices = random_vertices(dim, low=low, high=high, rng=init_rng)
+    noise_rng = np.random.default_rng(seed + 1_000_003)
+    func = StochasticFunction(f, sigma0=sigma0, mode=noise_mode, rng=noise_rng)
+    termination = default_termination(tau=tau, walltime=walltime, max_steps=max_steps)
+    opt = ALGORITHMS[algorithm.upper()](
+        func, vertices, termination=termination, record_trace=record_trace, **options
+    )
+    return opt.run(), f
+
+
+def paired_minima(
+    algo_a: str,
+    algo_b: str,
+    options_a: Optional[Dict] = None,
+    options_b: Optional[Dict] = None,
+    n_seeds: int = 16,
+    **common,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Converged true minima of two algorithms from the same initial states."""
+    mins_a = []
+    mins_b = []
+    for seed in range(n_seeds):
+        ra, _ = controlled_run(algo_a, seed=seed, **(options_a or {}), **common)
+        rb, _ = controlled_run(algo_b, seed=seed, **(options_b or {}), **common)
+        mins_a.append(max(ra.best_true, 0.0))
+        mins_b.append(max(rb.best_true, 0.0))
+    return np.array(mins_a), np.array(mins_b)

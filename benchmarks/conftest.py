@@ -1,0 +1,37 @@
+"""Benchmark-harness fixtures.
+
+Every benchmark regenerates one paper artifact (table or figure) as text:
+it is printed (visible with ``-s``), attached to the pytest-benchmark
+``extra_info`` (lands in the benchmark JSON), and written to
+``benchmarks/results/<name>.txt`` so the artifacts survive any capture
+settings.  ``REPRO_BENCH_SEEDS`` scales the statistical sweeps (the paper
+uses 100 initial simplex states; the default here is laptop-sized).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_seeds(default: int = 16) -> int:
+    """Number of random initial states per sweep (paper: 100)."""
+    return int(os.environ.get("REPRO_BENCH_SEEDS", default))
+
+
+@pytest.fixture
+def artifact():
+    """Callable saving a rendered artifact: artifact(name, text)."""
+
+    def _save(name: str, text: str) -> Path:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save

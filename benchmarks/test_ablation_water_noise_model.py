@@ -1,0 +1,62 @@
+"""Ablation: cost-level vs property-level noise modelling for the water fit.
+
+The fast path propagates all property noise into a single cost-level sigma
+(delta method at the true surfaces); the faithful path keeps six per-property
+accumulators per vertex and derives the cost estimate/sem from their means
+(including the finite-t chi-square bias a real squared-residual objective
+has).  If the two disagree on where the optimization lands, the cheap model
+would be distorting the benchmark conclusions — this bench checks they agree.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_seeds
+from repro.analysis import format_table
+from repro.water import (
+    TIP4P_PUBLISHED,
+    parameterize_water,
+    parameterize_water_property_level,
+)
+
+
+def run_pair(seed: int):
+    kwargs = dict(algorithm="PC", seed=seed, walltime=2e5, max_steps=200, tau=1e-3)
+    cost_level = parameterize_water(**kwargs)
+    property_level = parameterize_water_property_level(**kwargs)
+    return cost_level, property_level
+
+
+def test_ablation_water_noise_model(benchmark, artifact):
+    seed = bench_seeds(6)
+    cost_level, property_level = benchmark.pedantic(
+        run_pair, args=(seed,), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            "cost-level",
+            *[round(float(x), 4) for x in cost_level.best_theta],
+            round(cost_level.best_true, 4),
+            cost_level.n_steps,
+        ],
+        [
+            "property-level",
+            *[round(float(x), 4) for x in property_level.best_theta],
+            round(property_level.best_true, 4),
+            property_level.n_steps,
+        ],
+        ["TIP4P(pub)", *[round(float(x), 4) for x in TIP4P_PUBLISHED], "-", "-"],
+    ]
+    artifact(
+        "ablation_water_noise_model",
+        format_table(
+            ["noise model", "epsilon", "sigma", "qH", "final cost", "steps"],
+            rows,
+            title="Ablation: cost-level vs property-level water noise model (PC)",
+        ),
+    )
+    # both land in the same neighbourhood of published TIP4P
+    np.testing.assert_allclose(
+        cost_level.best_theta, property_level.best_theta, atol=0.15
+    )
+    for result in (cost_level, property_level):
+        assert abs(result.best_theta[1] - TIP4P_PUBLISHED[1]) < 0.08

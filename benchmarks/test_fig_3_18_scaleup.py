@@ -1,0 +1,96 @@
+"""Fig. 3.18 — MW scale-up: Rosenbrock in d = 20 / 50 / 100.
+
+The optimizer runs on the simulated cluster pool, which charges the MW
+communication overheads (serial master sends/receives over the MPI fabric,
+worker<->server file I/O) on top of sampling time.
+
+Paper shapes:
+(a) value vs time   — higher d converges later in wall time;
+(b) value vs steps  — higher d needs more simplex steps;
+(c) time/step vs d  — grows with d, but the growth is *minor* relative to
+                      the per-step sampling time ("attributed to the I/O at
+                      the simplex and vertex levels").
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_seeds
+from repro.analysis import format_loglog_plot, format_table, trace_series
+from repro.cluster import Cluster, SimulatedMWPool
+from repro.core import MaxNoise, default_termination
+from repro.functions import Rosenbrock, random_vertices
+from repro.noise import StochasticFunction
+
+DIMS = (20, 50, 100)
+
+
+def run_scaleup(seed: int):
+    cluster = Cluster.palmetto(n_nodes=60)
+    out = {}
+    for d in DIMS:
+        # Ns = 1 Rosenbrock clients as in Table 3.3; noiseless sampling keeps
+        # the per-step sampling time deterministic so the d-dependence of the
+        # time/step measures the framework overhead (what Fig 3.18c shows)
+        func = StochasticFunction(
+            Rosenbrock(d), sigma0=0.0, rng=np.random.default_rng(seed + d)
+        )
+        pool = SimulatedMWPool(func, cluster, dim=d, ns=1, warmup=1.0)
+        vertices = random_vertices(
+            d, low=-5.0, high=5.0, rng=np.random.default_rng(seed)
+        )
+        opt = MaxNoise(
+            func,
+            vertices,
+            k=2.0,
+            pool=pool,
+            termination=default_termination(tau=1e-12, walltime=5e4, max_steps=250),
+        )
+        result = opt.run()
+        out[d] = {
+            "result": result,
+            "time_per_step": result.walltime / max(result.n_steps, 1),
+            "overhead": pool.comm_overhead,
+            "alloc_total": pool.allocation.total,
+        }
+    return out
+
+
+def test_fig_3_18_mw_scaleup(benchmark, artifact):
+    data = benchmark.pedantic(run_scaleup, args=(bench_seeds(7),), rounds=1, iterations=1)
+    series = [
+        trace_series(data[d]["result"], label=f"d={d}") for d in DIMS
+    ]
+    rows = [
+        [
+            d,
+            data[d]["alloc_total"],
+            data[d]["result"].n_steps,
+            round(data[d]["result"].walltime, 1),
+            round(data[d]["time_per_step"], 3),
+            round(data[d]["overhead"], 3),
+        ]
+        for d in DIMS
+    ]
+    text = (
+        format_loglog_plot(series, title="Fig 3.18a: value vs time (MW scale-up)")
+        + "\n\n"
+        + format_table(
+            ["d", "cores", "steps", "walltime", "time/step", "comm overhead"],
+            rows,
+            title="Fig 3.18b/c: steps and time-per-step vs dimension",
+        )
+    )
+    artifact("fig_3_18_scaleup", text)
+
+    # (c) time/step grows with dimension ...
+    tps = [data[d]["time_per_step"] for d in DIMS]
+    assert tps[0] < tps[-1], tps
+    # ... but the communication overhead share stays minor
+    for d in DIMS:
+        share = data[d]["overhead"] / data[d]["result"].walltime
+        assert share < 0.5, (d, share)
+    # every configuration made real progress from the random start
+    for d in DIMS:
+        trace = data[d]["result"].trace
+        assert trace.best_true_values()[-1] < trace.best_true_values()[0]
+    benchmark.extra_info["time_per_step"] = {str(d): float(data[d]["time_per_step"]) for d in DIMS}

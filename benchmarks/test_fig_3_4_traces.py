@@ -1,0 +1,76 @@
+"""Fig. 3.4 — function value vs. time for MN (k sweep) and Anderson (k1 sweep).
+
+Five random inputs; each input produces one subfigure per method with four
+curves.  Paper shape: for the MN algorithm the curves for different k
+overlap (k only changes speed, not destination); for Anderson, the very
+small k1 curve stalls far above the others.
+"""
+
+import numpy as np
+
+from benchmarks._harness import controlled_run
+from benchmarks.conftest import bench_seeds
+from repro.analysis import format_loglog_plot, trace_series
+
+MN_KS = (2.0, 3.0, 4.0, 5.0)
+ANDERSON_K1S = ((2.0**0, "2^0"), (2.0**10, "2^10"), (2.0**20, "2^20"), (2.0**30, "2^30"))
+
+
+def run_traces(n_inputs: int):
+    figures = {}
+    finals = {"MN": {}, "ANDERSON": {}}
+    for inp in range(n_inputs):
+        mn_series = []
+        for k in MN_KS:
+            result, _ = controlled_run(
+                "MN", function="rosenbrock", dim=3, sigma0=100.0,
+                seed=inp, low=-6.0, high=3.0, k=k, record_trace=True,
+            )
+            mn_series.append(trace_series(result, label=f"k={k:g}"))
+            finals["MN"][(inp, k)] = result.best_true
+        and_series = []
+        for k1, lbl in ANDERSON_K1S:
+            result, _ = controlled_run(
+                "ANDERSON", function="rosenbrock", dim=3, sigma0=100.0,
+                seed=inp, low=-6.0, high=3.0, k1=k1, record_trace=True,
+            )
+            and_series.append(trace_series(result, label=f"k1={lbl}"))
+            finals["ANDERSON"][(inp, k1)] = result.best_true
+        figures[inp] = (mn_series, and_series)
+    return figures, finals
+
+
+def test_fig_3_4_value_vs_time(benchmark, artifact):
+    n_inputs = min(5, max(2, bench_seeds(3)))
+    figures, finals = benchmark.pedantic(
+        run_traces, args=(n_inputs,), rounds=1, iterations=1
+    )
+    blocks = []
+    for inp, (mn_series, and_series) in figures.items():
+        blocks.append(
+            format_loglog_plot(
+                mn_series, title=f"Fig 3.4 input {inp + 1} (left): MN, k sweep"
+            )
+        )
+        blocks.append(
+            format_loglog_plot(
+                and_series,
+                title=f"Fig 3.4 input {inp + 1} (right): Anderson, k1 sweep",
+            )
+        )
+    artifact("fig_3_4_traces", "\n\n".join(blocks))
+    # shape claim: the worst/best MN final values across k stay within ~2
+    # decades (k-insensitivity), while Anderson's k1=2^0 final value is
+    # far above its own best k1 in most inputs
+    mn_spread_ok = 0
+    anderson_gap = 0
+    for inp in range(n_inputs):
+        mn_vals = np.array([max(finals["MN"][(inp, k)], 1e-9) for k in MN_KS])
+        if mn_vals.max() / mn_vals.min() < 1e3:
+            mn_spread_ok += 1
+        small = finals["ANDERSON"][(inp, ANDERSON_K1S[0][0])]
+        best_large = min(finals["ANDERSON"][(inp, k1)] for k1, _ in ANDERSON_K1S[1:])
+        if small > best_large:
+            anderson_gap += 1
+    assert mn_spread_ok >= n_inputs - 1
+    assert anderson_gap >= n_inputs - 1

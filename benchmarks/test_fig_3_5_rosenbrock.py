@@ -1,0 +1,65 @@
+"""Fig. 3.5 — paired log-ratio histograms on 4-d Rosenbrock.
+
+Three panels at noise levels sigma0 in {1, 100, 1000}, initial vertices
+uniform over [-5, 5) (paper: 100 initial states):
+
+(a) MN vs DET   — comparable at low noise; a negative tail grows with noise
+                  (MN avoids premature convergence).
+(b) PC vs MN    — PC ties or outperforms MN ~90% of the time.
+(c) PC+MN vs PC — roughly symmetric; PC+MN slightly better.
+"""
+
+import numpy as np
+
+from benchmarks._harness import paired_minima
+from benchmarks.conftest import bench_seeds
+from repro.analysis import format_histogram, ratio_histogram
+
+NOISE_LEVELS = (1.0, 100.0, 1000.0)
+
+
+def run_panels(n_seeds: int):
+    panels = {}
+    for sigma0 in NOISE_LEVELS:
+        common = dict(function="rosenbrock", dim=4, sigma0=sigma0, n_seeds=n_seeds)
+        panels[("MN/DET", sigma0)] = paired_minima(
+            "MN", "DET", options_a={"k": 2.0}, **common
+        )
+        panels[("PC/MN", sigma0)] = paired_minima(
+            "PC", "MN", options_a={"k": 1.0}, options_b={"k": 2.0}, **common
+        )
+        panels[("PC+MN/PC", sigma0)] = paired_minima(
+            "PC+MN", "PC", options_b={"k": 1.0}, **common
+        )
+    return panels
+
+
+def test_fig_3_5_rosenbrock_histograms(benchmark, artifact):
+    n_seeds = bench_seeds(16)
+    panels = benchmark.pedantic(run_panels, args=(n_seeds,), rounds=1, iterations=1)
+    blocks = []
+    hists = {}
+    for (pair, sigma0), (mins_a, mins_b) in panels.items():
+        h = ratio_histogram(mins_a, mins_b, lo=-8.0, hi=8.0, nbins=16)
+        hists[(pair, sigma0)] = h
+        blocks.append(
+            format_histogram(
+                h, title=f"Fig 3.5 log10(min {pair}) at sigma0={sigma0:g} (Rosenbrock 4-d)"
+            )
+        )
+    artifact("fig_3_5_rosenbrock", "\n\n".join(blocks))
+
+    # (a) MN vs DET: median advantage grows with noise and is <= ~0 at high noise
+    med_a = {s: hists[("MN/DET", s)].median() for s in NOISE_LEVELS}
+    assert med_a[1000.0] <= med_a[1.0] + 0.3, med_a
+    assert med_a[1000.0] <= 0.25, med_a
+    # (b) PC ties-or-beats MN in a clear majority at high noise
+    frac_b = hists[("PC/MN", 1000.0)].fraction_tied_or_below(tie_width=0.5)
+    assert frac_b >= 0.6, frac_b
+    # (c) PC+MN vs PC is roughly symmetric (|median| small)
+    med_c = hists[("PC+MN/PC", 1000.0)].median()
+    assert abs(med_c) <= 1.5, med_c
+    benchmark.extra_info["medians"] = {
+        f"{pair}@{s:g}": float(hists[(pair, s)].median())
+        for (pair, s) in hists
+    }

@@ -1,0 +1,55 @@
+"""Fig. 3.6 — the same three paired histograms on the 4-d Powell function.
+
+Same protocol as Fig. 3.5; the Powell singular function stresses late-stage
+behaviour (singular Hessian at the optimum).  Paper shape: same ordering as
+Rosenbrock, with even longer negative tails for MN vs DET at high noise.
+"""
+
+from benchmarks._harness import paired_minima
+from benchmarks.conftest import bench_seeds
+from repro.analysis import format_histogram, ratio_histogram
+
+NOISE_LEVELS = (1.0, 100.0, 1000.0)
+
+
+def run_panels(n_seeds: int):
+    panels = {}
+    for sigma0 in NOISE_LEVELS:
+        common = dict(function="powell", dim=4, sigma0=sigma0, n_seeds=n_seeds)
+        panels[("MN/DET", sigma0)] = paired_minima(
+            "MN", "DET", options_a={"k": 2.0}, **common
+        )
+        panels[("PC/MN", sigma0)] = paired_minima(
+            "PC", "MN", options_a={"k": 1.0}, options_b={"k": 2.0}, **common
+        )
+        panels[("PC+MN/PC", sigma0)] = paired_minima(
+            "PC+MN", "PC", options_b={"k": 1.0}, **common
+        )
+    return panels
+
+
+def test_fig_3_6_powell_histograms(benchmark, artifact):
+    n_seeds = bench_seeds(16)
+    panels = benchmark.pedantic(run_panels, args=(n_seeds,), rounds=1, iterations=1)
+    blocks = []
+    hists = {}
+    for (pair, sigma0), (mins_a, mins_b) in panels.items():
+        h = ratio_histogram(mins_a, mins_b, lo=-15.0, hi=5.0, nbins=20)
+        hists[(pair, sigma0)] = h
+        blocks.append(
+            format_histogram(
+                h, title=f"Fig 3.6 log10(min {pair}) at sigma0={sigma0:g} (Powell 4-d)"
+            )
+        )
+    artifact("fig_3_6_powell", "\n\n".join(blocks))
+
+    # MN never loses badly to DET at high noise, and wins in a fair share
+    h_a = hists[("MN/DET", 1000.0)]
+    assert h_a.fraction_tied_or_below(tie_width=1.0) >= 0.5
+    # PC ties-or-beats MN in the majority at high noise
+    assert hists[("PC/MN", 1000.0)].fraction_tied_or_below(tie_width=0.5) >= 0.55
+    # PC+MN vs PC stays roughly symmetric
+    assert abs(hists[("PC+MN/PC", 1000.0)].median()) <= 2.0
+    benchmark.extra_info["medians"] = {
+        f"{pair}@{s:g}": float(hists[(pair, s)].median()) for (pair, s) in hists
+    }

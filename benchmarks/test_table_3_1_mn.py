@@ -1,0 +1,73 @@
+"""Table 3.1 — MN algorithm on 3-d Rosenbrock with controlled noise.
+
+Paper protocol: five random initial states (coordinates uniform over
+[-6, 3]), gate constant k in {2, 3, 4, 5}; report N (iterations to
+convergence), R (error of the converged function value) and D (distance of
+the best vertex from the solution).
+
+Paper shape: R and D are essentially independent of k ("the value of k does
+not affect the outcome of the algorithm; it only controls the speed of
+convergence"); R stays moderate for every input.
+"""
+
+import numpy as np
+
+from benchmarks._harness import controlled_run
+from benchmarks.conftest import bench_seeds
+from repro.analysis import evaluate_result, format_table
+
+K_VALUES = (2.0, 3.0, 4.0, 5.0)
+
+
+def run_table(n_inputs: int):
+    rows = []
+    metrics = {}
+    for inp in range(n_inputs):
+        row = [inp + 1]
+        for k in K_VALUES:
+            result, f = controlled_run(
+                "MN",
+                function="rosenbrock",
+                dim=3,
+                sigma0=100.0,
+                seed=inp,
+                low=-6.0,
+                high=3.0,
+                k=k,
+            )
+            m = evaluate_result(result, f)
+            metrics[(inp, k)] = m
+            row.extend([m.n_iterations, round(m.value_error, 3), round(m.distance, 3)])
+        rows.append(row)
+    return rows, metrics
+
+
+def test_table_3_1_mn_controlled_noise(benchmark, artifact):
+    n_inputs = min(5, max(3, bench_seeds(5)))
+    rows, metrics = benchmark.pedantic(
+        run_table, args=(n_inputs,), rounds=1, iterations=1
+    )
+    headers = ["input"]
+    for k in K_VALUES:
+        headers += [f"N(k={k:g})", f"R(k={k:g})", f"D(k={k:g})"]
+    artifact(
+        "table_3_1_mn",
+        format_table(
+            headers,
+            rows,
+            title="Table 3.1: MN on 3-d Rosenbrock, controlled noise "
+            "(N iterations, R value error, D distance)",
+        ),
+    )
+    # shape claim 1: every run actually converged to a finite answer
+    assert all(np.isfinite(m.value_error) for m in metrics.values())
+    # shape claim 2: accuracy is k-independent — the spread of median R
+    # across k values stays within an order of magnitude
+    med_r = {
+        k: np.median([metrics[(i, k)].value_error for i in range(n_inputs)])
+        for k in K_VALUES
+    }
+    values = np.array(list(med_r.values()))
+    values = np.maximum(values, 1e-6)
+    assert values.max() / values.min() < 50.0, med_r
+    benchmark.extra_info["median_R_by_k"] = {str(k): float(v) for k, v in med_r.items()}

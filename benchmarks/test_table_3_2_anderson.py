@@ -1,0 +1,79 @@
+"""Table 3.2 — the Anderson et al. criterion on 3-d Rosenbrock.
+
+Paper protocol: same five inputs as Table 3.1; criterion cutoff
+k1 in {2^0, 2^10, 2^20, 2^30}, k2 = 0.
+
+Paper shape: "overly small values of parameter k1 generate large errors (R)"
+with a small number of iterations N (the sampling demanded per step eats the
+whole time budget -> premature stop far from the minimum), while large k1 is
+comparable to MN.
+"""
+
+import numpy as np
+
+from benchmarks._harness import controlled_run
+from benchmarks.conftest import bench_seeds
+from repro.analysis import evaluate_result, format_table
+
+K1_VALUES = (2.0**0, 2.0**10, 2.0**20, 2.0**30)
+K1_LABELS = ("2^0", "2^10", "2^20", "2^30")
+
+
+def run_table(n_inputs: int):
+    rows = []
+    metrics = {}
+    for inp in range(n_inputs):
+        row = [inp + 1]
+        for k1 in K1_VALUES:
+            result, f = controlled_run(
+                "ANDERSON",
+                function="rosenbrock",
+                dim=3,
+                sigma0=100.0,
+                seed=inp,
+                low=-6.0,
+                high=3.0,
+                k1=k1,
+            )
+            m = evaluate_result(result, f)
+            metrics[(inp, k1)] = m
+            row.extend([m.n_iterations, round(m.value_error, 3), round(m.distance, 3)])
+        rows.append(row)
+    return rows, metrics
+
+
+def test_table_3_2_anderson_criterion(benchmark, artifact):
+    n_inputs = min(5, max(3, bench_seeds(5)))
+    rows, metrics = benchmark.pedantic(
+        run_table, args=(n_inputs,), rounds=1, iterations=1
+    )
+    headers = ["input"]
+    for lbl in K1_LABELS:
+        headers += [f"N({lbl})", f"R({lbl})", f"D({lbl})"]
+    artifact(
+        "table_3_2_anderson",
+        format_table(
+            headers,
+            rows,
+            title="Table 3.2: Anderson criterion on 3-d Rosenbrock, controlled noise",
+        ),
+    )
+    mean_n = {
+        k1: np.mean([metrics[(i, k1)].n_iterations for i in range(n_inputs)])
+        for k1 in K1_VALUES
+    }
+    mean_r = {
+        k1: np.mean([metrics[(i, k1)].value_error for i in range(n_inputs)])
+        for k1 in K1_VALUES
+    }
+    # shape claim 1: small k1 starves the step count within the budget
+    assert mean_n[K1_VALUES[0]] < mean_n[K1_VALUES[-1]], mean_n
+    # shape claim 2: small k1 converges farther from the minimum than the
+    # best-performing large-k1 setting
+    assert mean_r[K1_VALUES[0]] > min(mean_r[k] for k in K1_VALUES[1:]), mean_r
+    benchmark.extra_info["mean_N_by_k1"] = {
+        lbl: float(mean_n[k1]) for lbl, k1 in zip(K1_LABELS, K1_VALUES)
+    }
+    benchmark.extra_info["mean_R_by_k1"] = {
+        lbl: float(mean_r[k1]) for lbl, k1 in zip(K1_LABELS, K1_VALUES)
+    }

@@ -1,0 +1,52 @@
+"""Table 3.3 — processor allocation for Rosenbrock optimization on MW.
+
+Exact reproduction (the allocation is a closed-form policy, not a
+measurement): workers = servers = d+3, clients = (d+3) Ns, total =
+d Ns + 3 Ns + 2d + 7, for d = 20 / 50 / 100 with Ns = 1, checked against a
+concrete machinefile assignment on a Palmetto-shaped cluster.
+"""
+
+from benchmarks.conftest import bench_seeds  # noqa: F401 (uniform import surface)
+from repro.analysis import format_table
+from repro.cluster import (
+    Cluster,
+    ProcessorAllocation,
+    allocate_processors,
+    machinefile,
+)
+
+DIMS = (20, 50, 100)
+PAPER_TOTALS = {20: 70, 50: 160, 100: 310}
+
+
+def run_table():
+    rows = []
+    jobs = {}
+    entries = machinefile(Cluster.palmetto(n_nodes=50))
+    for d in DIMS:
+        alloc = ProcessorAllocation.for_problem(d, ns=1)
+        job = allocate_processors(entries, d, ns=1)
+        jobs[d] = (alloc, job)
+        rows.append(list(alloc.as_row()))
+    return rows, jobs
+
+
+def test_table_3_3_processor_allocation(benchmark, artifact):
+    rows, jobs = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    artifact(
+        "table_3_3_allocation",
+        format_table(
+            ["d", "workers (d+3)", "servers (d+3)", "clients (d+3)Ns", "total"],
+            rows,
+            title="Table 3.3: processor allocation for Rosenbrock on MW (Ns=1)",
+        ),
+    )
+    for d in DIMS:
+        alloc, job = jobs[d]
+        # exact match with the paper's totals
+        assert alloc.total == PAPER_TOTALS[d]
+        # the concrete machinefile assignment accounts for every process
+        assert job.total == alloc.total
+        assert len(job.workers) == d + 3
+        assert len(job.servers) == d + 3
+        assert sum(len(c) for c in job.clients) == d + 3

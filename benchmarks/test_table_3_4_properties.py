@@ -1,0 +1,67 @@
+"""Table 3.4 (properties) — D, RDF residuals, P, U for each optimized model
+vs published TIP4P vs experiment.
+
+Paper shapes at the converged parameters:
+* internal energy within ~0.5 kJ/mol of the experimental -41.5 kJ/mol
+  (TIP4P gives -41.8);
+* pressure well below TIP4P's ~373 atm but still far from the 1 atm target
+  (pressure is weakly weighted and noisy);
+* diffusion between the experimental 2.27e-5 and TIP4P's 3.29e-5 cm^2/s;
+* gOO residual at least as good as published TIP4P's.
+"""
+
+from benchmarks.conftest import bench_seeds
+from repro.analysis import format_table
+from repro.water import TIP4P_PUBLISHED, WaterSurrogate, parameterize_water
+from repro.water.experiment import EXPERIMENTAL_TARGETS
+
+ALGS = ("MN", "PC", "PC+MN")
+PROPS = ("diffusion", "p_ghh", "p_goh", "p_goo", "pressure", "energy")
+
+
+def run_models(seed: int):
+    surrogate = WaterSurrogate()
+    models = {}
+    for alg in ALGS:
+        result = parameterize_water(
+            algorithm=alg, seed=seed, walltime=3e5, max_steps=300, tau=1e-3
+        )
+        models[alg] = surrogate.properties(result.best_theta)
+    models["TIP4P"] = surrogate.properties(TIP4P_PUBLISHED)
+    return models
+
+
+def test_table_3_4_property_values(benchmark, artifact):
+    models = benchmark.pedantic(
+        run_models, args=(bench_seeds(3),), rounds=1, iterations=1
+    )
+    exp = {name: spec["target"] for name, spec in EXPERIMENTAL_TARGETS.items()}
+    rows = []
+    for prop in PROPS:
+        row = [prop]
+        for alg in (*ALGS, "TIP4P"):
+            value = models[alg].get(prop)
+            row.append(f"{value:.4g}" if value is not None else "-")
+        row.append(f"{exp[prop]:.4g}")
+        rows.append(row)
+    artifact(
+        "table_3_4_properties",
+        format_table(
+            ["property", *ALGS, "TIP4P", "EXP"],
+            rows,
+            title="Table 3.4 (properties): values per optimized model vs TIP4P vs experiment",
+        ),
+    )
+    for alg in ALGS:
+        p = models[alg]
+        # energy within ~0.6 kJ/mol of experiment (paper: -41.69..-41.80)
+        assert abs(p["energy"] - exp["energy"]) < 0.6, (alg, p["energy"])
+        # pressure improved vs TIP4P magnitude but not at 1 atm
+        assert abs(p["pressure"]) < abs(models["TIP4P"]["pressure"]) + 50.0
+        # diffusion between experiment and TIP4P (loose band)
+        assert 1.5e-5 < p["diffusion"] < 3.6e-5, (alg, p["diffusion"])
+        # gOO fit at least as good as TIP4P (Fig 3.19 claim)
+        assert p["p_goo"] <= models["TIP4P"]["p_goo"] * 1.1, (alg, p["p_goo"])
+    benchmark.extra_info["models"] = {
+        alg: {k: float(v) for k, v in props.items()} for alg, props in models.items()
+    }

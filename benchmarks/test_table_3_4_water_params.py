@@ -1,0 +1,83 @@
+"""Table 3.4 (a-d) — water parameterization: initial and final parameters.
+
+Runs the MN / PC / PC+MN optimizers on the calibrated water surrogate from
+the paper's Table 3.4a initial simplex ("parameter values that gave poor and
+unphysical results").
+
+Paper shapes: all three algorithms converge to parameters close to published
+TIP4P (eps = 0.1550 kcal/mol, sigma = 3.154 A, qH = 0.520 e) — the paper's
+own converged values differ from TIP4P by up to 0.008 / 0.008 / 0.003 in the
+three coordinates — and the optimized cost improves the initial vertices by
+orders of magnitude.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_seeds
+from repro.analysis import format_table
+from repro.water import (
+    INITIAL_SIMPLEX_3_4A,
+    TIP4P_PUBLISHED,
+    parameterize_water,
+    surrogate_cost_function,
+)
+
+ALGS = ("MN", "PC", "PC+MN")
+
+
+def run_parameterizations(seed: int):
+    results = {}
+    for alg in ALGS:
+        results[alg] = parameterize_water(
+            algorithm=alg, seed=seed, walltime=3e5, max_steps=300, tau=1e-3
+        )
+    return results
+
+
+def test_table_3_4_water_parameters(benchmark, artifact):
+    results = benchmark.pedantic(
+        run_parameterizations, args=(bench_seeds(3),), rounds=1, iterations=1
+    )
+    f, _, _ = surrogate_cost_function()
+    init_rows = [
+        [i + 1, round(v[0], 4), round(v[1], 3), round(v[2], 3), round(f(v), 1)]
+        for i, v in enumerate(INITIAL_SIMPLEX_3_4A)
+    ]
+    final_rows = []
+    for alg in ALGS:
+        th = results[alg].best_theta
+        final_rows.append(
+            [alg, round(th[0], 4), round(th[1], 4), round(th[2], 4),
+             round(results[alg].best_true, 4), results[alg].n_steps]
+        )
+    final_rows.append(
+        ["TIP4P(pub)", *[round(x, 4) for x in TIP4P_PUBLISHED],
+         round(f(TIP4P_PUBLISHED), 4), "-"]
+    )
+    text = (
+        format_table(
+            ["row", "epsilon", "sigma", "qH", "cost"],
+            init_rows,
+            title="Table 3.4a: initial parameters (poor/unphysical)",
+        )
+        + "\n\n"
+        + format_table(
+            ["model", "epsilon", "sigma", "qH", "final cost", "steps"],
+            final_rows,
+            title="Table 3.4b-d: final parameters per algorithm vs published TIP4P",
+        )
+    )
+    artifact("table_3_4_water_params", text)
+
+    worst_start = min(f(v) for v in INITIAL_SIMPLEX_3_4A)
+    for alg in ALGS:
+        th = results[alg].best_theta
+        # converged close to published TIP4P (paper tolerance scale)
+        assert abs(th[0] - TIP4P_PUBLISHED[0]) < 0.02, (alg, th)
+        assert abs(th[1] - TIP4P_PUBLISHED[1]) < 0.05, (alg, th)
+        assert abs(th[2] - TIP4P_PUBLISHED[2]) < 0.02, (alg, th)
+        # orders-of-magnitude improvement over the initial simplex
+        assert results[alg].best_true < worst_start / 50.0
+    benchmark.extra_info["final_thetas"] = {
+        alg: [float(x) for x in results[alg].best_theta] for alg in ALGS
+    }

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Scale-up study on the virtual cluster (paper §3.4 / Fig. 3.18).
+
+Optimizes the Rosenbrock function in growing dimension on the simulated MW
+deployment: a Palmetto-shaped cluster, the paper's processor-allocation
+policy (Table 3.3), the Myrinet MPI fabric and spool-file worker/server
+communication.  Reports the allocation table and the time-per-step growth.
+
+Run:  python examples/cluster_scaleup.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.cluster import Cluster, ProcessorAllocation, SimulatedMWPool
+from repro.core import MaxNoise, default_termination
+from repro.functions import Rosenbrock, random_vertices
+from repro.noise import StochasticFunction
+
+
+def main() -> None:
+    cluster = Cluster.palmetto(n_nodes=60)
+    print(f"virtual cluster: {len(cluster)} nodes, {cluster.total_cores} cores\n")
+
+    alloc_rows = [
+        list(ProcessorAllocation.for_problem(d, ns=1).as_row()) for d in (20, 50, 100)
+    ]
+    print(
+        format_table(
+            ["d", "workers", "servers", "clients", "total cores"],
+            alloc_rows,
+            title="Processor allocation (Table 3.3 policy, Ns=1)",
+        )
+    )
+    print()
+
+    rows = []
+    for d in (20, 50, 100):
+        func = StochasticFunction(Rosenbrock(d), sigma0=0.0, rng=np.random.default_rng(d))
+        pool = SimulatedMWPool(func, cluster, dim=d, ns=1)
+        vertices = random_vertices(d, low=-5.0, high=5.0, rng=np.random.default_rng(7))
+        opt = MaxNoise(
+            func,
+            vertices,
+            k=2.0,
+            pool=pool,
+            termination=default_termination(tau=1e-12, walltime=5e4, max_steps=150),
+        )
+        result = opt.run()
+        rows.append(
+            [
+                d,
+                result.n_steps,
+                round(result.walltime, 1),
+                round(result.walltime / result.n_steps, 3),
+                round(pool.comm_overhead, 2),
+                round(result.best_true, 2),
+            ]
+        )
+    print(
+        format_table(
+            ["d", "steps", "virtual walltime", "time/step", "comm overhead", "best f"],
+            rows,
+            title="MW scale-up (Fig 3.18): overhead grows mildly with dimension",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Run the miniature MD engine directly: a small box of TIP4P-like water.
+
+Demonstrates the simulation substrate behind the paper's application: box
+construction, NVT equilibration with a Berendsen thermostat, NVE production,
+and the six cost-function properties measured from the trajectory (internal
+energy, virial pressure, diffusion coefficient, three RDFs).
+
+Run:  python examples/md_water_demo.py
+"""
+
+import numpy as np
+
+from repro.md import (
+    SimulationProtocol,
+    TIP4PForceField,
+    WaterParameters,
+    build_water_box,
+    kinetic_temperature,
+    run_water_simulation,
+)
+
+
+def main() -> None:
+    params = WaterParameters()  # published TIP4P
+    print("TIP4P-geometry water, flexible intramolecular terms")
+    print(f"  epsilon = {params.epsilon} kcal/mol, sigma = {params.sigma} A, "
+          f"qH = {params.q_h} e (qM = {params.q_m} e)")
+    print(f"  M-site coefficient a = {params.m_coeff:.5f}\n")
+
+    system = build_water_box(16, params=params, rng=1)
+    print(f"box: {system.n_molecules} molecules, L = {system.box.lengths[0]:.3f} A, "
+          f"T0 = {kinetic_temperature(system.vel, system.masses, 3):.0f} K")
+    ff = TIP4PForceField(params, system.n_molecules)
+    result = ff.compute(system.pos, system.box)
+    print("initial energies (kcal/mol):",
+          {k: round(v, 2) for k, v in result.energies.items()}, "\n")
+
+    protocol = SimulationProtocol(
+        n_molecules=16,
+        n_equilibration=400,
+        n_production=300,
+        dt=0.4,
+        sample_every=15,
+        thermostat_tau=10.0,
+    )
+    print("running NVT equilibration + NVE production ...")
+    props = run_water_simulation(params, protocol, rng=1)
+
+    print(f"\nmeasured properties ({props['n_frames']} frames):")
+    print(f"  internal energy : {props['energy']:8.2f} +- {props['energy_sem']:.2f} kJ/mol "
+          f"(expt: -41.5)")
+    print(f"  pressure        : {props['pressure']:8.0f} +- {props['pressure_sem']:.0f} atm")
+    print(f"  diffusion       : {props['diffusion']:8.3g} cm^2/s (expt: 2.27e-5)")
+    print(f"  temperature     : {props['temperature']:8.0f} K")
+
+    r = props["r"]
+    goo = props["goo"]
+    peak = int(np.argmax(goo))
+    print(f"  gOO first peak  : r = {r[peak]:.2f} A, height = {goo[peak]:.2f} "
+          f"(expt: ~2.8 A, ~3)")
+    print(
+        "\nnote: with 16 molecules, truncated electrostatics and femtosecond-\n"
+        "scale runs, absolute values (especially pressure) deviate strongly\n"
+        "from bulk experiment — the qualitative physics (bound liquid,\n"
+        "first-shell structure at the right distance) is what this engine\n"
+        "provides; the calibrated surrogate carries the quantitative map."
+    )
+
+
+if __name__ == "__main__":
+    main()

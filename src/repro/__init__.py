@@ -1,0 +1,68 @@
+"""repro — automated, parallel optimization algorithms for stochastic functions.
+
+A from-scratch Python reproduction of Chahal (2011): the MN / PC / PC+MN
+stochastic variants of the Nelder-Mead downhill simplex, the DET and Anderson
+baselines, the MW master-worker parallel framework they run on, a virtual
+cluster model for the scale-up study, and the TIP4P liquid-water
+parameterization application (mini molecular-dynamics engine + calibrated
+surrogate).
+
+Quickstart::
+
+    from repro import optimize
+    result = optimize("rosenbrock", dim=3, algorithm="PC",
+                      sigma0=100.0, seed=0, walltime=1e5)
+    print(result.best_theta, result.best_estimate)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    ALGORITHMS,
+    AndersonSimplex,
+    ConditionSet,
+    DET,
+    MN,
+    MaxNoise,
+    NelderMead,
+    OptimizationResult,
+    PC,
+    PCMN,
+    PCMaxNoise,
+    PointComparison,
+    Simplex,
+    optimize,
+)
+from repro.noise import (
+    NoiseModel,
+    SamplingPool,
+    StochasticFunction,
+    VertexEvaluation,
+    VirtualClock,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "AndersonSimplex",
+    "ConditionSet",
+    "DET",
+    "MN",
+    "MaxNoise",
+    "NelderMead",
+    "NoiseModel",
+    "OptimizationResult",
+    "PC",
+    "PCMN",
+    "PCMaxNoise",
+    "PointComparison",
+    "SamplingPool",
+    "Simplex",
+    "StochasticFunction",
+    "VertexEvaluation",
+    "VirtualClock",
+    "optimize",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Measurement and reporting utilities for the experiment harness."""
+
+from repro.analysis.metrics import PerformanceMetrics, evaluate_result, evaluate_runs
+from repro.analysis.histograms import RatioHistogram, log_ratio, ratio_histogram
+from repro.analysis.traces import TraceSeries, trace_series
+from repro.analysis.stats import (
+    BootstrapCI,
+    SignTestResult,
+    bootstrap_median_ci,
+    sign_test,
+)
+from repro.analysis.report import (
+    format_histogram,
+    format_loglog_plot,
+    format_series,
+    format_table,
+)
+
+__all__ = [
+    "BootstrapCI",
+    "PerformanceMetrics",
+    "SignTestResult",
+    "RatioHistogram",
+    "TraceSeries",
+    "bootstrap_median_ci",
+    "evaluate_result",
+    "evaluate_runs",
+    "format_histogram",
+    "format_loglog_plot",
+    "format_series",
+    "format_table",
+    "log_ratio",
+    "ratio_histogram",
+    "sign_test",
+    "trace_series",
+]

@@ -1,0 +1,88 @@
+"""The paper's three performance measures (§3.2, following Anderson et al.):
+
+(1) **N** — the number of simplex iterations required to reach convergence;
+(2) **R** — the error in the function value at convergence (the converged
+    value is measured on the *underlying* noise-free surface so that the
+    metric reflects real, not apparent, progress);
+(3) **D** — the distance of the lowest point of the simplex from the known
+    solution at convergence.
+
+Tables 3.1 and 3.2 report these per run; the Fig. 3.5/3.6 comparisons reduce
+pairs of runs to log-ratios of converged minima (see
+:mod:`repro.analysis.histograms`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.state import OptimizationResult
+from repro.functions.suite import TestFunction
+
+
+@dataclass(frozen=True)
+class PerformanceMetrics:
+    """One run's (N, R, D) triple plus context."""
+
+    n_iterations: int      # N
+    value_error: float     # R = |f(theta_best) - f*|
+    distance: float        # D = ||theta_best - theta*||
+    walltime: float
+    reason: str
+
+    def as_row(self) -> tuple:
+        return (self.n_iterations, self.value_error, self.distance)
+
+
+def evaluate_result(
+    result: OptimizationResult, function: TestFunction
+) -> PerformanceMetrics:
+    """Score one optimizer run against the known optimum of ``function``."""
+    r = abs(result.best_true - function.minimum())
+    d = function.distance_to_solution(result.best_theta)
+    return PerformanceMetrics(
+        n_iterations=result.n_steps,
+        value_error=float(r),
+        distance=float(d),
+        walltime=result.walltime,
+        reason=result.reason,
+    )
+
+
+@dataclass(frozen=True)
+class AggregateMetrics:
+    """Mean (N, R, D) over repeated runs, as the tables report."""
+
+    n_runs: int
+    mean_iterations: float
+    mean_value_error: float
+    mean_distance: float
+
+    def as_row(self) -> tuple:
+        return (
+            self.n_runs,
+            self.mean_iterations,
+            self.mean_value_error,
+            self.mean_distance,
+        )
+
+
+def evaluate_runs(
+    results: Iterable[OptimizationResult],
+    function: TestFunction,
+) -> AggregateMetrics:
+    """Aggregate (N, R, D) over several runs of the same configuration."""
+    metrics: List[PerformanceMetrics] = [
+        evaluate_result(r, function) for r in results
+    ]
+    if not metrics:
+        raise ValueError("no results to aggregate")
+    return AggregateMetrics(
+        n_runs=len(metrics),
+        mean_iterations=float(np.mean([m.n_iterations for m in metrics])),
+        mean_value_error=float(np.mean([m.value_error for m in metrics])),
+        mean_distance=float(np.mean([m.distance for m in metrics])),
+    )

@@ -1,0 +1,149 @@
+"""ASCII rendering of tables and figures for the benchmark harness.
+
+Every benchmark regenerates its paper artifact as text: tables print the same
+rows the paper's tables report, histogram "figures" print horizontal bar
+charts, and trace figures print sampled series.  Keeping this in plain text
+makes ``pytest benchmarks/ --benchmark-only -s`` self-contained (no plotting
+dependencies) while still letting a human compare shapes against the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.histograms import RatioHistogram
+from repro.analysis.traces import TraceSeries
+
+
+def _fmt(value, width: int) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            text = "nan"
+        elif value == 0:
+            text = "0"
+        elif abs(value) >= 1e5 or 0 < abs(value) < 1e-3:
+            text = f"{value:.3g}"
+        else:
+            text = f"{value:.4g}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render a simple fixed-width table."""
+    rows = [list(r) for r in rows]
+    ncols = len(headers)
+    for r in rows:
+        if len(r) != ncols:
+            raise ValueError(f"row {r!r} does not match {ncols} headers")
+    rendered: List[List[str]] = [
+        [_fmt(cell, 0).strip() for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(ncols)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_histogram(
+    hist: RatioHistogram,
+    title: Optional[str] = None,
+    width: int = 40,
+) -> str:
+    """Render a log-ratio histogram as horizontal bars (Figs. 3.5-3.17 style)."""
+    peak = int(hist.counts.max()) if hist.counts.size else 0
+    scale = (width / peak) if peak > 0 else 0.0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"n={hist.n_pairs} pairs; clipped: {hist.clipped_low} low, "
+        f"{hist.clipped_high} high"
+    )
+    for lo, hi, count in zip(hist.edges[:-1], hist.edges[1:], hist.counts):
+        bar = "#" * int(round(count * scale))
+        lines.append(f"[{lo:+6.2f},{hi:+6.2f})  {int(count):4d} {bar}")
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Sequence[TraceSeries],
+    title: Optional[str] = None,
+    n_points: int = 8,
+) -> str:
+    """Render value-vs-time curves as sampled rows (Figs. 3.4 / 3.18 style)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for s in series:
+        if s.times.size == 0:
+            lines.append(f"{s.label}: <empty>")
+            continue
+        idx = np.unique(
+            np.linspace(0, s.times.size - 1, min(n_points, s.times.size)).astype(int)
+        )
+        samples = ", ".join(
+            f"t={s.times[i]:.3g}:v={s.values[i]:.4g}" for i in idx
+        )
+        lines.append(f"{s.label}: {samples}")
+    return "\n".join(lines)
+
+
+def format_loglog_plot(
+    series: Sequence[TraceSeries],
+    title: Optional[str] = None,
+    cols: int = 64,
+    lines_: int = 16,
+) -> str:
+    """Coarse ASCII log-log plot of several series (visual shape check)."""
+    pts = [
+        (s.label, s.times[s.times > 0], s.values[(s.times > 0)])
+        for s in series
+    ]
+    pts = [(l, t, np.maximum(v, 1e-300)) for l, t, v in pts if t.size]
+    if not pts:
+        return (title or "") + "\n<no data>"
+    tmin = min(t.min() for _, t, _ in pts)
+    tmax = max(t.max() for _, t, _ in pts)
+    vpos = [v[v > 0] for _, _, v in pts]
+    vmin = min(v.min() for v in vpos if v.size)
+    vmax = max(v.max() for v in vpos if v.size)
+    if tmax <= tmin or vmax <= vmin:
+        return (title or "") + "\n<degenerate ranges>"
+    grid = [[" "] * cols for _ in range(lines_)]
+    marks = "abcdefghijklmnopqrstuvwxyz"
+    for si, (label, t, v) in enumerate(pts):
+        m = marks[si % len(marks)]
+        lx = (np.log10(t) - math.log10(tmin)) / (math.log10(tmax) - math.log10(tmin))
+        ly = (np.log10(v) - math.log10(vmin)) / (math.log10(vmax) - math.log10(vmin))
+        xs = np.clip((lx * (cols - 1)).astype(int), 0, cols - 1)
+        ys = np.clip(((1.0 - ly) * (lines_ - 1)).astype(int), 0, lines_ - 1)
+        for x, y in zip(xs, ys):
+            grid[y][x] = m
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(f"y: log10 value in [{vmin:.3g}, {vmax:.3g}]")
+    out.extend("|" + "".join(row) for row in grid)
+    out.append("+" + "-" * cols)
+    out.append(f"x: log10 time in [{tmin:.3g}, {tmax:.3g}]")
+    out.append(
+        "legend: " + ", ".join(f"{marks[i % len(marks)]}={p[0]}" for i, p in enumerate(pts))
+    )
+    return "\n".join(out)

@@ -1,0 +1,85 @@
+"""Function-value-vs-time series (Figs. 3.4 and 3.18).
+
+The paper plots the best vertex's objective value against virtual wall time
+on log-log axes.  :func:`trace_series` extracts a monotone "best so far"
+series from an optimizer trace; :class:`TraceSeries` carries the arrays plus
+the metadata the figure legends need (algorithm, gate constant, input id).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.state import OptimizationResult, Trace
+
+
+@dataclass
+class TraceSeries:
+    """One curve of a value-vs-time figure."""
+
+    label: str
+    times: np.ndarray
+    values: np.ndarray
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.times.shape != self.values.shape or self.times.ndim != 1:
+            raise ValueError("times/values must be equal-length 1-d arrays")
+
+    @property
+    def final_value(self) -> float:
+        return float(self.values[-1]) if self.values.size else float("nan")
+
+    def value_at(self, t: float) -> float:
+        """Best value achieved by virtual time ``t`` (step interpolation)."""
+        if self.times.size == 0:
+            return float("nan")
+        idx = np.searchsorted(self.times, t, side="right") - 1
+        if idx < 0:
+            return float("nan")
+        return float(self.values[idx])
+
+    def decades_gained(self) -> float:
+        """log10(first/last) — how many orders of magnitude were gained."""
+        if self.values.size < 2 or self.values[-1] <= 0 or self.values[0] <= 0:
+            return float("nan")
+        return float(np.log10(self.values[0] / self.values[-1]))
+
+
+def trace_series(
+    result: OptimizationResult,
+    label: Optional[str] = None,
+    use_true: bool = True,
+    monotone: bool = True,
+) -> TraceSeries:
+    """Build a value-vs-time curve from a finished optimization.
+
+    ``use_true`` plots the underlying (noise-free) value of the best vertex,
+    which is what makes premature convergence visible; ``monotone`` applies a
+    running minimum, matching the "best found so far" convention.
+    """
+    trace = result.trace
+    if trace is None or len(trace) == 0:
+        raise ValueError("result has no trace (record_trace=False or zero steps)")
+    times = trace.times()
+    values = trace.best_true_values() if use_true else trace.best_estimates()
+    if monotone:
+        values = np.minimum.accumulate(values)
+    return TraceSeries(
+        label=label if label is not None else result.algorithm,
+        times=times,
+        values=values,
+        meta={
+            "algorithm": result.algorithm,
+            "n_steps": result.n_steps,
+            "reason": result.reason,
+        },
+    )
+
+
+def time_per_step(trace: Trace) -> float:
+    """Mean virtual time per simplex step (y-axis of Fig. 3.18c)."""
+    return trace.time_per_step()

@@ -1,0 +1,175 @@
+"""Command-line interface: ``repro-opt`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``run``     — optimize a named test function with one of the paper's
+  algorithms under the eq. 1.1/1.2 noise model.
+* ``water``   — reparameterize TIP4P on the calibrated surrogate from the
+  Table 3.4a initial simplex.
+* ``scaleup`` — the Fig. 3.18 scale-up study on the virtual cluster.
+* ``optroot`` — inspect an $OPTROOT directory tree (systems, phases,
+  processor count, property specs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core import optimize
+
+    extra = {}
+    if args.algorithm.upper() == "ANDERSON":
+        extra["k1"] = args.k1
+    result = optimize(
+        args.function,
+        dim=args.dim,
+        algorithm=args.algorithm,
+        sigma0=args.sigma0,
+        seed=args.seed,
+        tau=args.tau,
+        walltime=args.walltime,
+        max_steps=args.max_steps,
+        **extra,
+    )
+    print(f"algorithm : {result.algorithm}")
+    print(f"best theta: {np.array2string(result.best_theta, precision=5)}")
+    print(f"estimate  : {result.best_estimate:.6g}")
+    print(f"true value: {result.best_true:.6g}")
+    print(f"steps     : {result.n_steps} ({result.reason})")
+    print(f"walltime  : {result.walltime:.4g} virtual seconds")
+    return 0
+
+
+def _cmd_water(args: argparse.Namespace) -> int:
+    from repro.water import TIP4P_PUBLISHED, parameterize_water
+
+    result = parameterize_water(
+        algorithm=args.algorithm,
+        seed=args.seed,
+        walltime=args.walltime,
+        max_steps=args.max_steps,
+        tau=args.tau,
+    )
+    eps, sig, qh = result.best_theta
+    print(f"algorithm : {result.algorithm}")
+    print(f"epsilon   : {eps:.4f} kcal/mol  (published TIP4P: {TIP4P_PUBLISHED[0]})")
+    print(f"sigma     : {sig:.4f} A         (published TIP4P: {TIP4P_PUBLISHED[1]})")
+    print(f"qH        : {qh:.4f} e          (published TIP4P: {TIP4P_PUBLISHED[2]})")
+    print(f"final cost: {result.best_true:.4f}")
+    print(f"steps     : {result.n_steps} ({result.reason})")
+    return 0
+
+
+def _cmd_scaleup(args: argparse.Namespace) -> int:
+    from repro.cluster import Cluster, SimulatedMWPool
+    from repro.core import MaxNoise, default_termination
+    from repro.functions import Rosenbrock, random_vertices
+    from repro.noise import StochasticFunction
+
+    cluster = Cluster.palmetto(n_nodes=args.nodes)
+    for d in args.dims:
+        func = StochasticFunction(Rosenbrock(d), sigma0=0.0, rng=np.random.default_rng(d))
+        pool = SimulatedMWPool(func, cluster, dim=d, ns=args.ns)
+        vertices = random_vertices(d, low=-5.0, high=5.0, rng=np.random.default_rng(args.seed))
+        opt = MaxNoise(
+            func,
+            vertices,
+            k=2.0,
+            pool=pool,
+            termination=default_termination(
+                tau=1e-12, walltime=args.walltime, max_steps=args.max_steps
+            ),
+        )
+        result = opt.run()
+        print(
+            f"d={d:4d}  cores={pool.allocation.total:4d}  steps={result.n_steps:4d}  "
+            f"time/step={result.walltime / max(result.n_steps, 1):8.3f}  "
+            f"overhead={pool.comm_overhead:9.2f}"
+        )
+    return 0
+
+
+def _cmd_optroot(args: argparse.Namespace) -> int:
+    from repro.optroot import OptRoot, load_input, load_property_specs
+
+    root = OptRoot(args.root)
+    systems = root.systems()
+    print(f"OPTROOT : {root.root}")
+    print(f"systems : {systems}")
+    for system in systems:
+        phases = root.phases(system)
+        print(f"  {system}: {len(phases)} phase(s)")
+    print(f"processors required: {root.n_processors_required()}")
+    try:
+        config = load_input(root)
+        print(f"parameters: {config.names} ({len(config.vertices)} vertex rows)")
+    except FileNotFoundError:
+        print("parameters: <no input file>")
+    try:
+        specs = load_property_specs(root)
+        print(f"properties: {sorted(specs)}")
+    except (FileNotFoundError, ValueError):
+        print("properties: <none>")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-opt",
+        description="Automated, parallel optimization algorithms for stochastic functions",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="optimize a test function")
+    p_run.add_argument("--function", default="rosenbrock",
+                       choices=["rosenbrock", "powell", "sphere", "quadratic", "rastrigin"])
+    p_run.add_argument("--dim", type=int, default=3)
+    p_run.add_argument("--algorithm", default="PC",
+                       choices=["DET", "MN", "PC", "PC+MN", "ANDERSON"])
+    p_run.add_argument("--sigma0", type=float, default=1.0)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--tau", type=float, default=1e-3)
+    p_run.add_argument("--walltime", type=float, default=1e5)
+    p_run.add_argument("--max-steps", type=int, default=2000)
+    p_run.add_argument("--k1", type=float, default=2.0**10,
+                       help="Anderson criterion cutoff (ANDERSON only)")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_water = sub.add_parser("water", help="reparameterize TIP4P water")
+    p_water.add_argument("--algorithm", default="MN",
+                         choices=["DET", "MN", "PC", "PC+MN"])
+    p_water.add_argument("--seed", type=int, default=0)
+    p_water.add_argument("--tau", type=float, default=1e-3)
+    p_water.add_argument("--walltime", type=float, default=3e5)
+    p_water.add_argument("--max-steps", type=int, default=300)
+    p_water.set_defaults(func=_cmd_water)
+
+    p_scale = sub.add_parser("scaleup", help="MW scale-up study (Fig 3.18)")
+    p_scale.add_argument("--dims", type=int, nargs="+", default=[20, 50, 100])
+    p_scale.add_argument("--nodes", type=int, default=60)
+    p_scale.add_argument("--ns", type=int, default=1)
+    p_scale.add_argument("--seed", type=int, default=7)
+    p_scale.add_argument("--walltime", type=float, default=5e4)
+    p_scale.add_argument("--max-steps", type=int, default=150)
+    p_scale.set_defaults(func=_cmd_scaleup)
+
+    p_root = sub.add_parser("optroot", help="inspect an $OPTROOT tree")
+    p_root.add_argument("root")
+    p_root.set_defaults(func=_cmd_optroot)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests of main()
+    sys.exit(main())

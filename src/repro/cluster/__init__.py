@@ -1,0 +1,38 @@
+"""Virtual cluster model (paper §4.1-§4.2 and the §3.4 scale-up study).
+
+The paper ran on Clemson's Palmetto cluster (dual quad-core nodes, PBS/Torque
+scheduling, Myrinet 10G interconnect).  This package models exactly the
+pieces the scale-up experiment measures: nodes x cores, the PBS machinefile
+(8 entries per node), the paper's processor-allocation policy (Table 3.3),
+a latency/bandwidth network model and an event-driven clock so that the
+"time per simplex step vs. dimension" curve of Fig. 3.18c can be produced on
+a laptop.
+"""
+
+from repro.cluster.node import Cluster, Node
+from repro.cluster.machinefile import machinefile, parse_machinefile, write_machinefile
+from repro.cluster.allocation import (
+    JobAllocation,
+    ProcessorAllocation,
+    allocate_processors,
+)
+from repro.cluster.network import NetworkModel
+from repro.cluster.scheduler import PBSScheduler, JobRequest
+from repro.cluster.events import EventSimulator
+from repro.cluster.simulation import SimulatedMWPool
+
+__all__ = [
+    "Cluster",
+    "EventSimulator",
+    "JobAllocation",
+    "JobRequest",
+    "NetworkModel",
+    "Node",
+    "PBSScheduler",
+    "ProcessorAllocation",
+    "SimulatedMWPool",
+    "allocate_processors",
+    "machinefile",
+    "parse_machinefile",
+    "write_machinefile",
+]

@@ -1,0 +1,113 @@
+"""The paper's processor-allocation policy (Table 3.3 and §3.1).
+
+For a d-dimensional problem with ``Ns`` simulations per vertex:
+
+    workers = servers = d + 3          (d+1 vertices + 2 trial vertices)
+    clients            = (d + 3) * Ns
+    total              = d*Ns + 3*Ns + 2*d + 7
+                       = 1 master + (d+3) workers + (d+3) servers
+                         + (d+3)*Ns clients
+
+Assignment order follows §4.2: the master takes the first machinefile entry,
+the workers the next block, then each worker's client-server job takes the
+next ``1 + Ns`` entries in machinefile order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class ProcessorAllocation:
+    """Counts of each role for a problem size (one Table 3.3 row)."""
+
+    dim: int
+    ns: int
+    n_workers: int
+    n_servers: int
+    n_clients: int
+    total: int
+
+    @classmethod
+    def for_problem(cls, dim: int, ns: int = 1) -> "ProcessorAllocation":
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if ns < 1:
+            raise ValueError(f"ns must be >= 1, got {ns}")
+        n_workers = dim + 3
+        n_clients = (dim + 3) * ns
+        total = dim * ns + 3 * ns + 2 * dim + 7
+        alloc = cls(
+            dim=dim,
+            ns=ns,
+            n_workers=n_workers,
+            n_servers=n_workers,
+            n_clients=n_clients,
+            total=total,
+        )
+        # invariant: the closed form equals the role sum
+        assert total == 1 + alloc.n_workers + alloc.n_servers + alloc.n_clients
+        return alloc
+
+    def as_row(self) -> tuple:
+        """(d, workers, servers, clients, total) — a Table 3.3 row."""
+        return (self.dim, self.n_workers, self.n_servers, self.n_clients, self.total)
+
+
+@dataclass(frozen=True)
+class JobAllocation:
+    """Concrete machinefile assignment of every process."""
+
+    master: str
+    workers: List[str]
+    servers: List[str]
+    clients: List[List[str]]  # per-vertex client blocks
+
+    @property
+    def total(self) -> int:
+        return (
+            1
+            + len(self.workers)
+            + len(self.servers)
+            + sum(len(c) for c in self.clients)
+        )
+
+    def node_usage(self) -> Dict[str, int]:
+        """Processes per node name (for utilization checks)."""
+        usage: Dict[str, int] = {}
+        for entry in (
+            [self.master]
+            + self.workers
+            + self.servers
+            + [e for block in self.clients for e in block]
+        ):
+            usage[entry] = usage.get(entry, 0) + 1
+        return usage
+
+
+def allocate_processors(
+    entries: Sequence[str], dim: int, ns: int = 1
+) -> JobAllocation:
+    """Assign machinefile ``entries`` to roles in the paper's order.
+
+    Master first, then the ``d+3`` workers; then, per vertex, a client-server
+    block of ``1 + Ns`` entries (server first).  Raises when the machinefile
+    is too small.
+    """
+    counts = ProcessorAllocation.for_problem(dim, ns)
+    if len(entries) < counts.total:
+        raise ValueError(
+            f"machinefile has {len(entries)} entries; "
+            f"d={dim}, Ns={ns} needs {counts.total}"
+        )
+    it = iter(entries)
+    master = next(it)
+    workers = [next(it) for _ in range(counts.n_workers)]
+    servers: List[str] = []
+    clients: List[List[str]] = []
+    for _ in range(counts.n_workers):
+        servers.append(next(it))
+        clients.append([next(it) for _ in range(ns)])
+    return JobAllocation(master=master, workers=workers, servers=servers, clients=clients)

@@ -1,0 +1,40 @@
+"""PBS machinefiles (paper §4.2, "Job Scheduling").
+
+"PBS makes a copy of the machinefile ($PBS_NODEFILE) in the $OPTROOT
+directory, which contains the list of nodes (8 entries for each node)
+allocated to the job" — i.e. one line per core, node names repeated.  The
+paper's software does its *own* scheduling from this file, assigning the
+master the first entry, the workers the next ``d+2`` (sic; plus trial
+vertices), and each client-server job the next block.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+from repro.cluster.node import Cluster
+
+
+def machinefile(cluster: Cluster) -> List[str]:
+    """One entry (node name) per core, in node order — the $PBS_NODEFILE."""
+    entries: List[str] = []
+    for node in cluster:
+        entries.extend([node.name] * node.cores)
+    return entries
+
+
+def write_machinefile(cluster: Cluster, path) -> Path:
+    """Write the machinefile to disk in PBS format (one name per line)."""
+    path = Path(path)
+    path.write_text("\n".join(machinefile(cluster)) + "\n")
+    return path
+
+
+def parse_machinefile(path) -> List[str]:
+    """Read a machinefile back into its entry list."""
+    lines = Path(path).read_text().splitlines()
+    entries = [line.strip() for line in lines if line.strip()]
+    if not entries:
+        raise ValueError(f"machinefile {path} is empty")
+    return entries

@@ -1,0 +1,61 @@
+"""Latency/bandwidth communication model (paper §4.1).
+
+The paper's interconnect is Myrinet 10G: "low latency message passing
+(2.3 us) and 1.2 GB/s of sustained network bandwidth".  The model is the
+standard first-order cost ``T(n) = latency + n / bandwidth``; file-I/O hops
+(worker <-> server spool files) get a much higher latency preset.
+"""
+
+from __future__ import annotations
+
+
+class NetworkModel:
+    """First-order message cost model.
+
+    Parameters
+    ----------
+    latency:
+        Per-message setup time in seconds.
+    bandwidth:
+        Sustained transfer rate in bytes/second.
+    """
+
+    __slots__ = ("latency", "bandwidth", "name")
+
+    def __init__(self, latency: float, bandwidth: float, name: str = "custom") -> None:
+        if latency < 0.0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        if not (bandwidth > 0.0):
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth}")
+        self.latency = float(latency)
+        self.bandwidth = float(bandwidth)
+        self.name = name
+
+    @classmethod
+    def myrinet_10g(cls) -> "NetworkModel":
+        """The paper's MPI fabric: 2.3 us latency, 1.2 GB/s sustained."""
+        return cls(latency=2.3e-6, bandwidth=1.2e9, name="myrinet-10g")
+
+    @classmethod
+    def gigabit_ethernet(cls) -> "NetworkModel":
+        return cls(latency=5.0e-5, bandwidth=1.25e8, name="gige")
+
+    @classmethod
+    def file_io(cls) -> "NetworkModel":
+        """Worker<->server spool files on a shared filesystem: slow setup."""
+        return cls(latency=1.0e-2, bandwidth=1.0e8, name="file-io")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to deliver one message of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+    def round_trip(self, nbytes_out: int, nbytes_back: int) -> float:
+        """Request/response pair cost."""
+        return self.transfer_time(nbytes_out) + self.transfer_time(nbytes_back)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NetworkModel({self.name}: {self.latency:.2g}s + n/{self.bandwidth:.3g}B/s)"
+        )

@@ -1,0 +1,79 @@
+"""Nodes and clusters.
+
+A :class:`Node` is a named machine with a core count; a :class:`Cluster` is
+an ordered collection of nodes.  :meth:`Cluster.palmetto` builds a scaled
+version of the paper's testbed (§4.1: 1541 nodes, dual quad-core processors
+-> 8 cores per node, 12328 cores total).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+
+class Node:
+    """One compute node."""
+
+    __slots__ = ("name", "cores")
+
+    def __init__(self, name: str, cores: int = 8) -> None:
+        if not name:
+            raise ValueError("node name must be non-empty")
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        self.name = name
+        self.cores = int(cores)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.name!r}, cores={self.cores})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Node)
+            and self.name == other.name
+            and self.cores == other.cores
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.cores))
+
+
+class Cluster:
+    """Ordered collection of nodes with unique names."""
+
+    def __init__(self, nodes: Iterable[Node]) -> None:
+        self.nodes: List[Node] = list(nodes)
+        if not self.nodes:
+            raise ValueError("a cluster needs at least one node")
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            raise ValueError("node names must be unique")
+
+    @classmethod
+    def homogeneous(
+        cls, n_nodes: int, cores_per_node: int = 8, prefix: str = "node"
+    ) -> "Cluster":
+        """Build ``n_nodes`` identical nodes named ``<prefix>NNNN``."""
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        return cls(
+            Node(f"{prefix}{i:04d}", cores_per_node) for i in range(n_nodes)
+        )
+
+    @classmethod
+    def palmetto(cls, n_nodes: int = 1541) -> "Cluster":
+        """The paper's testbed shape: 8-core nodes (dual quad-core)."""
+        return cls.homogeneous(n_nodes, cores_per_node=8, prefix="palmetto")
+
+    @property
+    def total_cores(self) -> int:
+        return sum(n.cores for n in self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Cluster {len(self.nodes)} nodes, {self.total_cores} cores>"

@@ -1,0 +1,106 @@
+"""PBS/Torque-style batch scheduler over a virtual cluster (paper §4.2).
+
+"The job scheduler then interacts with the cluster Torque resource scheduler
+to determine when the available computing resources are granted ... The
+submitted jobs may be queued for several hours or even days."  The model
+here: FIFO queue, first-fit core allocation over whole machinefile order,
+release on completion, queued jobs admitted as cores free up.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.machinefile import machinefile
+from repro.cluster.node import Cluster
+
+
+@dataclass
+class JobRequest:
+    """A batch submission asking for ``n_procs`` cores."""
+
+    n_procs: int
+    name: str = "job"
+    job_id: int = field(default_factory=itertools.count(1).__next__)
+
+    def __post_init__(self) -> None:
+        if self.n_procs < 1:
+            raise ValueError(f"n_procs must be >= 1, got {self.n_procs}")
+
+
+@dataclass
+class RunningJob:
+    request: JobRequest
+    entries: List[str]  # machinefile slice granted to the job
+
+
+class PBSScheduler:
+    """FIFO first-fit core scheduler.
+
+    Cores are tracked as machinefile entries (one per core).  ``submit``
+    either starts a job immediately (returning its entries) or queues it;
+    ``release`` frees cores and admits queued jobs in order.
+    """
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._free: List[str] = machinefile(cluster)
+        self._queue: deque[JobRequest] = deque()
+        self.running: Dict[int, RunningJob] = {}
+        self.n_started = 0
+        self.n_completed = 0
+
+    @property
+    def free_cores(self) -> int:
+        return len(self._free)
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def submit(self, request: JobRequest) -> Optional[RunningJob]:
+        """Submit a job; returns the running job if started immediately."""
+        if request.n_procs > self.cluster.total_cores:
+            raise ValueError(
+                f"job wants {request.n_procs} cores but the cluster has "
+                f"{self.cluster.total_cores}"
+            )
+        self._queue.append(request)
+        started = self._admit()
+        return next(
+            (j for j in started if j.request.job_id == request.job_id), None
+        )
+
+    def _admit(self) -> List[RunningJob]:
+        """Start queued jobs (FIFO) while cores suffice."""
+        started: List[RunningJob] = []
+        while self._queue and self._queue[0].n_procs <= len(self._free):
+            request = self._queue.popleft()
+            entries = self._free[: request.n_procs]
+            del self._free[: request.n_procs]
+            job = RunningJob(request=request, entries=entries)
+            self.running[request.job_id] = job
+            self.n_started += 1
+            started.append(job)
+        return started
+
+    def release(self, job_id: int) -> List[RunningJob]:
+        """Complete a job, free its cores, and admit queued jobs.
+
+        Returns any jobs that started as a result.
+        """
+        try:
+            job = self.running.pop(job_id)
+        except KeyError:
+            raise KeyError(f"job {job_id} is not running") from None
+        self._free.extend(job.entries)
+        self.n_completed += 1
+        return self._admit()
+
+    def utilization(self) -> float:
+        """Fraction of cluster cores currently allocated."""
+        total = self.cluster.total_cores
+        return (total - len(self._free)) / total

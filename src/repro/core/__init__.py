@@ -1,0 +1,85 @@
+"""The paper's contribution: stochastic variants of the downhill simplex.
+
+Five optimizers share one skeleton (:mod:`repro.core.base`):
+
+========  =========================================  ==========================
+name      class                                      paper reference
+========  =========================================  ==========================
+DET       :class:`~repro.core.nelder_mead.NelderMead`   Algorithm 1 (baseline)
+MN        :class:`~repro.core.maxnoise.MaxNoise`        Algorithm 2, eq. 2.3
+PC        :class:`~repro.core.point_compare.PointComparison`  Algorithm 3
+PC+MN     :class:`~repro.core.pc_maxnoise.PCMaxNoise`   Algorithm 4
+Anderson  :class:`~repro.core.anderson.AndersonSimplex` eq. 2.4 comparator
+========  =========================================  ==========================
+"""
+
+from repro.core.anderson import AndersonSimplex, AndersonStructureSearch
+from repro.core.base import SimplexOptimizer
+from repro.core.checkpoint import resume, save_checkpoint, snapshot
+from repro.core.comparisons import ComparisonStats, ConditionSet, Decision, compare
+from repro.core.driver import ALGORITHMS, make_optimizer, optimize
+from repro.core.maxnoise import MN, MaxNoise
+from repro.core.nelder_mead import DET, NelderMead
+from repro.core.pc_maxnoise import PCMN, PCMaxNoise
+from repro.core.point_compare import PC, PointComparison
+from repro.core.pso import NoisyPSO, pso_polish
+from repro.core.simplex import (
+    Simplex,
+    collapse_point,
+    contract_point,
+    diameter,
+    expand_point,
+    reflect_point,
+)
+from repro.core.state import OptimizationResult, StepRecord, Trace
+from repro.core.termination import (
+    CompositeTermination,
+    DiameterTermination,
+    MaxStepsTermination,
+    TerminationCriterion,
+    ToleranceTermination,
+    WalltimeTermination,
+    default_termination,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "AndersonSimplex",
+    "AndersonStructureSearch",
+    "ComparisonStats",
+    "CompositeTermination",
+    "ConditionSet",
+    "DET",
+    "Decision",
+    "DiameterTermination",
+    "MN",
+    "MaxNoise",
+    "MaxStepsTermination",
+    "NelderMead",
+    "OptimizationResult",
+    "PC",
+    "NoisyPSO",
+    "PCMN",
+    "PCMaxNoise",
+    "PointComparison",
+    "Simplex",
+    "SimplexOptimizer",
+    "StepRecord",
+    "TerminationCriterion",
+    "ToleranceTermination",
+    "Trace",
+    "WalltimeTermination",
+    "collapse_point",
+    "compare",
+    "contract_point",
+    "default_termination",
+    "diameter",
+    "expand_point",
+    "make_optimizer",
+    "optimize",
+    "pso_polish",
+    "resume",
+    "save_checkpoint",
+    "snapshot",
+    "reflect_point",
+]

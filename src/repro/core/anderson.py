@@ -1,0 +1,251 @@
+"""The Anderson et al. comparator (eqs. 2.4-2.8).
+
+Anderson, Ferris & Himsworth (SIAM J. Optim. 11:837, 2000) advance their
+direct search only once the noise at every point is below a cutoff that
+tightens as the search region shrinks:
+
+    sigma_i^2(t_i)  <  k1 * 2^(-l (1 + k2))     for all i          (eq. 2.4)
+
+where ``l`` is the contraction level (the region size is ``2^-l`` times the
+initial size).  The paper evaluates *this criterion* inside the Nelder-Mead
+loop (":class:`AndersonSimplex`" here, used for Table 3.2 / Fig. 3.4) and
+keeps the rest of their method aside; for completeness this module also
+implements the structure-based direct search itself
+(:class:`AndersonStructureSearch`), with the set-valued operations of
+eqs. 2.6-2.8:
+
+    REFLECT(S, x)  = { 2x - x_i  | x_i in S }
+    EXPAND(S, x)   = { 2x_i - x  | x_i in S }     (doubles the structure)
+    CONTRACT(S, x) = { (x + x_i)/2 | x_i in S }   (halves the structure)
+
+Unlike the MN gate, eq. 2.4 keys off the *simplex size* rather than the
+spread of function values, so k1 "must be parameterized separately for each
+new surface": too small a k1 forces so much sampling per step that the
+walltime budget is exhausted after only a handful of iterations (the small-N,
+large-R rows of Table 3.2), while a very large k1 makes the size of the
+simplex irrelevant and the algorithm degenerates toward DET.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.maxnoise import MaxNoise
+from repro.core.state import OptimizationResult
+from repro.core.termination import TerminationCriterion
+from repro.noise.stochastic import SamplingPool, StochasticFunction
+
+
+class AndersonSimplex(MaxNoise):
+    """Nelder-Mead moves gated by the Anderson criterion (eq. 2.4).
+
+    Parameters
+    ----------
+    k1:
+        Noise-variance cutoff scale; Table 3.2 sweeps 2**0, 2**10, 2**20,
+        2**30.  Values should scale with the initial simplex size.
+    k2:
+        Tightening exponent; the paper always sets it to zero.
+    """
+
+    name = "Anderson"
+
+    def __init__(
+        self,
+        func: StochasticFunction,
+        initial_vertices,
+        *,
+        k1: float = 1.0,
+        k2: float = 0.0,
+        wait_dt: float = 1.0,
+        wait_growth: float = 1.6,
+        termination: Optional[TerminationCriterion] = None,
+        pool: Optional[SamplingPool] = None,
+        **kwargs,
+    ) -> None:
+        if not (k1 > 0.0):
+            raise ValueError(f"k1 must be > 0, got {k1!r}")
+        if k2 < 0.0:
+            raise ValueError(f"k2 must be >= 0, got {k2!r}")
+        super().__init__(
+            func,
+            initial_vertices,
+            k=1.0,  # unused; the gate is overridden below
+            wait_dt=wait_dt,
+            wait_growth=wait_growth,
+            termination=termination,
+            pool=pool,
+            **kwargs,
+        )
+        self.k1 = float(k1)
+        self.k2 = float(k2)
+
+    def threshold(self) -> float:
+        """Current cutoff ``k1 * 2**(-l (1 + k2))``."""
+        l = self.simplex.contraction_level
+        return self.k1 * 2.0 ** (-l * (1.0 + self.k2))
+
+    def _gate_satisfied(self) -> bool:
+        return bool(self.simplex.variances().max() < self.threshold())
+
+
+class AndersonStructureSearch:
+    """The full Anderson et al. direct search on m-point structures.
+
+    Implemented as a paper-faithful extension (DESIGN.md §6): a *structure*
+    ``S`` of ``m`` points is reflected / expanded / contracted as a set around
+    its best point; eq. 2.4 gates every ranking.  This is not used by any of
+    the paper's tables — they only borrow the criterion — but completes the
+    comparison surface.
+
+    Parameters
+    ----------
+    func:
+        Stochastic objective.
+    initial_points:
+        ``(m, d)`` array, the starting structure (m >= d + 1 recommended).
+    k1, k2:
+        eq. 2.4 constants.
+    warmup, wait_dt, wait_growth:
+        Sampling schedule, as for the simplex algorithms.
+    max_iterations, walltime:
+        Stop conditions.
+    min_size:
+        Stop when the structure size D(S) (eq. 2.5) drops below this.
+    """
+
+    name = "AndersonDS"
+
+    def __init__(
+        self,
+        func: StochasticFunction,
+        initial_points,
+        *,
+        k1: float = 1.0,
+        k2: float = 0.0,
+        warmup: float = 1.0,
+        wait_dt: float = 1.0,
+        wait_growth: float = 1.6,
+        max_iterations: int = 500,
+        walltime: float = 1e7,
+        min_size: float = 1e-8,
+    ) -> None:
+        pts = np.asarray(initial_points, dtype=float)
+        if pts.ndim != 2 or pts.shape[0] < 2:
+            raise ValueError(f"initial_points must be (m>=2, d), got {pts.shape}")
+        self.func = func
+        self.pool = SamplingPool(func, warmup=warmup, concurrent=True)
+        self.evals = [self.pool.activate(p, label=f"s{i}") for i, p in enumerate(pts)]
+        self.k1 = float(k1)
+        self.k2 = float(k2)
+        self.wait_dt = float(wait_dt)
+        self.wait_growth = float(wait_growth)
+        self.max_iterations = int(max_iterations)
+        self.walltime = float(walltime)
+        self.min_size = float(min_size)
+        self.level = 0  # l: expansion decrements, contraction increments
+        self._t0 = self.pool.now
+        self.n_steps = 0
+
+    # -- structure geometry (eqs. 2.5-2.8) ----------------------------------
+
+    def size(self) -> float:
+        """D(S) = max pairwise distance (eq. 2.5)."""
+        from repro.core.simplex import diameter
+
+        return diameter([ev.theta for ev in self.evals])
+
+    @staticmethod
+    def reflect(points: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """REFLECT(S, x) = {2x - xi} (eq. 2.6)."""
+        return 2.0 * x - points
+
+    @staticmethod
+    def expand(points: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """EXPAND(S, x) = {2 xi - x} (eq. 2.7; doubles the size)."""
+        return 2.0 * points - x
+
+    @staticmethod
+    def contract(points: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """CONTRACT(S, x) = {(x + xi)/2} (eq. 2.8; halves the size)."""
+        return 0.5 * (x + points)
+
+    # -- sampling gate -------------------------------------------------------
+
+    def _wait_for_gate(self, evals) -> None:
+        cutoff = self.k1 * 2.0 ** (-self.level * (1.0 + self.k2))
+        dt = self.wait_dt
+        while max(ev.variance for ev in evals) >= cutoff:
+            if self.pool.now - self._t0 >= self.walltime:
+                return
+            self.pool.advance(dt)
+            dt *= self.wait_growth
+
+    def _activate_structure(self, points: np.ndarray, tag: str):
+        return [
+            self.pool.activate(p, label=f"{tag}{i}") for i, p in enumerate(points)
+        ]
+
+    def _swap_to(self, new_evals) -> None:
+        for ev in self.evals:
+            if ev in self.pool:
+                self.pool.deactivate(ev)
+        self.evals = new_evals
+
+    def _mean(self, evals) -> float:
+        return float(np.mean([ev.estimate for ev in evals]))
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self) -> OptimizationResult:
+        reason = "max_iterations"
+        while self.n_steps < self.max_iterations:
+            if self.pool.now - self._t0 >= self.walltime:
+                reason = "walltime"
+                break
+            if self.size() <= self.min_size:
+                reason = "size"
+                break
+            self._wait_for_gate(self.evals)
+            best = min(self.evals, key=lambda ev: ev.estimate)
+            x = best.theta
+            pts = np.array([ev.theta for ev in self.evals])
+            refl_pts = self.reflect(pts, x)
+            refl = self._activate_structure(refl_pts, "r")
+            self._wait_for_gate(refl)
+            if self._mean(refl) < self._mean(self.evals):
+                exp = self._activate_structure(self.expand(pts, x), "e")
+                self._wait_for_gate(exp)
+                if self._mean(exp) < self._mean(refl):
+                    self._swap_to(exp)
+                    for ev in refl:
+                        self.pool.deactivate(ev)
+                    self.level -= 1
+                else:
+                    self._swap_to(refl)
+                    for ev in exp:
+                        self.pool.deactivate(ev)
+            else:
+                for ev in refl:
+                    self.pool.deactivate(ev)
+                con = self._activate_structure(self.contract(pts, x), "c")
+                self._wait_for_gate(con)
+                self._swap_to(con)
+                self.level += 1
+            self.n_steps += 1
+        best = min(self.evals, key=lambda ev: ev.estimate)
+        return OptimizationResult(
+            algorithm=self.name,
+            best_theta=np.array(best.theta, copy=True),
+            best_estimate=best.estimate,
+            best_true=self.func.true_value(best.theta),
+            n_steps=self.n_steps,
+            reason=reason,
+            walltime=self.pool.now - self._t0,
+            trace=None,
+            n_underlying_calls=self.func.n_underlying_calls,
+            total_sampling_time=self.func.total_sampling_time,
+        )

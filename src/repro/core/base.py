@@ -1,0 +1,243 @@
+"""Shared machinery for the simplex-family optimizers.
+
+:class:`SimplexOptimizer` owns the evaluation pool, the simplex, termination,
+tracing and the vertex-replacement plumbing; each algorithm (DET, MN, PC,
+PC+MN, Anderson) only implements :meth:`_decide_step` plus its own sampling
+gates.  The optimizers never see the underlying deterministic surface — all
+decisions go through noisy :class:`~repro.noise.evaluation.VertexEvaluation`
+estimates, exactly as the paper's master only sees what workers report.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core import simplex as geom
+from repro.core.comparisons import ComparisonStats
+from repro.core.simplex import Simplex
+from repro.core.state import OptimizationResult, StepRecord, Trace
+from repro.core.termination import TerminationCriterion, default_termination
+from repro.noise.evaluation import VertexEvaluation
+from repro.noise.stochastic import SamplingPool, StochasticFunction
+
+
+class _StopOptimization(Exception):
+    """Raised inside wait/resample loops when a termination criterion fires."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class SimplexOptimizer:
+    """Base class for the downhill-simplex family.
+
+    Parameters
+    ----------
+    func:
+        The :class:`~repro.noise.stochastic.StochasticFunction` to minimize.
+    initial_vertices:
+        ``(d+1, d)`` array of starting vertex coordinates.  The paper keeps
+        this a *user input*: "the total cost of the optimization can depend
+        dramatically on the initial state of the simplex, so it is not
+        advisable to automate this step".
+    alpha, beta, gamma:
+        Reflection / contraction / expansion coefficients (defaults 1, 0.5, 2
+        — "for optimal performance of simplex", §2.1).
+    warmup:
+        Sampling time given to each newly activated vertex.
+    termination:
+        A :class:`~repro.core.termination.TerminationCriterion`; defaults to
+        tolerance + walltime + max-steps.
+    pool:
+        Evaluation pool; a fresh :class:`SamplingPool` is built if omitted.
+        Anything with the same interface works (e.g. the MW-backed pool).
+    record_trace:
+        Keep per-step records for the analysis layer.
+    """
+
+    name = "base"
+    #: whether idle vertices keep sampling while time passes (MW model); the
+    #: classical DET baseline overrides this to False.
+    concurrent_sampling = True
+
+    def __init__(
+        self,
+        func: StochasticFunction,
+        initial_vertices,
+        *,
+        alpha: float = 1.0,
+        beta: float = 0.5,
+        gamma: float = 2.0,
+        warmup: float = 1.0,
+        termination: Optional[TerminationCriterion] = None,
+        pool: Optional[SamplingPool] = None,
+        record_trace: bool = True,
+    ) -> None:
+        if not (alpha > 0.0):
+            raise ValueError(f"alpha must be > 0, got {alpha!r}")
+        if not (0.0 < beta < 1.0):
+            raise ValueError(f"beta must be in (0, 1), got {beta!r}")
+        if not (gamma > 1.0):
+            raise ValueError(f"gamma must be > 1, got {gamma!r}")
+        self.func = func
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.gamma = float(gamma)
+        if pool is None:
+            pool = SamplingPool(func, warmup=warmup, concurrent=self.concurrent_sampling)
+        self.pool = pool
+        self._t0 = pool.now
+        vertices = np.asarray(initial_vertices, dtype=float)
+        if vertices.ndim != 2:
+            raise ValueError(
+                f"initial_vertices must be (d+1, d), got shape {vertices.shape}"
+            )
+        evals = [
+            self.pool.activate(v, label=f"v{i}") for i, v in enumerate(vertices)
+        ]
+        self.simplex = Simplex(evals)
+        self.termination = termination if termination is not None else default_termination()
+        self.n_steps = 0
+        self.trace: Optional[Trace] = Trace() if record_trace else None
+        self.stats = ComparisonStats()
+        self._step_wait = 0.0
+        self._step_resamples = 0
+        self._stop_reason: Optional[str] = None
+
+    # -- time -----------------------------------------------------------------
+
+    def elapsed_walltime(self) -> float:
+        """Virtual seconds since this optimizer was constructed."""
+        return self.pool.now - self._t0
+
+    # -- run loop ---------------------------------------------------------------
+
+    def run(self) -> OptimizationResult:
+        """Iterate simplex steps until a termination criterion fires."""
+        reason = self.termination.check(self)
+        while reason is None:
+            self._step_wait = 0.0
+            self._step_resamples = 0
+            t_before = self.pool.now
+            try:
+                operation = self._decide_step()
+            except _StopOptimization as stop:
+                reason = stop.reason
+                break
+            self.n_steps += 1
+            if self.trace is not None:
+                best = self.simplex.best()
+                self.trace.append(
+                    StepRecord(
+                        step=self.n_steps,
+                        time=self.pool.now,
+                        operation=operation,
+                        best_estimate=best.estimate,
+                        best_true=self.func.true_value(best.theta),
+                        diameter=self.simplex.diameter(),
+                        contraction_level=self.simplex.contraction_level,
+                        wait_time=self._step_wait,
+                        resample_rounds=self._step_resamples,
+                    )
+                )
+            del t_before
+            reason = self.termination.check(self)
+        return self._result(reason)
+
+    def _result(self, reason: str) -> OptimizationResult:
+        best = self.simplex.best()
+        return OptimizationResult(
+            algorithm=self.name,
+            best_theta=np.array(best.theta, copy=True),
+            best_estimate=best.estimate,
+            best_true=self.func.true_value(best.theta),
+            n_steps=self.n_steps,
+            reason=reason,
+            walltime=self.elapsed_walltime(),
+            trace=self.trace,
+            n_underlying_calls=self.func.n_underlying_calls,
+            total_sampling_time=self.func.total_sampling_time,
+            forced_decisions=self.stats.forced,
+        )
+
+    # -- the algorithm-specific part ---------------------------------------------
+
+    def _decide_step(self) -> str:
+        """Perform one simplex iteration; return the operation name."""
+        raise NotImplementedError
+
+    # -- shared plumbing -----------------------------------------------------------
+
+    def _check_interrupt(self) -> None:
+        """Abort mid-step if a termination criterion fired during sampling."""
+        reason = self.termination.check(self)
+        if reason is not None:
+            raise _StopOptimization(reason)
+
+    def _wait(self, dt: float, targets: Sequence[VertexEvaluation] = ()) -> None:
+        """Spend ``dt`` virtual seconds sampling; track per-step wait time."""
+        self.pool.advance(dt, targets=targets or None)
+        self._step_wait += dt
+
+    def _activate(self, theta, label: str) -> VertexEvaluation:
+        return self.pool.activate(theta, label=label)
+
+    def _discard(self, *evs: VertexEvaluation) -> None:
+        for ev in evs:
+            if ev in self.pool:
+                self.pool.deactivate(ev)
+
+    def _trial_points(self, mx: VertexEvaluation):
+        """Reflection point and the centroid it was computed from."""
+        cent = self.simplex.centroid_excluding(mx)
+        ref = geom.reflect_point(cent, mx.theta, self.alpha)
+        return cent, ref
+
+    def _accept(self, mx: VertexEvaluation, new: VertexEvaluation, operation: str) -> None:
+        """Replace the worst vertex with an accepted trial vertex."""
+        self.simplex.replace(mx, new, operation)
+        self._discard(mx)
+
+    def _do_collapse(self, mn: VertexEvaluation) -> None:
+        """Collapse every non-best vertex halfway toward the best (§2.1)."""
+        replacements = []
+        old = [ev for ev in self.simplex.vertices if ev is not mn]
+        for i, ev in enumerate(old):
+            new_theta = geom.collapse_point(ev.theta, mn.theta)
+            replacements.append(self._activate(new_theta, label=f"clp{i}"))
+        self.simplex.collapse(replacements)
+        self._discard(*old)
+
+    # -- shared step skeleton (Algorithms 1 & 2 differ only by the gate) ----------
+
+    def _classic_step(self) -> str:
+        """One iteration of Algorithm 1's decision tree on plain estimates."""
+        mn, smax, mx = self.simplex.order()
+        cent, ref_theta = self._trial_points(mx)
+        ref = self._activate(ref_theta, label="ref")
+        if ref.estimate < mn.estimate:
+            exp_theta = geom.expand_point(ref.theta, cent, self.gamma)
+            exp = self._activate(exp_theta, label="exp")
+            if exp.estimate < ref.estimate:
+                self._accept(mx, exp, "expand")
+                self._discard(ref)
+                return "expand"
+            self._accept(mx, ref, "reflect")
+            self._discard(exp)
+            return "reflect"
+        if ref.estimate < mx.estimate:
+            self._accept(mx, ref, "reflect")
+            return "reflect"
+        con_theta = geom.contract_point(mx.theta, cent, self.beta)
+        con = self._activate(con_theta, label="con")
+        if con.estimate < mx.estimate:
+            self._accept(mx, con, "contract")
+            self._discard(ref)
+            return "contract"
+        self._discard(ref, con)
+        self._do_collapse(mn)
+        return "collapse"

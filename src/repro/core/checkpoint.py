@@ -1,0 +1,121 @@
+"""Checkpoint/resume for long optimizations.
+
+The paper's production runs took days on a batch cluster ("the submitted
+jobs may be queued for several hours or even days"), where preemption and
+restart are facts of life — MW itself "restarts workers on the same
+processors".  This module snapshots the master-side optimization state (the
+simplex: vertex coordinates, current estimates, sampling times, noise
+bookkeeping; the step counter; the virtual clock) into a codec frame on disk
+and restores it into a fresh optimizer.
+
+What is *not* checkpointed: the noise RNG stream (a resumed run draws fresh
+noise — statistically equivalent, not bitwise identical) and pool transports
+(workers are restarted, as in MW).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import SimplexOptimizer
+from repro.core.driver import make_optimizer
+from repro.mw.codec import pack, unpack
+from repro.noise.evaluation import VertexEvaluation
+from repro.noise.stochastic import StochasticFunction
+
+FORMAT_VERSION = 1
+
+
+def snapshot(optimizer: SimplexOptimizer) -> dict:
+    """Capture the resumable state of an optimizer as plain codec types."""
+    vertices = []
+    for ev in optimizer.simplex.vertices:
+        vertices.append(
+            {
+                "theta": np.asarray(ev.theta, dtype=float),
+                "time": float(ev.time),
+                "estimate": float(ev.estimate),
+                "n_blocks": int(ev.n_blocks),
+                "sum_wx2": float(ev._sum_wx2),
+                "sigma0": None if ev.sigma0 is None else float(ev.sigma0),
+                "sigma0_guess": float(ev.sigma0_guess),
+                "label": ev.label,
+            }
+        )
+    return {
+        "version": FORMAT_VERSION,
+        "algorithm": optimizer.name,
+        "n_steps": int(optimizer.n_steps),
+        "clock": float(optimizer.pool.now),
+        "contraction_level": int(optimizer.simplex.contraction_level),
+        "vertices": vertices,
+    }
+
+
+def save_checkpoint(optimizer: SimplexOptimizer, path) -> Path:
+    """Write the optimizer snapshot to ``path`` (atomic rename)."""
+    path = Path(path)
+    data = pack(snapshot(optimizer))
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_bytes(data)
+    tmp.replace(path)
+    return path
+
+
+def load_snapshot(path) -> dict:
+    """Read a snapshot dict back from disk (validates the version)."""
+    state = unpack(Path(path).read_bytes())
+    if not isinstance(state, dict) or state.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported or corrupt checkpoint: {path}")
+    return state
+
+
+def _restore_evaluation(record: dict) -> VertexEvaluation:
+    ev = VertexEvaluation(
+        record["theta"],
+        sigma0=record["sigma0"],
+        sigma0_guess=record["sigma0_guess"],
+        label=record["label"],
+    )
+    ev.time = record["time"]
+    ev.estimate = record["estimate"]
+    ev.n_blocks = record["n_blocks"]
+    ev._sum_wx2 = record["sum_wx2"]
+    return ev
+
+
+def resume(
+    path,
+    func: StochasticFunction,
+    algorithm: Optional[str] = None,
+    **options,
+) -> SimplexOptimizer:
+    """Rebuild an optimizer from a checkpoint.
+
+    ``func`` supplies the objective and a fresh noise stream; ``algorithm``
+    defaults to the checkpointed one.  Options (k, conditions, termination,
+    ...) are passed through to the constructor.  The restored optimizer
+    continues from the saved step count, vertex estimates/sampling times and
+    virtual clock.
+    """
+    state = load_snapshot(path)
+    algo = algorithm if algorithm is not None else state["algorithm"]
+    thetas = np.array([rec["theta"] for rec in state["vertices"]], dtype=float)
+    opt = make_optimizer(algo, func, thetas, **options)
+    # swap in the checkpointed evaluations (overwriting the warmup ones)
+    restored = [_restore_evaluation(rec) for rec in state["vertices"]]
+    for old, new in zip(list(opt.simplex.vertices), restored):
+        opt.pool.deactivate(old)
+        opt.pool.adopt(new)
+    opt.simplex.vertices = restored
+    opt.simplex.contraction_level = state["contraction_level"]
+    opt.n_steps = state["n_steps"]
+    # fast-forward the clock to the checkpointed time
+    behind = state["clock"] - opt.pool.now
+    if behind > 0:
+        opt.pool.clock.advance(behind)
+    opt._t0 = opt.pool.now - state["clock"]
+    return opt

@@ -1,0 +1,149 @@
+"""Confidence-interval comparisons and the seven PC condition sites (§2.3).
+
+The point-to-point comparison algorithm replaces each plain ordering test
+``g(a) < g(b)`` with the strict requirement that the two k-sigma confidence
+intervals do not intersect:
+
+    decide "a below b"     when  g(a) + k sigma_a <  g(b) - k sigma_b
+    decide "a not below b" when  g(a) - k sigma_a >= g(b) + k sigma_b
+    otherwise undecided -> resample and retry.
+
+The seven sites where Algorithm 3 applies this test:
+
+    c1  ref  vs smax   (enter the reflection-accept branch)
+    c2  ref  vs min    (accept reflection without trying expansion)
+    c3  exp  vs ref    (accept expansion)
+    c4  exp  vs ref    (reject expansion, accept reflection)
+    c5  ref  vs smax   (enter the contraction branch)
+    c6  con  vs max    (accept contraction)
+    c7  con  vs max    (reject contraction, collapse)
+
+A :class:`ConditionSet` selects which sites use the error bars; sites outside
+the set compare plain means (always decidable).  The paper ablates these
+subsets extensively (Figs. 3.8-3.17) and concludes that single-site variants
+(especially c1) outperform the strict all-sites implementation.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from repro.noise.evaluation import VertexEvaluation
+
+ALL_CONDITIONS: FrozenSet[int] = frozenset(range(1, 8))
+
+
+class Decision(enum.Enum):
+    """Outcome of a (possibly confidence-gated) comparison."""
+
+    BELOW = "below"          # a is confidently below b
+    NOT_BELOW = "not_below"  # a is confidently not below b
+    UNDECIDED = "undecided"  # intervals overlap; more sampling needed
+
+
+def compare(
+    a: VertexEvaluation,
+    b: VertexEvaluation,
+    k: float = 1.0,
+    use_error_bars: bool = True,
+) -> Decision:
+    """Compare two evaluations, optionally with k-sigma interval separation.
+
+    Without error bars this is the plain mean comparison and never returns
+    :data:`Decision.UNDECIDED`.
+    """
+    ga, gb = a.estimate, b.estimate
+    if not (math.isfinite(ga) and math.isfinite(gb)):
+        raise ValueError("cannot compare unsampled evaluations")
+    if not use_error_bars:
+        return Decision.BELOW if ga < gb else Decision.NOT_BELOW
+    if k < 0.0:
+        raise ValueError(f"k must be >= 0, got {k!r}")
+    ea, eb = k * a.sem, k * b.sem
+    if ga + ea < gb - eb:
+        return Decision.BELOW
+    if ga - ea >= gb + eb:
+        return Decision.NOT_BELOW
+    return Decision.UNDECIDED
+
+
+class ConditionSet:
+    """Which of the seven PC comparison sites use the error bars.
+
+    ``ConditionSet.all()`` is the strict c1-7 implementation; ``.only(1)`` is
+    the paper's best-performing single-site variant; ``.of(1, 3, 6)`` is the
+    c136 combination of Figs. 3.16-3.17; ``.none()`` degenerates PC into the
+    plain deterministic comparisons.
+    """
+
+    __slots__ = ("sites",)
+
+    def __init__(self, sites: Iterable[int]) -> None:
+        sites = frozenset(int(s) for s in sites)
+        bad = sites - ALL_CONDITIONS
+        if bad:
+            raise ValueError(f"invalid condition sites {sorted(bad)}; valid: 1..7")
+        self.sites = sites
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def all(cls) -> "ConditionSet":
+        return cls(ALL_CONDITIONS)
+
+    @classmethod
+    def none(cls) -> "ConditionSet":
+        return cls(frozenset())
+
+    @classmethod
+    def only(cls, site: int) -> "ConditionSet":
+        return cls({site})
+
+    @classmethod
+    def of(cls, *sites: int) -> "ConditionSet":
+        return cls(sites)
+
+    # -- queries ----------------------------------------------------------
+
+    def uses(self, site: int) -> bool:
+        if site not in ALL_CONDITIONS:
+            raise ValueError(f"invalid condition site {site}; valid: 1..7")
+        return site in self.sites
+
+    @property
+    def label(self) -> str:
+        """Compact name used in figures: ``c1``, ``c136``, ``c1-7``, ``det``."""
+        if self.sites == ALL_CONDITIONS:
+            return "c1-7"
+        if not self.sites:
+            return "det"
+        return "c" + "".join(str(s) for s in sorted(self.sites))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ConditionSet) and self.sites == other.sites
+
+    def __hash__(self) -> int:
+        return hash(self.sites)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConditionSet({self.label})"
+
+
+@dataclass
+class ComparisonStats:
+    """Counters for how the gated comparisons resolved (per optimization)."""
+
+    decided_immediately: int = 0
+    resample_rounds: int = 0
+    forced: int = 0  # undecidable within budget; fell back to plain comparison
+
+    def record(self, rounds: int, was_forced: bool) -> None:
+        if rounds == 0:
+            self.decided_immediately += 1
+        else:
+            self.resample_rounds += rounds
+        if was_forced:
+            self.forced += 1

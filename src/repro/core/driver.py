@@ -1,0 +1,150 @@
+"""One-call front door for the optimizer family.
+
+:func:`optimize` wires together a (possibly plain) objective, the noise
+model, an initial simplex and an algorithm choice, and optionally performs
+restarts (the paper's §1.3.5.1 note: the simplex "has also been used for
+finding the global minima ... by restarting").
+
+>>> from repro import optimize
+>>> result = optimize("rosenbrock", dim=3, algorithm="PC", sigma0=100.0,
+...                   seed=7, walltime=1e5)
+>>> result.best_theta.shape
+(3,)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Type, Union
+
+import numpy as np
+
+from repro.core.anderson import AndersonSimplex
+from repro.core.base import SimplexOptimizer
+from repro.core.maxnoise import MaxNoise
+from repro.core.nelder_mead import NelderMead
+from repro.core.pc_maxnoise import PCMaxNoise
+from repro.core.point_compare import PointComparison
+from repro.core.state import OptimizationResult
+from repro.core.termination import default_termination
+from repro.functions import get_function, initial_simplex, random_vertices
+from repro.functions.suite import TestFunction
+from repro.noise.stochastic import StochasticFunction
+
+#: Registry of the paper's algorithms, keyed by their table/figure names.
+ALGORITHMS: Dict[str, Type[SimplexOptimizer]] = {
+    "DET": NelderMead,
+    "MN": MaxNoise,
+    "PC": PointComparison,
+    "PC+MN": PCMaxNoise,
+    "ANDERSON": AndersonSimplex,
+}
+
+
+def make_optimizer(
+    algorithm: str,
+    func: StochasticFunction,
+    vertices: np.ndarray,
+    **options,
+) -> SimplexOptimizer:
+    """Instantiate an optimizer by its paper name (case-insensitive)."""
+    key = algorithm.upper()
+    try:
+        cls = ALGORITHMS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {algorithm!r}; known: {sorted(ALGORITHMS)}"
+        ) from None
+    return cls(func, vertices, **options)
+
+
+def optimize(
+    objective: Union[str, Callable, TestFunction, StochasticFunction],
+    *,
+    algorithm: str = "PC",
+    dim: Optional[int] = None,
+    vertices=None,
+    x0=None,
+    step: float = 1.0,
+    sigma0: float = 0.0,
+    noise_mode: str = "average",
+    sigma_known: bool = True,
+    seed: Optional[int] = None,
+    tau: float = 1e-8,
+    walltime: float = 1e7,
+    max_steps: int = 100_000,
+    warmup: float = 1.0,
+    restarts: int = 0,
+    **options,
+) -> OptimizationResult:
+    """Minimize a (possibly noisy) objective with one of the paper's algorithms.
+
+    Parameters
+    ----------
+    objective:
+        A registered function name (``"rosenbrock"`` requires ``dim``), a
+        plain callable, a :class:`TestFunction` or an already-wrapped
+        :class:`StochasticFunction`.
+    vertices / x0:
+        Either an explicit ``(d+1, d)`` initial simplex, or a starting point
+        from which an axis-aligned simplex of the given ``step`` is built.  If
+        neither is given, a random simplex over [-5, 5) is drawn (needs
+        ``dim``).
+    sigma0, noise_mode, sigma_known, seed:
+        Noise-model parameters (ignored when ``objective`` is already a
+        :class:`StochasticFunction`).
+    tau, walltime, max_steps:
+        Termination criteria (eq. 2.9 tolerance, virtual walltime, safety).
+    restarts:
+        Number of times to restart the simplex around the incumbent best
+        point with a shrinking step (global-search extension; 0 = off).
+    options:
+        Forwarded to the algorithm constructor (``k``, ``conditions``, ...).
+    """
+    rng = np.random.default_rng(seed)
+    if isinstance(objective, StochasticFunction):
+        func = objective
+    else:
+        if isinstance(objective, str):
+            if dim is None:
+                raise ValueError("dim is required when naming a test function")
+            objective = get_function(objective, dim)
+        func = StochasticFunction(
+            objective,
+            sigma0=sigma0,
+            mode=noise_mode,
+            rng=rng,
+            sigma_known=sigma_known,
+        )
+
+    if vertices is not None:
+        verts = np.asarray(vertices, dtype=float)
+    elif x0 is not None:
+        verts = initial_simplex(x0, step=step)
+    else:
+        if dim is None:
+            raise ValueError("provide vertices, x0, or dim for a random simplex")
+        verts = random_vertices(dim, rng=rng)
+
+    termination = default_termination(tau=tau, walltime=walltime, max_steps=max_steps)
+
+    best: Optional[OptimizationResult] = None
+    current_verts = verts
+    current_step = step
+    for attempt in range(restarts + 1):
+        opt = make_optimizer(
+            algorithm,
+            func,
+            current_verts,
+            warmup=warmup,
+            termination=termination,
+            **options,
+        )
+        result = opt.run()
+        if best is None or result.best_estimate < best.best_estimate:
+            best = result
+        if attempt < restarts:
+            current_step = max(current_step * 0.5, 1e-6)
+            current_verts = initial_simplex(best.best_theta, step=current_step)
+    assert best is not None
+    best.extra["restarts"] = restarts
+    return best

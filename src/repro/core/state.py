@@ -1,0 +1,106 @@
+"""Optimization traces and per-step records.
+
+Every optimizer records one :class:`StepRecord` per simplex iteration; the
+:class:`Trace` container turns those into the arrays the paper plots
+(function value vs. time for Fig. 3.4, vs. steps for Fig. 3.18b, time/step for
+Fig. 3.18c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Snapshot taken after one simplex iteration."""
+
+    step: int                 # iteration index (1-based after the move)
+    time: float               # virtual clock at the end of the step
+    operation: str            # reflect / expand / contract / collapse
+    best_estimate: float      # lowest (noisy) vertex estimate
+    best_true: float          # f(theta_best) on the underlying surface (nan if unknown)
+    diameter: float           # simplex diameter, eq. 2.2
+    contraction_level: int    # l, §2.2
+    wait_time: float = 0.0    # virtual time spent in wait/resample loops this step
+    resample_rounds: int = 0  # gated comparisons that needed extra sampling
+
+
+class Trace:
+    """Accumulates step records and exposes them as plot-ready arrays."""
+
+    def __init__(self) -> None:
+        self.records: List[StepRecord] = []
+
+    def append(self, record: StepRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, idx):
+        return self.records[idx]
+
+    # -- array views -------------------------------------------------------
+
+    def times(self) -> np.ndarray:
+        return np.array([r.time for r in self.records], dtype=float)
+
+    def best_estimates(self) -> np.ndarray:
+        return np.array([r.best_estimate for r in self.records], dtype=float)
+
+    def best_true_values(self) -> np.ndarray:
+        return np.array([r.best_true for r in self.records], dtype=float)
+
+    def diameters(self) -> np.ndarray:
+        return np.array([r.diameter for r in self.records], dtype=float)
+
+    def operations(self) -> List[str]:
+        return [r.operation for r in self.records]
+
+    def time_per_step(self) -> float:
+        """Mean virtual time per simplex step (Fig. 3.18c's y-axis)."""
+        if not self.records:
+            return float("nan")
+        return self.records[-1].time / len(self.records)
+
+    def operation_counts(self) -> dict:
+        counts: dict = {}
+        for r in self.records:
+            counts[r.operation] = counts.get(r.operation, 0) + 1
+        return counts
+
+
+@dataclass
+class OptimizationResult:
+    """What an optimizer run returns.
+
+    ``best_true`` uses the underlying noise-free surface and exists for
+    *measurement* (the paper's R and D metrics); a real application would not
+    have it.
+    """
+
+    algorithm: str
+    best_theta: np.ndarray
+    best_estimate: float
+    best_true: float
+    n_steps: int
+    reason: str
+    walltime: float
+    trace: Optional[Trace] = None
+    n_underlying_calls: int = 0
+    total_sampling_time: float = 0.0
+    forced_decisions: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<OptimizationResult {self.algorithm} best={self.best_estimate:.6g} "
+            f"true={self.best_true:.6g} steps={self.n_steps} reason={self.reason!r}>"
+        )

@@ -1,0 +1,144 @@
+"""Termination criteria (paper §2.4.1).
+
+Two criteria are used in the paper, and either stops the simplex:
+
+1. *Tolerance*: all function values within a predefined tolerance of the
+   best (eq. 2.9): ``max_i |g_i - g_min| <= tau``.
+2. *Walltime*: total (virtual) wall time exceeds a predetermined limit.
+
+A criterion is a callable object receiving the optimizer and returning a
+reason string when it fires, else ``None``.  :class:`CompositeTermination`
+ORs several together; :class:`MaxStepsTermination` is an extra safety net for
+tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+
+class TerminationCriterion:
+    """Base class; subclasses implement :meth:`check`."""
+
+    def check(self, optimizer) -> Optional[str]:
+        raise NotImplementedError
+
+    def __or__(self, other: "TerminationCriterion") -> "CompositeTermination":
+        return CompositeTermination([self, other])
+
+
+class ToleranceTermination(TerminationCriterion):
+    """eq. 2.9: stop when the spread of vertex estimates is within ``tau``.
+
+    Note a known property of this criterion: it measures *value* spread, not
+    simplex size, so a simplex that lands symmetric around an optimum (all
+    vertex values equal) terminates immediately even while geometrically
+    large.  Combine with :class:`DiameterTermination` when that matters.
+    """
+
+    def __init__(self, tau: float) -> None:
+        if not (tau > 0.0):
+            raise ValueError(f"tau must be > 0, got {tau!r}")
+        self.tau = float(tau)
+
+    def check(self, optimizer) -> Optional[str]:
+        g = optimizer.simplex.estimates()
+        if not all(math.isfinite(v) for v in g):
+            return None
+        if float(g.max() - g.min()) <= self.tau:
+            return "tolerance"
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ToleranceTermination(tau={self.tau!r})"
+
+
+class WalltimeTermination(TerminationCriterion):
+    """Stop when virtual wall time since the optimizer started exceeds the limit."""
+
+    def __init__(self, limit: float) -> None:
+        if not (limit > 0.0):
+            raise ValueError(f"limit must be > 0, got {limit!r}")
+        self.limit = float(limit)
+
+    def check(self, optimizer) -> Optional[str]:
+        if optimizer.elapsed_walltime() >= self.limit:
+            return "walltime"
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WalltimeTermination(limit={self.limit!r})"
+
+
+class MaxStepsTermination(TerminationCriterion):
+    """Stop after a fixed number of simplex iterations (safety net)."""
+
+    def __init__(self, max_steps: int) -> None:
+        if max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {max_steps!r}")
+        self.max_steps = int(max_steps)
+
+    def check(self, optimizer) -> Optional[str]:
+        if optimizer.n_steps >= self.max_steps:
+            return "max_steps"
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MaxStepsTermination(max_steps={self.max_steps!r})"
+
+
+class DiameterTermination(TerminationCriterion):
+    """Stop when the simplex diameter (eq. 2.2) shrinks below a threshold.
+
+    Not used by the paper's experiments but convenient for deterministic
+    convergence tests where eq. 2.9 would require knowing the noise floor.
+    """
+
+    def __init__(self, min_diameter: float) -> None:
+        if not (min_diameter > 0.0):
+            raise ValueError(f"min_diameter must be > 0, got {min_diameter!r}")
+        self.min_diameter = float(min_diameter)
+
+    def check(self, optimizer) -> Optional[str]:
+        if optimizer.simplex.diameter() <= self.min_diameter:
+            return "diameter"
+        return None
+
+
+class CompositeTermination(TerminationCriterion):
+    """Fire when any member criterion fires (first reason wins)."""
+
+    def __init__(self, criteria: Sequence[TerminationCriterion]) -> None:
+        flat: List[TerminationCriterion] = []
+        for c in criteria:
+            if isinstance(c, CompositeTermination):
+                flat.extend(c.criteria)
+            else:
+                flat.append(c)
+        if not flat:
+            raise ValueError("composite termination needs at least one criterion")
+        self.criteria = flat
+
+    def check(self, optimizer) -> Optional[str]:
+        for criterion in self.criteria:
+            reason = criterion.check(optimizer)
+            if reason is not None:
+                return reason
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompositeTermination({self.criteria!r})"
+
+
+def default_termination(
+    tau: float = 1e-8, walltime: float = 1e7, max_steps: int = 100_000
+) -> CompositeTermination:
+    """The paper's pairing (tolerance + walltime) plus a step safety net."""
+    return CompositeTermination(
+        [
+            ToleranceTermination(tau),
+            WalltimeTermination(walltime),
+            MaxStepsTermination(max_steps),
+        ]
+    )

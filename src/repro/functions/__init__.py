@@ -1,0 +1,34 @@
+"""Benchmark objective functions used in the paper's evaluation.
+
+The paper optimizes the Rosenbrock "banana" function in 3 and 4 (and, for the
+scale-up study, up to 100) dimensions and the Powell singular function in 4
+dimensions.  The suite also carries the extension functions called for by the
+paper's future-work section (§5.2: "the suite of test problems ... should be
+enlarged").
+"""
+
+from repro.functions.rosenbrock import Rosenbrock, rosenbrock
+from repro.functions.powell import Powell, powell
+from repro.functions.suite import (
+    Quadratic,
+    Rastrigin,
+    Sphere,
+    TestFunction,
+    get_function,
+    initial_simplex,
+    random_vertices,
+)
+
+__all__ = [
+    "Powell",
+    "Quadratic",
+    "Rastrigin",
+    "Rosenbrock",
+    "Sphere",
+    "TestFunction",
+    "get_function",
+    "initial_simplex",
+    "powell",
+    "random_vertices",
+    "rosenbrock",
+]

@@ -1,0 +1,62 @@
+"""The Powell singular function (eq. 3.3).
+
+    f(x) = (x1 + 10 x2)**2 + 5 (x3 - x4)**2 + (x2 - 2 x3)**4 + 10 (x1 - x4)**4
+
+Minimum 0 at the origin; the Hessian there is singular, which makes the late
+stages of any simplex method slow and noise-sensitive — exactly why the paper
+uses it alongside Rosenbrock for the 4-d PC/PC+MN comparison (Fig. 3.6).
+
+The class generalizes to ``dim`` a multiple of 4 by chaining independent
+4-variable blocks (the standard extended-Powell construction); ``dim=4``
+reproduces eq. 3.3 exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.functions.suite import TestFunction
+
+
+class Powell(TestFunction):
+    """Extended Powell singular function; minimum 0 at the origin."""
+
+    name = "powell"
+
+    def __init__(self, dim: int = 4) -> None:
+        if dim < 4 or dim % 4 != 0:
+            raise ValueError(f"Powell needs dim a positive multiple of 4, got {dim}")
+        super().__init__(dim)
+
+    def value(self, theta: np.ndarray) -> float:
+        x = theta.reshape(-1, 4)
+        x1, x2, x3, x4 = x[:, 0], x[:, 1], x[:, 2], x[:, 3]
+        return float(
+            np.sum(
+                (x1 + 10.0 * x2) ** 2
+                + 5.0 * (x3 - x4) ** 2
+                + (x2 - 2.0 * x3) ** 4
+                + 10.0 * (x1 - x4) ** 4
+            )
+        )
+
+    def batch(self, thetas) -> np.ndarray:
+        thetas = np.asarray(thetas, dtype=float)
+        x = thetas.reshape(thetas.shape[0], -1, 4)
+        x1, x2, x3, x4 = x[..., 0], x[..., 1], x[..., 2], x[..., 3]
+        return np.sum(
+            (x1 + 10.0 * x2) ** 2
+            + 5.0 * (x3 - x4) ** 2
+            + (x2 - 2.0 * x3) ** 4
+            + 10.0 * (x1 - x4) ** 4,
+            axis=1,
+        )
+
+    def minimizer(self) -> np.ndarray:
+        return np.zeros(self.dim)
+
+
+def powell(theta) -> float:
+    """Functional form of eq. 3.3 (or its extended version)."""
+    theta = np.asarray(theta, dtype=float)
+    return Powell(theta.shape[0]).value(theta)

@@ -1,0 +1,216 @@
+"""Common test-function machinery and the extension suite.
+
+Every benchmark objective derives from :class:`TestFunction`, which records
+the known minimizer/minimum so the analysis layer can compute the paper's
+R (function-value error) and D (distance to solution) metrics without
+re-deriving them per experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+
+class TestFunction:
+    """A deterministic objective with known optimum.
+
+    Subclasses implement :meth:`value`; vectorized batch evaluation via
+    :meth:`batch` falls back to a loop unless overridden.
+
+    Parameters
+    ----------
+    dim:
+        Parameter-space dimensionality ``d``.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, dim: int) -> None:
+        dim = int(dim)
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.dim = dim
+
+    # -- required interface ----------------------------------------------
+
+    def value(self, theta: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def minimizer(self) -> np.ndarray:
+        """Location of the (a) global minimum."""
+        raise NotImplementedError
+
+    def minimum(self) -> float:
+        """Function value at the minimizer (0 for the whole suite)."""
+        return 0.0
+
+    # -- conveniences -------------------------------------------------------
+
+    def __call__(self, theta) -> float:
+        theta = np.asarray(theta, dtype=float)
+        if theta.shape != (self.dim,):
+            raise ValueError(
+                f"{self.name} expects shape ({self.dim},), got {theta.shape}"
+            )
+        return float(self.value(theta))
+
+    def batch(self, thetas) -> np.ndarray:
+        """Evaluate a ``(n, d)`` stack of points; returns shape ``(n,)``."""
+        thetas = np.asarray(thetas, dtype=float)
+        if thetas.ndim != 2 or thetas.shape[1] != self.dim:
+            raise ValueError(
+                f"{self.name} batch expects shape (n, {self.dim}), got {thetas.shape}"
+            )
+        return np.array([self.value(t) for t in thetas], dtype=float)
+
+    def distance_to_solution(self, theta) -> float:
+        """Euclidean distance from ``theta`` to the known minimizer (metric D)."""
+        theta = np.asarray(theta, dtype=float)
+        return float(np.linalg.norm(theta - self.minimizer()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(dim={self.dim})"
+
+
+class Sphere(TestFunction):
+    """``f(x) = sum(x**2)`` — the simplest convex sanity check."""
+
+    name = "sphere"
+
+    def value(self, theta: np.ndarray) -> float:
+        return float(np.dot(theta, theta))
+
+    def batch(self, thetas) -> np.ndarray:
+        thetas = np.asarray(thetas, dtype=float)
+        return np.einsum("ij,ij->i", thetas, thetas)
+
+    def minimizer(self) -> np.ndarray:
+        return np.zeros(self.dim)
+
+
+class Quadratic(TestFunction):
+    """Anisotropic convex quadratic ``f(x) = sum(c_i * (x_i - m_i)**2)``.
+
+    Useful for convergence property tests: the unique minimum and curvature
+    are fully controlled.
+    """
+
+    name = "quadratic"
+
+    def __init__(self, dim: int, scales=None, center=None) -> None:
+        super().__init__(dim)
+        self.scales = (
+            np.ones(dim) if scales is None else np.asarray(scales, dtype=float)
+        )
+        self.center = (
+            np.zeros(dim) if center is None else np.asarray(center, dtype=float)
+        )
+        if self.scales.shape != (dim,) or self.center.shape != (dim,):
+            raise ValueError("scales/center must have shape (dim,)")
+        if np.any(self.scales <= 0):
+            raise ValueError("scales must be positive for a proper minimum")
+
+    def value(self, theta: np.ndarray) -> float:
+        diff = theta - self.center
+        return float(np.dot(self.scales, diff * diff))
+
+    def batch(self, thetas) -> np.ndarray:
+        diff = np.asarray(thetas, dtype=float) - self.center
+        return diff * diff @ self.scales
+
+    def minimizer(self) -> np.ndarray:
+        return self.center.copy()
+
+
+class Rastrigin(TestFunction):
+    """Multimodal extension function ``10 d + sum(x**2 - 10 cos(2 pi x))``."""
+
+    name = "rastrigin"
+
+    def value(self, theta: np.ndarray) -> float:
+        return float(
+            10.0 * self.dim
+            + np.sum(theta * theta - 10.0 * np.cos(2.0 * math.pi * theta))
+        )
+
+    def minimizer(self) -> np.ndarray:
+        return np.zeros(self.dim)
+
+
+# -- initial-state generators (paper §3.2 / §3.3) ----------------------------
+
+
+def random_vertices(
+    dim: int,
+    n_vertices: Optional[int] = None,
+    low: float = -5.0,
+    high: float = 5.0,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Random initial simplex vertices, uniform per coordinate.
+
+    The paper draws each coordinate of each vertex uniformly: over ``[-6, 3]``
+    for the 3-d MN/Anderson study (§3.2) and over ``[-5, 5)`` for the 4-d
+    PC/PC+MN study (§3.3).  Returns shape ``(n_vertices, dim)``; the default
+    ``n_vertices`` is ``dim + 1``.
+    """
+    if n_vertices is None:
+        n_vertices = dim + 1
+    if n_vertices < dim + 1:
+        raise ValueError(
+            f"a {dim}-dim simplex needs >= {dim + 1} vertices, got {n_vertices}"
+        )
+    if not (high > low):
+        raise ValueError(f"need high > low, got [{low}, {high})")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    return gen.uniform(low, high, size=(n_vertices, dim))
+
+
+def initial_simplex(
+    x0,
+    step: float = 1.0,
+) -> np.ndarray:
+    """Axis-aligned regular-ish initial simplex around a starting point.
+
+    Vertex 0 is ``x0``; vertex ``i`` offsets coordinate ``i-1`` by ``step``.
+    This is the conventional deterministic construction used when a study
+    specifies a starting *point* rather than a starting simplex.
+    """
+    x0 = np.asarray(x0, dtype=float)
+    if x0.ndim != 1:
+        raise ValueError(f"x0 must be 1-d, got shape {x0.shape}")
+    if step == 0.0:
+        raise ValueError("step must be nonzero (degenerate simplex)")
+    d = x0.shape[0]
+    verts = np.tile(x0, (d + 1, 1))
+    verts[1:] += np.eye(d) * step
+    return verts
+
+
+_REGISTRY: Dict[str, Type[TestFunction]] = {}
+
+
+def _register(cls: Type[TestFunction]) -> Type[TestFunction]:
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_function(name: str, dim: int, **kwargs) -> TestFunction:
+    """Look up a test function by name (``rosenbrock``, ``powell``, ...)."""
+    # populate lazily to avoid circular imports
+    if not _REGISTRY:
+        from repro.functions.powell import Powell
+        from repro.functions.rosenbrock import Rosenbrock
+
+        for cls in (Rosenbrock, Powell, Sphere, Quadratic, Rastrigin):
+            _register(cls)
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown test function {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(dim, **kwargs)

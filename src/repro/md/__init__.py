@@ -1,0 +1,61 @@
+"""Miniature molecular-dynamics engine (the paper's application substrate).
+
+The paper evaluates its optimizers by reparameterizing the TIP4P model of
+liquid water with real MD (NVT equilibration + NVE production, §3.5).  This
+package is a genuine, from-scratch MD code sized for laptop scales: 4-site
+TIP4P-geometry water with stiff harmonic intramolecular terms standing in
+for rigid constraints (documented substitution, DESIGN.md §2), Lennard-Jones
+oxygen sites, point charges on H/H/M with exact linear-virtual-site force
+redistribution, minimum-image periodic boundaries, velocity-Verlet
+integration, a Berendsen thermostat, and estimators for every property the
+paper's cost function uses (internal energy, virial pressure, diffusion
+coefficient from MSD, radial distribution functions).
+
+Internal unit system: Angstrom / femtosecond / amu / kcal-per-mol
+(:mod:`repro.md.units` holds the conversion constants).
+"""
+
+from repro.md.units import (
+    ACCEL_CONV,
+    COULOMB_CONST,
+    KB,
+    KCAL_TO_KJ,
+    PRESSURE_CONV,
+    kinetic_temperature,
+    maxwell_boltzmann_velocities,
+)
+from repro.md.cell import PeriodicBox
+from repro.md.forcefield import TIP4PForceField, WaterParameters
+from repro.md.system import WaterSystem, build_water_box
+from repro.md.neighbors import brute_force_pairs, cell_list_pairs
+from repro.md.integrators import BerendsenThermostat, VelocityVerlet
+from repro.md.properties import (
+    PropertyAccumulator,
+    diffusion_coefficient,
+    radial_distribution,
+)
+from repro.md.simulation import SimulationProtocol, run_water_simulation
+
+__all__ = [
+    "ACCEL_CONV",
+    "BerendsenThermostat",
+    "COULOMB_CONST",
+    "KB",
+    "KCAL_TO_KJ",
+    "PRESSURE_CONV",
+    "PeriodicBox",
+    "PropertyAccumulator",
+    "SimulationProtocol",
+    "TIP4PForceField",
+    "VelocityVerlet",
+    "WaterParameters",
+    "WaterSystem",
+    "brute_force_pairs",
+    "build_water_box",
+    "cell_list_pairs",
+    "diffusion_coefficient",
+    "kinetic_temperature",
+    "maxwell_boltzmann_velocities",
+    "radial_distribution",
+    "run_water_simulation",
+]

@@ -1,0 +1,54 @@
+"""Orthorhombic periodic simulation cell with minimum-image convention."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PeriodicBox:
+    """Axis-aligned periodic box.
+
+    Parameters
+    ----------
+    lengths:
+        Box edge lengths (scalar for cubic, or length-3 vector), in Angstrom.
+    """
+
+    __slots__ = ("lengths",)
+
+    def __init__(self, lengths) -> None:
+        arr = np.asarray(lengths, dtype=float)
+        if arr.ndim == 0:
+            arr = np.full(3, float(arr))
+        if arr.shape != (3,):
+            raise ValueError(f"lengths must be scalar or length-3, got {arr.shape}")
+        if np.any(arr <= 0.0):
+            raise ValueError(f"box lengths must be positive, got {arr}")
+        self.lengths = arr.copy()
+        self.lengths.setflags(write=False)
+
+    @property
+    def volume(self) -> float:
+        """Box volume in A^3."""
+        return float(np.prod(self.lengths))
+
+    @property
+    def min_image_cutoff(self) -> float:
+        """Largest interaction cutoff consistent with minimum image."""
+        return float(self.lengths.min() / 2.0)
+
+    def wrap(self, positions: np.ndarray) -> np.ndarray:
+        """Map positions into the primary cell [0, L)."""
+        return np.mod(positions, self.lengths)
+
+    def minimum_image(self, displacements: np.ndarray) -> np.ndarray:
+        """Apply the minimum-image convention to displacement vectors."""
+        return displacements - self.lengths * np.round(displacements / self.lengths)
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Minimum-image distance between two points."""
+        d = self.minimum_image(np.asarray(a, dtype=float) - np.asarray(b, dtype=float))
+        return float(np.linalg.norm(d))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PeriodicBox({self.lengths.tolist()})"

@@ -1,0 +1,365 @@
+"""TIP4P-geometry water force field (paper §3.5, Fig. 3.19).
+
+Interactions:
+
+* Lennard-Jones between oxygen sites of different molecules,
+  ``4 eps [(sigma/r)^12 - (sigma/r)^6]``, truncated (and optionally energy-
+  shifted) at a cutoff.  ``eps``/``sigma`` are two of the paper's three
+  optimization parameters.
+* Coulomb between the charge sites of different molecules.  TIP4P puts
+  ``+qH`` on each hydrogen and ``-2 qH`` on the massless M site displaced
+  0.15 A from the oxygen along the HOH bisector; ``qH`` is the third
+  optimization parameter.
+* Intramolecular stiff harmonic bonds and angle — the documented stand-in
+  for TIP4P's rigid constraints (a flexible model with the TIP4P equilibrium
+  geometry).
+
+The M site is the *linear* virtual site ``M = (1-2a) O + a H1 + a H2`` with
+``a`` chosen to give |OM| = d_OM at the equilibrium geometry; because it is a
+fixed linear combination, distributing its force as ``F_O += (1-2a) F_M,
+F_H += a F_M`` is exact (energy-conserving).
+
+All pair interactions use the minimum-image convention; positions may be
+unwrapped (the engine never wraps coordinates, which keeps MSD trivial).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.md.cell import PeriodicBox
+from repro.md.units import COULOMB_CONST
+
+MASS_O = 15.9994
+MASS_H = 1.008
+
+
+@dataclass(frozen=True)
+class WaterParameters:
+    """TIP4P-family parameter set.
+
+    The published TIP4P values (Jorgensen et al. 1983) are the defaults:
+    ``epsilon = 0.1550 kcal/mol``, ``sigma = 3.1536 A``, ``q_h = 0.5200 e``,
+    with geometry r(OH) = 0.9572 A, HOH angle 104.52 deg, d(OM) = 0.15 A.
+    """
+
+    epsilon: float = 0.1550      # kcal/mol
+    sigma: float = 3.1536        # A
+    q_h: float = 0.5200          # e
+    r_oh: float = 0.9572         # A
+    theta_deg: float = 104.52    # degrees
+    d_om: float = 0.15           # A
+    k_bond: float = 450.0        # kcal/mol/A^2 (stiff harmonic OH)
+    k_angle: float = 55.0        # kcal/mol/rad^2
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0.0:
+            raise ValueError(f"epsilon must be >= 0, got {self.epsilon}")
+        if self.sigma <= 0.0:
+            raise ValueError(f"sigma must be > 0, got {self.sigma}")
+        if self.r_oh <= 0.0:
+            raise ValueError(f"r_oh must be > 0, got {self.r_oh}")
+        if not (0.0 < self.theta_deg < 180.0):
+            raise ValueError(f"theta_deg must be in (0, 180), got {self.theta_deg}")
+        if self.d_om < 0.0:
+            raise ValueError(f"d_om must be >= 0, got {self.d_om}")
+
+    @property
+    def q_m(self) -> float:
+        """M-site charge (charge neutrality): -2 qH."""
+        return -2.0 * self.q_h
+
+    @property
+    def theta(self) -> float:
+        """Equilibrium HOH angle in radians."""
+        return math.radians(self.theta_deg)
+
+    @property
+    def m_coeff(self) -> float:
+        """Virtual-site coefficient ``a`` in ``M = O + a (H1-O) + a (H2-O)``.
+
+        At equilibrium the bisector has length ``r_oh cos(theta/2)``, so
+        ``a = d_om / (2 r_oh cos(theta/2))``.
+        """
+        bisector = self.r_oh * math.cos(self.theta / 2.0)
+        return self.d_om / (2.0 * bisector)
+
+    @classmethod
+    def from_vector(cls, theta_vec, **fixed) -> "WaterParameters":
+        """Build from the optimization vector ``(epsilon, sigma, q_h)``."""
+        eps, sig, qh = (float(x) for x in np.asarray(theta_vec, dtype=float))
+        return cls(epsilon=eps, sigma=sig, q_h=qh, **fixed)
+
+
+@dataclass
+class ForceFieldResult:
+    """One force evaluation: energies by term, forces, virial."""
+
+    energies: Dict[str, float]
+    forces: np.ndarray    # (3 n_mol, 3) on real atoms (M redistributed)
+    virial: float         # sum over pair terms of d . F, kcal/mol
+
+    @property
+    def potential_energy(self) -> float:
+        return float(sum(self.energies.values()))
+
+
+class TIP4PForceField:
+    """Force/energy evaluator for a box of ``n_molecules`` waters.
+
+    Atom layout: molecule ``i`` owns real atoms ``3i`` (O), ``3i+1`` (H1),
+    ``3i+2`` (H2).  Charge sites are H1, H2 and the derived M site.
+
+    Parameters
+    ----------
+    params:
+        :class:`WaterParameters`.
+    n_molecules:
+        Number of waters (pair tables are precomputed).
+    cutoff:
+        Interaction cutoff in A; defaults to the caller-supplied box's
+        minimum-image bound at compute time when None.
+    shift:
+        Energy-shift LJ and Coulomb at the cutoff (removes the step
+        discontinuity; improves energy conservation under truncation).
+    neighbor_method:
+        ``"all_pairs"`` (default; precomputed pair tables, best for small
+        boxes) or ``"cell_list"`` (linked cells, O(N) for large boxes).
+        Both produce identical physics (equivalence is tested).
+    """
+
+    def __init__(
+        self,
+        params: WaterParameters,
+        n_molecules: int,
+        cutoff: Optional[float] = None,
+        shift: bool = True,
+        neighbor_method: str = "all_pairs",
+    ) -> None:
+        if n_molecules < 1:
+            raise ValueError(f"n_molecules must be >= 1, got {n_molecules}")
+        if cutoff is not None and cutoff <= 0.0:
+            raise ValueError(f"cutoff must be > 0, got {cutoff}")
+        if neighbor_method not in ("all_pairs", "cell_list"):
+            raise ValueError(
+                f"neighbor_method must be 'all_pairs' or 'cell_list', got {neighbor_method!r}"
+            )
+        self.params = params
+        self.n_molecules = int(n_molecules)
+        self.cutoff = cutoff
+        self.shift = bool(shift)
+        self.neighbor_method = neighbor_method
+        n = self.n_molecules
+        # oxygen-oxygen molecule pairs (i < j)
+        self._oo_i, self._oo_j = np.triu_indices(n, k=1)
+        # charge sites: per molecule H1, H2, M -> site index 3i, 3i+1, 3i+2
+        ns = 3 * n
+        ci, cj = np.triu_indices(ns, k=1)
+        different_mol = (ci // 3) != (cj // 3)
+        self._cs_i = ci[different_mol]
+        self._cs_j = cj[different_mol]
+        q = np.empty(ns)
+        q[0::3] = params.q_h
+        q[1::3] = params.q_h
+        q[2::3] = params.q_m
+        self._charges = q
+        self._qq = COULOMB_CONST * q[self._cs_i] * q[self._cs_j]
+
+    # -- geometry ---------------------------------------------------------------
+
+    def m_sites(self, pos: np.ndarray) -> np.ndarray:
+        """M-site positions from real-atom positions, shape (n_mol, 3)."""
+        a = self.params.m_coeff
+        O = pos[0::3]
+        H1 = pos[1::3]
+        H2 = pos[2::3]
+        return O + a * (H1 - O) + a * (H2 - O)
+
+    def _effective_cutoff(self, box: PeriodicBox) -> float:
+        rc = self.cutoff if self.cutoff is not None else box.min_image_cutoff
+        return min(rc, box.min_image_cutoff)
+
+    # -- main entry -----------------------------------------------------------------
+
+    def compute(self, pos: np.ndarray, box: PeriodicBox) -> ForceFieldResult:
+        """Evaluate energies, forces and virial at the given positions."""
+        n = self.n_molecules
+        if pos.shape != (3 * n, 3):
+            raise ValueError(f"positions must be ({3 * n}, 3), got {pos.shape}")
+        rc = self._effective_cutoff(box)
+        forces = np.zeros_like(pos)
+        energies: Dict[str, float] = {}
+        virial = 0.0
+
+        # ---- Lennard-Jones, O-O --------------------------------------------
+        e_lj, f_o, w = self._lennard_jones(pos[0::3], box, rc)
+        energies["lj"] = e_lj
+        forces[0::3] += f_o
+        virial += w
+
+        # ---- Coulomb over H1/H2/M charge sites -------------------------------
+        csites = np.empty((3 * n, 3))
+        csites[0::3] = pos[1::3]  # H1
+        csites[1::3] = pos[2::3]  # H2
+        csites[2::3] = self.m_sites(pos)
+        e_c, f_sites, w = self._coulomb(csites, box, rc)
+        energies["coulomb"] = e_c
+        virial += w
+        # distribute: H forces map directly; M forces redistribute exactly
+        forces[1::3] += f_sites[0::3]
+        forces[2::3] += f_sites[1::3]
+        f_m = f_sites[2::3]
+        a = self.params.m_coeff
+        forces[0::3] += (1.0 - 2.0 * a) * f_m
+        forces[1::3] += a * f_m
+        forces[2::3] += a * f_m
+
+        # ---- intramolecular ----------------------------------------------------
+        e_b, f_b, w_b = self._bonds(pos)
+        e_a, f_a, w_a = self._angles(pos)
+        energies["bond"] = e_b
+        energies["angle"] = e_a
+        forces += f_b + f_a
+        virial += w_b + w_a
+
+        return ForceFieldResult(energies=energies, forces=forces, virial=virial)
+
+    # -- term implementations ------------------------------------------------------
+
+    def _candidate_pairs(
+        self,
+        positions: np.ndarray,
+        box: PeriodicBox,
+        rc: float,
+        table: Tuple[np.ndarray, np.ndarray],
+        exclude_same_molecule: bool,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Pair indices to examine: the precomputed table or linked cells."""
+        if self.neighbor_method == "all_pairs":
+            return table
+        from repro.md.neighbors import cell_list_pairs
+
+        ii, jj = cell_list_pairs(positions, box, rc)
+        if exclude_same_molecule and ii.size:
+            mask = (ii // 3) != (jj // 3)
+            ii, jj = ii[mask], jj[mask]
+        return ii, jj
+
+    def _lennard_jones(
+        self, pos_o: np.ndarray, box: PeriodicBox, rc: float
+    ) -> Tuple[float, np.ndarray, float]:
+        eps, sig = self.params.epsilon, self.params.sigma
+        f = np.zeros_like(pos_o)
+        pi, pj = self._candidate_pairs(
+            pos_o, box, rc, (self._oo_i, self._oo_j), exclude_same_molecule=False
+        )
+        if eps == 0.0 or pi.size == 0:
+            return 0.0, f, 0.0
+        d = box.minimum_image(pos_o[pi] - pos_o[pj])
+        r2 = np.einsum("ij,ij->i", d, d)
+        mask = r2 < rc * rc
+        if not np.any(mask):
+            return 0.0, f, 0.0
+        d = d[mask]
+        r2 = r2[mask]
+        ii = pi[mask]
+        jj = pj[mask]
+        s2 = (sig * sig) / r2
+        s6 = s2 * s2 * s2
+        s12 = s6 * s6
+        e_pair = 4.0 * eps * (s12 - s6)
+        if self.shift:
+            s6c = (sig / rc) ** 6
+            e_pair = e_pair - 4.0 * eps * (s6c * s6c - s6c)
+        # F_i = 24 eps (2 s12 - s6) / r^2 * d   (force on i along +d)
+        fmag = 24.0 * eps * (2.0 * s12 - s6) / r2
+        fvec = fmag[:, None] * d
+        np.add.at(f, ii, fvec)
+        np.add.at(f, jj, -fvec)
+        virial = float(np.einsum("ij,ij->", d, fvec))
+        return float(e_pair.sum()), f, virial
+
+    def _coulomb(
+        self, csites: np.ndarray, box: PeriodicBox, rc: float
+    ) -> Tuple[float, np.ndarray, float]:
+        f = np.zeros_like(csites)
+        pi, pj = self._candidate_pairs(
+            csites, box, rc, (self._cs_i, self._cs_j), exclude_same_molecule=True
+        )
+        if self.params.q_h == 0.0 or pi.size == 0:
+            return 0.0, f, 0.0
+        d = box.minimum_image(csites[pi] - csites[pj])
+        r2 = np.einsum("ij,ij->i", d, d)
+        mask = r2 < rc * rc
+        if not np.any(mask):
+            return 0.0, f, 0.0
+        d = d[mask]
+        r2 = r2[mask]
+        pair_qq = (
+            self._qq
+            if self.neighbor_method == "all_pairs"
+            else COULOMB_CONST * self._charges[pi] * self._charges[pj]
+        )
+        qq = pair_qq[mask]
+        ii = pi[mask]
+        jj = pj[mask]
+        r = np.sqrt(r2)
+        e_pair = qq / r
+        if self.shift:
+            e_pair = e_pair - qq / rc
+        fmag = qq / (r2 * r)
+        fvec = fmag[:, None] * d
+        np.add.at(f, ii, fvec)
+        np.add.at(f, jj, -fvec)
+        virial = float(np.einsum("ij,ij->", d, fvec))
+        return float(e_pair.sum()), f, virial
+
+    def _bonds(self, pos: np.ndarray) -> Tuple[float, np.ndarray, float]:
+        kb, r0 = self.params.k_bond, self.params.r_oh
+        O = pos[0::3]
+        f = np.zeros_like(pos)
+        energy = 0.0
+        virial = 0.0
+        for h_off in (1, 2):
+            H = pos[h_off::3]
+            u = H - O
+            r = np.linalg.norm(u, axis=1)
+            dr = r - r0
+            energy += float(kb * np.dot(dr, dr))
+            # F_H = -2 kb (r - r0) u/r
+            fh = (-2.0 * kb * dr / r)[:, None] * u
+            f[h_off::3] += fh
+            f[0::3] -= fh
+            virial += float(np.einsum("ij,ij->", u, fh))
+        return energy, f, virial
+
+    def _angles(self, pos: np.ndarray) -> Tuple[float, np.ndarray, float]:
+        ka, th0 = self.params.k_angle, self.params.theta
+        O = pos[0::3]
+        H1 = pos[1::3]
+        H2 = pos[2::3]
+        u = H1 - O
+        v = H2 - O
+        ru = np.linalg.norm(u, axis=1)
+        rv = np.linalg.norm(v, axis=1)
+        cos_t = np.clip(np.einsum("ij,ij->i", u, v) / (ru * rv), -1.0, 1.0)
+        theta = np.arccos(cos_t)
+        sin_t = np.sqrt(np.maximum(1.0 - cos_t * cos_t, 1e-12))
+        dtheta = theta - th0
+        energy = float(ka * np.dot(dtheta, dtheta))
+        # dE/dtheta = 2 ka (theta - th0);  dtheta/du = -(1/sin) dcos/du
+        coeff = 2.0 * ka * dtheta / sin_t  # = -dE/dcos
+        dcos_du = v / (ru * rv)[:, None] - (cos_t / (ru * ru))[:, None] * u
+        dcos_dv = u / (ru * rv)[:, None] - (cos_t / (rv * rv))[:, None] * v
+        f_h1 = coeff[:, None] * dcos_du
+        f_h2 = coeff[:, None] * dcos_dv
+        f = np.zeros_like(pos)
+        f[1::3] += f_h1
+        f[2::3] += f_h2
+        f[0::3] -= f_h1 + f_h2
+        virial = float(np.einsum("ij,ij->", u, f_h1) + np.einsum("ij,ij->", v, f_h2))
+        return energy, f, virial

@@ -1,0 +1,172 @@
+"""Property estimators: the six observables of the paper's cost function.
+
+The paper fits two thermodynamic properties (average internal energy <U> and
+average pressure <P>), one dynamic property (the self-diffusion coefficient D
+from the mean-squared displacement) and three structural properties (the
+gOO, gOH and gHH radial distribution functions reduced to RMS residuals).
+This module measures all of them from trajectory frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.md.cell import PeriodicBox
+from repro.md.units import KB, KCAL_TO_KJ, PRESSURE_CONV, kinetic_energy
+
+#: A^2/fs -> cm^2/s for diffusion coefficients.
+DIFFUSION_CONV = 1.0e-1
+
+
+def radial_distribution(
+    pos_a: np.ndarray,
+    pos_b: Optional[np.ndarray],
+    box: PeriodicBox,
+    r_max: float,
+    n_bins: int = 60,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One-frame radial distribution g(r) between site sets A and B.
+
+    ``pos_b=None`` means A-A (self) pairs.  Returns ``(r_centers, g)`` with
+    the ideal-gas normalization, so g -> 1 at large r in a homogeneous
+    system.  ``r_max`` must respect the minimum-image bound.
+    """
+    if r_max <= 0.0 or r_max > box.min_image_cutoff + 1e-9:
+        raise ValueError(
+            f"r_max must be in (0, {box.min_image_cutoff:.3f}], got {r_max}"
+        )
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    same = pos_b is None
+    if same:
+        n = pos_a.shape[0]
+        ii, jj = np.triu_indices(n, k=1)
+        d = box.minimum_image(pos_a[ii] - pos_a[jj])
+        n_pairs_ideal = n * (n - 1) / 2.0
+    else:
+        d = box.minimum_image(pos_a[:, None, :] - pos_b[None, :, :]).reshape(-1, 3)
+        n_pairs_ideal = pos_a.shape[0] * pos_b.shape[0]
+    r = np.sqrt(np.einsum("ij,ij->i", d, d))
+    edges = np.linspace(0.0, r_max, n_bins + 1)
+    counts, _ = np.histogram(r, bins=edges)
+    shell_volumes = (4.0 / 3.0) * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+    density_pairs = n_pairs_ideal / box.volume
+    ideal = density_pairs * shell_volumes
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    with np.errstate(divide="ignore", invalid="ignore"):
+        g = np.where(ideal > 0, counts / ideal, 0.0)
+    return centers, g
+
+
+def diffusion_coefficient(times_fs: np.ndarray, msd_a2: np.ndarray) -> float:
+    """Self-diffusion coefficient in cm^2/s from an MSD series.
+
+    Least-squares slope of MSD(t) (through the origin is not forced; the
+    intercept absorbs ballistic transients), divided by 6, converted from
+    A^2/fs.
+    """
+    times_fs = np.asarray(times_fs, dtype=float)
+    msd_a2 = np.asarray(msd_a2, dtype=float)
+    if times_fs.shape != msd_a2.shape or times_fs.ndim != 1:
+        raise ValueError("times and msd must be equal-length 1-d arrays")
+    if times_fs.size < 2:
+        raise ValueError("need at least 2 points for a slope")
+    slope, _ = np.polyfit(times_fs, msd_a2, 1)
+    return float(slope / 6.0 * DIFFUSION_CONV)
+
+
+@dataclass
+class PropertyAccumulator:
+    """Accumulates per-frame observations during a production run.
+
+    Feeds on ``(system, force_result, time_fs)`` frames; produces the
+    property dictionary the water cost function consumes: mean internal
+    energy (kJ/mol per molecule), mean pressure (atm), diffusion coefficient
+    (cm^2/s) and the three averaged RDFs.
+    """
+
+    r_max: float
+    n_bins: int = 60
+    _u_samples: List[float] = field(default_factory=list)
+    _p_samples: List[float] = field(default_factory=list)
+    _t_samples: List[float] = field(default_factory=list)
+    _rdf_sums: Dict[str, np.ndarray] = field(default_factory=dict)
+    _rdf_frames: int = 0
+    _r_centers: Optional[np.ndarray] = None
+    _initial_oxygens: Optional[np.ndarray] = None
+    _msd_times: List[float] = field(default_factory=list)
+    _msd_values: List[float] = field(default_factory=list)
+
+    def observe(self, system, result, time_fs: float) -> None:
+        """Record one frame."""
+        n_mol = system.n_molecules
+        kin = kinetic_energy(system.vel, system.masses)
+        pot = result.potential_energy
+        # internal energy per molecule, kJ/mol (paper reports ~ -41.8)
+        self._u_samples.append((pot + kin) * KCAL_TO_KJ / n_mol)
+        # virial pressure: P = (2K + W) / (3V), converted to atm
+        p = (2.0 * kin + result.virial) / (3.0 * system.box.volume)
+        self._p_samples.append(p * PRESSURE_CONV)
+        from repro.md.units import kinetic_temperature
+
+        self._t_samples.append(
+            kinetic_temperature(system.vel, system.masses, n_constrained=3)
+        )
+        # RDFs
+        O = system.pos[0::3]
+        H = np.concatenate([system.pos[1::3], system.pos[2::3]])
+        for name, (a, b) in {
+            "goo": (O, None),
+            "goh": (O, H),
+            "ghh": (H, None),
+        }.items():
+            centers, g = radial_distribution(
+                a, b, system.box, self.r_max, self.n_bins
+            )
+            self._r_centers = centers
+            if name not in self._rdf_sums:
+                self._rdf_sums[name] = np.zeros_like(g)
+            self._rdf_sums[name] += g
+        self._rdf_frames += 1
+        # MSD of oxygens (positions are unwrapped)
+        if self._initial_oxygens is None:
+            self._initial_oxygens = O.copy()
+            self._t0 = time_fs
+        disp = O - self._initial_oxygens
+        self._msd_times.append(time_fs - self._t0)
+        self._msd_values.append(float(np.mean(np.einsum("ij,ij->i", disp, disp))))
+
+    @property
+    def n_frames(self) -> int:
+        return self._rdf_frames
+
+    def results(self) -> Dict[str, object]:
+        """Final property estimates with standard errors."""
+        if not self._u_samples:
+            raise ValueError("no frames observed")
+        u = np.array(self._u_samples)
+        p = np.array(self._p_samples)
+        t = np.array(self._t_samples)
+        n = len(u)
+        sem = lambda x: float(np.std(x) / np.sqrt(max(n - 1, 1)))  # noqa: E731
+        out: Dict[str, object] = {
+            "energy": float(u.mean()),
+            "energy_sem": sem(u),
+            "pressure": float(p.mean()),
+            "pressure_sem": sem(p),
+            "temperature": float(t.mean()),
+            "n_frames": n,
+            "r": self._r_centers,
+        }
+        for name, total in self._rdf_sums.items():
+            out[name] = total / self._rdf_frames
+        if len(self._msd_times) >= 2:
+            out["diffusion"] = diffusion_coefficient(
+                np.array(self._msd_times), np.array(self._msd_values)
+            )
+        else:
+            out["diffusion"] = float("nan")
+        return out

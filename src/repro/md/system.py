@@ -1,0 +1,134 @@
+"""Water-box construction and system state.
+
+Molecules are placed on a cubic lattice with random orientations (the
+paper's user supplies "a starting configuration"; this builder generates a
+reasonable one), with initial velocities drawn from the Maxwell-Boltzmann
+distribution at the requested temperature.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.md.cell import PeriodicBox
+from repro.md.forcefield import MASS_H, MASS_O, WaterParameters
+from repro.md.units import maxwell_boltzmann_velocities
+
+#: Molar mass of water, g/mol.
+WATER_MOLAR_MASS = 2 * MASS_H + MASS_O
+
+#: Avogadro x cm^3/A^3 bookkeeping: volume per molecule in A^3 at density rho
+#: (g/cm^3) is  M / (rho * 0.60221408).
+_VOLUME_FACTOR = 0.60221408
+
+
+def volume_per_molecule(density: float) -> float:
+    """A^3 per water molecule at the given density in g/cm^3."""
+    if density <= 0.0:
+        raise ValueError(f"density must be > 0, got {density}")
+    return WATER_MOLAR_MASS / (density * _VOLUME_FACTOR)
+
+
+@dataclass
+class WaterSystem:
+    """Mutable MD state: positions (unwrapped), velocities, masses, box."""
+
+    params: WaterParameters
+    box: PeriodicBox
+    pos: np.ndarray   # (3 n_mol, 3), order O,H1,H2 per molecule; unwrapped
+    vel: np.ndarray   # (3 n_mol, 3)
+    masses: np.ndarray  # (3 n_mol,)
+
+    def __post_init__(self) -> None:
+        n = self.pos.shape[0]
+        if n % 3 != 0:
+            raise ValueError("site count must be a multiple of 3 (O,H1,H2)")
+        if self.vel.shape != self.pos.shape:
+            raise ValueError("velocity shape must match positions")
+        if self.masses.shape != (n,):
+            raise ValueError("masses must be one per site")
+
+    @property
+    def n_molecules(self) -> int:
+        return self.pos.shape[0] // 3
+
+    @property
+    def oxygen_positions(self) -> np.ndarray:
+        return self.pos[0::3]
+
+    def copy(self) -> "WaterSystem":
+        return WaterSystem(
+            params=self.params,
+            box=self.box,
+            pos=self.pos.copy(),
+            vel=self.vel.copy(),
+            masses=self.masses.copy(),
+        )
+
+
+def _molecule_template(params: WaterParameters) -> np.ndarray:
+    """One water at the origin in its equilibrium geometry, O at (0,0,0)."""
+    half = params.theta / 2.0
+    r = params.r_oh
+    return np.array(
+        [
+            [0.0, 0.0, 0.0],
+            [r * math.sin(half), r * math.cos(half), 0.0],
+            [-r * math.sin(half), r * math.cos(half), 0.0],
+        ]
+    )
+
+
+def _random_rotation(rng: np.random.Generator) -> np.ndarray:
+    """Uniform random rotation matrix (QR of a Gaussian matrix, sign-fixed)."""
+    m = rng.normal(size=(3, 3))
+    q, r = np.linalg.qr(m)
+    q *= np.sign(np.diag(r))
+    if np.linalg.det(q) < 0:
+        q[:, 0] = -q[:, 0]
+    return q
+
+
+def build_water_box(
+    n_molecules: int,
+    params: Optional[WaterParameters] = None,
+    density: float = 0.997,
+    temperature: float = 298.0,
+    rng: np.random.Generator | int | None = None,
+) -> WaterSystem:
+    """Lattice-packed water box at the given density and temperature.
+
+    Molecules sit on a simple cubic lattice (the smallest lattice holding
+    ``n_molecules``) with uniformly random orientations; velocities are
+    Maxwell-Boltzmann at ``temperature`` with zero total momentum.
+    """
+    if n_molecules < 1:
+        raise ValueError(f"n_molecules must be >= 1, got {n_molecules}")
+    params = params if params is not None else WaterParameters()
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    box_len = (n_molecules * volume_per_molecule(density)) ** (1.0 / 3.0)
+    box = PeriodicBox(box_len)
+    cells = math.ceil(n_molecules ** (1.0 / 3.0))
+    spacing = box_len / cells
+    template = _molecule_template(params)
+    pos = np.empty((3 * n_molecules, 3))
+    mol = 0
+    for ix in range(cells):
+        for iy in range(cells):
+            for iz in range(cells):
+                if mol >= n_molecules:
+                    break
+                origin = (np.array([ix, iy, iz]) + 0.5) * spacing
+                rot = _random_rotation(gen)
+                pos[3 * mol : 3 * mol + 3] = template @ rot.T + origin
+                mol += 1
+    masses = np.empty(3 * n_molecules)
+    masses[0::3] = MASS_O
+    masses[1::3] = MASS_H
+    masses[2::3] = MASS_H
+    vel = maxwell_boltzmann_velocities(masses, temperature, gen)
+    return WaterSystem(params=params, box=box, pos=pos, vel=vel, masses=masses)

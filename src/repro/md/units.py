@@ -1,0 +1,82 @@
+"""Unit system and physical constants for the MD engine.
+
+Internal units: length in Angstrom (A), time in femtoseconds (fs), mass in
+atomic mass units (amu, g/mol), energy in kcal/mol, charge in elementary
+charges (e), temperature in Kelvin.
+
+Derived conversions (validated in the unit tests):
+
+* acceleration: ``a [A/fs^2] = ACCEL_CONV * F [kcal/mol/A] / m [amu]``
+* Coulomb energy: ``E = COULOMB_CONST * q1 q2 / r`` (kcal/mol with e and A)
+* pressure: ``P [atm] = PRESSURE_CONV * p [kcal/mol/A^3]``
+* kinetic energy from velocities: ``K = 0.5 * sum(m v^2) / ACCEL_CONV``
+  (because v^2 in A^2/fs^2 over amu must return kcal/mol)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Boltzmann constant, kcal/(mol K).
+KB = 1.987204259e-3
+
+#: kcal/mol -> kJ/mol.
+KCAL_TO_KJ = 4.184
+
+#: Coulomb prefactor, kcal A / (mol e^2).
+COULOMB_CONST = 332.06371
+
+#: (kcal/mol/A per amu) -> A/fs^2.
+ACCEL_CONV = 4.184e-4
+
+#: kcal/mol/A^3 -> atm.
+PRESSURE_CONV = 68568.4
+
+
+def kinetic_energy(velocities: np.ndarray, masses: np.ndarray) -> float:
+    """Kinetic energy in kcal/mol from A/fs velocities and amu masses."""
+    v2 = np.einsum("ij,ij->i", velocities, velocities)
+    return float(0.5 * np.dot(masses, v2) / ACCEL_CONV)
+
+
+def kinetic_temperature(
+    velocities: np.ndarray, masses: np.ndarray, n_constrained: int = 0
+) -> float:
+    """Instantaneous temperature in K.
+
+    ``n_constrained`` degrees of freedom are subtracted from ``3N`` (e.g. 3
+    for removed centre-of-mass drift).
+    """
+    n_dof = 3 * velocities.shape[0] - n_constrained
+    if n_dof <= 0:
+        raise ValueError("no free degrees of freedom")
+    return 2.0 * kinetic_energy(velocities, masses) / (n_dof * KB)
+
+
+def maxwell_boltzmann_velocities(
+    masses: np.ndarray,
+    temperature: float,
+    rng: np.random.Generator,
+    zero_momentum: bool = True,
+) -> np.ndarray:
+    """Draw velocities (A/fs) at the requested temperature.
+
+    Per-component variance is ``kB T / m`` in energy-consistent units; the
+    ACCEL_CONV factor converts (kcal/mol)/amu into A^2/fs^2.  With
+    ``zero_momentum`` the centre-of-mass drift is removed and the velocities
+    rescaled back to exactly the target temperature.
+    """
+    if temperature < 0.0:
+        raise ValueError(f"temperature must be >= 0, got {temperature}")
+    n = masses.shape[0]
+    if temperature == 0.0:
+        return np.zeros((n, 3))
+    std = np.sqrt(KB * temperature / masses * ACCEL_CONV)
+    vel = rng.normal(size=(n, 3)) * std[:, None]
+    if zero_momentum and n > 1:
+        p = (masses[:, None] * vel).sum(axis=0) / masses.sum()
+        vel -= p[None, :]
+        current = kinetic_temperature(vel, masses, n_constrained=3)
+        if current > 0:
+            vel *= np.sqrt(temperature / current)
+    return vel

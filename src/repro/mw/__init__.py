@@ -1,0 +1,61 @@
+"""MW — a from-scratch master-worker framework (paper §3.1, §4.3).
+
+The paper re-implements three classes of the University of Wisconsin MW
+library: ``MWDriver`` (the master: manages workers, dispatches tasks),
+``MWWorker`` (executes tasks, reports results, waits for more) and ``MWTask``
+(one unit of work plus its result).  Communication goes through an abstract
+``MWRMComm`` layer with ``pack``/``unpack``/``send``/``recv`` primitives that
+can ride on different transports.
+
+This package mirrors that decomposition in Python with three interchangeable
+backends:
+
+* ``inproc``  — deterministic, single-threaded message passing (default; the
+  event-driven cluster model in :mod:`repro.cluster` builds on it),
+* ``threaded`` — real concurrency via ``queue.Queue`` and worker threads,
+* ``process`` — real parallelism via ``multiprocessing`` (workers are OS
+  processes; the executor must be picklable).
+
+Tasks and workers never talk to each other directly — results go to the
+master, which "has the ability to direct a cessation of work at one point in
+parameter space and the initiation of new simulations at a different point".
+"""
+
+from repro.mw.codec import pack, unpack
+from repro.mw.messages import (
+    MSG_ERROR,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    MSG_TASK,
+    Message,
+    decode_message,
+    encode_message,
+)
+from repro.mw.task import MWTask, TaskState
+from repro.mw.worker import MWWorker, WorkerContext
+from repro.mw.driver import MWDriver
+from repro.mw.vertex_pool import MWVertexPool, VertexSampler
+from repro.mw.fileio import FileIOChannel
+from repro.mw.vertex_server import SimulationClient, VertexServer
+
+__all__ = [
+    "FileIOChannel",
+    "MSG_ERROR",
+    "MSG_RESULT",
+    "MSG_SHUTDOWN",
+    "MSG_TASK",
+    "MWDriver",
+    "MWTask",
+    "MWVertexPool",
+    "MWWorker",
+    "Message",
+    "SimulationClient",
+    "TaskState",
+    "VertexSampler",
+    "VertexServer",
+    "WorkerContext",
+    "decode_message",
+    "encode_message",
+    "pack",
+    "unpack",
+]

@@ -1,0 +1,190 @@
+"""Typed binary codec — the ``pack``/``unpack`` layer of MWRMComm.
+
+The Wisconsin MW exposes ``pack(<type> array, int size)`` / ``unpack`` calls
+so applications never see the wire format.  This module provides the same
+service for the Python reproduction: a small tag-length-value serialization
+for the types that cross the master/worker boundary (scalars, strings, bytes,
+lists, tuples, dicts and NumPy arrays).  No pickle — the format is explicit,
+versioned by construction, and round-trip tested property-style.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Tuple
+
+import numpy as np
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"i"
+_TAG_FLOAT = b"f"
+_TAG_STR = b"s"
+_TAG_BYTES = b"b"
+_TAG_LIST = b"l"
+_TAG_TUPLE = b"t"
+_TAG_DICT = b"d"
+_TAG_ARRAY = b"a"
+
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+_INT_MIN = -(2**63)
+_INT_MAX = 2**63 - 1
+
+
+class CodecError(ValueError):
+    """Raised for unsupported types or malformed wire data."""
+
+
+def pack(obj: Any) -> bytes:
+    """Serialize ``obj`` to bytes."""
+    out = bytearray()
+    _pack_into(obj, out)
+    return bytes(out)
+
+
+def _pack_into(obj: Any, out: bytearray) -> None:
+    if obj is None:
+        out += _TAG_NONE
+    elif obj is True:
+        out += _TAG_TRUE
+    elif obj is False:
+        out += _TAG_FALSE
+    elif isinstance(obj, int) and not isinstance(obj, bool):
+        if not (_INT_MIN <= obj <= _INT_MAX):
+            raise CodecError(f"integer out of 64-bit range: {obj}")
+        out += _TAG_INT
+        out += _I64.pack(obj)
+    elif isinstance(obj, float):
+        out += _TAG_FLOAT
+        out += _F64.pack(obj)
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+        out += _TAG_STR
+        out += _U32.pack(len(data))
+        out += data
+    elif isinstance(obj, (bytes, bytearray)):
+        out += _TAG_BYTES
+        out += _U32.pack(len(obj))
+        out += bytes(obj)
+    elif isinstance(obj, list):
+        out += _TAG_LIST
+        out += _U32.pack(len(obj))
+        for item in obj:
+            _pack_into(item, out)
+    elif isinstance(obj, tuple):
+        out += _TAG_TUPLE
+        out += _U32.pack(len(obj))
+        for item in obj:
+            _pack_into(item, out)
+    elif isinstance(obj, dict):
+        out += _TAG_DICT
+        out += _U32.pack(len(obj))
+        for key, value in obj.items():
+            _pack_into(key, out)
+            _pack_into(value, out)
+    elif isinstance(obj, np.ndarray):
+        if obj.dtype.hasobject:
+            raise CodecError("object arrays are not supported")
+        arr = np.ascontiguousarray(obj)
+        dtype_str = arr.dtype.str.encode("ascii")
+        out += _TAG_ARRAY
+        out += _U32.pack(len(dtype_str))
+        out += dtype_str
+        out += _U32.pack(arr.ndim)
+        for dim in arr.shape:
+            out += _I64.pack(dim)
+        raw = arr.tobytes()
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(obj, (np.integer,)):
+        _pack_into(int(obj), out)
+    elif isinstance(obj, (np.floating,)):
+        _pack_into(float(obj), out)
+    elif isinstance(obj, (np.bool_,)):
+        _pack_into(bool(obj), out)
+    else:
+        raise CodecError(f"unsupported type {type(obj).__name__}")
+
+
+def unpack(data: bytes) -> Any:
+    """Deserialize bytes produced by :func:`pack`."""
+    try:
+        obj, offset = _unpack_from(data, 0)
+    except struct.error as exc:
+        raise CodecError(f"truncated payload: {exc}") from None
+    if offset != len(data):
+        raise CodecError(f"{len(data) - offset} trailing bytes after payload")
+    return obj
+
+
+def _take(data: bytes, offset: int, length: int) -> bytes:
+    chunk = data[offset : offset + length]
+    if len(chunk) != length:
+        raise CodecError("truncated payload")
+    return chunk
+
+
+def _unpack_from(data: bytes, offset: int) -> Tuple[Any, int]:
+    if offset >= len(data):
+        raise CodecError("truncated payload")
+    tag = data[offset : offset + 1]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT:
+        (value,) = _I64.unpack_from(data, offset)
+        return value, offset + 8
+    if tag == _TAG_FLOAT:
+        (value,) = _F64.unpack_from(data, offset)
+        return value, offset + 8
+    if tag == _TAG_STR:
+        (length,) = _U32.unpack_from(data, offset)
+        offset += 4
+        return _take(data, offset, length).decode("utf-8"), offset + length
+    if tag == _TAG_BYTES:
+        (length,) = _U32.unpack_from(data, offset)
+        offset += 4
+        return _take(data, offset, length), offset + length
+    if tag in (_TAG_LIST, _TAG_TUPLE):
+        (count,) = _U32.unpack_from(data, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _unpack_from(data, offset)
+            items.append(item)
+        return (items if tag == _TAG_LIST else tuple(items)), offset
+    if tag == _TAG_DICT:
+        (count,) = _U32.unpack_from(data, offset)
+        offset += 4
+        result = {}
+        for _ in range(count):
+            key, offset = _unpack_from(data, offset)
+            value, offset = _unpack_from(data, offset)
+            result[key] = value
+        return result, offset
+    if tag == _TAG_ARRAY:
+        (dlen,) = _U32.unpack_from(data, offset)
+        offset += 4
+        dtype = np.dtype(_take(data, offset, dlen).decode("ascii"))
+        offset += dlen
+        (ndim,) = _U32.unpack_from(data, offset)
+        offset += 4
+        shape = []
+        for _ in range(ndim):
+            (dim,) = _I64.unpack_from(data, offset)
+            shape.append(dim)
+            offset += 8
+        (rlen,) = _U32.unpack_from(data, offset)
+        offset += 4
+        raw = _take(data, offset, rlen)
+        arr = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+        return arr, offset + rlen
+    raise CodecError(f"unknown tag {tag!r} at offset {offset - 1}")

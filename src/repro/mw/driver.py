@@ -1,0 +1,341 @@
+"""MWDriver — the master: manages workers, dispatches tasks (paper §3.1).
+
+The driver owns a pool of workers over one of three transports and schedules
+:class:`~repro.mw.task.MWTask` objects onto them.  Design points taken from
+the paper's MW usage:
+
+* tasks and workers do not communicate with one another directly — results
+  come back to the master only;
+* each simplex vertex prefers a dedicated worker (*affinity*), and "when a
+  worker is restarted by the master, it is restarted on the same processors";
+* worker errors requeue the task (up to ``max_retries``) rather than aborting
+  the optimization.
+
+Backends:
+
+``inproc``
+    No concurrency; ``wait_all`` executes tasks synchronously in deterministic
+    round-robin order.  Used by unit tests and the virtual-cluster simulator.
+``threaded``
+    One Python thread per worker, ``queue.Queue`` transports.  Real overlap
+    for I/O-bound executors.
+``process``
+    One OS process per worker, ``multiprocessing`` queues carrying
+    codec-encoded frames.  Real parallelism; the executor must be picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.mw.messages import (
+    MSG_ERROR,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    MSG_TASK,
+    Message,
+    decode_message,
+    encode_message,
+)
+from repro.mw.task import MWTask, TaskState
+from repro.mw.worker import Executor, MWWorker
+
+_BACKENDS = ("inproc", "threaded", "process")
+
+
+def _process_worker_main(rank, executor, seed_entropy, inbox, outbox) -> None:
+    """Entry point of a process-backend worker: decode frames, run the loop."""
+    worker = MWWorker(rank, executor, np.random.SeedSequence(seed_entropy))
+    while True:
+        frame = inbox.get()
+        message = decode_message(frame)
+        if message.tag == MSG_SHUTDOWN:
+            return
+        if message.tag != MSG_TASK:
+            continue
+        payload = message.payload
+        reply = worker.execute(payload["task_id"], payload["work"])
+        outbox.put(encode_message(reply))
+
+
+class MWDriver:
+    """Master process of the MW framework.
+
+    Parameters
+    ----------
+    executor:
+        ``executor(work, context) -> result`` run on workers.  Must be
+        picklable for the ``process`` backend.
+    n_workers:
+        Number of workers (the paper uses ``d + 3`` for a d-dim simplex).
+    backend:
+        ``"inproc"`` (default), ``"threaded"`` or ``"process"``.
+    max_retries:
+        How many times a task is requeued after worker errors before being
+        marked failed.
+    seed:
+        Root seed; each worker receives an independent spawned RNG stream.
+    """
+
+    def __init__(
+        self,
+        executor: Executor,
+        n_workers: int = 2,
+        backend: str = "inproc",
+        max_retries: int = 2,
+        seed: Optional[int] = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.backend = backend
+        self.n_workers = n_workers
+        self.max_retries = int(max_retries)
+        self.tasks: Dict[int, MWTask] = {}
+        self._pending: deque[MWTask] = deque()
+        self._running: Dict[int, MWTask] = {}
+        self._idle: List[int] = list(range(1, n_workers + 1))
+        self._alive = {rank: True for rank in range(1, n_workers + 1)}
+        self._shutdown = False
+        seqs = np.random.SeedSequence(seed).spawn(n_workers)
+
+        if backend == "inproc":
+            self._workers = {
+                rank: MWWorker(rank, executor, seqs[rank - 1])
+                for rank in range(1, n_workers + 1)
+            }
+        elif backend == "threaded":
+            self._inboxes = {r: queue.Queue() for r in range(1, n_workers + 1)}
+            self._outbox: queue.Queue = queue.Queue()
+            self._workers = {
+                rank: MWWorker(rank, executor, seqs[rank - 1])
+                for rank in range(1, n_workers + 1)
+            }
+            self._threads = {}
+            for rank, worker in self._workers.items():
+                t = threading.Thread(
+                    target=worker.run_loop,
+                    args=(self._inboxes[rank], self._outbox),
+                    daemon=True,
+                    name=f"mw-worker-{rank}",
+                )
+                t.start()
+                self._threads[rank] = t
+        else:  # process
+            ctx = mp.get_context("fork")
+            self._inboxes = {r: ctx.Queue() for r in range(1, n_workers + 1)}
+            self._outbox = ctx.Queue()
+            self._procs = {}
+            for rank in range(1, n_workers + 1):
+                p = ctx.Process(
+                    target=_process_worker_main,
+                    args=(
+                        rank,
+                        executor,
+                        seqs[rank - 1].entropy,
+                        self._inboxes[rank],
+                        self._outbox,
+                    ),
+                    daemon=True,
+                    name=f"mw-worker-{rank}",
+                )
+                p.start()
+                self._procs[rank] = p
+
+    # -- context manager --------------------------------------------------------
+
+    def __enter__(self) -> "MWDriver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, work: Any, affinity: Optional[int] = None) -> MWTask:
+        """Queue one unit of work; returns its :class:`MWTask` handle."""
+        if self._shutdown:
+            raise RuntimeError("driver has been shut down")
+        if affinity is not None and not (1 <= affinity <= self.n_workers):
+            raise ValueError(
+                f"affinity must be a worker rank in 1..{self.n_workers}, got {affinity}"
+            )
+        task = MWTask(work, affinity=affinity)
+        self.tasks[task.task_id] = task
+        self._pending.append(task)
+        return task
+
+    # -- hooks -----------------------------------------------------------------
+
+    def act_on_completed_task(self, task: MWTask) -> None:
+        """Subclass hook, called once per task reaching DONE (MW API)."""
+
+    # -- scheduling core ------------------------------------------------------------
+
+    def _pick_worker(self, task: MWTask) -> Optional[int]:
+        """Choose an idle worker, honouring affinity when possible."""
+        live_idle = [r for r in self._idle if self._alive[r]]
+        if not live_idle:
+            return None
+        if task.affinity is not None and task.affinity in live_idle:
+            return task.affinity
+        return live_idle[0]
+
+    def _dispatch(self) -> bool:
+        """Send as many pending tasks as there are idle workers."""
+        sent = False
+        deferred: deque[MWTask] = deque()
+        while self._pending:
+            task = self._pending.popleft()
+            rank = self._pick_worker(task)
+            if rank is None:
+                deferred.append(task)
+                break
+            self._idle.remove(rank)
+            task.mark_running(rank)
+            self._running[task.task_id] = task
+            message = Message(
+                tag=MSG_TASK,
+                sender=0,
+                payload={"task_id": task.task_id, "work": task.work},
+            )
+            if self.backend == "inproc":
+                # execute synchronously; the reply comes back immediately
+                reply = self._workers[rank].execute(task.task_id, task.work)
+                self._handle_reply(reply)
+            elif self.backend == "threaded":
+                self._inboxes[rank].put(message)
+            else:
+                self._inboxes[rank].put(encode_message(message))
+            sent = True
+        self._pending.extendleft(reversed(deferred))
+        return sent
+
+    def _handle_reply(self, message: Message) -> None:
+        payload = message.payload
+        task = self.tasks.get(payload["task_id"])
+        if task is None or task.state is not TaskState.RUNNING:
+            return  # stale reply (e.g. from a worker presumed dead)
+        rank = task.worker
+        self._running.pop(task.task_id, None)
+        if rank is not None and rank not in self._idle and self._alive.get(rank, False):
+            self._idle.append(rank)
+        if message.tag == MSG_RESULT:
+            task.mark_done(payload["result"])
+            self.act_on_completed_task(task)
+        else:
+            error = payload.get("error", "unknown error")
+            if task.attempts > self.max_retries:
+                task.mark_failed(error)
+            else:
+                task.mark_retry(error)
+                self._pending.append(task)
+
+    def _reap_dead_workers(self) -> None:
+        """Process backend only: detect dead processes, requeue their tasks."""
+        if self.backend != "process":
+            return
+        for rank, proc in self._procs.items():
+            if self._alive[rank] and not proc.is_alive():
+                self._alive[rank] = False
+                if rank in self._idle:
+                    self._idle.remove(rank)
+                for task in list(self._running.values()):
+                    if task.worker == rank:
+                        self._running.pop(task.task_id, None)
+                        if task.attempts > self.max_retries:
+                            task.mark_failed("worker died")
+                        else:
+                            task.mark_retry("worker died")
+                            self._pending.append(task)
+
+    def _outstanding(self) -> int:
+        return len(self._pending) + len(self._running)
+
+    def wait_all(self, timeout: Optional[float] = None) -> List[MWTask]:
+        """Drive scheduling until every submitted task is DONE or FAILED.
+
+        Returns all tasks in submission order.  Raises ``TimeoutError`` if a
+        real-time ``timeout`` (seconds) elapses first (threaded/process
+        backends; the inproc backend is synchronous and ignores it).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self._outstanding():
+            self._reap_dead_workers()
+            if self.backend == "process" and not any(self._alive.values()):
+                for task in list(self._pending):
+                    task.mark_failed("no live workers")
+                self._pending.clear()
+                break
+            self._dispatch()
+            if self.backend == "inproc":
+                continue  # dispatch already processed replies synchronously
+            if not self._running:
+                continue
+            wait = 0.1
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"{self._outstanding()} tasks outstanding at timeout"
+                    )
+                wait = min(wait, remaining)
+            try:
+                item = self._outbox.get(timeout=wait)
+            except queue.Empty:
+                continue
+            if self.backend == "process":
+                item = decode_message(item)
+            self._handle_reply(item)
+        return sorted(self.tasks.values(), key=lambda t: t.task_id)
+
+    # -- teardown ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop all workers; idempotent."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        if self.backend == "threaded":
+            for rank in self._inboxes:
+                self._inboxes[rank].put(Message(tag=MSG_SHUTDOWN, sender=0))
+            for t in self._threads.values():
+                t.join(timeout=5.0)
+        elif self.backend == "process":
+            for rank, proc in self._procs.items():
+                if proc.is_alive():
+                    try:
+                        self._inboxes[rank].put(
+                            encode_message(Message(tag=MSG_SHUTDOWN, sender=0))
+                        )
+                    except Exception:  # noqa: BLE001 - queue may be broken
+                        pass
+            for proc in self._procs.values():
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.terminate()
+
+    # -- introspection ----------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        states = {s: 0 for s in TaskState}
+        for task in self.tasks.values():
+            states[task.state] += 1
+        return {
+            "n_tasks": len(self.tasks),
+            "pending": states[TaskState.PENDING],
+            "running": states[TaskState.RUNNING],
+            "done": states[TaskState.DONE],
+            "failed": states[TaskState.FAILED],
+            "live_workers": sum(self._alive.values()),
+        }

@@ -1,0 +1,101 @@
+"""File-I/O spool channel — how workers talk to their vertex servers.
+
+"The workers and their corresponding servers communicate via file I/O"
+(paper §3.1, Fig. 3.2).  A :class:`FileIOChannel` is a one-directional spool
+directory: the writer drops numbered frames (codec-encoded, written to a temp
+name then atomically renamed so readers never observe partial writes); the
+reader consumes them in order and deletes them.  Two channels back-to-back
+give the worker<->server duplex of the paper's architecture.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any, List, Optional
+
+from repro.mw.codec import pack, unpack
+
+_FRAME_SUFFIX = ".frame"
+_TMP_SUFFIX = ".tmp"
+
+
+class FileIOChannel:
+    """Ordered, atomic, single-reader/single-writer file spool.
+
+    Parameters
+    ----------
+    directory:
+        Spool directory (created if missing).
+    name:
+        Channel name; frames are ``<name>.<seq>.frame``.
+    """
+
+    def __init__(self, directory, name: str = "chan") -> None:
+        if not name or "/" in name or "." in name:
+            raise ValueError(f"invalid channel name {name!r}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.name = name
+        self._write_seq = 0
+        self._read_seq = 0
+
+    # -- writing --------------------------------------------------------------
+
+    def write(self, obj: Any) -> Path:
+        """Append one frame; returns its final path."""
+        data = pack(obj)
+        seq = self._write_seq
+        final = self.directory / f"{self.name}.{seq:09d}{_FRAME_SUFFIX}"
+        tmp = self.directory / f"{self.name}.{seq:09d}{_TMP_SUFFIX}"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)  # atomic publish
+        self._write_seq += 1
+        return final
+
+    # -- reading --------------------------------------------------------------
+
+    def _frame_path(self, seq: int) -> Path:
+        return self.directory / f"{self.name}.{seq:09d}{_FRAME_SUFFIX}"
+
+    def read(self, timeout: Optional[float] = None, poll: float = 0.01) -> Any:
+        """Consume the next frame in order; blocks up to ``timeout`` seconds.
+
+        Raises ``TimeoutError`` when nothing arrives in time.
+        """
+        path = self._frame_path(self._read_seq)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not path.exists():
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(f"no frame {self._read_seq} on channel {self.name!r}")
+            time.sleep(poll)
+        data = path.read_bytes()
+        obj = unpack(data)
+        path.unlink()
+        self._read_seq += 1
+        return obj
+
+    def try_read(self) -> Any:
+        """Non-blocking read; returns ``None`` when no frame is pending.
+
+        (Frames whose payload *is* ``None`` are indistinguishable from "no
+        frame" here; use :meth:`pending` first when that matters.)
+        """
+        if not self.pending():
+            return None
+        return self.read(timeout=0.001)
+
+    def pending(self) -> bool:
+        """Whether the next in-order frame has been published."""
+        return self._frame_path(self._read_seq).exists()
+
+    def drain(self) -> List[Any]:
+        """Consume every published in-order frame."""
+        out: List[Any] = []
+        while self.pending():
+            out.append(self.read(timeout=0.001))
+        return out

@@ -1,0 +1,50 @@
+"""Message types exchanged between master and workers.
+
+A message is ``(tag, sender, payload)``; tags mirror the MW protocol: the
+master sends ``task`` and ``shutdown``; workers answer with ``result`` or
+``error``.  Encoding rides on the typed codec, so the same bytes work over
+in-process queues, thread queues, pipes or spool files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.mw.codec import pack, unpack
+
+MSG_TASK = "task"
+MSG_RESULT = "result"
+MSG_ERROR = "error"
+MSG_SHUTDOWN = "shutdown"
+
+_VALID_TAGS = (MSG_TASK, MSG_RESULT, MSG_ERROR, MSG_SHUTDOWN)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One unit of master/worker communication."""
+
+    tag: str
+    sender: int
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.tag not in _VALID_TAGS:
+            raise ValueError(f"invalid message tag {self.tag!r}; valid: {_VALID_TAGS}")
+        if self.sender < 0:
+            raise ValueError(f"sender rank must be >= 0, got {self.sender}")
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialize a message for the wire."""
+    return pack((message.tag, message.sender, message.payload))
+
+
+def decode_message(data: bytes) -> Message:
+    """Inverse of :func:`encode_message`."""
+    obj = unpack(data)
+    if not (isinstance(obj, tuple) and len(obj) == 3):
+        raise ValueError("malformed message frame")
+    tag, sender, payload = obj
+    return Message(tag=tag, sender=sender, payload=payload)

@@ -1,0 +1,77 @@
+"""MWTask — the abstraction of one unit of work (paper §3.1).
+
+"MWTask stores the data describing the task and the results computed by the
+workers."  A task's lifecycle is ``PENDING -> RUNNING -> DONE`` (or back to
+``PENDING`` on worker error, until the retry budget runs out, then
+``FAILED``).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Optional
+
+_task_ids = itertools.count(1)
+
+
+class TaskState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class MWTask:
+    """Work payload plus result slot and scheduling metadata.
+
+    Parameters
+    ----------
+    work:
+        Codec-serializable payload describing the computation.
+    affinity:
+        Preferred worker rank (the paper binds each simplex vertex to a
+        dedicated worker); ``None`` lets the driver pick any idle worker.
+    """
+
+    __slots__ = ("task_id", "work", "affinity", "state", "result", "error",
+                 "worker", "attempts")
+
+    def __init__(self, work: Any, affinity: Optional[int] = None) -> None:
+        self.task_id = next(_task_ids)
+        self.work = work
+        self.affinity = affinity
+        self.state = TaskState.PENDING
+        self.result: Any = None
+        self.error: Optional[str] = None
+        self.worker: Optional[int] = None
+        self.attempts = 0
+
+    @property
+    def done(self) -> bool:
+        return self.state is TaskState.DONE
+
+    @property
+    def failed(self) -> bool:
+        return self.state is TaskState.FAILED
+
+    def mark_running(self, worker: int) -> None:
+        self.state = TaskState.RUNNING
+        self.worker = worker
+        self.attempts += 1
+
+    def mark_done(self, result: Any) -> None:
+        self.state = TaskState.DONE
+        self.result = result
+
+    def mark_retry(self, error: str) -> None:
+        self.state = TaskState.PENDING
+        self.error = error
+        self.worker = None
+
+    def mark_failed(self, error: str) -> None:
+        self.state = TaskState.FAILED
+        self.error = error
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MWTask {self.task_id} {self.state.value} worker={self.worker}>"

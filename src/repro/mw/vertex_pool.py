@@ -1,0 +1,217 @@
+"""MW-backed evaluation pool: the optimizers running on the framework.
+
+:class:`MWVertexPool` implements the same protocol as
+:class:`~repro.noise.stochastic.SamplingPool` (``activate`` / ``adopt`` /
+``deactivate`` / ``advance`` / ``now``) but every sampling block is executed
+as an :class:`~repro.mw.task.MWTask` on an :class:`~repro.mw.driver.MWDriver`
+— vertex ``i`` prefers worker ``(i mod n_workers) + 1``, mirroring the
+paper's one-worker-per-vertex binding.  The master merges the returned block
+means into the vertex evaluations, exactly the "master collates the cost
+function computed by the workers" flow of §1.2.
+
+Noise is drawn on the *workers* from their private RNG streams, so results
+with the threaded/process backends are statistically identical to the
+in-process pool (though not bitwise reproducible, since arrival order is
+nondeterministic — the merge math is order-independent, see the evaluation
+tests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+
+from repro.mw.driver import MWDriver
+from repro.mw.worker import WorkerContext
+from repro.noise.clock import VirtualClock
+from repro.noise.evaluation import VertexEvaluation
+
+
+class VertexSampler:
+    """Worker-side executor: one block sample of the objective.
+
+    ``work`` is ``{"theta": ndarray, "dt": float}``; the result is the block
+    mean ``f(theta) + N(0, sigma0(theta)^2 / dt)``.  Picklable whenever ``f``
+    (and ``sigma0`` if callable) are picklable, as required by the process
+    backend.
+    """
+
+    def __init__(
+        self,
+        f: Callable[[np.ndarray], float],
+        sigma0: Union[float, Callable[[np.ndarray], float]] = 1.0,
+    ) -> None:
+        self.f = f
+        self.sigma0 = sigma0
+
+    def sigma0_at(self, theta: np.ndarray) -> float:
+        if callable(self.sigma0):
+            return float(self.sigma0(theta))
+        return float(self.sigma0)
+
+    def __call__(self, work, context: WorkerContext) -> dict:
+        theta = np.asarray(work["theta"], dtype=float)
+        dt = float(work["dt"])
+        if not (dt > 0.0):
+            raise ValueError(f"dt must be > 0, got {dt!r}")
+        value = float(self.f(theta))
+        s0 = self.sigma0_at(theta)
+        if s0 > 0.0:
+            value += float(context.rng.normal(0.0, s0 / math.sqrt(dt)))
+        return {"sample": value, "dt": dt}
+
+
+class MWVertexPool:
+    """Evaluation pool whose sampling runs as MW tasks.
+
+    Parameters
+    ----------
+    f:
+        Underlying deterministic objective (lives on the workers).
+    sigma0:
+        Inherent noise scale (scalar or callable of theta).
+    n_workers:
+        Worker count; the paper uses ``d + 3`` so the two trial vertices get
+        dedicated workers too.
+    backend:
+        MW transport (``inproc`` / ``threaded`` / ``process``).
+    warmup:
+        Sampling time given to newly activated vertices.
+    sigma_known:
+        Whether evaluations are told the true sigma0.
+    seed:
+        Root seed for the per-worker RNG streams.
+    """
+
+    def __init__(
+        self,
+        f: Callable[[np.ndarray], float],
+        sigma0: Union[float, Callable[[np.ndarray], float]] = 1.0,
+        n_workers: int = 4,
+        backend: str = "inproc",
+        warmup: float = 1.0,
+        sigma_known: bool = True,
+        seed: Optional[int] = None,
+        driver: Optional[MWDriver] = None,
+    ) -> None:
+        if not (warmup > 0.0):
+            raise ValueError(f"warmup must be > 0, got {warmup!r}")
+        self.sampler = VertexSampler(f, sigma0)
+        self.driver = (
+            driver
+            if driver is not None
+            else MWDriver(self.sampler, n_workers=n_workers, backend=backend, seed=seed)
+        )
+        self.warmup = float(warmup)
+        self.sigma_known = bool(sigma_known)
+        self.clock = VirtualClock()
+        self.active: List[VertexEvaluation] = []
+        self._vertex_seq = 0
+        self._affinity: dict[int, int] = {}  # id(ev) -> preferred worker
+        self.n_activations = 0
+        # duck-type the StochasticFunction surface the optimizers touch
+        self.func = _PoolFunctionView(self)
+
+    # -- SamplingPool protocol -----------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def concurrent(self) -> bool:
+        return True
+
+    def activate(self, theta, label: str = "") -> VertexEvaluation:
+        sigma0 = self.sampler.sigma0_at(np.asarray(theta, dtype=float))
+        ev = VertexEvaluation(
+            theta,
+            sigma0=sigma0 if self.sigma_known else None,
+            sigma0_guess=sigma0 if sigma0 > 0 else 1.0,
+            label=label,
+        )
+        self.active.append(ev)
+        self.n_activations += 1
+        self._vertex_seq += 1
+        self._affinity[id(ev)] = ((self._vertex_seq - 1) % self.driver.n_workers) + 1
+        self.advance(self.warmup)
+        return ev
+
+    def adopt(self, ev: VertexEvaluation) -> VertexEvaluation:
+        if ev not in self.active:
+            self.active.append(ev)
+            self._vertex_seq += 1
+            self._affinity[id(ev)] = ((self._vertex_seq - 1) % self.driver.n_workers) + 1
+        return ev
+
+    def deactivate(self, ev: VertexEvaluation) -> None:
+        try:
+            self.active.remove(ev)
+        except ValueError:
+            raise ValueError("evaluation is not active in this pool") from None
+        self._affinity.pop(id(ev), None)
+
+    def advance(self, dt: float, targets=None) -> float:
+        """Sample every active vertex for ``dt`` via one MW task each."""
+        dt = float(dt)
+        if not (dt > 0.0):
+            raise ValueError(f"dt must be > 0, got {dt!r}")
+        submitted = []
+        for ev in self.active:
+            task = self.driver.submit(
+                {"theta": np.asarray(ev.theta, dtype=float), "dt": dt},
+                affinity=self._affinity.get(id(ev)),
+            )
+            submitted.append((ev, task))
+        self.driver.wait_all()
+        for ev, task in submitted:
+            if task.failed:
+                raise RuntimeError(f"sampling task failed: {task.error}")
+            ev.merge_block(task.result["dt"], task.result["sample"])
+        return self.clock.advance(dt)
+
+    def __len__(self) -> int:
+        return len(self.active)
+
+    def __contains__(self, ev: VertexEvaluation) -> bool:
+        return ev in self.active
+
+    def shutdown(self) -> None:
+        self.driver.shutdown()
+
+    def __enter__(self) -> "MWVertexPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class _PoolFunctionView:
+    """Adapter giving optimizers the StochasticFunction fields they read."""
+
+    def __init__(self, pool: MWVertexPool) -> None:
+        self._pool = pool
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self._pool.clock
+
+    @property
+    def n_underlying_calls(self) -> int:
+        return self._pool.driver.stats()["done"]
+
+    @property
+    def total_sampling_time(self) -> float:
+        # one task per active vertex per advance; effort is summed dt
+        return float(
+            sum(
+                t.result["dt"]
+                for t in self._pool.driver.tasks.values()
+                if t.done and isinstance(t.result, dict) and "dt" in t.result
+            )
+        )
+
+    def true_value(self, theta) -> float:
+        return float(self._pool.sampler.f(np.asarray(theta, dtype=float)))

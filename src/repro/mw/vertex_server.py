@@ -1,0 +1,201 @@
+"""The vertex level: one server and ``Ns`` simulation clients (paper §4.3).
+
+"Each vertex has one server process running and Ns client processes.  Each
+client process maps onto a single system ... The server process communicates
+with the client processes and coordinates the start and end of each
+simulation."  Clients never talk to each other; the server aggregates their
+partial property measurements into the numbers the worker reports upward.
+
+A *system* here is any callable ``system(theta, dt, rng) -> dict`` returning
+partial observations (e.g. one property's block mean over ``dt`` of sampling).
+The server merges the client dicts (by default: averaging values that share a
+key) and can apply a cost function on top.  Worker <-> server traffic uses the
+file-I/O spool of :mod:`repro.mw.fileio`, matching the paper's architecture.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.mw.fileio import FileIOChannel
+from repro.mw.worker import WorkerContext
+
+System = Callable[[np.ndarray, float, np.random.Generator], Dict[str, float]]
+
+
+class SimulationClient:
+    """One client: runs one system's sampling simulation.
+
+    Parameters
+    ----------
+    system:
+        ``system(theta, dt, rng) -> {property: value}``.
+    seed_seq:
+        Private RNG stream (independent across clients, so the Ns
+        simulations are uncorrelated as in the paper).
+    """
+
+    def __init__(self, system: System, seed_seq: Optional[np.random.SeedSequence] = None) -> None:
+        self.system = system
+        self.rng = np.random.default_rng(seed_seq)
+        self.n_runs = 0
+
+    def run(self, theta: np.ndarray, dt: float) -> Dict[str, float]:
+        self.n_runs += 1
+        out = self.system(np.asarray(theta, dtype=float), float(dt), self.rng)
+        if not isinstance(out, dict):
+            raise TypeError(
+                f"system must return a dict of properties, got {type(out).__name__}"
+            )
+        return out
+
+
+def mean_aggregator(observations: Sequence[Dict[str, float]]) -> Dict[str, float]:
+    """Average every property over the clients that reported it."""
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for obs in observations:
+        for key, value in obs.items():
+            sums[key] = sums.get(key, 0.0) + float(value)
+            counts[key] = counts.get(key, 0) + 1
+    return {key: sums[key] / counts[key] for key in sums}
+
+
+class VertexServer:
+    """Coordinates the ``Ns`` clients attached to one simplex vertex.
+
+    Parameters
+    ----------
+    systems:
+        The ``Ns`` system callables (one per client).
+    cost:
+        Optional ``cost(properties) -> float``; when given, evaluations carry
+        a ``"sample"`` entry holding the aggregated cost, which is what the
+        worker reports to the master (eq. 1.3).
+    aggregator:
+        How client observations combine; defaults to per-key averaging.
+    seed:
+        Root seed; clients get independent spawned streams.
+    parallel_clients:
+        Run clients on threads (real concurrency for slow systems) instead of
+        a deterministic serial loop.
+    """
+
+    def __init__(
+        self,
+        systems: Sequence[System],
+        cost: Optional[Callable[[Dict[str, float]], float]] = None,
+        aggregator: Callable[[Sequence[Dict[str, float]]], Dict[str, float]] = mean_aggregator,
+        seed: Optional[int] = None,
+        parallel_clients: bool = False,
+    ) -> None:
+        if not systems:
+            raise ValueError("a vertex server needs at least one system (Ns >= 1)")
+        seqs = np.random.SeedSequence(seed).spawn(len(systems))
+        self.clients = [SimulationClient(sys_, sq) for sys_, sq in zip(systems, seqs)]
+        self.cost = cost
+        self.aggregator = aggregator
+        self.parallel_clients = bool(parallel_clients)
+        self.n_evaluations = 0
+
+    @property
+    def ns(self) -> int:
+        """Number of client simulations per evaluation (the paper's Ns)."""
+        return len(self.clients)
+
+    def evaluate(self, theta, dt: float) -> Dict[str, Any]:
+        """Run all clients at ``theta`` for ``dt``; aggregate their output."""
+        theta = np.asarray(theta, dtype=float)
+        dt = float(dt)
+        if not (dt > 0.0):
+            raise ValueError(f"dt must be > 0, got {dt!r}")
+        observations: List[Dict[str, float]] = [None] * len(self.clients)  # type: ignore[list-item]
+        if self.parallel_clients and len(self.clients) > 1:
+            threads = []
+            errors: List[BaseException] = []
+
+            def _run(i: int, client: SimulationClient) -> None:
+                try:
+                    observations[i] = client.run(theta, dt)
+                except BaseException as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(exc)
+
+            for i, client in enumerate(self.clients):
+                t = threading.Thread(target=_run, args=(i, client), daemon=True)
+                threads.append(t)
+                t.start()
+            for t in threads:
+                t.join()
+            if errors:
+                raise errors[0]
+        else:
+            for i, client in enumerate(self.clients):
+                observations[i] = client.run(theta, dt)
+        properties = self.aggregator(observations)
+        self.n_evaluations += 1
+        result: Dict[str, Any] = {"dt": dt, "properties": properties}
+        if self.cost is not None:
+            result["sample"] = float(self.cost(properties))
+        return result
+
+    # -- file-I/O service loop (worker <-> server, Fig. 3.2) -------------------
+
+    def serve(
+        self,
+        requests: FileIOChannel,
+        responses: FileIOChannel,
+        timeout: float = 5.0,
+    ) -> int:
+        """Serve requests until a ``None`` sentinel arrives; returns count.
+
+        Each request frame is ``{"theta": ndarray, "dt": float}``; each
+        response repeats the request's ``seq`` so callers can correlate.
+        """
+        served = 0
+        while True:
+            frame = requests.read(timeout=timeout)
+            if frame is None:
+                return served
+            result = self.evaluate(frame["theta"], frame["dt"])
+            result["seq"] = frame.get("seq", served)
+            responses.write(result)
+            served += 1
+
+
+class ServerProxyExecutor:
+    """MW executor that forwards sampling work to a vertex server via files.
+
+    This is the glue of Fig. 3.2: the worker (MW level) packs ``(theta, dt)``
+    into the request spool, the server (client-server level) runs its Ns
+    simulations and spools the aggregated result back.
+    """
+
+    def __init__(
+        self,
+        requests: FileIOChannel,
+        responses: FileIOChannel,
+        timeout: float = 30.0,
+    ) -> None:
+        self.requests = requests
+        self.responses = responses
+        self.timeout = float(timeout)
+        self._seq = 0
+
+    def __call__(self, work, context: WorkerContext) -> Dict[str, Any]:
+        self._seq += 1
+        self.requests.write(
+            {
+                "theta": np.asarray(work["theta"], dtype=float),
+                "dt": float(work["dt"]),
+                "seq": self._seq,
+            }
+        )
+        result = self.responses.read(timeout=self.timeout)
+        if result.get("seq") != self._seq:
+            raise RuntimeError(
+                f"out-of-order server response: expected {self._seq}, got {result.get('seq')}"
+            )
+        return result

@@ -1,0 +1,24 @@
+"""Stochastic-evaluation substrate.
+
+Implements the paper's noise model (eqs. 1.1-1.2): an observed objective value
+is the underlying deterministic value plus Gaussian sampling noise whose
+variance decays as ``sigma0**2 / t`` with the virtual time ``t`` a point has
+been sampled.  The classes here are the only thing the optimizers see about
+"simulations": a :class:`VertexEvaluation` carries ``(theta, estimate, t,
+sigma)`` and a :class:`SamplingPool` lets an algorithm keep several points
+sampling concurrently while a :class:`VirtualClock` accounts for elapsed
+virtual wall time.
+"""
+
+from repro.noise.clock import VirtualClock
+from repro.noise.model import NoiseModel
+from repro.noise.evaluation import VertexEvaluation
+from repro.noise.stochastic import SamplingPool, StochasticFunction
+
+__all__ = [
+    "NoiseModel",
+    "SamplingPool",
+    "StochasticFunction",
+    "VertexEvaluation",
+    "VirtualClock",
+]

@@ -1,0 +1,87 @@
+"""The paper's noise model (eqs. 1.1-1.2).
+
+An observation of the objective at parameter point ``theta`` after sampling
+for virtual time ``t`` is
+
+    g(theta) = f(theta) + eps(t),        eps(t) ~ N(0, sigma0**2 / t)
+
+so the standard deviation of the noise decays as ``sigma0 / sqrt(t)``.  The
+density of eq. 1.2,
+
+    P(eps, t) = sqrt(t / (2 pi sigma0**2)) * exp(-t eps**2 / (2 sigma0**2)),
+
+is exactly the normal density with that variance.  ``sigma0`` may depend on
+the location in parameter space (some models are noisier than others); the
+algorithms never assume it is known unless told so.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class NoiseModel:
+    """Gaussian sampling noise with variance ``sigma0**2 / t``.
+
+    Parameters
+    ----------
+    sigma0:
+        Inherent noise scale (standard deviation of a unit-time sample).
+        Must be non-negative; ``0`` models a noiseless function.
+    """
+
+    __slots__ = ("sigma0",)
+
+    def __init__(self, sigma0: float = 1.0) -> None:
+        sigma0 = float(sigma0)
+        if not (sigma0 >= 0.0):
+            raise ValueError(f"sigma0 must be >= 0, got {sigma0!r}")
+        self.sigma0 = sigma0
+
+    # -- moments ---------------------------------------------------------
+
+    def variance(self, t: float) -> float:
+        """Noise variance after sampling time ``t`` (eq. 1.2)."""
+        t = float(t)
+        if t < 0.0:
+            raise ValueError(f"t must be >= 0, got {t!r}")
+        if self.sigma0 == 0.0:
+            return 0.0
+        if t == 0.0:
+            return math.inf
+        return self.sigma0**2 / t
+
+    def sigma(self, t: float) -> float:
+        """Noise standard deviation ``sigma0 / sqrt(t)``."""
+        v = self.variance(t)
+        return math.sqrt(v) if math.isfinite(v) else math.inf
+
+    # -- density ----------------------------------------------------------
+
+    def pdf(self, eps, t: float):
+        """Density of the noise at offset ``eps`` after time ``t`` (eq. 1.2)."""
+        t = float(t)
+        if t <= 0.0:
+            raise ValueError(f"t must be > 0 for a proper density, got {t!r}")
+        if self.sigma0 == 0.0:
+            raise ValueError("sigma0 == 0 gives a degenerate (point-mass) law")
+        eps = np.asarray(eps, dtype=float)
+        var = self.sigma0**2 / t
+        out = np.exp(-(eps**2) / (2.0 * var)) / math.sqrt(2.0 * math.pi * var)
+        return float(out) if out.ndim == 0 else out
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self, rng: np.random.Generator, t: float, size=None):
+        """Draw noise realizations ``eps ~ N(0, sigma0**2/t)``."""
+        t = float(t)
+        if t <= 0.0:
+            raise ValueError(f"t must be > 0 to sample, got {t!r}")
+        if self.sigma0 == 0.0:
+            return 0.0 if size is None else np.zeros(size)
+        return rng.normal(0.0, self.sigma0 / math.sqrt(t), size=size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NoiseModel(sigma0={self.sigma0!r})"

@@ -1,0 +1,251 @@
+"""Wrap a deterministic objective with time-dependent sampling noise.
+
+:class:`StochasticFunction` is the bridge between a clean test function (the
+"underlying deterministic surface" ``f``) and what the optimizer is allowed to
+see: noisy :class:`~repro.noise.evaluation.VertexEvaluation` objects whose
+precision improves the longer they are sampled.
+
+Two estimator modes are provided (an ablation axis, see DESIGN.md):
+
+``average`` (default)
+    Consistent running average.  Extending an evaluation draws an independent
+    block mean ``s ~ N(f, sigma0**2/dt)`` and precision-merges it; the
+    estimate after total time ``t`` is exactly ``N(f, sigma0**2/t)`` and
+    successive refinements are martingale increments (what real continued
+    sampling does).
+
+``resample``
+    Fresh draw ``g = f + N(0, sigma0**2/t)`` at every look, matching the
+    paper's controlled experiments verbatim ("artificial Gaussian noise ...
+    with a variance inversely proportional to the duration for which the
+    vertex had been active").
+
+:class:`SamplingPool` keeps a set of evaluations "active": advancing the pool
+by ``dt`` extends *every* active evaluation by ``dt`` and moves the virtual
+clock, modelling the MW deployment where each vertex's simulations keep
+running until the master says stop.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+
+from repro.noise.clock import VirtualClock
+from repro.noise.evaluation import VertexEvaluation
+
+Sigma0Spec = Union[float, Callable[[np.ndarray], float]]
+
+_MODES = ("average", "resample")
+
+
+class StochasticFunction:
+    """A noisy, sampled view of a deterministic objective ``f``.
+
+    Parameters
+    ----------
+    f:
+        Underlying deterministic objective ``f(theta) -> float``.
+    sigma0:
+        Inherent noise scale; either a scalar or a callable of ``theta``
+        (eq. 1.2 allows the variance to depend on the location).
+    mode:
+        ``"average"`` or ``"resample"`` (see module docstring).
+    rng:
+        ``numpy.random.Generator`` or integer seed.  Controls all noise.
+    clock:
+        Shared :class:`VirtualClock`; a fresh one is created if omitted.
+    sigma_known:
+        If True the optimizer is told the true ``sigma0`` for each point; if
+        False it only gets block-scatter estimates (realistic case).
+    sigma0_guess:
+        Prior standard error used before estimates exist when
+        ``sigma_known=False``.
+    """
+
+    def __init__(
+        self,
+        f: Callable[[np.ndarray], float],
+        sigma0: Sigma0Spec = 1.0,
+        mode: str = "average",
+        rng: Union[np.random.Generator, int, None] = None,
+        clock: Optional[VirtualClock] = None,
+        sigma_known: bool = True,
+        sigma0_guess: Optional[float] = None,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.f = f
+        self._sigma0 = sigma0
+        self.mode = mode
+        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.clock = clock if clock is not None else VirtualClock()
+        self.sigma_known = bool(sigma_known)
+        if sigma0_guess is None:
+            sigma0_guess = sigma0 if isinstance(sigma0, (int, float)) else 1.0
+        self.sigma0_guess = float(sigma0_guess)
+        # bookkeeping for experiment accounting
+        self.n_underlying_calls = 0
+        self.total_sampling_time = 0.0
+
+    # -- introspection -------------------------------------------------------
+
+    def sigma0_at(self, theta) -> float:
+        """Inherent noise scale at ``theta``."""
+        if callable(self._sigma0):
+            return float(self._sigma0(np.asarray(theta, dtype=float)))
+        return float(self._sigma0)
+
+    def true_value(self, theta) -> float:
+        """Noise-free value of the underlying surface (for measurement only).
+
+        Optimizers must never call this; the analysis layer uses it to compute
+        the paper's R metric (error of the converged function value).
+        """
+        return float(self.f(np.asarray(theta, dtype=float)))
+
+    # -- evaluation lifecycle -------------------------------------------------
+
+    def start(self, theta, label: str = "") -> VertexEvaluation:
+        """Create an (unsampled) evaluation at ``theta``."""
+        sigma0 = self.sigma0_at(theta) if self.sigma_known else None
+        return VertexEvaluation(
+            theta, sigma0=sigma0, sigma0_guess=self.sigma0_guess, label=label
+        )
+
+    def extend(self, ev: VertexEvaluation, dt: float) -> VertexEvaluation:
+        """Sample ``ev`` for ``dt`` more virtual seconds (noise only; the
+        caller — normally a :class:`SamplingPool` — owns the clock)."""
+        dt = float(dt)
+        if not (dt > 0.0):
+            raise ValueError(f"dt must be > 0, got {dt!r}")
+        fval = float(self.f(ev.theta))
+        self.n_underlying_calls += 1
+        self.total_sampling_time += dt
+        s0 = self.sigma0_at(ev.theta)
+        if self.mode == "average":
+            if s0 == 0.0:
+                block = fval
+            else:
+                block = fval + self.rng.normal(0.0, s0 / math.sqrt(dt))
+            ev.merge_block(dt, block)
+        else:  # resample
+            t_new = ev.time + dt
+            if s0 == 0.0:
+                g = fval
+            else:
+                g = fval + self.rng.normal(0.0, s0 / math.sqrt(t_new))
+            ev.replace(t_new, g)
+        return ev
+
+    def evaluate(self, theta, time: float, label: str = "") -> VertexEvaluation:
+        """Convenience: start an evaluation and sample it for ``time``."""
+        ev = self.start(theta, label=label)
+        return self.extend(ev, time)
+
+
+class SamplingPool:
+    """Set of concurrently-sampling evaluations sharing a virtual clock.
+
+    In the paper's MW deployment every active vertex keeps its simulations
+    running; "waiting" in the MN/PC algorithms therefore refines *all* active
+    vertices at once while virtual wall time passes.  ``advance(dt)`` models
+    exactly that.  Costs are separable: total sampling effort is
+    ``len(active) * dt`` but elapsed wall time is only ``dt`` because the
+    vertices sample in parallel on different processors.
+
+    Parameters
+    ----------
+    func:
+        The :class:`StochasticFunction` being optimized.
+    warmup:
+        Sampling time given to a vertex when it is activated, before the
+        caller ever looks at it (an estimate needs ``t > 0``).
+    concurrent:
+        If True (the MW model), any passage of time refines every active
+        vertex.  If False (the classical DET baseline), each evaluation is
+        sampled only when explicitly targeted — a point is measured once with
+        a fixed budget and never revisited.
+    """
+
+    def __init__(
+        self,
+        func: StochasticFunction,
+        warmup: float = 1.0,
+        concurrent: bool = True,
+    ) -> None:
+        if not (warmup > 0.0):
+            raise ValueError(f"warmup must be > 0, got {warmup!r}")
+        self.func = func
+        self.warmup = float(warmup)
+        self.concurrent = bool(concurrent)
+        self.active: List[VertexEvaluation] = []
+        self.n_activations = 0
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self.func.clock
+
+    @property
+    def now(self) -> float:
+        return self.func.clock.now
+
+    def activate(self, theta, label: str = "") -> VertexEvaluation:
+        """Start sampling a new point; it receives the warmup time.
+
+        Activation advances the clock by the warmup (the new simulation must
+        run before it produces a usable estimate).  In concurrent mode the
+        other active vertices refine for free while it runs.
+        """
+        ev = self.func.start(theta, label=label)
+        self.active.append(ev)
+        self.n_activations += 1
+        if self.concurrent:
+            self.advance(self.warmup)
+        else:
+            self.func.extend(ev, self.warmup)
+            self.clock.advance(self.warmup)
+        return ev
+
+    def adopt(self, ev: VertexEvaluation) -> VertexEvaluation:
+        """Add an existing evaluation to the active set (no time passes)."""
+        if ev not in self.active:
+            self.active.append(ev)
+        return ev
+
+    def deactivate(self, ev: VertexEvaluation) -> None:
+        """Stop sampling ``ev`` (master directs a cessation of work)."""
+        try:
+            self.active.remove(ev)
+        except ValueError:
+            raise ValueError("evaluation is not active in this pool") from None
+
+    def advance(self, dt: float, targets=None) -> float:
+        """Let ``dt`` virtual seconds pass.
+
+        In concurrent mode every active vertex samples for ``dt`` regardless
+        of ``targets`` (independent simulations never pause).  In
+        non-concurrent mode only the ``targets`` (default: none) receive
+        sampling.  Returns the new clock time.
+        """
+        dt = float(dt)
+        if not (dt > 0.0):
+            raise ValueError(f"dt must be > 0, got {dt!r}")
+        if self.concurrent:
+            extend = self.active
+        else:
+            extend = list(targets) if targets is not None else []
+            for ev in extend:
+                if ev not in self.active:
+                    raise ValueError("target evaluation is not active in this pool")
+        for ev in extend:
+            self.func.extend(ev, dt)
+        return self.clock.advance(dt)
+
+    def __len__(self) -> int:
+        return len(self.active)
+
+    def __contains__(self, ev: VertexEvaluation) -> bool:
+        return ev in self.active

@@ -1,0 +1,31 @@
+"""$OPTROOT — the directory-driven automation layer (paper chapter 4).
+
+All user-specified inputs live in a directory tree: ``systems/<name>/``
+holds each system's starting configuration and phase scripts (``run.sh``,
+with nested subdirectories for later phases), ``properties/prop*.val`` and
+``prop*.wgt`` hold targets and weights, and an input file names the ``d``
+parameters and supplies the initial simplex rows.  Subdirectories matching
+the regular expression ``par[0-9]*`` are reserved and skipped when scanning.
+"""
+
+from repro.optroot.layout import OptRoot, PAR_PATTERN
+from repro.optroot.config import OptimizationInput, load_input, load_property_specs
+from repro.optroot.runner import PhaseRunner, run_system_phases
+from repro.optroot.submit import (
+    SubmittedOptimization,
+    processors_for_tree,
+    submit_optimization,
+)
+
+__all__ = [
+    "OptRoot",
+    "OptimizationInput",
+    "PAR_PATTERN",
+    "PhaseRunner",
+    "SubmittedOptimization",
+    "load_input",
+    "load_property_specs",
+    "processors_for_tree",
+    "run_system_phases",
+    "submit_optimization",
+]

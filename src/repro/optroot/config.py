@@ -1,0 +1,128 @@
+"""User input parsing: the initial simplex file and property targets (§4.2).
+
+Input file format: "the first row in the input file provides the name of d
+parameters (separated by white space) to be optimized and the following
+d+3 rows specify the coordinates (parameters) corresponding to d+1 vertices
+of simplex" — i.e. the d+1 simplex vertices plus the two trial-vertex seeds.
+We accept d+1 or d+3 rows (the trial rows are optional: trial vertices are
+derived by the algorithm anyway).
+
+Property files: ``properties/prop<NAME>.val`` holds the target value on its
+first line; ``prop<NAME>.wgt`` holds the weight (default 1.0);
+``prop<NAME>.scl`` optionally holds the error scale (required when the
+target is zero, e.g. RDF residuals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.optroot.layout import OptRoot
+
+
+@dataclass(frozen=True)
+class OptimizationInput:
+    """Parsed input file: parameter names + initial vertices."""
+
+    names: Tuple[str, ...]
+    vertices: np.ndarray  # (n_rows, d); first d+1 rows are the simplex
+
+    @property
+    def dim(self) -> int:
+        return len(self.names)
+
+    def simplex_vertices(self) -> np.ndarray:
+        """The d+1 rows that initialize the simplex."""
+        return self.vertices[: self.dim + 1].copy()
+
+
+def write_input(optroot: OptRoot, names, vertices) -> Path:
+    """Write the input file in the paper's format."""
+    vertices = np.asarray(vertices, dtype=float)
+    names = list(names)
+    if vertices.ndim != 2 or vertices.shape[1] != len(names):
+        raise ValueError(
+            f"vertices must be (rows, {len(names)}), got {vertices.shape}"
+        )
+    lines = [" ".join(names)]
+    for row in vertices:
+        lines.append(" ".join(f"{x:.10g}" for x in row))
+    optroot.input_file.write_text("\n".join(lines) + "\n")
+    return optroot.input_file
+
+
+def load_input(optroot: OptRoot) -> OptimizationInput:
+    """Parse the input file; validates row count (d+1 or d+3 rows)."""
+    path = optroot.input_file
+    if not path.is_file():
+        raise FileNotFoundError(f"input file {path} not found")
+    lines = [ln for ln in path.read_text().splitlines() if ln.strip()]
+    if len(lines) < 2:
+        raise ValueError("input file needs a header row plus vertex rows")
+    names = tuple(lines[0].split())
+    d = len(names)
+    rows = []
+    for ln in lines[1:]:
+        values = [float(tok) for tok in ln.split()]
+        if len(values) != d:
+            raise ValueError(
+                f"vertex row has {len(values)} values; expected {d}: {ln!r}"
+            )
+        rows.append(values)
+    if len(rows) not in (d + 1, d + 3):
+        raise ValueError(
+            f"expected {d + 1} (or {d + 3}) vertex rows for d={d}, got {len(rows)}"
+        )
+    return OptimizationInput(names=names, vertices=np.array(rows))
+
+
+def write_property_spec(
+    optroot: OptRoot,
+    name: str,
+    target: float,
+    weight: float = 1.0,
+    scale: float | None = None,
+) -> None:
+    """Write prop<NAME>.val / .wgt / (.scl) files."""
+    d = optroot.properties_dir
+    d.mkdir(parents=True, exist_ok=True)
+    (d / f"prop{name}.val").write_text(f"{target:.10g}\n")
+    (d / f"prop{name}.wgt").write_text(f"{weight:.10g}\n")
+    if scale is not None:
+        (d / f"prop{name}.scl").write_text(f"{scale:.10g}\n")
+
+
+def load_property_specs(optroot: OptRoot) -> Dict[str, Dict[str, float]]:
+    """Read every prop*.val (+ optional .wgt/.scl) into cost-function specs."""
+    d = optroot.properties_dir
+    if not d.is_dir():
+        raise FileNotFoundError(f"{d} does not exist")
+    specs: Dict[str, Dict[str, float]] = {}
+    for val_file in sorted(d.glob("prop*.val")):
+        name = val_file.stem[len("prop"):]
+        if not name:
+            raise ValueError(f"property file {val_file.name} has an empty name")
+        spec: Dict[str, float] = {"target": _read_scalar(val_file)}
+        wgt = d / f"prop{name}.wgt"
+        if wgt.is_file():
+            spec["weight"] = _read_scalar(wgt)
+        scl = d / f"prop{name}.scl"
+        if scl.is_file():
+            spec["scale"] = _read_scalar(scl)
+        specs[name] = spec
+    if not specs:
+        raise ValueError(f"no prop*.val files under {d}")
+    return specs
+
+
+def _read_scalar(path: Path) -> float:
+    """First line of the file as a float (the paper's .val format)."""
+    first = path.read_text().splitlines()[0].strip()
+    try:
+        return float(first)
+    except ValueError:
+        raise ValueError(f"{path} first line is not a number: {first!r}") from None

@@ -1,0 +1,125 @@
+"""$OPTROOT directory structure (paper §4.2, Figs. 4.1-4.2).
+
+The root is supplied at runtime; everything the optimization uses lives
+under it.  "Any two simultaneous instances of the optimization program
+should be run with distinct, non-overlapping directory trees."  Every
+subdirectory of ``systems/`` that does not match ``par[0-9]*`` is a system;
+``par<N>`` directories are created by the program itself, one per parameter
+set visited, to hold the simulations run at that point.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List
+
+#: Reserved name pattern: directories holding per-parameter-set runs.
+PAR_PATTERN = re.compile(r"^par[0-9]*$")
+
+
+class OptRoot:
+    """Handle to (and builder of) an $OPTROOT tree."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(cls, root) -> "OptRoot":
+        """Create the skeleton: systems/ and properties/ directories."""
+        opt = cls(root)
+        opt.systems_dir.mkdir(parents=True, exist_ok=True)
+        opt.properties_dir.mkdir(parents=True, exist_ok=True)
+        return opt
+
+    @property
+    def systems_dir(self) -> Path:
+        return self.root / "systems"
+
+    @property
+    def properties_dir(self) -> Path:
+        return self.root / "properties"
+
+    @property
+    def input_file(self) -> Path:
+        return self.root / "input"
+
+    def add_system(self, name: str, run_script: str = "#!/bin/sh\nexit 0\n") -> Path:
+        """Create ``systems/<name>/`` with an executable ``run.sh``.
+
+        System names must be valid single path components and must not match
+        the reserved ``par[0-9]*`` pattern (§4.2).
+        """
+        if not name or "/" in name:
+            raise ValueError(f"invalid system name {name!r}")
+        if PAR_PATTERN.match(name):
+            raise ValueError(
+                f"system name {name!r} matches the reserved pattern par[0-9]*"
+            )
+        d = self.systems_dir / name
+        d.mkdir(parents=True, exist_ok=True)
+        script = d / "run.sh"
+        script.write_text(run_script)
+        script.chmod(0o755)
+        return d
+
+    def add_phase(self, system: str, phase: str, run_script: str) -> Path:
+        """Create a nested phase directory with its own run.sh."""
+        if PAR_PATTERN.match(phase):
+            raise ValueError(f"phase name {phase!r} matches par[0-9]*")
+        d = self.systems_dir / system / phase
+        d.mkdir(parents=True, exist_ok=True)
+        script = d / "run.sh"
+        script.write_text(run_script)
+        script.chmod(0o755)
+        return d
+
+    # -- scanning -----------------------------------------------------------
+
+    def systems(self) -> List[str]:
+        """System names: subdirectories of systems/ not matching par[0-9]*."""
+        if not self.systems_dir.is_dir():
+            raise FileNotFoundError(f"{self.systems_dir} does not exist")
+        return sorted(
+            p.name
+            for p in self.systems_dir.iterdir()
+            if p.is_dir() and not PAR_PATTERN.match(p.name)
+        )
+
+    def phases(self, system: str) -> List[Path]:
+        """Phase run scripts for a system, outermost first (nested order).
+
+        Phase 1 is ``systems/<name>/run.sh``; each non-reserved subdirectory
+        containing a run.sh is a further phase, recursively.
+        """
+        base = self.systems_dir / system
+        if not base.is_dir():
+            raise FileNotFoundError(f"system {system!r} not found")
+        scripts: List[Path] = []
+
+        def walk(d: Path) -> None:
+            script = d / "run.sh"
+            if script.is_file():
+                scripts.append(script)
+            for sub in sorted(p for p in d.iterdir() if p.is_dir()):
+                if not PAR_PATTERN.match(sub.name):
+                    walk(sub)
+
+        walk(base)
+        if not scripts:
+            raise FileNotFoundError(f"system {system!r} has no run.sh")
+        return scripts
+
+    def n_processors_required(self) -> int:
+        """§4.2: "one processor for each run.sh script found"."""
+        return sum(len(self.phases(s)) for s in self.systems())
+
+    def par_dir(self, index: int) -> Path:
+        """Directory for the runs at parameter-set ``index`` (created)."""
+        if index < 0:
+            raise ValueError(f"index must be >= 0, got {index}")
+        d = self.systems_dir / f"par{index}"
+        d.mkdir(parents=True, exist_ok=True)
+        return d

@@ -1,0 +1,101 @@
+"""Phase execution: run a system's run.sh scripts in order (§4.2).
+
+"The second phase of simulation will be initiated after completion of the
+first phase ... the wrapper script should not exit until the calculations
+are finished" — phases run sequentially, in the foreground, each in its own
+working directory, with the parameter values exported through the
+environment (``OPT_PARAM_<NAME>``) and ``OPTROOT`` pointing at the tree.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from repro.optroot.layout import OptRoot
+
+
+@dataclass
+class PhaseResult:
+    """Outcome of one run.sh invocation."""
+
+    script: Path
+    returncode: int
+    stdout: str
+    stderr: str
+
+    @property
+    def ok(self) -> bool:
+        return self.returncode == 0
+
+
+@dataclass
+class PhaseRunner:
+    """Runs a system's phases sequentially with parameter environment.
+
+    Parameters
+    ----------
+    optroot:
+        The tree to operate in.
+    timeout:
+        Per-phase wall limit in real seconds.
+    """
+
+    optroot: OptRoot
+    timeout: float = 60.0
+    history: List[PhaseResult] = field(default_factory=list)
+
+    def environment(self, parameters: Mapping[str, float]) -> Dict[str, str]:
+        env = {"OPTROOT": str(self.optroot.root)}
+        for name, value in parameters.items():
+            env[f"OPT_PARAM_{name.upper()}"] = f"{float(value):.12g}"
+        return env
+
+    def run_system(
+        self,
+        system: str,
+        parameters: Mapping[str, float],
+        workdir: Optional[Path] = None,
+    ) -> List[PhaseResult]:
+        """Run every phase of ``system`` in order; stops at the first failure.
+
+        ``workdir`` overrides the execution directory (e.g. a ``par<N>``
+        copy); by default each script runs in its own directory.
+        """
+        import os
+
+        results: List[PhaseResult] = []
+        env = dict(os.environ)
+        env.update(self.environment(parameters))
+        for script in self.optroot.phases(system):
+            proc = subprocess.run(
+                ["/bin/sh", str(script)],
+                cwd=str(workdir if workdir is not None else script.parent),
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=self.timeout,
+            )
+            result = PhaseResult(
+                script=script,
+                returncode=proc.returncode,
+                stdout=proc.stdout,
+                stderr=proc.stderr,
+            )
+            results.append(result)
+            self.history.append(result)
+            if not result.ok:
+                break
+        return results
+
+
+def run_system_phases(
+    optroot: OptRoot,
+    system: str,
+    parameters: Mapping[str, float],
+    timeout: float = 60.0,
+) -> List[PhaseResult]:
+    """One-shot convenience wrapper around :class:`PhaseRunner`."""
+    return PhaseRunner(optroot, timeout=timeout).run_system(system, parameters)

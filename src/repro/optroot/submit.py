@@ -1,0 +1,63 @@
+"""Job submission: from an $OPTROOT tree to a PBS allocation (§4.2).
+
+"When the user scripts are placed in appropriate directories, the job is
+initiated by submitting a portable batch script (PBS) to the head node ...
+The number of processors required for a system is calculated by the software
+using a wrapper script, which scans the directory structure and requests one
+processor for each run.sh script found."  On grant, PBS drops the
+machinefile into $OPTROOT and the program performs its own role assignment
+(master / workers / client-server blocks) from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.cluster.allocation import JobAllocation, ProcessorAllocation, allocate_processors
+from repro.cluster.scheduler import JobRequest, PBSScheduler, RunningJob
+from repro.optroot.layout import OptRoot
+
+
+@dataclass
+class SubmittedOptimization:
+    """A granted optimization job: machinefile + role assignment."""
+
+    job: RunningJob
+    machinefile_path: Path
+    allocation: JobAllocation
+
+
+def processors_for_tree(optroot: OptRoot, dim: int) -> ProcessorAllocation:
+    """Processor request implied by the tree: Ns = number of run.sh scripts."""
+    ns = optroot.n_processors_required()
+    if ns < 1:
+        raise ValueError("the tree defines no systems/phases (no run.sh found)")
+    return ProcessorAllocation.for_problem(dim, ns)
+
+
+def submit_optimization(
+    optroot: OptRoot,
+    scheduler: PBSScheduler,
+    dim: int,
+    name: str = "optimization",
+) -> Optional[SubmittedOptimization]:
+    """Request the tree's processors; on grant, write the machinefile and
+    assign roles in the paper's order.
+
+    Returns ``None`` when the job queued (cluster busy) — re-drive via
+    ``scheduler.release`` of finished jobs, as PBS does.
+    """
+    counts = processors_for_tree(optroot, dim)
+    job = scheduler.submit(JobRequest(n_procs=counts.total, name=name))
+    if job is None:
+        return None
+    # "PBS makes a copy of the machinefile ($PBS_NODEFILE) in the $OPTROOT
+    # directory"
+    machinefile_path = optroot.root / "machinefile"
+    machinefile_path.write_text("\n".join(job.entries) + "\n")
+    allocation = allocate_processors(job.entries, dim, counts.ns)
+    return SubmittedOptimization(
+        job=job, machinefile_path=machinefile_path, allocation=allocation
+    )

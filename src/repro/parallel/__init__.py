@@ -1,0 +1,5 @@
+"""Real-parallel evaluation helpers (serial / thread / process maps)."""
+
+from repro.parallel.backends import parallel_map, seeded_tasks
+
+__all__ = ["parallel_map", "seeded_tasks"]

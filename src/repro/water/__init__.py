@@ -1,0 +1,59 @@
+"""TIP4P water parameterization — the paper's application (§3.5).
+
+Two evaluation paths exist for the same cost function:
+
+* the **surrogate** (:mod:`repro.water.surrogate`): a fast, calibrated
+  response-surface model of the six properties as functions of
+  ``theta = (epsilon, sigma, qH)`` with sampling noise — used by the
+  benchmark harness to regenerate Tables 3.4a-d and Figs. 3.19-3.20 in
+  seconds;
+* the **mini-MD engine** (:mod:`repro.md`): genuine NVT+NVE simulations —
+  used by the examples/tests to prove the full code path (systems, phases,
+  property scripts, weighted cost) runs on a real simulator.
+
+Both feed eq. 3.4's weighted relative-squared cost via
+:class:`repro.water.cost.WaterCostFunction`.
+"""
+
+from repro.water.tip4p import (
+    EPS_INTERNAL_TO_KCAL,
+    FINAL_MN,
+    FINAL_PC,
+    FINAL_PCMN,
+    INITIAL_SIMPLEX_3_4A,
+    PARAM_NAMES,
+    TIP4P_PUBLISHED,
+)
+from repro.water.rdf_model import RDFModel, rdf_curve
+from repro.water.experiment import EXPERIMENTAL_TARGETS, experimental_goo
+from repro.water.cost import WaterCostFunction, rdf_residual
+from repro.water.surrogate import WaterSurrogate, surrogate_cost_function
+from repro.water.parameterize import parameterize_water, water_systems
+from repro.water.property_pool import (
+    PropertyEvaluation,
+    PropertySamplingPool,
+    parameterize_water_property_level,
+)
+
+__all__ = [
+    "EPS_INTERNAL_TO_KCAL",
+    "EXPERIMENTAL_TARGETS",
+    "FINAL_MN",
+    "FINAL_PC",
+    "FINAL_PCMN",
+    "INITIAL_SIMPLEX_3_4A",
+    "PARAM_NAMES",
+    "PropertyEvaluation",
+    "PropertySamplingPool",
+    "RDFModel",
+    "TIP4P_PUBLISHED",
+    "WaterCostFunction",
+    "WaterSurrogate",
+    "experimental_goo",
+    "parameterize_water",
+    "parameterize_water_property_level",
+    "rdf_curve",
+    "rdf_residual",
+    "surrogate_cost_function",
+    "water_systems",
+]

@@ -1,0 +1,138 @@
+"""The weighted cost function (eqs. 1.3 / 3.4) and RDF reduction (eq. 3.5).
+
+    g(theta) = sum_i w_i^2 (p_i(theta) - p0_i)^2 / s_i^2
+
+The paper writes the denominator as ``(p0_i)^2`` (relative error), but notes
+that the RDF residual targets are exactly zero — where a relative error is
+undefined — so each property carries an explicit error *scale* ``s_i``
+(equal to ``|p0_i|`` when that is sensible, a subjectively chosen scale
+otherwise), which is also how "weights chosen subjectively to balance the
+level of error in each property" behaves in practice.  Only relative weight
+magnitudes matter (§4.2, "Property Weights").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+
+def rdf_residual(
+    g_model: np.ndarray,
+    g_ref: np.ndarray,
+    r: np.ndarray,
+    r_min: float = 2.0,
+    r_max: float = 8.0,
+) -> float:
+    """eq. 3.5: RMS difference between two RDF curves over [r_min, r_max].
+
+        p_g = [ 1/(r_max - r_min) * integral (g - g*)^2 dr ]^(1/2)
+    """
+    g_model = np.asarray(g_model, dtype=float)
+    g_ref = np.asarray(g_ref, dtype=float)
+    r = np.asarray(r, dtype=float)
+    if g_model.shape != r.shape or g_ref.shape != r.shape:
+        raise ValueError("curves and grid must share one shape")
+    if not (r_max > r_min):
+        raise ValueError(f"need r_max > r_min, got [{r_min}, {r_max}]")
+    mask = (r >= r_min) & (r <= r_max)
+    if mask.sum() < 2:
+        raise ValueError("grid has fewer than 2 points in [r_min, r_max]")
+    diff2 = (g_model[mask] - g_ref[mask]) ** 2
+    integral = np.trapezoid(diff2, r[mask])
+    return float(math.sqrt(integral / (r_max - r_min)))
+
+
+class WaterCostFunction:
+    """eq. 3.4 with per-property targets, weights and scales.
+
+    Parameters
+    ----------
+    targets:
+        ``{property: {"target": t, "weight": w, "scale": s}}``; ``scale``
+        defaults to ``|target|`` (must then be nonzero).
+    """
+
+    def __init__(self, targets: Mapping[str, Mapping[str, float]]) -> None:
+        if not targets:
+            raise ValueError("need at least one property target")
+        self._spec: Dict[str, Dict[str, float]] = {}
+        for name, spec in targets.items():
+            target = float(spec["target"])
+            weight = float(spec.get("weight", 1.0))
+            scale = spec.get("scale")
+            if scale is None:
+                if target == 0.0:
+                    raise ValueError(
+                        f"property {name!r}: zero target requires an explicit scale"
+                    )
+                scale = abs(target)
+            scale = float(scale)
+            if scale <= 0.0:
+                raise ValueError(f"property {name!r}: scale must be > 0")
+            if weight < 0.0:
+                raise ValueError(f"property {name!r}: weight must be >= 0")
+            self._spec[name] = {"target": target, "weight": weight, "scale": scale}
+
+    @property
+    def properties(self) -> tuple:
+        return tuple(self._spec)
+
+    def residuals(self, properties: Mapping[str, float]) -> Dict[str, float]:
+        """Per-property weighted squared residual contributions."""
+        out: Dict[str, float] = {}
+        for name, spec in self._spec.items():
+            if name not in properties:
+                raise KeyError(f"property {name!r} missing from measurement")
+            p = float(properties[name])
+            out[name] = (
+                spec["weight"] ** 2 * (p - spec["target"]) ** 2 / spec["scale"] ** 2
+            )
+        return out
+
+    def __call__(self, properties: Mapping[str, float]) -> float:
+        """Total cost g(theta) for one property measurement."""
+        return float(sum(self.residuals(properties).values()))
+
+    def gradient_wrt_properties(
+        self, properties: Mapping[str, float]
+    ) -> Dict[str, float]:
+        """d g / d p_i — used for delta-method noise propagation."""
+        out: Dict[str, float] = {}
+        for name, spec in self._spec.items():
+            p = float(properties[name])
+            out[name] = (
+                2.0 * spec["weight"] ** 2 * (p - spec["target"]) / spec["scale"] ** 2
+            )
+        return out
+
+    def propagated_sigma(
+        self,
+        properties: Mapping[str, float],
+        property_sigmas: Mapping[str, float],
+        include_floor: bool = True,
+    ) -> float:
+        """Noise scale of the cost from independent property noise.
+
+        First order (delta method): ``sum_i (dg/dp_i)^2 sigma_i^2``.  Near
+        the optimum the gradient vanishes but the cost is a sum of squared
+        noisy residuals, so the second-order (chi-square) variance
+        ``2 sum_i (w_i^2 sigma_i^2 / s_i^2)^2`` provides the floor that keeps
+        the late-stage optimization genuinely noise-limited (the regime the
+        paper's algorithms are built for).
+        """
+        grad = self.gradient_wrt_properties(properties)
+        total = 0.0
+        for name, dg in grad.items():
+            s = float(property_sigmas.get(name, 0.0))
+            total += (dg * s) ** 2
+        if include_floor:
+            floor = 0.0
+            for name, spec in self._spec.items():
+                s = float(property_sigmas.get(name, 0.0))
+                a = spec["weight"] ** 2 / spec["scale"] ** 2
+                floor += (a * s * s) ** 2
+            total += 2.0 * floor
+        return math.sqrt(total)

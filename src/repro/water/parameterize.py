@@ -1,0 +1,144 @@
+"""End-to-end water reparameterization pipeline (§3.5).
+
+Two entry points:
+
+* :func:`parameterize_water` — the fast path used by benchmarks: wraps the
+  surrogate cost in a :class:`~repro.noise.stochastic.StochasticFunction`
+  (noise located and sized by delta-method propagation of the per-property
+  sampling noise) and runs one of the paper's optimizers from the Table 3.4a
+  initial simplex.
+* :func:`water_systems` — the faithful-architecture path: builds the ``Ns``
+  per-property *systems* that a :class:`~repro.mw.vertex_server.VertexServer`
+  runs as clients, with the eq. 3.4 cost applied by the server — the full
+  master/worker/server/client stack of Fig. 3.2.  Systems can sample from
+  the surrogate (fast) or run the real mini-MD engine (slow; used by
+  examples).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.driver import make_optimizer
+from repro.core.state import OptimizationResult
+from repro.core.termination import default_termination
+from repro.noise.stochastic import StochasticFunction
+from repro.water.cost import WaterCostFunction, rdf_residual
+from repro.water.experiment import EXPERIMENTAL_TARGETS, experimental_rdf
+from repro.water.surrogate import WaterSurrogate, surrogate_cost_function
+from repro.water.tip4p import INITIAL_SIMPLEX_3_4A
+
+
+def parameterize_water(
+    algorithm: str = "MN",
+    seed: Optional[int] = 0,
+    vertices: Optional[np.ndarray] = None,
+    tau: float = 1e-4,
+    walltime: float = 2e5,
+    max_steps: int = 500,
+    noise_scale: float = 1.0,
+    warmup: float = 1.0,
+    **options,
+) -> OptimizationResult:
+    """Reparameterize TIP4P on the surrogate with one of the paper's methods.
+
+    ``noise_scale`` multiplies the propagated cost noise (1.0 = the
+    calibrated property noise levels; 0.0 = noiseless landscape).
+    Returns the optimizer result; ``result.best_theta`` is
+    ``(epsilon, sigma, qH)``.
+    """
+    f, sigma0_fn, _cost = surrogate_cost_function()
+    if noise_scale < 0.0:
+        raise ValueError(f"noise_scale must be >= 0, got {noise_scale}")
+    sigma0: object
+    if noise_scale == 0.0:
+        sigma0 = 0.0
+    else:
+        sigma0 = lambda th: noise_scale * sigma0_fn(th)  # noqa: E731
+    func = StochasticFunction(f, sigma0=sigma0, rng=seed, sigma_known=True)
+    verts = (
+        np.asarray(vertices, dtype=float)
+        if vertices is not None
+        else INITIAL_SIMPLEX_3_4A[:4].copy()
+    )
+    termination = default_termination(tau=tau, walltime=walltime, max_steps=max_steps)
+    opt = make_optimizer(
+        algorithm, func, verts, warmup=warmup, termination=termination, **options
+    )
+    return opt.run()
+
+
+def water_systems(
+    source: str = "surrogate",
+    md_protocol=None,
+    surrogate: Optional[WaterSurrogate] = None,
+) -> List[Callable]:
+    """The ``Ns = 6`` per-property systems for a vertex server.
+
+    Each system measures one property: ``system(theta, dt, rng) -> {name:
+    value}``.  With ``source="surrogate"`` the measurement is a noisy draw
+    from the calibrated response surfaces; with ``source="md"`` the
+    thermo/dynamic systems run the mini-MD engine (RDF residual systems
+    reduce the measured curves against the stand-in experimental data).
+    """
+    if source == "surrogate":
+        surr = surrogate if surrogate is not None else WaterSurrogate()
+
+        def make_system(name: str) -> Callable:
+            def system(theta, dt, rng) -> Dict[str, float]:
+                clean = surr.properties(theta)[name]
+                noise = rng.normal(0.0, surr.sigma0(name)) / np.sqrt(dt)
+                return {name: clean + noise}
+
+            system.__name__ = f"surrogate_{name}"
+            return system
+
+        return [
+            make_system(name)
+            for name in ("energy", "pressure", "diffusion", "p_goo", "p_goh", "p_ghh")
+        ]
+
+    if source == "md":
+        from repro.md.forcefield import WaterParameters
+        from repro.md.simulation import SimulationProtocol, run_water_simulation
+
+        protocol = md_protocol if md_protocol is not None else SimulationProtocol(
+            n_molecules=8, n_equilibration=80, n_production=120, sample_every=10
+        )
+
+        def md_thermo(theta, dt, rng) -> Dict[str, float]:
+            params = WaterParameters.from_vector(theta)
+            props = run_water_simulation(params, protocol, rng=rng)
+            return {
+                "energy": float(props["energy"]),
+                "pressure": float(props["pressure"]),
+                "diffusion": float(props["diffusion"]),
+            }
+
+        def md_structure(theta, dt, rng) -> Dict[str, float]:
+            params = WaterParameters.from_vector(theta)
+            props = run_water_simulation(params, protocol, rng=rng)
+            r = props["r"]
+            out: Dict[str, float] = {}
+            for species, g_key, p_key in (
+                ("OO", "goo", "p_goo"),
+                ("OH", "goh", "p_goh"),
+                ("HH", "ghh", "p_ghh"),
+            ):
+                ref = experimental_rdf(species, r)
+                r_hi = min(8.0, float(r[-1]))
+                out[p_key] = rdf_residual(
+                    props[g_key], ref, r, r_min=2.0, r_max=r_hi
+                )
+            return out
+
+        return [md_thermo, md_structure]
+
+    raise ValueError(f"source must be 'surrogate' or 'md', got {source!r}")
+
+
+def water_cost() -> WaterCostFunction:
+    """The eq. 3.4 cost with the paper's experimental targets."""
+    return WaterCostFunction(EXPERIMENTAL_TARGETS)

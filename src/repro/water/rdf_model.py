@@ -1,0 +1,106 @@
+"""Parametric radial-distribution-function family for liquid water.
+
+Figures 3.19-3.20 plot gOO(r) for various parameter sets against the
+experimental curve (Soper 2000).  Without the authors' trajectories we model
+g(r) as the standard liquid-structure shape — an excluded core, a sharp
+first peak, a first minimum and a damped second shell:
+
+    g(r) = S(r) * [ 1 + a1 G(r; r1, w1) + a2 G(r; r2, w2) + a3 G(r; r3, w3) ]
+
+with Gaussians G and a smooth core switch S.  The peak positions scale with
+the LJ size ``sigma`` (first O-O shell near the LJ contact), and the degree
+of structuring (peak height, depth of the first minimum) grows with the
+electrostatics ``qH`` and shrinks with thermal smearing — physically the
+right sensitivities for the qualitative claims the figures make.  The
+"experimental" reference curve is this family evaluated at a fixed reference
+state (documented substitution, DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+#: Default radial grid used by the figures (A).
+R_GRID = np.linspace(0.0, 12.0, 241)
+
+
+def _gaussian(r: np.ndarray, center: float, width: float) -> np.ndarray:
+    return np.exp(-0.5 * ((r - center) / width) ** 2)
+
+
+@dataclass(frozen=True)
+class RDFModel:
+    """gOO(r) generator for a water model with parameters (eps, sigma, qH).
+
+    ``species`` picks the pair type: OO (default), OH or HH; the latter two
+    shift the first shell to the hydrogen-bond geometry distances.
+    """
+
+    epsilon: float
+    sigma: float
+    q_h: float
+    species: str = "OO"
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0.0:
+            raise ValueError(f"sigma must be > 0, got {self.sigma}")
+        if self.species not in ("OO", "OH", "HH"):
+            raise ValueError(f"species must be OO/OH/HH, got {self.species!r}")
+
+    # -- structural parameters as functions of theta ------------------------
+
+    def first_peak(self) -> Tuple[float, float, float]:
+        """(position, height, width) of the first coordination peak."""
+        # O-O contact near the LJ size; H-bond geometry offsets for OH/HH
+        if self.species == "OO":
+            r1 = 0.8757 * self.sigma
+            base_height = 1.95
+        elif self.species == "OH":
+            r1 = 0.8757 * self.sigma - 0.95
+            base_height = 1.35
+        else:  # HH
+            r1 = 0.8757 * self.sigma - 0.45
+            base_height = 1.25
+        # stronger charges structure the liquid; deeper LJ well compacts it
+        struct = (self.q_h / 0.52) ** 2
+        depth = self.epsilon / 0.155
+        height = 1.0 + base_height * (0.55 + 0.45 * struct) * (0.8 + 0.2 * depth)
+        width = 0.18 + 0.10 / max(struct, 0.3)
+        return r1, height, width
+
+    def curve(self, r: np.ndarray = R_GRID) -> np.ndarray:
+        """Evaluate g(r) on the grid."""
+        r = np.asarray(r, dtype=float)
+        r1, h1, w1 = self.first_peak()
+        struct = (self.q_h / 0.52) ** 2
+        # first minimum and second shell track the first peak position
+        rmin1 = 1.22 * r1
+        r2 = 1.63 * r1
+        a1 = h1 - 1.0
+        a_min = 0.55 * min(struct, 1.4)      # depth of first minimum
+        a2 = 0.30 * min(struct, 1.4)         # second-shell height
+        g = (
+            1.0
+            + a1 * _gaussian(r, r1, w1)
+            - a_min * _gaussian(r, rmin1, 0.45)
+            + a2 * _gaussian(r, r2, 0.55)
+        )
+        # excluded core: smooth switch-on just below the first peak
+        core = 1.0 / (1.0 + np.exp(-(r - (r1 - 0.32)) / 0.075))
+        g = g * core
+        return np.maximum(g, 0.0)
+
+
+def rdf_curve(theta, species: str = "OO", r: np.ndarray = R_GRID) -> np.ndarray:
+    """Convenience: g(r) for an optimization vector ``(eps, sigma, qH)``."""
+    theta = np.asarray(theta, dtype=float)
+    model = RDFModel(
+        epsilon=float(theta[0]),
+        sigma=float(theta[1]),
+        q_h=float(theta[2]),
+        species=species,
+    )
+    return model.curve(r)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.functions import Rosenbrock, Sphere
+from repro.noise import SamplingPool, StochasticFunction
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sphere3():
+    return Sphere(3)
+
+
+@pytest.fixture
+def rosenbrock3():
+    return Rosenbrock(3)
+
+
+@pytest.fixture
+def noisy_sphere(sphere3):
+    """Moderately noisy sphere with known sigma0 and a deterministic seed."""
+    return StochasticFunction(sphere3, sigma0=1.0, rng=42, sigma_known=True)
+
+
+@pytest.fixture
+def noiseless_sphere(sphere3):
+    return StochasticFunction(sphere3, sigma0=0.0, rng=0)
+
+
+@pytest.fixture
+def pool(noisy_sphere):
+    return SamplingPool(noisy_sphere, warmup=1.0, concurrent=True)

@@ -1,0 +1,145 @@
+"""Branch-exact tests of the printed Algorithms 1-3 decision trees.
+
+A rigged lookup function assigns chosen values to the exact points the first
+simplex iteration evaluates (initial vertices A, B, C; reflection (1,-1);
+expansion (1.5,-2); contraction (0.25,0.5)), so each test drives the loop
+down one specific branch and asserts the operation taken — pinning the
+reproduction to the paper's pseudocode, line by line.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConditionSet,
+    MaxNoise,
+    MaxStepsTermination,
+    NelderMead,
+    PointComparison,
+)
+from repro.noise import StochasticFunction
+
+A, B, C = (0.0, 0.0), (1.0, 0.0), (0.0, 1.0)
+REF = (1.0, -1.0)     # 2*cent - C with cent = (A+B)/2 = (0.5, 0)
+EXP = (1.5, -2.0)     # 2*ref - cent
+CON = (0.25, 0.5)     # 0.5*C + 0.5*cent
+VERTS = np.array([A, B, C])
+
+
+class Rigged:
+    """Lookup-table objective; unknown points get a large default."""
+
+    def __init__(self, table, default=100.0):
+        self.table = {k: float(v) for k, v in table.items()}
+        self.default = default
+        self.calls = []
+
+    def __call__(self, theta):
+        key = (round(float(theta[0]), 6), round(float(theta[1]), 6))
+        self.calls.append(key)
+        return self.table.get(key, self.default)
+
+
+def first_op(table, cls=NelderMead, **kw):
+    f = Rigged(table)
+    func = StochasticFunction(f, sigma0=0.0, rng=0)
+    opt = cls(func, VERTS, termination=MaxStepsTermination(1), **kw)
+    result = opt.run()
+    return result.trace.operations()[0], f, opt
+
+
+BASE = {A: 1.0, B: 2.0, C: 3.0}  # worst is C, min is A
+
+
+class TestAlgorithm1Branches:
+    def test_expansion_branch(self):
+        """g(ref) < g(min) and g(exp) < g(ref) -> expand (lines 4-7)."""
+        op, f, opt = first_op({**BASE, REF: 0.5, EXP: 0.2})
+        assert op == "expand"
+        assert any(np.allclose(v.theta, EXP) for v in opt.simplex.vertices)
+
+    def test_reflection_after_failed_expansion(self):
+        """g(ref) < g(min) but g(exp) >= g(ref) -> reflect (lines 8-9)."""
+        op, f, opt = first_op({**BASE, REF: 0.5, EXP: 0.8})
+        assert op == "reflect"
+        assert any(np.allclose(v.theta, REF) for v in opt.simplex.vertices)
+
+    def test_reflection_between_min_and_max(self):
+        """g(min) <= g(ref) < g(max) -> reflect, expansion never tried
+        (lines 12-13; note: the paper's Algorithm 1 compares against the
+        WORST vertex here, not the second-worst)."""
+        op, f, _ = first_op({**BASE, REF: 2.5})
+        assert op == "reflect"
+        assert EXP not in f.calls
+
+    def test_reflection_accepted_even_above_second_worst(self):
+        """g(smax) <= g(ref) < g(max) still reflects under Algorithm 1."""
+        op, _, _ = first_op({**BASE, REF: 2.9})  # above B=2 (smax), below C=3
+        assert op == "reflect"
+
+    def test_contraction_branch(self):
+        """g(ref) >= g(max), g(con) < g(max) -> contract (lines 15-17)."""
+        op, f, opt = first_op({**BASE, REF: 5.0, CON: 2.9})
+        assert op == "contract"
+        assert any(np.allclose(v.theta, CON) for v in opt.simplex.vertices)
+
+    def test_collapse_branch(self):
+        """Contraction fails too -> collapse toward the best vertex
+        (lines 19-22)."""
+        op, f, opt = first_op({**BASE, REF: 5.0, CON: 50.0})
+        assert op == "collapse"
+        points = sorted(tuple(np.round(v.theta, 6)) for v in opt.simplex.vertices)
+        # A stays; B and C move halfway toward A
+        assert points == sorted([(0.0, 0.0), (0.5, 0.0), (0.0, 0.5)])
+
+
+class TestAlgorithm2MatchesAlgorithm1WhenNoiseless:
+    @pytest.mark.parametrize(
+        "table,expected",
+        [
+            ({**BASE, REF: 0.5, EXP: 0.2}, "expand"),
+            ({**BASE, REF: 2.5}, "reflect"),
+            ({**BASE, REF: 5.0, CON: 2.9}, "contract"),
+            ({**BASE, REF: 5.0, CON: 50.0}, "collapse"),
+        ],
+    )
+    def test_same_branches(self, table, expected):
+        op, _, _ = first_op(table, cls=MaxNoise, k=2.0)
+        assert op == expected
+
+
+class TestAlgorithm3Branches:
+    def pc(self, table, conditions=None):
+        return first_op(
+            table,
+            cls=PointComparison,
+            k=1.0,
+            conditions=conditions or ConditionSet.none(),
+        )
+
+    def test_condition_2_accepts_reflection_without_expansion(self):
+        """c1 (ref below smax) then c2 (ref above min) -> reflect; the
+        expansion point is never evaluated."""
+        op, f, _ = self.pc({**BASE, REF: 1.5})  # between min 1 and smax 2
+        assert op == "reflect"
+        assert EXP not in f.calls
+
+    def test_expansion_after_condition_2_fails(self):
+        """ref below min -> c2 fails -> expansion attempted (c3)."""
+        op, f, _ = self.pc({**BASE, REF: 0.5, EXP: 0.2})
+        assert op == "expand"
+
+    def test_condition_4_falls_back_to_reflection(self):
+        op, f, _ = self.pc({**BASE, REF: 0.5, EXP: 0.9})
+        assert op == "reflect"
+
+    def test_condition_5_contracts_on_smax(self):
+        """PC branches on the SECOND-WORST vertex: ref above smax=2 (but
+        below max=3, where Algorithm 1 would still reflect) -> contraction
+        branch."""
+        op, f, _ = self.pc({**BASE, REF: 2.5, CON: 2.0})
+        assert op == "contract"
+
+    def test_condition_7_collapses(self):
+        op, f, opt = self.pc({**BASE, REF: 5.0, CON: 50.0})
+        assert op == "collapse"

@@ -1,0 +1,164 @@
+"""Tests for metrics, histograms, traces and report rendering."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    evaluate_result,
+    evaluate_runs,
+    format_histogram,
+    format_loglog_plot,
+    format_series,
+    format_table,
+    log_ratio,
+    ratio_histogram,
+    trace_series,
+)
+from repro.core import MaxStepsTermination, NelderMead
+from repro.functions import Sphere, initial_simplex
+from repro.noise import StochasticFunction
+
+
+def run_sphere(steps=30, sigma0=0.0, seed=0):
+    func = StochasticFunction(Sphere(2), sigma0=sigma0, rng=seed)
+    opt = NelderMead(
+        func,
+        initial_simplex([2.0, -1.0], step=1.0),
+        termination=MaxStepsTermination(steps),
+    )
+    return opt.run(), Sphere(2)
+
+
+class TestMetrics:
+    def test_evaluate_result_fields(self):
+        result, f = run_sphere()
+        m = evaluate_result(result, f)
+        assert m.n_iterations == 30
+        assert m.value_error == pytest.approx(result.best_true)
+        assert m.distance == pytest.approx(np.linalg.norm(result.best_theta))
+
+    def test_aggregate_over_runs(self):
+        results = []
+        f = Sphere(2)
+        for seed in range(3):
+            r, _ = run_sphere(steps=10, sigma0=1.0, seed=seed)
+            results.append(r)
+        agg = evaluate_runs(results, f)
+        assert agg.n_runs == 3
+        assert agg.mean_iterations == 10.0
+        assert agg.mean_value_error >= 0.0
+
+    def test_aggregate_rejects_empty(self):
+        with pytest.raises(ValueError):
+            evaluate_runs([], Sphere(2))
+
+
+class TestLogRatio:
+    def test_equal_minima_give_zero(self):
+        assert log_ratio(1e-3, 1e-3) == 0.0
+
+    def test_better_numerator_is_negative(self):
+        assert log_ratio(1e-5, 1e-2) == pytest.approx(-3.0)
+
+    def test_floor_keeps_ratio_finite(self):
+        assert math.isfinite(log_ratio(0.0, 1.0))
+        assert log_ratio(0.0, 0.0) == 0.0
+
+    def test_negative_minima_rejected(self):
+        with pytest.raises(ValueError):
+            log_ratio(-1.0, 1.0)
+
+
+class TestRatioHistogram:
+    def test_counts_sum_to_pairs(self):
+        h = ratio_histogram([1, 1, 1], [1, 10, 0.1], lo=-2, hi=2, nbins=4)
+        assert h.counts.sum() == 3
+        assert h.n_pairs == 3
+
+    def test_clipping_recorded(self):
+        h = ratio_histogram([1e-9], [1.0], lo=-2, hi=2, nbins=4)
+        assert h.clipped_low == 1
+        assert h.counts.sum() == 1  # still lands in the edge bin
+
+    def test_fraction_below(self):
+        h = ratio_histogram([0.1, 1.0, 10.0], [1.0, 1.0, 1.0], lo=-4, hi=4, nbins=16)
+        assert h.fraction_below(0.0) == pytest.approx(1 / 3)
+
+    def test_median_sign_reflects_winner(self):
+        h = ratio_histogram([0.01, 0.02, 1.0], [1.0, 1.0, 1.0], lo=-4, hi=4, nbins=32)
+        assert h.median() < 0
+
+    def test_mismatched_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            ratio_histogram([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ratio_histogram([], [])
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            ratio_histogram([1.0], [1.0], lo=2, hi=-2)
+
+
+class TestTraceSeries:
+    def test_monotone_best_so_far(self):
+        result, _ = run_sphere(steps=40, sigma0=2.0, seed=1)
+        s = trace_series(result)
+        assert np.all(np.diff(s.values) <= 1e-12)
+        assert s.times.shape == s.values.shape
+
+    def test_value_at_interpolates_stepwise(self):
+        result, _ = run_sphere(steps=10)
+        s = trace_series(result)
+        assert s.value_at(s.times[-1] + 100) == s.final_value
+        assert math.isnan(s.value_at(-1.0))
+
+    def test_label_defaults_to_algorithm(self):
+        result, _ = run_sphere(steps=5)
+        assert trace_series(result).label == "DET"
+
+    def test_requires_trace(self):
+        result, _ = run_sphere(steps=5)
+        result.trace = None
+        with pytest.raises(ValueError):
+            trace_series(result)
+
+    def test_decades_gained_positive_for_progress(self):
+        result, _ = run_sphere(steps=60)
+        s = trace_series(result)
+        if s.values[-1] > 0:
+            assert s.decades_gained() > 0
+
+
+class TestReportRendering:
+    def test_table_contains_headers_and_rows(self):
+        text = format_table(["a", "b"], [[1, 2.5], [3, 4.0]], title="T")
+        assert "T" in text
+        assert "a" in text and "b" in text
+        assert "2.5" in text
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_histogram_rendering(self):
+        h = ratio_histogram([0.1, 1.0], [1.0, 1.0], lo=-2, hi=2, nbins=4)
+        text = format_histogram(h, title="H")
+        assert "H" in text
+        assert "n=2 pairs" in text
+        assert "#" in text
+
+    def test_series_rendering(self):
+        result, _ = run_sphere(steps=5)
+        text = format_series([trace_series(result)], title="S")
+        assert "S" in text
+        assert "DET" in text
+
+    def test_loglog_plot_renders(self):
+        result, _ = run_sphere(steps=30)
+        text = format_loglog_plot([trace_series(result)], title="P")
+        assert "P" in text
+        assert "legend" in text

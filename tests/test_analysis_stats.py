@@ -1,0 +1,96 @@
+"""Tests for bootstrap CIs and the paired sign test."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    BootstrapCI,
+    SignTestResult,
+    bootstrap_median_ci,
+    sign_test,
+)
+
+
+class TestBootstrapMedianCI:
+    def test_interval_contains_point_estimate(self):
+        data = np.random.default_rng(0).normal(2.0, 1.0, size=60)
+        ci = bootstrap_median_ci(data, rng=1)
+        assert ci.low <= ci.statistic <= ci.high
+
+    def test_clear_effect_excludes_zero(self):
+        data = np.random.default_rng(2).normal(-1.0, 0.2, size=50)
+        ci = bootstrap_median_ci(data, rng=3)
+        assert ci.excludes_zero()
+        assert ci.high < 0.0
+
+    def test_null_effect_straddles_zero(self):
+        data = np.random.default_rng(4).normal(0.0, 1.0, size=50)
+        ci = bootstrap_median_ci(data, rng=5)
+        assert not ci.excludes_zero()
+
+    def test_interval_narrows_with_sample_size(self):
+        rng = np.random.default_rng(6)
+        small = bootstrap_median_ci(rng.normal(size=12), rng=7)
+        large = bootstrap_median_ci(rng.normal(size=400), rng=8)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_reproducible_with_seed(self):
+        data = np.arange(20.0)
+        a = bootstrap_median_ci(data, rng=9)
+        b = bootstrap_median_ci(data, rng=9)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_median_ci([1.0])
+        with pytest.raises(ValueError):
+            bootstrap_median_ci([1.0, 2.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_median_ci([1.0, 2.0], n_resamples=10)
+
+
+class TestSignTest:
+    def test_all_wins_tiny_p(self):
+        result = sign_test([-1.0] * 10)
+        assert result.n_wins == 10
+        assert result.p_value == pytest.approx(2.0**-10)
+
+    def test_balanced_sample_large_p(self):
+        result = sign_test([-1.0, 1.0] * 5)
+        assert result.p_value > 0.3
+
+    def test_ties_dropped(self):
+        result = sign_test([-1.0, -1.0, 0.0, 0.05], tie_width=0.1)
+        assert result.n_ties == 2
+        assert result.n_effective == 2
+        assert result.n_wins == 2
+
+    def test_all_ties_p_one(self):
+        result = sign_test([0.0, 0.0], tie_width=0.5)
+        assert result.p_value == 1.0
+
+    def test_exact_binomial_hand_value(self):
+        # 4 wins, 1 loss: P(X >= 4 | n=5, p=.5) = (5 + 1)/32
+        result = sign_test([-1, -1, -1, -1, 1])
+        assert result.p_value == pytest.approx(6.0 / 32.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sign_test([])
+        with pytest.raises(ValueError):
+            sign_test([1.0], tie_width=-1.0)
+
+    def test_on_real_paired_study(self):
+        """MN vs DET on a small sweep: direction confirmed statistically."""
+        from benchmarks._harness import paired_minima
+        from repro.analysis.histograms import log_ratio
+
+        mins_mn, mins_det = paired_minima(
+            "MN", "DET", options_a={"k": 2.0},
+            function="sphere", dim=2, sigma0=100.0, n_seeds=10,
+            walltime=2e4, max_steps=300,
+        )
+        ratios = [log_ratio(a, b) for a, b in zip(mins_mn, mins_det)]
+        result = sign_test(ratios, tie_width=0.1)
+        # MN should not lose the majority
+        assert result.n_wins >= result.n_losses

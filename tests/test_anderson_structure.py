@@ -1,0 +1,86 @@
+"""Tests for the full Anderson structure-based direct search (eqs. 2.5-2.8)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AndersonStructureSearch
+from repro.functions import Sphere
+from repro.noise import StochasticFunction
+
+
+def make_search(sigma0=0.0, seed=0, **kw):
+    func = StochasticFunction(Sphere(2), sigma0=sigma0, rng=seed)
+    pts = np.array([[2.0, 2.0], [3.0, 2.0], [2.0, 3.0], [3.0, 3.0]])
+    defaults = dict(k1=1e6, max_iterations=60, walltime=1e5, min_size=1e-4)
+    defaults.update(kw)
+    return AndersonStructureSearch(func, pts, **defaults), func
+
+
+class TestStructureOperations:
+    def test_reflect_eq_2_6(self):
+        pts = np.array([[1.0, 0.0], [0.0, 1.0]])
+        x = np.array([2.0, 2.0])
+        out = AndersonStructureSearch.reflect(pts, x)
+        np.testing.assert_allclose(out, [[3.0, 4.0], [4.0, 3.0]])
+
+    def test_expand_doubles_size(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        x = pts[0]
+        out = AndersonStructureSearch.expand(pts, x)
+        from repro.core.simplex import diameter
+
+        assert diameter(out) == pytest.approx(2.0 * diameter(pts))
+
+    def test_contract_halves_size(self):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0]])
+        x = pts[0]
+        out = AndersonStructureSearch.contract(pts, x)
+        from repro.core.simplex import diameter
+
+        assert diameter(out) == pytest.approx(0.5 * diameter(pts))
+
+    def test_reflection_through_best_is_involution(self):
+        pts = np.random.default_rng(0).normal(size=(4, 3))
+        x = pts[1]
+        twice = AndersonStructureSearch.reflect(
+            AndersonStructureSearch.reflect(pts, x), x
+        )
+        np.testing.assert_allclose(twice, pts, atol=1e-12)
+
+
+class TestStructureSearch:
+    def test_converges_on_noiseless_sphere(self):
+        search, func = make_search()
+        result = search.run()
+        assert result.best_true < 1.0
+        assert result.algorithm == "AndersonDS"
+
+    def test_size_termination(self):
+        search, _ = make_search(min_size=10.0)  # structure starts smaller
+        result = search.run()
+        assert result.reason == "size"
+        assert result.n_steps == 0
+
+    def test_walltime_termination(self):
+        search, _ = make_search(sigma0=5.0, k1=1e-6, walltime=50.0)
+        result = search.run()
+        assert result.reason == "walltime"
+
+    def test_level_tracks_operations(self):
+        search, _ = make_search(max_iterations=10)
+        search.run()
+        # on a convex bowl from outside, contractions dominate eventually
+        assert isinstance(search.level, int)
+
+    def test_runs_under_noise(self):
+        search, func = make_search(sigma0=1.0, seed=3, k1=1e3, max_iterations=40)
+        result = search.run()
+        assert np.isfinite(result.best_estimate)
+        assert result.n_steps > 0
+
+    def test_invalid_points_rejected(self):
+        func = StochasticFunction(Sphere(2), sigma0=0.0, rng=0)
+        with pytest.raises(ValueError):
+            AndersonStructureSearch(func, np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            AndersonStructureSearch(func, np.zeros(3))

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.function == "rosenbrock"
+        assert args.algorithm == "PC"
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "SGD"])
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        rc = main(
+            [
+                "run", "--function", "sphere", "--dim", "2",
+                "--algorithm", "DET", "--sigma0", "0.0",
+                "--max-steps", "50", "--tau", "1e-10",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "best theta" in out
+        assert "DET" in out
+
+    def test_run_anderson_uses_k1(self, capsys):
+        rc = main(
+            [
+                "run", "--algorithm", "ANDERSON", "--dim", "2",
+                "--function", "sphere", "--sigma0", "1.0",
+                "--max-steps", "20", "--walltime", "1e3",
+            ]
+        )
+        assert rc == 0
+        assert "Anderson" in capsys.readouterr().out
+
+    def test_water_command(self, capsys):
+        rc = main(
+            ["water", "--algorithm", "MN", "--max-steps", "40",
+             "--walltime", "2e4", "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "epsilon" in out
+        assert "published TIP4P" in out
+
+    def test_scaleup_command(self, capsys):
+        rc = main(
+            ["scaleup", "--dims", "5", "8", "--nodes", "10",
+             "--max-steps", "10", "--walltime", "1e3"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "d=   5" in out
+        assert "time/step" in out
+
+    def test_optroot_command(self, tmp_path, capsys):
+        from repro.optroot import OptRoot
+        from repro.optroot.config import write_input, write_property_spec
+
+        root = OptRoot.create(tmp_path / "opt")
+        root.add_system("sysA")
+        write_property_spec(root, "y", target=1.0)
+        write_input(root, ["a"], np.array([[0.0], [1.0]]))
+        rc = main(["optroot", str(root.root)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sysA" in out
+        assert "('a',)" in out

@@ -1,0 +1,306 @@
+"""Tests for the virtual cluster substrate."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    EventSimulator,
+    JobRequest,
+    NetworkModel,
+    Node,
+    PBSScheduler,
+    ProcessorAllocation,
+    SimulatedMWPool,
+    allocate_processors,
+    machinefile,
+    parse_machinefile,
+    write_machinefile,
+)
+from repro.core import MaxStepsTermination, NelderMead
+from repro.functions import Rosenbrock, initial_simplex
+from repro.noise import StochasticFunction
+
+
+class TestNodesAndCluster:
+    def test_node_validation(self):
+        with pytest.raises(ValueError):
+            Node("", 8)
+        with pytest.raises(ValueError):
+            Node("n", 0)
+
+    def test_cluster_total_cores(self):
+        c = Cluster([Node("a", 8), Node("b", 4)])
+        assert c.total_cores == 12
+        assert len(c) == 2
+
+    def test_homogeneous_builder(self):
+        c = Cluster.homogeneous(3, cores_per_node=2)
+        assert c.total_cores == 6
+        assert [n.name for n in c] == ["node0000", "node0001", "node0002"]
+
+    def test_palmetto_preset_shape(self):
+        c = Cluster.palmetto(n_nodes=10)
+        assert all(n.cores == 8 for n in c)
+        assert c.total_cores == 80
+
+    def test_paper_full_palmetto(self):
+        """§4.1: 1541 nodes x 8 cores = 12328 compute cores."""
+        c = Cluster.palmetto()
+        assert c.total_cores == 12328
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster([Node("a"), Node("a")])
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster([])
+
+
+class TestMachinefile:
+    def test_eight_entries_per_node(self):
+        c = Cluster.palmetto(n_nodes=2)
+        entries = machinefile(c)
+        assert len(entries) == 16
+        assert entries[:8] == ["palmetto0000"] * 8
+
+    def test_write_and_parse_roundtrip(self, tmp_path):
+        c = Cluster.homogeneous(2, cores_per_node=3)
+        path = write_machinefile(c, tmp_path / "machinefile")
+        assert parse_machinefile(path) == machinefile(c)
+
+    def test_parse_rejects_empty(self, tmp_path):
+        p = tmp_path / "mf"
+        p.write_text("\n\n")
+        with pytest.raises(ValueError):
+            parse_machinefile(p)
+
+
+class TestProcessorAllocation:
+    @pytest.mark.parametrize(
+        "dim,workers,clients,total",
+        [(20, 23, 23, 70), (50, 53, 53, 160), (100, 103, 103, 310)],
+    )
+    def test_table_3_3_rows(self, dim, workers, clients, total):
+        """Table 3.3 with Ns=1 (the printed 23s in the d=50/100 client rows
+        are OCR artifacts; the formula (d+3)*Ns and the totals agree)."""
+        a = ProcessorAllocation.for_problem(dim, ns=1)
+        assert a.n_workers == workers
+        assert a.n_servers == workers
+        assert a.n_clients == clients
+        assert a.total == total
+
+    def test_closed_form_matches_role_sum(self):
+        for d in (1, 3, 7, 33):
+            for ns in (1, 2, 5):
+                a = ProcessorAllocation.for_problem(d, ns)
+                assert a.total == 1 + a.n_workers + a.n_servers + a.n_clients
+                assert a.total == d * ns + 3 * ns + 2 * d + 7
+
+    def test_invalid_problem_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessorAllocation.for_problem(0)
+        with pytest.raises(ValueError):
+            ProcessorAllocation.for_problem(3, ns=0)
+
+    def test_concrete_assignment_order(self):
+        entries = [f"c{i}" for i in range(100)]
+        job = allocate_processors(entries, dim=2, ns=2)
+        assert job.master == "c0"
+        assert job.workers == ["c1", "c2", "c3", "c4", "c5"]  # d+3 = 5
+        assert job.servers[0] == "c6"
+        assert job.clients[0] == ["c7", "c8"]
+        assert job.servers[1] == "c9"
+        assert job.total == ProcessorAllocation.for_problem(2, 2).total
+
+    def test_assignment_rejects_small_machinefile(self):
+        with pytest.raises(ValueError):
+            allocate_processors(["a"] * 10, dim=20, ns=1)
+
+    def test_node_usage_accounting(self):
+        entries = machinefile(Cluster.homogeneous(10, 8))
+        job = allocate_processors(entries, dim=2, ns=1)
+        usage = job.node_usage()
+        assert sum(usage.values()) == job.total
+
+
+class TestNetworkModel:
+    def test_transfer_time_formula(self):
+        net = NetworkModel(latency=1e-3, bandwidth=1e6)
+        assert net.transfer_time(1000) == pytest.approx(1e-3 + 1e-3)
+
+    def test_round_trip(self):
+        net = NetworkModel(latency=1e-3, bandwidth=1e6)
+        assert net.round_trip(0, 0) == pytest.approx(2e-3)
+
+    def test_myrinet_preset_matches_paper(self):
+        net = NetworkModel.myrinet_10g()
+        assert net.latency == pytest.approx(2.3e-6)
+        assert net.bandwidth == pytest.approx(1.2e9)
+
+    def test_fileio_slower_than_mpi(self):
+        assert NetworkModel.file_io().transfer_time(100) > NetworkModel.myrinet_10g().transfer_time(100)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            NetworkModel(0.0, 0.0)
+        with pytest.raises(ValueError):
+            NetworkModel(0.0, 1.0).transfer_time(-1)
+
+
+class TestEventSimulator:
+    def test_events_run_in_time_order(self):
+        sim = EventSimulator()
+        seen = []
+        sim.schedule(2.0, lambda: seen.append("b"))
+        sim.schedule(1.0, lambda: seen.append("a"))
+        sim.schedule(3.0, lambda: seen.append("c"))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+        assert sim.now == pytest.approx(3.0)
+
+    def test_fifo_among_ties(self):
+        sim = EventSimulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(1.0, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_run_until_stops_early(self):
+        sim = EventSimulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(5.0, lambda: seen.append(2))
+        sim.run(until=2.0)
+        assert seen == [1]
+        assert sim.now == pytest.approx(2.0)
+        assert len(sim) == 1
+
+    def test_events_can_schedule_events(self):
+        sim = EventSimulator()
+        seen = []
+
+        def first():
+            seen.append("first")
+            sim.schedule(1.0, lambda: seen.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == ["first", "second"]
+        assert sim.now == pytest.approx(2.0)
+
+    def test_past_scheduling_rejected(self):
+        sim = EventSimulator(start=5.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_event_storm_guard(self):
+        sim = EventSimulator()
+
+        def rearm():
+            sim.schedule(0.0, rearm)
+
+        sim.schedule(0.0, rearm)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+
+class TestPBSScheduler:
+    def test_immediate_start_when_cores_free(self):
+        sched = PBSScheduler(Cluster.homogeneous(2, 4))
+        job = sched.submit(JobRequest(n_procs=5, name="j1"))
+        assert job is not None
+        assert len(job.entries) == 5
+        assert sched.free_cores == 3
+
+    def test_queueing_when_full(self):
+        sched = PBSScheduler(Cluster.homogeneous(1, 4))
+        j1 = sched.submit(JobRequest(n_procs=3))
+        j2 = sched.submit(JobRequest(n_procs=3))
+        assert j1 is not None
+        assert j2 is None
+        assert sched.queued == 1
+
+    def test_release_admits_queued_fifo(self):
+        sched = PBSScheduler(Cluster.homogeneous(1, 4))
+        j1 = sched.submit(JobRequest(n_procs=4))
+        sched.submit(JobRequest(n_procs=2, name="q1"))
+        sched.submit(JobRequest(n_procs=2, name="q2"))
+        started = sched.release(j1.request.job_id)
+        assert [j.request.name for j in started] == ["q1", "q2"]
+        assert sched.utilization() == pytest.approx(1.0)
+
+    def test_oversized_job_rejected(self):
+        sched = PBSScheduler(Cluster.homogeneous(1, 4))
+        with pytest.raises(ValueError):
+            sched.submit(JobRequest(n_procs=5))
+
+    def test_release_unknown_job_rejected(self):
+        sched = PBSScheduler(Cluster.homogeneous(1, 4))
+        with pytest.raises(KeyError):
+            sched.release(99999)
+
+    def test_counters(self):
+        sched = PBSScheduler(Cluster.homogeneous(1, 8))
+        j = sched.submit(JobRequest(n_procs=2))
+        sched.release(j.request.job_id)
+        assert sched.n_started == 1
+        assert sched.n_completed == 1
+
+
+class TestSimulatedMWPool:
+    def _pool(self, dim=4, **kw):
+        func = StochasticFunction(Rosenbrock(dim), sigma0=0.0, rng=0)
+        cluster = Cluster.palmetto(n_nodes=50)
+        return SimulatedMWPool(func, cluster, dim=dim, **kw), func
+
+    def test_overhead_charged_per_cycle(self):
+        pool, func = self._pool()
+        pool.activate(np.zeros(4))
+        assert pool.n_dispatch_cycles == 1
+        assert pool.comm_overhead > 0.0
+        assert pool.now > 1.0  # warmup + overhead
+
+    def test_overhead_grows_with_active_vertices(self):
+        pool, _ = self._pool()
+        pool.activate(np.zeros(4))
+        first = pool.comm_overhead
+        for i in range(4):
+            pool.activate(np.ones(4) * (i + 1))
+        pool.comm_overhead = 0.0
+        pool.advance(1.0)
+        assert pool.comm_overhead > first
+
+    def test_rejects_cluster_too_small(self):
+        func = StochasticFunction(Rosenbrock(100), sigma0=0.0, rng=0)
+        with pytest.raises(ValueError):
+            SimulatedMWPool(func, Cluster.homogeneous(2, 8), dim=100)
+
+    def test_optimizer_runs_on_simulated_cluster(self):
+        pool, func = self._pool()
+        verts = initial_simplex(np.full(4, 2.0), step=0.5)
+        result = NelderMead(
+            func, verts, pool=pool, termination=MaxStepsTermination(50)
+        ).run()
+        assert result.n_steps == 50
+        assert pool.comm_overhead > 0.0
+
+    def test_time_per_step_grows_mildly_with_dimension(self):
+        """Fig 3.18c shape: overhead/step increases with d but stays small
+        relative to sampling time."""
+        per_step = {}
+        for d in (5, 20):
+            func = StochasticFunction(Rosenbrock(d), sigma0=0.0, rng=0)
+            pool = SimulatedMWPool(func, Cluster.palmetto(60), dim=d)
+            verts = initial_simplex(np.full(d, 2.0), step=0.5)
+            result = NelderMead(
+                func, verts, pool=pool, termination=MaxStepsTermination(20)
+            ).run()
+            per_step[d] = result.walltime / result.n_steps
+        assert per_step[20] > per_step[5]

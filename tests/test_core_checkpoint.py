@@ -1,0 +1,111 @@
+"""Tests for optimizer checkpoint/resume."""
+
+import numpy as np
+import pytest
+
+from repro.core import MaxStepsTermination, MaxNoise, NelderMead, PointComparison
+from repro.core.checkpoint import load_snapshot, resume, save_checkpoint, snapshot
+from repro.functions import Sphere, initial_simplex
+from repro.noise import StochasticFunction
+
+VERTS = initial_simplex([2.0, -1.0], step=1.0)
+
+
+def fresh_func(sigma0=0.0, seed=0):
+    return StochasticFunction(Sphere(2), sigma0=sigma0, rng=seed)
+
+
+class TestSnapshot:
+    def test_snapshot_contents(self):
+        opt = NelderMead(fresh_func(), VERTS, termination=MaxStepsTermination(7))
+        opt.run()
+        state = snapshot(opt)
+        assert state["algorithm"] == "DET"
+        assert state["n_steps"] == 7
+        assert len(state["vertices"]) == 3
+        assert state["clock"] == pytest.approx(opt.pool.now)
+
+    def test_roundtrip_through_disk(self, tmp_path):
+        opt = MaxNoise(fresh_func(sigma0=1.0, seed=1), VERTS,
+                       termination=MaxStepsTermination(4))
+        opt.run()
+        path = save_checkpoint(opt, tmp_path / "ck.bin")
+        state = load_snapshot(path)
+        assert state["n_steps"] == 4
+        np.testing.assert_allclose(
+            state["vertices"][0]["theta"], opt.simplex.vertices[0].theta
+        )
+
+    def test_corrupt_checkpoint_rejected(self, tmp_path):
+        p = tmp_path / "bad.bin"
+        from repro.mw.codec import pack
+
+        p.write_bytes(pack({"version": 99}))
+        with pytest.raises(ValueError):
+            load_snapshot(p)
+
+
+class TestResume:
+    def test_resumed_state_matches(self, tmp_path):
+        opt = NelderMead(fresh_func(), VERTS, termination=MaxStepsTermination(10))
+        opt.run()
+        path = save_checkpoint(opt, tmp_path / "ck.bin")
+        resumed = resume(
+            path, fresh_func(), termination=MaxStepsTermination(20)
+        )
+        assert resumed.n_steps == 10
+        assert resumed.elapsed_walltime() == pytest.approx(opt.pool.now)
+        np.testing.assert_allclose(
+            resumed.simplex.points(), opt.simplex.points()
+        )
+        np.testing.assert_allclose(
+            resumed.simplex.estimates(), opt.simplex.estimates()
+        )
+
+    def test_resumed_run_continues_converging(self, tmp_path):
+        opt = NelderMead(fresh_func(), VERTS, termination=MaxStepsTermination(10))
+        mid = opt.run()
+        path = save_checkpoint(opt, tmp_path / "ck.bin")
+        resumed = resume(path, fresh_func(), termination=MaxStepsTermination(200))
+        final = resumed.run()
+        assert final.n_steps == 200
+        assert final.best_true <= mid.best_true
+
+    def test_noiseless_split_run_matches_straight_run(self, tmp_path):
+        """10 + 20 steps after a checkpoint == 30 straight steps (noiseless,
+        so the trajectory is deterministic)."""
+        straight = NelderMead(
+            fresh_func(), VERTS, termination=MaxStepsTermination(30)
+        ).run()
+
+        opt = NelderMead(fresh_func(), VERTS, termination=MaxStepsTermination(10))
+        opt.run()
+        path = save_checkpoint(opt, tmp_path / "ck.bin")
+        resumed = resume(path, fresh_func(), termination=MaxStepsTermination(30))
+        split = resumed.run()
+        np.testing.assert_allclose(split.best_theta, straight.best_theta, atol=1e-12)
+
+    def test_algorithm_can_be_switched_on_resume(self, tmp_path):
+        """Warm-start PC from a DET checkpoint (coarse DET, refined PC)."""
+        opt = NelderMead(
+            fresh_func(sigma0=0.5, seed=2), VERTS, termination=MaxStepsTermination(15)
+        )
+        opt.run()
+        path = save_checkpoint(opt, tmp_path / "ck.bin")
+        resumed = resume(
+            path,
+            fresh_func(sigma0=0.5, seed=3),
+            algorithm="PC",
+            termination=MaxStepsTermination(25),
+        )
+        assert isinstance(resumed, PointComparison)
+        result = resumed.run()
+        assert result.n_steps == 25
+
+    def test_contraction_level_restored(self, tmp_path):
+        opt = NelderMead(fresh_func(), VERTS, termination=MaxStepsTermination(40))
+        opt.run()
+        level = opt.simplex.contraction_level
+        path = save_checkpoint(opt, tmp_path / "ck.bin")
+        resumed = resume(path, fresh_func(), termination=MaxStepsTermination(50))
+        assert resumed.simplex.contraction_level == level

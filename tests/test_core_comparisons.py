@@ -1,0 +1,139 @@
+"""Tests for confidence-interval comparisons and ConditionSet."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConditionSet, Decision, compare
+from repro.core.comparisons import ALL_CONDITIONS, ComparisonStats
+from repro.noise import VertexEvaluation
+
+
+def ev_with(g, sigma0=1.0, t=1.0):
+    e = VertexEvaluation([0.0], sigma0=sigma0)
+    e.replace(t, g)
+    return e
+
+
+class TestCompare:
+    def test_plain_comparison_below(self):
+        assert compare(ev_with(1.0), ev_with(2.0), use_error_bars=False) is Decision.BELOW
+
+    def test_plain_comparison_not_below(self):
+        assert (
+            compare(ev_with(3.0), ev_with(2.0), use_error_bars=False)
+            is Decision.NOT_BELOW
+        )
+
+    def test_plain_tie_is_not_below(self):
+        assert (
+            compare(ev_with(2.0), ev_with(2.0), use_error_bars=False)
+            is Decision.NOT_BELOW
+        )
+
+    def test_separated_intervals_decide_below(self):
+        # g=0 +- 1 vs g=10 +- 1 at k=2: 0+2 < 10-2
+        assert compare(ev_with(0.0), ev_with(10.0), k=2.0) is Decision.BELOW
+
+    def test_overlapping_intervals_undecided(self):
+        # g=0 +- 1 vs g=1 +- 1 at k=2: intervals [-2,2] and [-1,3] overlap
+        assert compare(ev_with(0.0), ev_with(1.0), k=2.0) is Decision.UNDECIDED
+
+    def test_confident_not_below(self):
+        assert compare(ev_with(10.0), ev_with(0.0), k=2.0) is Decision.NOT_BELOW
+
+    def test_k_zero_reduces_to_plain(self):
+        assert compare(ev_with(1.0), ev_with(1.1), k=0.0) is Decision.BELOW
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            compare(ev_with(0.0), ev_with(1.0), k=-1.0)
+
+    def test_unsampled_evaluation_rejected(self):
+        fresh = VertexEvaluation([0.0], sigma0=1.0)
+        with pytest.raises(ValueError):
+            compare(fresh, ev_with(1.0))
+
+    def test_more_sampling_resolves_undecided(self):
+        """With sigma ~ 1/sqrt(t), longer sampling separates the intervals."""
+        a, b = ev_with(0.0, t=1.0), ev_with(1.0, t=1.0)
+        assert compare(a, b, k=2.0) is Decision.UNDECIDED
+        a2, b2 = ev_with(0.0, t=100.0), ev_with(1.0, t=100.0)
+        assert compare(a2, b2, k=2.0) is Decision.BELOW
+
+    @given(
+        ga=st.floats(-100, 100),
+        gb=st.floats(-100, 100),
+        k=st.floats(0.0, 5.0),
+    )
+    @settings(max_examples=60)
+    def test_antisymmetry(self, ga, gb, k):
+        """a BELOW b implies b NOT_BELOW a (never both BELOW)."""
+        a, b = ev_with(ga), ev_with(gb)
+        d_ab = compare(a, b, k=k)
+        d_ba = compare(b, a, k=k)
+        if d_ab is Decision.BELOW:
+            assert d_ba is Decision.NOT_BELOW
+
+    @given(ga=st.floats(-10, 10), gb=st.floats(-10, 10))
+    @settings(max_examples=60)
+    def test_noiseless_always_decided(self, ga, gb):
+        a, b = ev_with(ga, sigma0=0.0), ev_with(gb, sigma0=0.0)
+        assert compare(a, b, k=3.0) is not Decision.UNDECIDED
+
+
+class TestConditionSet:
+    def test_all_uses_every_site(self):
+        cs = ConditionSet.all()
+        assert all(cs.uses(i) for i in range(1, 8))
+        assert cs.label == "c1-7"
+
+    def test_none_uses_no_site(self):
+        cs = ConditionSet.none()
+        assert not any(cs.uses(i) for i in range(1, 8))
+        assert cs.label == "det"
+
+    def test_only_single_site(self):
+        cs = ConditionSet.only(1)
+        assert cs.uses(1)
+        assert not cs.uses(2)
+        assert cs.label == "c1"
+
+    def test_of_combination(self):
+        cs = ConditionSet.of(1, 3, 6)
+        assert cs.label == "c136"
+        assert cs.uses(3) and cs.uses(6) and not cs.uses(5)
+
+    def test_invalid_site_rejected(self):
+        with pytest.raises(ValueError):
+            ConditionSet.of(0)
+        with pytest.raises(ValueError):
+            ConditionSet.of(8)
+        with pytest.raises(ValueError):
+            ConditionSet.all().uses(9)
+
+    def test_equality_and_hash(self):
+        assert ConditionSet.of(1, 3) == ConditionSet.of(3, 1)
+        assert hash(ConditionSet.of(1, 3)) == hash(ConditionSet.of(3, 1))
+        assert ConditionSet.of(1) != ConditionSet.of(2)
+
+    def test_all_conditions_constant(self):
+        assert ALL_CONDITIONS == frozenset(range(1, 8))
+
+
+class TestComparisonStats:
+    def test_immediate_decision_counted(self):
+        stats = ComparisonStats()
+        stats.record(0, was_forced=False)
+        assert stats.decided_immediately == 1
+        assert stats.resample_rounds == 0
+        assert stats.forced == 0
+
+    def test_resample_rounds_accumulate(self):
+        stats = ComparisonStats()
+        stats.record(3, was_forced=False)
+        stats.record(2, was_forced=True)
+        assert stats.resample_rounds == 5
+        assert stats.forced == 1

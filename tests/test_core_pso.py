@@ -1,0 +1,82 @@
+"""Tests for the PSO + noise-aware polish extension (paper future work §5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pso import NoisyPSO, pso_polish
+from repro.functions import Rastrigin, Sphere
+from repro.noise import StochasticFunction
+
+
+def noisy(f, sigma0=1.0, seed=0):
+    return StochasticFunction(f, sigma0=sigma0, rng=seed)
+
+
+class TestNoisyPSO:
+    def test_swarm_improves_on_sphere(self):
+        func = noisy(Sphere(3), sigma0=0.5, seed=1)
+        swarm = NoisyPSO(func, bounds=(-5.0, 5.0), dim=3, n_particles=10, rng=2)
+        initial = func.true_value(swarm.gbest_pos)
+        best = swarm.run(25)
+        assert func.true_value(best) < initial
+
+    def test_positions_respect_bounds(self):
+        func = noisy(Sphere(2), sigma0=1.0, seed=3)
+        swarm = NoisyPSO(func, bounds=(-2.0, 2.0), dim=2, n_particles=8, rng=4)
+        swarm.run(10)
+        assert np.all(swarm.pos >= -2.0) and np.all(swarm.pos <= 2.0)
+
+    def test_incumbent_update_needs_confidence(self):
+        """With huge noise, the global best barely churns."""
+        func = noisy(Sphere(2), sigma0=1000.0, seed=5)
+        swarm = NoisyPSO(func, bounds=(-5.0, 5.0), dim=2, n_particles=6, rng=6, k=2.0)
+        g0 = swarm.gbest_val
+        swarm.run(5)
+        # incumbent can only have moved by confident improvement
+        assert swarm.gbest_val <= g0
+
+    def test_validation(self):
+        func = noisy(Sphere(2))
+        with pytest.raises(ValueError):
+            NoisyPSO(func, bounds=(-1.0, 1.0), dim=2, n_particles=1)
+        with pytest.raises(ValueError):
+            NoisyPSO(func, bounds=(1.0, -1.0), dim=2)
+        with pytest.raises(ValueError):
+            NoisyPSO(func, bounds=(-1.0, 1.0), dim=2, eval_time=0.0)
+
+    def test_seeded_runs_reproduce(self):
+        def run():
+            func = noisy(Sphere(2), sigma0=1.0, seed=7)
+            swarm = NoisyPSO(func, bounds=(-3.0, 3.0), dim=2, n_particles=6, rng=8)
+            return swarm.run(8)
+
+        np.testing.assert_array_equal(run(), run())
+
+
+class TestPsoPolish:
+    def test_hybrid_on_multimodal_rastrigin(self):
+        """PSO escapes local wells; the polish refines — the §5.2 pitch."""
+        func = noisy(Rastrigin(2), sigma0=0.3, seed=9)
+        result = pso_polish(
+            func,
+            bounds=(-4.0, 4.0),
+            dim=2,
+            pso_iterations=40,
+            n_particles=16,
+            walltime=5e4,
+            max_steps=400,
+            seed=10,
+        )
+        # global minimum is 0 at origin; nearest local wells are ~1 apart
+        assert result.best_true < 3.0
+        assert result.algorithm == "PSO+PC"
+        assert result.extra["pso_iterations"] == 40
+
+    def test_polish_algorithm_selectable(self):
+        func = noisy(Sphere(2), sigma0=0.5, seed=11)
+        result = pso_polish(
+            func, bounds=(-3.0, 3.0), dim=2, polish_algorithm="MN",
+            pso_iterations=10, walltime=2e4, max_steps=200, seed=12,
+        )
+        assert result.algorithm == "PSO+MN"
+        assert result.best_true < 1.0

@@ -1,0 +1,87 @@
+"""Tests for step records, traces and the result object."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import OptimizationResult, StepRecord, Trace
+
+
+def record(step, time, op="reflect", best=1.0, true=0.5):
+    return StepRecord(
+        step=step,
+        time=time,
+        operation=op,
+        best_estimate=best,
+        best_true=true,
+        diameter=1.0,
+        contraction_level=0,
+    )
+
+
+class TestTrace:
+    def test_append_and_len(self):
+        t = Trace()
+        t.append(record(1, 1.0))
+        t.append(record(2, 2.0))
+        assert len(t) == 2
+        assert t[0].step == 1
+
+    def test_array_views(self):
+        t = Trace()
+        for i in range(3):
+            t.append(record(i + 1, float(i + 1), best=float(3 - i)))
+        np.testing.assert_allclose(t.times(), [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(t.best_estimates(), [3.0, 2.0, 1.0])
+        assert t.best_true_values().shape == (3,)
+        assert t.diameters().shape == (3,)
+
+    def test_operations_and_counts(self):
+        t = Trace()
+        for op in ("reflect", "reflect", "expand", "collapse"):
+            t.append(record(1, 1.0, op=op))
+        assert t.operations() == ["reflect", "reflect", "expand", "collapse"]
+        assert t.operation_counts() == {"reflect": 2, "expand": 1, "collapse": 1}
+
+    def test_time_per_step(self):
+        t = Trace()
+        t.append(record(1, 2.0))
+        t.append(record(2, 6.0))
+        assert t.time_per_step() == pytest.approx(3.0)  # 6.0 / 2 steps
+
+    def test_time_per_step_empty_is_nan(self):
+        import math
+
+        assert math.isnan(Trace().time_per_step())
+
+    def test_iteration(self):
+        t = Trace()
+        t.append(record(1, 1.0))
+        assert [r.step for r in t] == [1]
+
+
+class TestStepRecord:
+    def test_frozen(self):
+        r = record(1, 1.0)
+        with pytest.raises(AttributeError):
+            r.step = 5
+
+    def test_optional_fields_default(self):
+        r = record(1, 1.0)
+        assert r.wait_time == 0.0
+        assert r.resample_rounds == 0
+
+
+class TestOptimizationResult:
+    def test_fields_and_repr(self):
+        result = OptimizationResult(
+            algorithm="PC",
+            best_theta=np.array([1.0, 2.0]),
+            best_estimate=0.5,
+            best_true=0.4,
+            n_steps=10,
+            reason="tolerance",
+            walltime=123.0,
+        )
+        text = repr(result)
+        assert "PC" in text and "tolerance" in text
+        assert result.extra == {}

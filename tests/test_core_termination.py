@@ -1,0 +1,119 @@
+"""Tests for termination criteria (eq. 2.9 tolerance, walltime, composites)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CompositeTermination,
+    DiameterTermination,
+    MaxStepsTermination,
+    Simplex,
+    ToleranceTermination,
+    WalltimeTermination,
+    default_termination,
+)
+from repro.noise import VertexEvaluation
+
+
+class FakeOptimizer:
+    """Minimal stand-in exposing what criteria inspect."""
+
+    def __init__(self, values, elapsed=0.0, n_steps=0, spread=1.0):
+        evs = []
+        for i, v in enumerate(values):
+            ev = VertexEvaluation(np.array([float(i) * spread, 0.0]), sigma0=0.0)
+            ev.merge_block(1.0, v)
+            evs.append(ev)
+        self.simplex = Simplex(evs)
+        self._elapsed = elapsed
+        self.n_steps = n_steps
+
+    def elapsed_walltime(self):
+        return self._elapsed
+
+
+class TestTolerance:
+    def test_fires_when_spread_within_tau(self):
+        opt = FakeOptimizer([1.0, 1.0005, 1.001])
+        assert ToleranceTermination(0.01).check(opt) == "tolerance"
+
+    def test_silent_when_spread_exceeds_tau(self):
+        opt = FakeOptimizer([1.0, 1.5, 3.0])
+        assert ToleranceTermination(0.01).check(opt) is None
+
+    def test_eq_2_9_uses_max_deviation_from_min(self):
+        opt = FakeOptimizer([0.0, 0.05, 0.2])
+        assert ToleranceTermination(0.21).check(opt) == "tolerance"
+        assert ToleranceTermination(0.19).check(opt) is None
+
+    def test_rejects_nonpositive_tau(self):
+        with pytest.raises(ValueError):
+            ToleranceTermination(0.0)
+
+
+class TestWalltime:
+    def test_fires_at_limit(self):
+        assert WalltimeTermination(10.0).check(FakeOptimizer([0, 1, 2], elapsed=10.0)) == "walltime"
+
+    def test_silent_before_limit(self):
+        assert WalltimeTermination(10.0).check(FakeOptimizer([0, 1, 2], elapsed=9.9)) is None
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            WalltimeTermination(0.0)
+
+
+class TestMaxSteps:
+    def test_fires_at_step_count(self):
+        assert MaxStepsTermination(5).check(FakeOptimizer([0, 1, 2], n_steps=5)) == "max_steps"
+
+    def test_silent_before(self):
+        assert MaxStepsTermination(5).check(FakeOptimizer([0, 1, 2], n_steps=4)) is None
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            MaxStepsTermination(0)
+
+
+class TestDiameter:
+    def test_fires_when_small(self):
+        opt = FakeOptimizer([0, 1, 2], spread=1e-8)
+        assert DiameterTermination(1e-6).check(opt) == "diameter"
+
+    def test_silent_when_large(self):
+        opt = FakeOptimizer([0, 1, 2], spread=10.0)
+        assert DiameterTermination(1e-6).check(opt) is None
+
+
+class TestComposite:
+    def test_first_firing_reason_wins(self):
+        comp = CompositeTermination(
+            [WalltimeTermination(5.0), MaxStepsTermination(3)]
+        )
+        opt = FakeOptimizer([0, 1, 2], elapsed=6.0, n_steps=10)
+        assert comp.check(opt) == "walltime"
+
+    def test_silent_when_none_fire(self):
+        comp = CompositeTermination(
+            [WalltimeTermination(5.0), MaxStepsTermination(3)]
+        )
+        assert comp.check(FakeOptimizer([0, 1, 2])) is None
+
+    def test_flattens_nested_composites(self):
+        inner = CompositeTermination([MaxStepsTermination(3)])
+        outer = CompositeTermination([inner, WalltimeTermination(5.0)])
+        assert len(outer.criteria) == 2
+
+    def test_or_operator(self):
+        comp = WalltimeTermination(5.0) | MaxStepsTermination(3)
+        assert isinstance(comp, CompositeTermination)
+        assert comp.check(FakeOptimizer([0, 1, 2], n_steps=3)) == "max_steps"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeTermination([])
+
+    def test_default_termination_bundle(self):
+        comp = default_termination(tau=0.5, walltime=100.0, max_steps=7)
+        opt = FakeOptimizer([1.0, 1.1, 1.2])
+        assert comp.check(opt) == "tolerance"

@@ -1,0 +1,188 @@
+"""Tests for the benchmark objective functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.functions import (
+    Powell,
+    Quadratic,
+    Rastrigin,
+    Rosenbrock,
+    Sphere,
+    get_function,
+    initial_simplex,
+    powell,
+    random_vertices,
+    rosenbrock,
+)
+
+finite_vec = lambda d: hnp.arrays(  # noqa: E731
+    float, (d,), elements=st.floats(-10, 10, allow_nan=False)
+)
+
+
+class TestRosenbrock:
+    def test_minimum_value_is_zero_at_ones(self):
+        for d in (2, 3, 4, 10):
+            f = Rosenbrock(d)
+            assert f(np.ones(d)) == 0.0
+
+    def test_eq_3_1_three_dim_form(self):
+        """Hand-computed value for the 3-d chained form."""
+        f = Rosenbrock(3)
+        x = np.array([0.0, 1.0, 2.0])
+        # (1-0)^2 + 100(1-0)^2 + (1-1)^2 + 100(2-1)^2 = 1 + 100 + 0 + 100
+        assert f(x) == pytest.approx(201.0)
+
+    def test_eq_3_2_four_dim_form(self):
+        f = Rosenbrock(4)
+        x = np.array([1.0, 1.0, 1.0, 2.0])
+        assert f(x) == pytest.approx(100.0)
+
+    def test_gradient_zero_at_minimum(self):
+        f = Rosenbrock(5)
+        np.testing.assert_allclose(f.gradient(np.ones(5)), 0.0, atol=1e-12)
+
+    def test_gradient_matches_finite_differences(self):
+        f = Rosenbrock(3)
+        x = np.array([0.3, -0.7, 1.2])
+        g = f.gradient(x)
+        eps = 1e-6
+        for i in range(3):
+            xp, xm = x.copy(), x.copy()
+            xp[i] += eps
+            xm[i] -= eps
+            fd = (f(xp) - f(xm)) / (2 * eps)
+            assert g[i] == pytest.approx(fd, rel=1e-4, abs=1e-4)
+
+    @given(x=finite_vec(4))
+    @settings(max_examples=40)
+    def test_nonnegative_everywhere(self, x):
+        assert Rosenbrock(4)(x) >= 0.0
+
+    @given(x=finite_vec(3))
+    @settings(max_examples=40)
+    def test_batch_matches_scalar(self, x):
+        f = Rosenbrock(3)
+        assert f.batch(x[None, :])[0] == pytest.approx(f(x))
+
+    def test_rejects_dim_one(self):
+        with pytest.raises(ValueError):
+            Rosenbrock(1)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Rosenbrock(3)([1.0, 2.0])
+
+    def test_functional_form(self):
+        assert rosenbrock([1.0, 1.0, 1.0]) == 0.0
+
+
+class TestPowell:
+    def test_eq_3_3_value(self):
+        x = np.array([3.0, -1.0, 0.0, 1.0])
+        # (3-10)^2 + 5(0-1)^2 + (-1-0)^4 + 10(3-1)^4 = 49+5+1+160
+        assert Powell(4)(x) == pytest.approx(215.0)
+
+    def test_minimum_at_origin(self):
+        assert Powell(4)(np.zeros(4)) == 0.0
+        assert Powell(8)(np.zeros(8)) == 0.0
+
+    def test_extended_blocks_are_independent(self):
+        f8 = Powell(8)
+        f4 = Powell(4)
+        a = np.array([3.0, -1.0, 0.0, 1.0])
+        b = np.array([1.0, 2.0, 3.0, 4.0])
+        assert f8(np.concatenate([a, b])) == pytest.approx(f4(a) + f4(b))
+
+    @given(x=finite_vec(4))
+    @settings(max_examples=40)
+    def test_nonnegative(self, x):
+        assert Powell(4)(x) >= 0.0
+
+    @given(x=finite_vec(4))
+    @settings(max_examples=40)
+    def test_batch_matches_scalar(self, x):
+        f = Powell(4)
+        assert f.batch(x[None, :])[0] == pytest.approx(f(x))
+
+    def test_rejects_non_multiple_of_four(self):
+        for bad in (1, 2, 3, 5, 6):
+            with pytest.raises(ValueError):
+                Powell(bad)
+
+    def test_functional_form(self):
+        assert powell(np.zeros(4)) == 0.0
+
+
+class TestSuiteFunctions:
+    def test_sphere_batch_matches_scalar(self):
+        f = Sphere(3)
+        pts = np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]])
+        np.testing.assert_allclose(f.batch(pts), [14.0, 0.0])
+
+    def test_quadratic_custom_center(self):
+        f = Quadratic(2, scales=[1.0, 4.0], center=[1.0, -1.0])
+        assert f([1.0, -1.0]) == 0.0
+        assert f([2.0, 0.0]) == pytest.approx(1.0 + 4.0)
+        np.testing.assert_allclose(f.minimizer(), [1.0, -1.0])
+
+    def test_quadratic_rejects_bad_scales(self):
+        with pytest.raises(ValueError):
+            Quadratic(2, scales=[1.0, 0.0])
+
+    def test_rastrigin_global_minimum(self):
+        f = Rastrigin(4)
+        assert f(np.zeros(4)) == pytest.approx(0.0, abs=1e-12)
+        assert f(np.ones(4) * 0.5) > 0.0
+
+    def test_distance_to_solution(self):
+        f = Sphere(2)
+        assert f.distance_to_solution([3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_registry_lookup(self):
+        f = get_function("rosenbrock", 3)
+        assert isinstance(f, Rosenbrock)
+        with pytest.raises(KeyError):
+            get_function("nope", 2)
+
+
+class TestInitialStates:
+    def test_random_vertices_shape_and_range(self):
+        v = random_vertices(3, low=-6.0, high=3.0, rng=0)
+        assert v.shape == (4, 3)
+        assert v.min() >= -6.0
+        assert v.max() <= 3.0
+
+    def test_random_vertices_custom_count(self):
+        assert random_vertices(4, n_vertices=7, rng=0).shape == (7, 4)
+
+    def test_random_vertices_too_few_rejected(self):
+        with pytest.raises(ValueError):
+            random_vertices(4, n_vertices=3)
+
+    def test_random_vertices_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            random_vertices(2, low=1.0, high=1.0)
+
+    def test_random_vertices_seeded(self):
+        a = random_vertices(3, rng=5)
+        b = random_vertices(3, rng=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_initial_simplex_geometry(self):
+        v = initial_simplex([1.0, 2.0], step=0.5)
+        np.testing.assert_allclose(v[0], [1.0, 2.0])
+        np.testing.assert_allclose(v[1], [1.5, 2.0])
+        np.testing.assert_allclose(v[2], [1.0, 2.5])
+
+    def test_initial_simplex_rejects_zero_step(self):
+        with pytest.raises(ValueError):
+            initial_simplex([0.0, 0.0], step=0.0)
+
+    def test_initial_simplex_rejects_matrix_input(self):
+        with pytest.raises(ValueError):
+            initial_simplex([[0.0], [1.0]])

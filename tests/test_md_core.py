@@ -1,0 +1,149 @@
+"""Tests for MD units, periodic cell, and neighbour lists."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.md import (
+    KB,
+    PeriodicBox,
+    brute_force_pairs,
+    cell_list_pairs,
+    kinetic_temperature,
+    maxwell_boltzmann_velocities,
+)
+from repro.md.units import ACCEL_CONV, kinetic_energy
+
+
+class TestUnits:
+    def test_kinetic_energy_single_particle(self):
+        # m=1 amu, v=1 A/fs -> K = 0.5/ACCEL_CONV kcal/mol
+        vel = np.array([[1.0, 0.0, 0.0]])
+        m = np.array([1.0])
+        assert kinetic_energy(vel, m) == pytest.approx(0.5 / ACCEL_CONV)
+
+    def test_temperature_definition(self):
+        """T = 2K / (n_dof kB) for a hand-built velocity set."""
+        vel = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        m = np.array([2.0, 3.0])
+        k = kinetic_energy(vel, m)
+        assert kinetic_temperature(vel, m) == pytest.approx(2 * k / (6 * KB))
+
+    def test_maxwell_boltzmann_hits_target_temperature(self):
+        rng = np.random.default_rng(0)
+        m = np.full(500, 18.0)
+        vel = maxwell_boltzmann_velocities(m, 298.0, rng)
+        assert kinetic_temperature(vel, m, n_constrained=3) == pytest.approx(298.0)
+
+    def test_maxwell_boltzmann_zero_momentum(self):
+        rng = np.random.default_rng(1)
+        m = np.array([16.0, 1.0, 1.0] * 20)
+        vel = maxwell_boltzmann_velocities(m, 300.0, rng)
+        p = (m[:, None] * vel).sum(axis=0)
+        np.testing.assert_allclose(p, 0.0, atol=1e-10)
+
+    def test_zero_temperature_gives_zero_velocities(self):
+        rng = np.random.default_rng(0)
+        vel = maxwell_boltzmann_velocities(np.ones(5), 0.0, rng)
+        assert np.all(vel == 0.0)
+
+    def test_negative_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            maxwell_boltzmann_velocities(np.ones(2), -1.0, np.random.default_rng(0))
+
+
+class TestPeriodicBox:
+    def test_cubic_from_scalar(self):
+        box = PeriodicBox(10.0)
+        np.testing.assert_allclose(box.lengths, [10.0, 10.0, 10.0])
+        assert box.volume == pytest.approx(1000.0)
+
+    def test_orthorhombic(self):
+        box = PeriodicBox([2.0, 3.0, 4.0])
+        assert box.volume == pytest.approx(24.0)
+        assert box.min_image_cutoff == pytest.approx(1.0)
+
+    def test_invalid_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicBox([1.0, -1.0, 1.0])
+        with pytest.raises(ValueError):
+            PeriodicBox([1.0, 2.0])
+
+    def test_wrap_into_primary_cell(self):
+        box = PeriodicBox(10.0)
+        wrapped = box.wrap(np.array([[11.0, -1.0, 25.0]]))
+        np.testing.assert_allclose(wrapped, [[1.0, 9.0, 5.0]])
+
+    def test_minimum_image_short_vector(self):
+        box = PeriodicBox(10.0)
+        d = box.minimum_image(np.array([[9.0, 0.0, 0.0]]))
+        np.testing.assert_allclose(d, [[-1.0, 0.0, 0.0]])
+
+    def test_distance_across_boundary(self):
+        box = PeriodicBox(10.0)
+        assert box.distance([0.5, 0, 0], [9.5, 0, 0]) == pytest.approx(1.0)
+
+    @given(
+        pos=hnp.arrays(float, (4, 3), elements=st.floats(-100, 100)),
+        shift=st.integers(-3, 3),
+    )
+    @settings(max_examples=40)
+    def test_minimum_image_periodic_invariance(self, pos, shift):
+        """Shifting one point by whole box lengths never changes distances."""
+        box = PeriodicBox(7.0)
+        d1 = box.minimum_image(pos[0] - pos[1])
+        d2 = box.minimum_image((pos[0] + shift * 7.0) - pos[1])
+        np.testing.assert_allclose(d1, d2, atol=1e-9)
+
+    def test_minimum_image_bound(self):
+        box = PeriodicBox([4.0, 6.0, 8.0])
+        rng = np.random.default_rng(0)
+        d = box.minimum_image(rng.uniform(-50, 50, size=(100, 3)))
+        assert np.all(np.abs(d) <= box.lengths / 2 + 1e-12)
+
+
+class TestNeighbourLists:
+    def _random_system(self, n, box_len, seed):
+        rng = np.random.default_rng(seed)
+        return rng.uniform(0, box_len, size=(n, 3)), PeriodicBox(box_len)
+
+    def test_brute_force_simple_case(self):
+        box = PeriodicBox(10.0)
+        pos = np.array([[0.0, 0, 0], [1.0, 0, 0], [5.0, 0, 0]])
+        ii, jj = brute_force_pairs(pos, box, cutoff=2.0)
+        assert set(zip(ii, jj)) == {(0, 1)}
+
+    def test_brute_force_across_boundary(self):
+        box = PeriodicBox(10.0)
+        pos = np.array([[0.2, 0, 0], [9.8, 0, 0]])
+        ii, jj = brute_force_pairs(pos, box, cutoff=1.0)
+        assert set(zip(ii, jj)) == {(0, 1)}
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("n,box_len,cutoff", [(40, 12.0, 3.0), (80, 15.0, 4.9)])
+    def test_cell_list_matches_brute_force(self, n, box_len, cutoff, seed):
+        pos, box = self._random_system(n, box_len, seed)
+        bi, bj = brute_force_pairs(pos, box, cutoff)
+        ci, cj = cell_list_pairs(pos, box, cutoff)
+        assert set(zip(bi, bj)) == set(zip(ci, cj))
+
+    def test_cell_list_falls_back_on_small_box(self):
+        pos, box = self._random_system(10, 5.0, 0)
+        # cutoff 2.0 -> only 2 cells/dim -> fallback path
+        bi, bj = brute_force_pairs(pos, box, 2.0)
+        ci, cj = cell_list_pairs(pos, box, 2.0)
+        assert set(zip(bi, bj)) == set(zip(ci, cj))
+
+    def test_no_pairs_when_cutoff_tiny(self):
+        pos, box = self._random_system(20, 20.0, 3)
+        ii, jj = cell_list_pairs(pos, box, 1e-6)
+        assert ii.size == 0 and jj.size == 0
+
+    def test_invalid_cutoff_rejected(self):
+        pos, box = self._random_system(5, 10.0, 0)
+        with pytest.raises(ValueError):
+            brute_force_pairs(pos, box, 0.0)
+        with pytest.raises(ValueError):
+            cell_list_pairs(pos, box, -1.0)

@@ -1,0 +1,240 @@
+"""Integration tests: energy conservation, thermostat, properties, pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.md import (
+    BerendsenThermostat,
+    PeriodicBox,
+    PropertyAccumulator,
+    SimulationProtocol,
+    TIP4PForceField,
+    VelocityVerlet,
+    WaterParameters,
+    build_water_box,
+    diffusion_coefficient,
+    kinetic_temperature,
+    radial_distribution,
+    run_water_simulation,
+)
+from repro.md.system import volume_per_molecule
+from repro.md.units import kinetic_energy
+
+
+class TestWaterBoxConstruction:
+    def test_density_sets_box_volume(self):
+        sys_ = build_water_box(8, density=0.997, rng=0)
+        expected_volume = 8 * volume_per_molecule(0.997)
+        assert sys_.box.volume == pytest.approx(expected_volume, rel=1e-9)
+
+    def test_site_layout(self):
+        sys_ = build_water_box(4, rng=0)
+        assert sys_.pos.shape == (12, 3)
+        assert sys_.masses[0] == pytest.approx(15.9994)
+        assert sys_.masses[1] == pytest.approx(1.008)
+
+    def test_geometry_is_equilibrium(self):
+        params = WaterParameters()
+        sys_ = build_water_box(6, params=params, rng=1)
+        for m in range(6):
+            O, H1, H2 = sys_.pos[3 * m : 3 * m + 3]
+            assert np.linalg.norm(H1 - O) == pytest.approx(params.r_oh, abs=1e-9)
+            assert np.linalg.norm(H2 - O) == pytest.approx(params.r_oh, abs=1e-9)
+
+    def test_initial_temperature(self):
+        sys_ = build_water_box(27, temperature=298.0, rng=2)
+        assert kinetic_temperature(sys_.vel, sys_.masses, 3) == pytest.approx(298.0)
+
+    def test_molecules_do_not_overlap(self):
+        sys_ = build_water_box(27, rng=3)
+        O = sys_.oxygen_positions
+        ii, jj = np.triu_indices(27, k=1)
+        d = sys_.box.minimum_image(O[ii] - O[jj])
+        assert np.sqrt((d * d).sum(axis=1)).min() > 1.5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            build_water_box(0)
+        with pytest.raises(ValueError):
+            volume_per_molecule(0.0)
+
+    def test_copy_is_deep(self):
+        sys_ = build_water_box(2, rng=0)
+        cp = sys_.copy()
+        cp.pos[0, 0] += 1.0
+        assert sys_.pos[0, 0] != cp.pos[0, 0]
+
+
+class TestVelocityVerlet:
+    def test_nve_energy_conservation(self):
+        """Total energy drift over 200 steps stays small (0.5 fs timestep)."""
+        sys_ = build_water_box(8, temperature=150.0, rng=4)
+        ff = TIP4PForceField(sys_.params, 8)
+        integrator = VelocityVerlet(ff, dt=0.25)
+        result = integrator.forces(sys_)
+        e0 = result.potential_energy + kinetic_energy(sys_.vel, sys_.masses)
+        energies = []
+        for _ in range(200):
+            result = integrator.step(sys_, result)
+            energies.append(
+                result.potential_energy + kinetic_energy(sys_.vel, sys_.masses)
+            )
+        drift = abs(energies[-1] - e0)
+        scale = max(abs(e0), 1.0)
+        assert drift / scale < 0.02, f"energy drifted {drift:.4g} of {e0:.4g}"
+
+    def test_time_reversibility_short(self):
+        """Integrate forward then backward: positions return (symplectic)."""
+        sys_ = build_water_box(4, temperature=100.0, rng=5)
+        ff = TIP4PForceField(sys_.params, 4)
+        integrator = VelocityVerlet(ff, dt=0.2)
+        pos0 = sys_.pos.copy()
+        result = integrator.forces(sys_)
+        for _ in range(20):
+            result = integrator.step(sys_, result)
+        sys_.vel *= -1.0
+        for _ in range(20):
+            result = integrator.step(sys_, result)
+        np.testing.assert_allclose(sys_.pos, pos0, atol=1e-7)
+
+    def test_run_with_callback(self):
+        sys_ = build_water_box(4, rng=6)
+        ff = TIP4PForceField(sys_.params, 4)
+        integrator = VelocityVerlet(ff, dt=0.25)
+        seen = []
+        integrator.run(sys_, 5, callback=lambda i, s, r: seen.append(i))
+        assert seen == [0, 1, 2, 3, 4]
+        assert integrator.n_steps == 5
+
+    def test_invalid_dt_rejected(self):
+        ff = TIP4PForceField(WaterParameters(), 2)
+        with pytest.raises(ValueError):
+            VelocityVerlet(ff, dt=0.0)
+
+
+class TestBerendsenThermostat:
+    def test_heats_cold_system_toward_target(self):
+        sys_ = build_water_box(8, temperature=50.0, rng=7)
+        ff = TIP4PForceField(sys_.params, 8)
+        integrator = VelocityVerlet(ff, dt=0.25)
+        thermostat = BerendsenThermostat(300.0, tau=10.0)
+        integrator.run(sys_, 300, thermostat=thermostat)
+        t = kinetic_temperature(sys_.vel, sys_.masses, 3)
+        assert 150.0 < t < 450.0
+
+    def test_scale_factor_direction(self):
+        sys_ = build_water_box(8, temperature=100.0, rng=8)
+        hot = BerendsenThermostat(400.0, tau=10.0)
+        assert hot.apply(sys_, dt=0.5) > 1.0
+        cold = BerendsenThermostat(10.0, tau=10.0)
+        assert cold.apply(sys_, dt=0.5) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BerendsenThermostat(0.0)
+        with pytest.raises(ValueError):
+            BerendsenThermostat(300.0, tau=0.0)
+
+
+class TestProperties:
+    def test_rdf_of_ideal_gas_is_flat(self):
+        rng = np.random.default_rng(0)
+        box = PeriodicBox(20.0)
+        pos = rng.uniform(0, 20, size=(400, 3))
+        r, g = radial_distribution(pos, None, box, r_max=9.0, n_bins=30)
+        # away from the smallest shells (poor statistics), g ~ 1
+        assert np.mean(g[10:]) == pytest.approx(1.0, abs=0.15)
+
+    def test_rdf_cross_species(self):
+        rng = np.random.default_rng(1)
+        box = PeriodicBox(15.0)
+        a = rng.uniform(0, 15, size=(100, 3))
+        b = rng.uniform(0, 15, size=(150, 3))
+        r, g = radial_distribution(a, b, box, r_max=7.0, n_bins=20)
+        assert g.shape == (20,)
+        assert np.mean(g[8:]) == pytest.approx(1.0, abs=0.25)
+
+    def test_rdf_respects_min_image_bound(self):
+        box = PeriodicBox(10.0)
+        with pytest.raises(ValueError):
+            radial_distribution(np.zeros((4, 3)), None, box, r_max=6.0)
+
+    def test_diffusion_from_linear_msd(self):
+        """MSD = 6 D t exactly recovers D."""
+        t = np.linspace(0, 1000, 50)
+        d_true_a2fs = 1e-4
+        msd = 6 * d_true_a2fs * t
+        d = diffusion_coefficient(t, msd)
+        assert d == pytest.approx(d_true_a2fs * 0.1, rel=1e-9)  # cm^2/s
+
+    def test_diffusion_validation(self):
+        with pytest.raises(ValueError):
+            diffusion_coefficient(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            diffusion_coefficient(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_accumulator_requires_frames(self):
+        acc = PropertyAccumulator(r_max=4.0)
+        with pytest.raises(ValueError):
+            acc.results()
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def properties(self):
+        protocol = SimulationProtocol(
+            n_molecules=8,
+            n_equilibration=400,
+            n_production=150,
+            dt=0.3,
+            sample_every=10,
+            rdf_bins=24,
+            thermostat_tau=5.0,
+        )
+        return run_water_simulation(WaterParameters(), protocol, rng=11)
+
+    def test_reports_all_cost_function_properties(self, properties):
+        for key in ("energy", "pressure", "diffusion", "goo", "goh", "ghh", "r"):
+            assert key in properties
+
+    def test_energy_is_negative_condensed_phase(self, properties):
+        """Liquid water is bound: U < 0 (paper: about -41.8 kJ/mol)."""
+        assert properties["energy"] < 0.0
+
+    def test_rdf_arrays_well_formed(self, properties):
+        g = properties["goo"]
+        assert g.shape == properties["r"].shape
+        assert np.all(g >= 0.0)
+        assert g[0] == pytest.approx(0.0, abs=1e-9)  # core exclusion
+
+    def test_goo_shows_first_shell_structure(self, properties):
+        """gOO has a first peak beyond 2 A exceeding the large-r level."""
+        r, g = properties["r"], properties["goo"]
+        near = g[(r > 2.0) & (r < 3.6)]
+        assert near.max() > 1.0
+
+    def test_temperature_near_target(self, properties):
+        """NVE production holds a condensed-phase temperature after the
+        thermostatted equilibration (wide band: 8 molecules, short run)."""
+        assert 100.0 < properties["temperature"] < 900.0
+
+    def test_sems_reported(self, properties):
+        assert properties["energy_sem"] > 0.0
+        assert properties["pressure_sem"] > 0.0
+
+    def test_seed_reproducibility(self):
+        protocol = SimulationProtocol(
+            n_molecules=4, n_equilibration=10, n_production=20, sample_every=5
+        )
+        a = run_water_simulation(WaterParameters(), protocol, rng=3)
+        b = run_water_simulation(WaterParameters(), protocol, rng=3)
+        assert a["energy"] == b["energy"]
+        assert a["pressure"] == b["pressure"]
+
+    def test_protocol_validation(self):
+        with pytest.raises(ValueError):
+            SimulationProtocol(n_molecules=1)
+        with pytest.raises(ValueError):
+            SimulationProtocol(sample_every=0)
+        with pytest.raises(ValueError):
+            SimulationProtocol(n_production=0)

@@ -1,0 +1,190 @@
+"""Force-field correctness: finite-difference forces, symmetries, M-site."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.md import PeriodicBox, TIP4PForceField, WaterParameters, build_water_box
+
+
+def two_waters(separation=3.5, seed=0):
+    """Two molecules a fixed O-O distance apart in a roomy box."""
+    params = WaterParameters()
+    box = PeriodicBox(20.0)
+    sys_ = build_water_box(2, params=params, rng=seed)
+    pos = sys_.pos.copy()
+    # place molecule 1 at a controlled offset from molecule 0
+    offset = np.array([separation, 0.3, -0.2]) - (pos[3] - pos[0])
+    pos[3:] += offset
+    return params, box, pos
+
+
+class TestWaterParameters:
+    def test_published_tip4p_defaults(self):
+        p = WaterParameters()
+        assert p.epsilon == pytest.approx(0.1550)
+        assert p.sigma == pytest.approx(3.1536)
+        assert p.q_h == pytest.approx(0.52)
+        assert p.q_m == pytest.approx(-1.04)
+
+    def test_m_coeff_places_site_at_d_om(self):
+        p = WaterParameters()
+        # template molecule at equilibrium geometry
+        half = p.theta / 2
+        O = np.zeros(3)
+        H1 = np.array([p.r_oh * math.sin(half), p.r_oh * math.cos(half), 0.0])
+        H2 = np.array([-p.r_oh * math.sin(half), p.r_oh * math.cos(half), 0.0])
+        M = O + p.m_coeff * (H1 - O) + p.m_coeff * (H2 - O)
+        assert np.linalg.norm(M - O) == pytest.approx(p.d_om, abs=1e-12)
+
+    def test_from_vector(self):
+        p = WaterParameters.from_vector([0.2, 3.0, 0.5])
+        assert (p.epsilon, p.sigma, p.q_h) == (0.2, 3.0, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WaterParameters(epsilon=-0.1)
+        with pytest.raises(ValueError):
+            WaterParameters(sigma=0.0)
+        with pytest.raises(ValueError):
+            WaterParameters(theta_deg=200.0)
+
+
+class TestForceCorrectness:
+    def _finite_difference_check(self, params, box, pos, atol=2e-4):
+        ff = TIP4PForceField(params, pos.shape[0] // 3, cutoff=8.0)
+        result = ff.compute(pos, box)
+        eps = 1e-5
+        rng = np.random.default_rng(0)
+        # spot-check 12 random (site, axis) combinations
+        for _ in range(12):
+            i = int(rng.integers(pos.shape[0]))
+            ax = int(rng.integers(3))
+            pp, pm = pos.copy(), pos.copy()
+            pp[i, ax] += eps
+            pm[i, ax] -= eps
+            ep = ff.compute(pp, box).potential_energy
+            em = ff.compute(pm, box).potential_energy
+            fd = -(ep - em) / (2 * eps)
+            assert result.forces[i, ax] == pytest.approx(fd, abs=atol), (
+                f"site {i} axis {ax}"
+            )
+
+    def test_forces_match_finite_differences(self):
+        params, box, pos = two_waters()
+        self._finite_difference_check(params, box, pos)
+
+    def test_forces_match_fd_at_close_range(self):
+        params, box, pos = two_waters(separation=2.8)
+        self._finite_difference_check(params, box, pos, atol=5e-4)
+
+    def test_forces_match_fd_with_distorted_geometry(self):
+        params, box, pos = two_waters()
+        rng = np.random.default_rng(3)
+        pos = pos + rng.normal(0, 0.05, pos.shape)
+        self._finite_difference_check(params, box, pos, atol=5e-4)
+
+    def test_total_force_is_zero(self):
+        """Newton's third law: internal forces sum to zero."""
+        params, box, pos = two_waters()
+        ff = TIP4PForceField(params, 2, cutoff=8.0)
+        result = ff.compute(pos, box)
+        np.testing.assert_allclose(result.forces.sum(axis=0), 0.0, atol=1e-10)
+
+    def test_translation_invariance(self):
+        params, box, pos = two_waters()
+        ff = TIP4PForceField(params, 2, cutoff=8.0)
+        e1 = ff.compute(pos, box).potential_energy
+        e2 = ff.compute(pos + np.array([3.0, -2.0, 7.0]), box).potential_energy
+        assert e1 == pytest.approx(e2, abs=1e-9)
+
+    def test_periodic_image_invariance(self):
+        params, box, pos = two_waters()
+        ff = TIP4PForceField(params, 2, cutoff=8.0)
+        e1 = ff.compute(pos, box).potential_energy
+        shifted = pos.copy()
+        shifted[3:] += box.lengths  # move molecule 1 by a full box
+        e2 = ff.compute(shifted, box).potential_energy
+        assert e1 == pytest.approx(e2, abs=1e-9)
+
+
+class TestEnergyTerms:
+    def test_equilibrium_geometry_has_zero_intramolecular_energy(self):
+        params, box, pos = two_waters()
+        ff = TIP4PForceField(params, 2, cutoff=8.0)
+        result = ff.compute(pos, box)
+        assert result.energies["bond"] == pytest.approx(0.0, abs=1e-10)
+        assert result.energies["angle"] == pytest.approx(0.0, abs=1e-10)
+
+    def test_lj_minimum_near_sigma_times_2_to_sixth(self):
+        """Scan the O-O LJ energy: the minimum sits near 2^(1/6) sigma."""
+        params = WaterParameters(q_h=0.0)  # charges off isolates LJ
+        box = PeriodicBox(30.0)
+        ff = TIP4PForceField(params, 2, cutoff=14.0)
+        _, _, base = two_waters()
+        energies = {}
+        for r in np.linspace(3.0, 4.5, 31):
+            pos = base.copy()
+            pos[3:] += (np.array([r, 0, 0]) - (pos[3] - pos[0]))[None, :]
+            energies[r] = ff.compute(pos, box).energies["lj"]
+        r_min = min(energies, key=energies.get)
+        assert r_min == pytest.approx(2 ** (1 / 6) * params.sigma, abs=0.15)
+
+    def test_opposite_charges_attract(self):
+        """Two waters H-bond oriented have negative Coulomb energy."""
+        params, box, pos = two_waters()
+        ff = TIP4PForceField(params, 2, cutoff=8.0)
+        result = ff.compute(pos, box)
+        assert "coulomb" in result.energies
+
+    def test_charge_neutrality(self):
+        params = WaterParameters()
+        ff = TIP4PForceField(params, 4)
+        assert ff._charges.sum() == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_epsilon_kills_lj(self):
+        params, box, pos = two_waters()
+        p0 = WaterParameters(epsilon=0.0)
+        ff = TIP4PForceField(p0, 2, cutoff=8.0)
+        assert ff.compute(pos, box).energies["lj"] == 0.0
+
+    def test_zero_charge_kills_coulomb(self):
+        params, box, pos = two_waters()
+        p0 = WaterParameters(q_h=0.0)
+        ff = TIP4PForceField(p0, 2, cutoff=8.0)
+        assert ff.compute(pos, box).energies["coulomb"] == 0.0
+
+    def test_energy_shift_continuous_at_cutoff(self):
+        """With shift=True, pair energy goes to ~0 as r -> rc."""
+        params = WaterParameters(q_h=0.0)
+        box = PeriodicBox(30.0)
+        rc = 6.0
+        ff = TIP4PForceField(params, 2, cutoff=rc, shift=True)
+        _, _, base = two_waters()
+
+        def energy_at(r):
+            pos = base.copy()
+            pos[3:] += (np.array([r, 0, 0]) - (pos[3] - pos[0]))[None, :]
+            return ff.compute(pos, box).energies["lj"]
+
+        assert abs(energy_at(rc - 1e-4)) < 1e-5
+
+    def test_beyond_cutoff_no_interaction(self):
+        params, box, pos = two_waters(separation=12.0)
+        ff = TIP4PForceField(params, 2, cutoff=6.0)
+        result = ff.compute(pos, box)
+        assert result.energies["lj"] == 0.0
+        assert result.energies["coulomb"] == 0.0
+
+    def test_position_shape_validated(self):
+        params = WaterParameters()
+        ff = TIP4PForceField(params, 2)
+        with pytest.raises(ValueError):
+            ff.compute(np.zeros((5, 3)), PeriodicBox(10.0))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            TIP4PForceField(WaterParameters(), 0)
+        with pytest.raises(ValueError):
+            TIP4PForceField(WaterParameters(), 2, cutoff=0.0)

@@ -1,0 +1,105 @@
+"""Round-trip tests for the MW wire codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mw import pack, unpack
+from repro.mw.codec import CodecError
+
+# recursive strategy for codec-supported values
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=12,
+)
+
+
+class TestRoundTrip:
+    @given(obj=values)
+    @settings(max_examples=120)
+    def test_pack_unpack_identity(self, obj):
+        assert unpack(pack(obj)) == obj
+
+    def test_tuple_roundtrip(self):
+        assert unpack(pack((1, "a", None))) == (1, "a", None)
+
+    def test_nested_structure(self):
+        obj = {"task": 3, "work": {"theta": [1.0, 2.0], "dt": 0.5}, "tags": ("x",)}
+        assert unpack(pack(obj)) == obj
+
+    def test_float_nan_roundtrip(self):
+        out = unpack(pack(float("nan")))
+        assert out != out
+
+    def test_float_inf_roundtrip(self):
+        assert unpack(pack(float("inf"))) == float("inf")
+
+    def test_ndarray_roundtrip(self):
+        arr = np.arange(12, dtype=float).reshape(3, 4)
+        out = unpack(pack(arr))
+        np.testing.assert_array_equal(out, arr)
+        assert out.dtype == arr.dtype
+
+    def test_ndarray_int_dtype(self):
+        arr = np.array([[1, -2], [3, 4]], dtype=np.int32)
+        out = unpack(pack(arr))
+        np.testing.assert_array_equal(out, arr)
+        assert out.dtype == np.int32
+
+    def test_empty_array(self):
+        out = unpack(pack(np.zeros((0, 3))))
+        assert out.shape == (0, 3)
+
+    def test_numpy_scalars_normalize(self):
+        assert unpack(pack(np.int64(7))) == 7
+        assert unpack(pack(np.float64(2.5))) == 2.5
+        assert unpack(pack(np.bool_(True))) is True
+
+    def test_unpacked_array_is_writable_copy(self):
+        arr = np.ones(3)
+        out = unpack(pack(arr))
+        out[0] = 5.0  # must not raise (frombuffer views are read-only)
+
+
+class TestErrors:
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(CodecError):
+            pack(object())
+
+    def test_object_array_rejected(self):
+        with pytest.raises(CodecError):
+            pack(np.array([object()]))
+
+    def test_oversized_int_rejected(self):
+        with pytest.raises(CodecError):
+            pack(2**64)
+
+    def test_truncated_payload_rejected(self):
+        data = pack([1, 2, 3])
+        with pytest.raises(CodecError):
+            unpack(data[:-1])
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(CodecError):
+            unpack(pack(1) + b"x")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CodecError):
+            unpack(b"Z")
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(CodecError):
+            unpack(b"")

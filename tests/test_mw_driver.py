@@ -1,0 +1,249 @@
+"""Tests for MWDriver / MWWorker / MWTask across all three backends."""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.mw import MWDriver, MWTask, Message, TaskState, decode_message, encode_message
+from repro.mw.messages import MSG_RESULT, MSG_TASK
+from repro.mw.task import MWTask as Task
+from repro.mw.worker import MWWorker
+
+
+# module-level executors (picklable for the process backend)
+def square(work, ctx):
+    return work * work
+
+
+def failing(work, ctx):
+    raise RuntimeError("boom")
+
+
+def flaky(work, ctx):
+    """Fails on the first attempt of each value, succeeds later (uses rng
+    state as a crude per-worker attempt counter)."""
+    # first call on a given worker fails; subsequent calls succeed
+    if not hasattr(ctx, "_seen"):
+        ctx._seen = set()
+    if work not in ctx._seen:
+        ctx._seen.add(work)
+        raise RuntimeError("first attempt fails")
+    return work
+
+
+def rank_reporter(work, ctx):
+    return ctx.rank
+
+
+def noisy_draw(work, ctx):
+    return float(ctx.rng.normal())
+
+
+def slow_square(work, ctx):
+    time.sleep(0.02)
+    return work * work
+
+
+class TestMessages:
+    def test_message_roundtrip(self):
+        msg = Message(tag=MSG_TASK, sender=0, payload={"task_id": 1, "work": 2})
+        out = decode_message(encode_message(msg))
+        assert out == msg
+
+    def test_invalid_tag_rejected(self):
+        with pytest.raises(ValueError):
+            Message(tag="bogus", sender=0)
+
+    def test_negative_sender_rejected(self):
+        with pytest.raises(ValueError):
+            Message(tag=MSG_TASK, sender=-1)
+
+
+class TestTaskLifecycle:
+    def test_initial_state(self):
+        t = Task({"x": 1})
+        assert t.state is TaskState.PENDING
+        assert not t.done and not t.failed
+
+    def test_done_flow(self):
+        t = Task(1)
+        t.mark_running(2)
+        assert t.worker == 2 and t.attempts == 1
+        t.mark_done(42)
+        assert t.done and t.result == 42
+
+    def test_retry_flow(self):
+        t = Task(1)
+        t.mark_running(1)
+        t.mark_retry("err")
+        assert t.state is TaskState.PENDING
+        assert t.worker is None
+        assert t.error == "err"
+
+    def test_ids_are_unique(self):
+        assert Task(0).task_id != Task(0).task_id
+
+
+class TestWorker:
+    def test_execute_success(self):
+        w = MWWorker(1, square)
+        msg = w.execute(5, 3)
+        assert msg.tag == MSG_RESULT
+        assert msg.payload == {"task_id": 5, "result": 9}
+        assert w.n_executed == 1
+
+    def test_execute_error_is_contained(self):
+        w = MWWorker(1, failing)
+        msg = w.execute(5, 3)
+        assert msg.tag == "error"
+        assert "boom" in msg.payload["error"]
+        assert w.n_errors == 1
+
+    def test_rank_zero_rejected(self):
+        with pytest.raises(ValueError):
+            MWWorker(0, square)
+
+
+@pytest.mark.parametrize("backend", ["inproc", "threaded", "process"])
+class TestDriverBackends:
+    def test_tasks_complete_with_results(self, backend):
+        with MWDriver(square, n_workers=2, backend=backend, seed=0) as driver:
+            tasks = [driver.submit(i) for i in range(6)]
+            driver.wait_all(timeout=30)
+            assert all(t.done for t in tasks)
+            assert [t.result for t in tasks] == [i * i for i in range(6)]
+
+    def test_failed_tasks_marked_after_retries(self, backend):
+        with MWDriver(failing, n_workers=2, backend=backend, max_retries=1, seed=0) as driver:
+            task = driver.submit(1)
+            driver.wait_all(timeout=30)
+            assert task.failed
+            assert "boom" in task.error
+            assert task.attempts == 2  # original + 1 retry
+
+    def test_stats_accounting(self, backend):
+        with MWDriver(square, n_workers=2, backend=backend, seed=0) as driver:
+            for i in range(4):
+                driver.submit(i)
+            driver.wait_all(timeout=30)
+            s = driver.stats()
+            assert s["done"] == 4
+            assert s["failed"] == 0
+            assert s["n_tasks"] == 4
+
+    def test_submit_after_shutdown_rejected(self, backend):
+        driver = MWDriver(square, n_workers=1, backend=backend, seed=0)
+        driver.shutdown()
+        with pytest.raises(RuntimeError):
+            driver.submit(1)
+
+    def test_shutdown_idempotent(self, backend):
+        driver = MWDriver(square, n_workers=1, backend=backend, seed=0)
+        driver.shutdown()
+        driver.shutdown()
+
+
+class TestDriverSchedulingInproc:
+    def test_affinity_honoured_when_idle(self):
+        with MWDriver(rank_reporter, n_workers=3, backend="inproc", seed=0) as driver:
+            tasks = [driver.submit(None, affinity=r) for r in (3, 1, 2)]
+            driver.wait_all()
+            assert [t.result for t in tasks] == [3, 1, 2]
+
+    def test_invalid_affinity_rejected(self):
+        with MWDriver(square, n_workers=2, backend="inproc", seed=0) as driver:
+            with pytest.raises(ValueError):
+                driver.submit(1, affinity=5)
+
+    def test_worker_rngs_are_independent_streams(self):
+        with MWDriver(noisy_draw, n_workers=2, backend="inproc", seed=7) as driver:
+            a = driver.submit(None, affinity=1)
+            b = driver.submit(None, affinity=2)
+            driver.wait_all()
+            assert a.result != b.result
+
+    def test_seeded_runs_reproduce(self):
+        def run():
+            with MWDriver(noisy_draw, n_workers=2, backend="inproc", seed=9) as d:
+                tasks = [d.submit(None, affinity=1 + (i % 2)) for i in range(4)]
+                d.wait_all()
+                return [t.result for t in tasks]
+
+        assert run() == run()
+
+    def test_flaky_task_retried_to_success(self):
+        with MWDriver(flaky, n_workers=1, backend="inproc", max_retries=2, seed=0) as driver:
+            task = driver.submit(5)
+            driver.wait_all()
+            assert task.done
+            assert task.result == 5
+            assert task.attempts == 2
+
+    def test_more_tasks_than_workers(self):
+        with MWDriver(square, n_workers=2, backend="inproc", seed=0) as driver:
+            tasks = [driver.submit(i) for i in range(20)]
+            driver.wait_all()
+            assert all(t.done for t in tasks)
+
+    def test_completion_hook_called(self):
+        seen = []
+
+        class Hooked(MWDriver):
+            def act_on_completed_task(self, task):
+                seen.append(task.task_id)
+
+        with Hooked(square, n_workers=1, backend="inproc", seed=0) as driver:
+            tasks = [driver.submit(i) for i in range(3)]
+            driver.wait_all()
+        assert sorted(seen) == sorted(t.task_id for t in tasks)
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            MWDriver(square, n_workers=0)
+        with pytest.raises(ValueError):
+            MWDriver(square, backend="carrier-pigeon")
+        with pytest.raises(ValueError):
+            MWDriver(square, max_retries=-1)
+
+
+class TestThreadedConcurrency:
+    def test_parallel_tasks_overlap(self):
+        with MWDriver(slow_square, n_workers=4, backend="threaded", seed=0) as driver:
+            start = time.monotonic()
+            for i in range(8):
+                driver.submit(i)
+            driver.wait_all(timeout=30)
+            elapsed = time.monotonic() - start
+        # 8 tasks x 20ms on 4 workers should take well under 8x serial time
+        assert elapsed < 8 * 0.02 * 2
+
+    def test_timeout_raises(self):
+        def sleeper(work, ctx):
+            time.sleep(1.0)
+            return work
+
+        driver = MWDriver(sleeper, n_workers=1, backend="threaded", seed=0)
+        try:
+            driver.submit(1)
+            with pytest.raises(TimeoutError):
+                driver.wait_all(timeout=0.05)
+        finally:
+            driver.shutdown()
+
+
+class TestProcessFailureInjection:
+    def test_dead_worker_task_reassigned(self):
+        """Killing a worker process mid-run requeues its tasks to survivors."""
+        with MWDriver(slow_square, n_workers=2, backend="process", seed=0) as driver:
+            for i in range(6):
+                driver.submit(i)
+            # kill one worker outright
+            victim = driver._procs[1]
+            os.kill(victim.pid, signal.SIGKILL)
+            driver.wait_all(timeout=60)
+            s = driver.stats()
+            assert s["done"] == 6
+            assert s["live_workers"] == 1

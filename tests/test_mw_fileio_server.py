@@ -1,0 +1,198 @@
+"""Tests for the file-I/O spool channel and the vertex server level."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.mw import FileIOChannel, SimulationClient, VertexServer
+from repro.mw.vertex_server import ServerProxyExecutor, mean_aggregator
+from repro.mw.worker import WorkerContext
+
+
+class TestFileIOChannel:
+    def test_roundtrip_in_order(self, tmp_path):
+        w = FileIOChannel(tmp_path, "c")
+        r = FileIOChannel(tmp_path, "c")
+        w.write({"x": 1})
+        w.write({"x": 2})
+        assert r.read(timeout=1.0) == {"x": 1}
+        assert r.read(timeout=1.0) == {"x": 2}
+
+    def test_frames_deleted_after_read(self, tmp_path):
+        w = FileIOChannel(tmp_path, "c")
+        r = FileIOChannel(tmp_path, "c")
+        w.write(1)
+        r.read(timeout=1.0)
+        assert not list(tmp_path.glob("*.frame"))
+
+    def test_ndarray_payload(self, tmp_path):
+        w = FileIOChannel(tmp_path, "c")
+        r = FileIOChannel(tmp_path, "c")
+        arr = np.arange(6, dtype=float).reshape(2, 3)
+        w.write({"theta": arr})
+        np.testing.assert_array_equal(r.read(timeout=1.0)["theta"], arr)
+
+    def test_timeout_when_empty(self, tmp_path):
+        r = FileIOChannel(tmp_path, "c")
+        with pytest.raises(TimeoutError):
+            r.read(timeout=0.05)
+
+    def test_pending_and_try_read(self, tmp_path):
+        w = FileIOChannel(tmp_path, "c")
+        r = FileIOChannel(tmp_path, "c")
+        assert not r.pending()
+        assert r.try_read() is None
+        w.write(7)
+        assert r.pending()
+        assert r.try_read() == 7
+
+    def test_drain(self, tmp_path):
+        w = FileIOChannel(tmp_path, "c")
+        r = FileIOChannel(tmp_path, "c")
+        for i in range(5):
+            w.write(i)
+        assert r.drain() == [0, 1, 2, 3, 4]
+
+    def test_channels_are_isolated_by_name(self, tmp_path):
+        wa = FileIOChannel(tmp_path, "a")
+        ra = FileIOChannel(tmp_path, "a")
+        FileIOChannel(tmp_path, "b").write("other")
+        wa.write("mine")
+        assert ra.read(timeout=1.0) == "mine"
+
+    def test_invalid_name_rejected(self, tmp_path):
+        for bad in ("", "a.b", "a/b"):
+            with pytest.raises(ValueError):
+                FileIOChannel(tmp_path, bad)
+
+    def test_no_partial_reads_under_concurrency(self, tmp_path):
+        """Writer thread + reader thread never observe a torn frame."""
+        w = FileIOChannel(tmp_path, "c")
+        r = FileIOChannel(tmp_path, "c")
+        n = 50
+        payload = {"blob": np.ones(200), "i": 0}
+        received = []
+
+        def writer():
+            for i in range(n):
+                payload["i"] = i
+                w.write(payload)
+
+        def reader():
+            for _ in range(n):
+                received.append(r.read(timeout=5.0))
+
+        tw, tr = threading.Thread(target=writer), threading.Thread(target=reader)
+        tw.start()
+        tr.start()
+        tw.join()
+        tr.join()
+        assert [m["i"] for m in received] == list(range(n))
+        assert all(np.all(m["blob"] == 1.0) for m in received)
+
+
+def constant_system(value):
+    def system(theta, dt, rng):
+        return {"p": float(value)}
+
+    return system
+
+
+def noisy_system(theta, dt, rng):
+    return {"energy": float(theta[0] + rng.normal(0, 1.0 / np.sqrt(dt)))}
+
+
+def pressure_system(theta, dt, rng):
+    return {"pressure": float(theta[1])}
+
+
+class TestSimulationClient:
+    def test_runs_system(self):
+        client = SimulationClient(constant_system(3.0))
+        assert client.run(np.zeros(2), 1.0) == {"p": 3.0}
+        assert client.n_runs == 1
+
+    def test_rejects_non_dict_result(self):
+        client = SimulationClient(lambda th, dt, rng: 42)
+        with pytest.raises(TypeError):
+            client.run(np.zeros(1), 1.0)
+
+
+class TestVertexServer:
+    def test_aggregates_means_over_clients(self):
+        server = VertexServer(
+            [constant_system(1.0), constant_system(3.0)], seed=0
+        )
+        out = server.evaluate(np.zeros(2), 1.0)
+        assert out["properties"]["p"] == pytest.approx(2.0)
+        assert out["dt"] == 1.0
+
+    def test_distinct_properties_merge(self):
+        server = VertexServer([noisy_system, pressure_system], seed=0)
+        out = server.evaluate(np.array([2.0, 5.0]), 10_000.0)
+        assert out["properties"]["energy"] == pytest.approx(2.0, abs=0.2)
+        assert out["properties"]["pressure"] == 5.0
+
+    def test_cost_function_applied(self):
+        server = VertexServer(
+            [pressure_system],
+            cost=lambda props: (props["pressure"] - 1.0) ** 2,
+            seed=0,
+        )
+        out = server.evaluate(np.array([0.0, 3.0]), 1.0)
+        assert out["sample"] == pytest.approx(4.0)
+
+    def test_parallel_clients_match_serial_statistics(self):
+        serial = VertexServer([constant_system(i) for i in range(4)], seed=0)
+        par = VertexServer(
+            [constant_system(i) for i in range(4)], seed=0, parallel_clients=True
+        )
+        assert (
+            serial.evaluate(np.zeros(1), 1.0)["properties"]
+            == par.evaluate(np.zeros(1), 1.0)["properties"]
+        )
+
+    def test_requires_at_least_one_system(self):
+        with pytest.raises(ValueError):
+            VertexServer([])
+
+    def test_invalid_dt_rejected(self):
+        server = VertexServer([constant_system(0.0)])
+        with pytest.raises(ValueError):
+            server.evaluate(np.zeros(1), 0.0)
+
+    def test_ns_property(self):
+        assert VertexServer([constant_system(0)] * 3).ns == 3
+
+    def test_mean_aggregator_partial_keys(self):
+        out = mean_aggregator([{"a": 1.0}, {"a": 3.0, "b": 10.0}])
+        assert out == {"a": 2.0, "b": 10.0}
+
+
+class TestServerOverFileIO:
+    def test_worker_server_loop(self, tmp_path):
+        """Full Fig. 3.2 path: executor -> request spool -> server -> response."""
+        req_w = FileIOChannel(tmp_path, "req")
+        req_r = FileIOChannel(tmp_path, "req")
+        rsp_w = FileIOChannel(tmp_path, "rsp")
+        rsp_r = FileIOChannel(tmp_path, "rsp")
+
+        server = VertexServer(
+            [pressure_system], cost=lambda p: p["pressure"], seed=0
+        )
+        t = threading.Thread(
+            target=server.serve, args=(req_r, rsp_w), kwargs={"timeout": 5.0}
+        )
+        t.start()
+
+        executor = ServerProxyExecutor(req_w, rsp_r, timeout=5.0)
+        ctx = WorkerContext(rank=1, rng=np.random.default_rng(0))
+        out1 = executor({"theta": np.array([0.0, 7.0]), "dt": 1.0}, ctx)
+        out2 = executor({"theta": np.array([0.0, 9.0]), "dt": 2.0}, ctx)
+        req_w.write(None)  # shutdown sentinel
+        t.join(timeout=5.0)
+
+        assert out1["sample"] == 7.0
+        assert out2["sample"] == 9.0
+        assert server.n_evaluations == 2

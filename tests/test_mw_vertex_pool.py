@@ -1,0 +1,138 @@
+"""Tests for the MW-backed evaluation pool and the optimizer integration."""
+
+import numpy as np
+import pytest
+
+from repro.core import MaxStepsTermination, NelderMead, PointComparison, default_termination
+from repro.functions import Sphere, initial_simplex, rosenbrock
+from repro.mw import MWVertexPool, VertexSampler
+from repro.mw.worker import WorkerContext
+
+
+def sphere(theta):
+    return float(np.dot(theta, theta))
+
+
+class TestVertexSampler:
+    def test_noiseless_sample_is_exact(self):
+        sampler = VertexSampler(sphere, sigma0=0.0)
+        ctx = WorkerContext(rank=1, rng=np.random.default_rng(0))
+        out = sampler({"theta": np.array([1.0, 2.0]), "dt": 1.0}, ctx)
+        assert out == {"sample": 5.0, "dt": 1.0}
+
+    def test_noise_scales_with_dt(self):
+        sampler = VertexSampler(sphere, sigma0=4.0)
+        ctx = WorkerContext(rank=1, rng=np.random.default_rng(0))
+        draws = [
+            sampler({"theta": np.zeros(2), "dt": 16.0}, ctx)["sample"]
+            for _ in range(3000)
+        ]
+        assert np.std(draws) == pytest.approx(1.0, rel=0.07)  # 4/sqrt(16)
+
+    def test_callable_sigma0(self):
+        sampler = VertexSampler(sphere, sigma0=lambda th: float(th[0]))
+        assert sampler.sigma0_at(np.array([3.0, 0.0])) == 3.0
+
+    def test_invalid_dt_rejected(self):
+        sampler = VertexSampler(sphere, sigma0=1.0)
+        ctx = WorkerContext(rank=1, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            sampler({"theta": np.zeros(2), "dt": 0.0}, ctx)
+
+
+class TestMWVertexPool:
+    def test_activation_warms_up(self):
+        with MWVertexPool(sphere, sigma0=0.0, n_workers=2, warmup=2.0, seed=0) as pool:
+            ev = pool.activate([1.0, 1.0])
+            assert ev.estimate == pytest.approx(2.0)
+            assert ev.time == pytest.approx(2.0)
+            assert pool.now == pytest.approx(2.0)
+
+    def test_advance_extends_all_active(self):
+        with MWVertexPool(sphere, sigma0=0.0, n_workers=2, warmup=1.0, seed=0) as pool:
+            a = pool.activate([0.0, 0.0])
+            b = pool.activate([1.0, 0.0])
+            pool.advance(3.0)
+            assert a.time == pytest.approx(5.0)  # 1 + 1 (b's warmup) + 3
+            assert b.time == pytest.approx(4.0)
+
+    def test_deactivate(self):
+        with MWVertexPool(sphere, sigma0=0.0, n_workers=2, seed=0) as pool:
+            ev = pool.activate([0.0, 0.0])
+            pool.deactivate(ev)
+            assert len(pool) == 0
+            with pytest.raises(ValueError):
+                pool.deactivate(ev)
+
+    def test_estimates_converge_with_sampling(self):
+        with MWVertexPool(sphere, sigma0=5.0, n_workers=2, seed=1) as pool:
+            ev = pool.activate([2.0, 0.0])
+            pool.advance(400.0)
+            assert ev.estimate == pytest.approx(4.0, abs=1.5)
+            assert ev.sem == pytest.approx(5.0 / np.sqrt(401.0), rel=1e-6)
+
+    def test_sigma_unknown_mode(self):
+        with MWVertexPool(sphere, sigma0=2.0, sigma_known=False, n_workers=2, seed=0) as pool:
+            ev = pool.activate([1.0, 0.0])
+            assert ev.sigma0 is None
+
+    def test_function_view_counters(self):
+        with MWVertexPool(sphere, sigma0=0.0, n_workers=2, seed=0) as pool:
+            pool.activate([1.0, 1.0])
+            pool.advance(2.0)
+            assert pool.func.n_underlying_calls == 2
+            assert pool.func.total_sampling_time == pytest.approx(3.0)
+            assert pool.func.true_value([1.0, 1.0]) == 2.0
+
+    def test_invalid_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            MWVertexPool(sphere, warmup=0.0)
+
+
+class TestOptimizerOverMW:
+    def test_det_on_mw_matches_plain_pool_noiseless(self):
+        """The same DET moves happen whether sampling is local or via MW."""
+        from repro.noise import StochasticFunction
+
+        verts = initial_simplex([2.0, -1.0], step=1.0)
+        plain = NelderMead(
+            StochasticFunction(Sphere(2), sigma0=0.0, rng=0),
+            verts,
+            termination=MaxStepsTermination(25),
+        ).run()
+        with MWVertexPool(sphere, sigma0=0.0, n_workers=5, seed=0) as pool:
+            mw = NelderMead(
+                pool.func,  # function view for true_value
+                verts,
+                pool=pool,
+                termination=MaxStepsTermination(25),
+            ).run()
+        assert mw.trace.operations() == plain.trace.operations()
+        np.testing.assert_allclose(mw.best_theta, plain.best_theta)
+
+    def test_pc_over_threaded_backend_converges(self):
+        verts = initial_simplex([2.0, -1.0], step=1.0)
+        with MWVertexPool(
+            sphere, sigma0=0.5, n_workers=5, backend="threaded", seed=3
+        ) as pool:
+            result = PointComparison(
+                pool.func,
+                verts,
+                pool=pool,
+                termination=default_termination(
+                    tau=5e-2, walltime=5e3, max_steps=200
+                ),
+            ).run()
+        assert result.best_true < 1.0
+
+    def test_paper_worker_count_d_plus_3(self):
+        """d+3 workers: one per vertex plus two trial vertices (paper §3.1)."""
+        d = 2
+        with MWVertexPool(sphere, sigma0=0.0, n_workers=d + 3, seed=0) as pool:
+            verts = initial_simplex(np.zeros(d), step=1.0)
+            NelderMead(
+                pool.func, verts, pool=pool, termination=MaxStepsTermination(10)
+            ).run()
+            stats = pool.driver.stats()
+            assert stats["failed"] == 0
+            assert stats["done"] > 0

@@ -1,0 +1,60 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.noise import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(2.5)
+        clock.advance(1.5)
+        assert clock.now == pytest.approx(4.0)
+
+    def test_advance_returns_new_time(self):
+        clock = VirtualClock(1.0)
+        assert clock.advance(2.0) == pytest.approx(3.0)
+
+    def test_elapsed_relative_to_start(self):
+        clock = VirtualClock(10.0)
+        clock.advance(3.0)
+        assert clock.elapsed == pytest.approx(3.0)
+
+    def test_zero_advance_allowed(self):
+        clock = VirtualClock()
+        clock.advance(0.0)
+        assert clock.now == 0.0
+
+    def test_negative_advance_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_nan_advance_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(float("nan"))
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+    def test_reset_to_original_start(self):
+        clock = VirtualClock(2.0)
+        clock.advance(10.0)
+        clock.reset()
+        assert clock.now == 2.0
+        assert clock.elapsed == 0.0
+
+    def test_reset_to_new_start(self):
+        clock = VirtualClock()
+        clock.advance(5.0)
+        clock.reset(100.0)
+        assert clock.now == 100.0

@@ -1,0 +1,139 @@
+"""Unit and property tests for VertexEvaluation merge math."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise import VertexEvaluation
+
+
+class TestBasics:
+    def test_initial_state(self):
+        ev = VertexEvaluation([1.0, 2.0], sigma0=1.0)
+        assert ev.time == 0.0
+        assert not ev.started
+        assert math.isnan(ev.estimate)
+        assert ev.sem == math.inf
+
+    def test_theta_is_copied_and_readonly(self):
+        src = np.array([1.0, 2.0])
+        ev = VertexEvaluation(src, sigma0=1.0)
+        src[0] = 99.0
+        assert ev.theta[0] == 1.0
+        with pytest.raises(ValueError):
+            ev.theta[0] = 5.0
+
+    def test_single_block_sets_estimate(self):
+        ev = VertexEvaluation([0.0], sigma0=2.0)
+        ev.merge_block(4.0, 10.0)
+        assert ev.estimate == 10.0
+        assert ev.time == 4.0
+        assert ev.sem == pytest.approx(1.0)  # 2/sqrt(4)
+
+    def test_merge_is_time_weighted(self):
+        ev = VertexEvaluation([0.0], sigma0=1.0)
+        ev.merge_block(1.0, 0.0)
+        ev.merge_block(3.0, 4.0)
+        assert ev.estimate == pytest.approx(3.0)  # (1*0 + 3*4)/4
+        assert ev.time == pytest.approx(4.0)
+
+    def test_replace_overwrites(self):
+        ev = VertexEvaluation([0.0], sigma0=1.0)
+        ev.merge_block(1.0, 5.0)
+        ev.replace(10.0, -2.0)
+        assert ev.estimate == -2.0
+        assert ev.time == 10.0
+
+    def test_invalid_blocks_rejected(self):
+        ev = VertexEvaluation([0.0], sigma0=1.0)
+        with pytest.raises(ValueError):
+            ev.merge_block(0.0, 1.0)
+        with pytest.raises(ValueError):
+            ev.merge_block(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            ev.merge_block(1.0, math.nan)
+        with pytest.raises(ValueError):
+            ev.replace(0.0, 1.0)
+
+    def test_negative_sigma0_rejected(self):
+        with pytest.raises(ValueError):
+            VertexEvaluation([0.0], sigma0=-1.0)
+
+
+class TestMergeMath:
+    @given(
+        blocks=st.lists(
+            st.tuples(st.floats(0.1, 100.0), st.floats(-1e3, 1e3)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60)
+    def test_estimate_is_weighted_mean(self, blocks):
+        ev = VertexEvaluation([0.0], sigma0=1.0)
+        for dt, s in blocks:
+            ev.merge_block(dt, s)
+        total = sum(dt for dt, _ in blocks)
+        expected = sum(dt * s for dt, s in blocks) / total
+        assert ev.time == pytest.approx(total)
+        assert ev.estimate == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    @given(
+        dt1=st.floats(0.1, 50.0),
+        dt2=st.floats(0.1, 50.0),
+        s1=st.floats(-10, 10),
+        s2=st.floats(-10, 10),
+    )
+    @settings(max_examples=60)
+    def test_merge_order_independent_for_two_blocks(self, dt1, dt2, s1, s2):
+        a = VertexEvaluation([0.0], sigma0=1.0)
+        a.merge_block(dt1, s1)
+        a.merge_block(dt2, s2)
+        b = VertexEvaluation([0.0], sigma0=1.0)
+        b.merge_block(dt2, s2)
+        b.merge_block(dt1, s1)
+        assert a.estimate == pytest.approx(b.estimate, rel=1e-9, abs=1e-12)
+
+    def test_sem_decreases_with_sampling(self):
+        ev = VertexEvaluation([0.0], sigma0=1.0)
+        ev.merge_block(1.0, 0.0)
+        sems = [ev.sem]
+        for _ in range(5):
+            ev.merge_block(2.0, 0.0)
+            sems.append(ev.sem)
+        assert all(b < a for a, b in zip(sems, sems[1:]))
+
+    def test_known_sigma0_used_directly(self):
+        ev = VertexEvaluation([0.0], sigma0=3.0)
+        ev.merge_block(9.0, 1.0)
+        assert ev.sem == pytest.approx(1.0)
+        assert ev.variance == pytest.approx(1.0)
+
+
+class TestSigmaEstimation:
+    def test_guess_used_before_two_blocks(self):
+        ev = VertexEvaluation([0.0], sigma0=None, sigma0_guess=4.0)
+        assert ev.sigma0_estimate() == 4.0
+        ev.merge_block(1.0, 0.0)
+        assert ev.sigma0_estimate() == 4.0
+
+    def test_estimator_is_consistent(self):
+        """The block-scatter estimator converges to the true sigma0."""
+        rng = np.random.default_rng(3)
+        sigma0 = 2.5
+        f = 7.0
+        ev = VertexEvaluation([0.0], sigma0=None, sigma0_guess=1.0)
+        for _ in range(4000):
+            dt = rng.uniform(0.5, 2.0)
+            ev.merge_block(dt, f + rng.normal(0, sigma0 / math.sqrt(dt)))
+        assert ev.sigma0_estimate() == pytest.approx(sigma0, rel=0.05)
+        assert ev.estimate == pytest.approx(f, abs=0.15)
+
+    def test_zero_scatter_gives_zero_sigma(self):
+        ev = VertexEvaluation([0.0], sigma0=None, sigma0_guess=1.0)
+        ev.merge_block(1.0, 5.0)
+        ev.merge_block(1.0, 5.0)
+        assert ev.sigma0_estimate() == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,117 @@
+"""Unit and property tests for the eq. 1.2 noise model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise import NoiseModel
+
+
+class TestNoiseModelMoments:
+    def test_variance_decays_inversely_with_time(self):
+        model = NoiseModel(sigma0=3.0)
+        assert model.variance(1.0) == pytest.approx(9.0)
+        assert model.variance(9.0) == pytest.approx(1.0)
+
+    def test_sigma_is_sqrt_variance(self):
+        model = NoiseModel(sigma0=2.0)
+        assert model.sigma(4.0) == pytest.approx(1.0)
+
+    def test_zero_time_gives_infinite_variance(self):
+        assert NoiseModel(1.0).variance(0.0) == math.inf
+        assert NoiseModel(1.0).sigma(0.0) == math.inf
+
+    def test_noiseless_model(self):
+        model = NoiseModel(0.0)
+        assert model.variance(0.0) == 0.0
+        assert model.sigma(10.0) == 0.0
+
+    def test_negative_sigma0_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(-1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(1.0).variance(-1.0)
+
+    @given(
+        sigma0=st.floats(0.01, 1e3),
+        t=st.floats(0.01, 1e6),
+        factor=st.floats(1.5, 100.0),
+    )
+    @settings(max_examples=50)
+    def test_more_sampling_never_increases_noise(self, sigma0, t, factor):
+        model = NoiseModel(sigma0)
+        assert model.sigma(t * factor) <= model.sigma(t)
+
+    @given(sigma0=st.floats(0.1, 100.0), t=st.floats(0.1, 1e4))
+    @settings(max_examples=50)
+    def test_variance_scaling_identity(self, sigma0, t):
+        """sigma(t)**2 * t == sigma0**2 identically."""
+        model = NoiseModel(sigma0)
+        assert model.variance(t) * t == pytest.approx(sigma0**2, rel=1e-9)
+
+
+class TestNoiseModelDensity:
+    def test_pdf_matches_gaussian(self):
+        model = NoiseModel(sigma0=2.0)
+        t = 4.0
+        var = model.variance(t)
+        x = 0.7
+        expected = math.exp(-(x**2) / (2 * var)) / math.sqrt(2 * math.pi * var)
+        assert model.pdf(x, t) == pytest.approx(expected)
+
+    def test_pdf_is_symmetric(self):
+        model = NoiseModel(1.5)
+        assert model.pdf(0.3, 2.0) == pytest.approx(model.pdf(-0.3, 2.0))
+
+    def test_pdf_integrates_to_one(self):
+        model = NoiseModel(1.0)
+        xs = np.linspace(-20, 20, 20001)
+        total = np.trapezoid(model.pdf(xs, t=2.0), xs)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_pdf_sharpens_with_time(self):
+        model = NoiseModel(1.0)
+        assert model.pdf(0.0, 100.0) > model.pdf(0.0, 1.0)
+
+    def test_pdf_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            NoiseModel(1.0).pdf(0.0, 0.0)
+
+    def test_pdf_rejects_degenerate_model(self):
+        with pytest.raises(ValueError):
+            NoiseModel(0.0).pdf(0.0, 1.0)
+
+    def test_pdf_vectorizes(self):
+        out = NoiseModel(1.0).pdf(np.array([0.0, 1.0, 2.0]), 1.0)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) < 0)
+
+
+class TestNoiseModelSampling:
+    def test_sample_statistics(self):
+        model = NoiseModel(sigma0=5.0)
+        rng = np.random.default_rng(0)
+        draws = model.sample(rng, t=25.0, size=200_000)
+        assert np.mean(draws) == pytest.approx(0.0, abs=0.02)
+        assert np.std(draws) == pytest.approx(1.0, rel=0.02)  # 5/sqrt(25)
+
+    def test_noiseless_sampling_returns_zero(self):
+        model = NoiseModel(0.0)
+        rng = np.random.default_rng(0)
+        assert model.sample(rng, 1.0) == 0.0
+        assert np.all(model.sample(rng, 1.0, size=5) == 0.0)
+
+    def test_sample_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            NoiseModel(1.0).sample(np.random.default_rng(0), 0.0)
+
+    def test_sampling_is_reproducible_with_seed(self):
+        model = NoiseModel(1.0)
+        a = model.sample(np.random.default_rng(7), 2.0, size=10)
+        b = model.sample(np.random.default_rng(7), 2.0, size=10)
+        np.testing.assert_array_equal(a, b)

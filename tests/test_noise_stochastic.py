@@ -1,0 +1,197 @@
+"""Tests for StochasticFunction and SamplingPool."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.functions import Sphere
+from repro.noise import SamplingPool, StochasticFunction, VirtualClock
+
+
+def make(sigma0=1.0, mode="average", seed=0, sigma_known=True, f=None):
+    return StochasticFunction(
+        f if f is not None else Sphere(2),
+        sigma0=sigma0,
+        mode=mode,
+        rng=seed,
+        sigma_known=sigma_known,
+    )
+
+
+class TestStochasticFunction:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            make(mode="bogus")
+
+    def test_true_value_is_noise_free(self):
+        func = make(sigma0=100.0)
+        assert func.true_value([3.0, 4.0]) == 25.0
+
+    def test_noiseless_evaluation_exact(self):
+        func = make(sigma0=0.0)
+        ev = func.evaluate([1.0, 2.0], time=1.0)
+        assert ev.estimate == 5.0
+        assert ev.sem == 0.0
+
+    def test_evaluation_unbiased(self):
+        func = make(sigma0=2.0, seed=1)
+        vals = [func.evaluate([1.0, 0.0], time=1.0).estimate for _ in range(4000)]
+        assert np.mean(vals) == pytest.approx(1.0, abs=0.1)
+        assert np.std(vals) == pytest.approx(2.0, rel=0.05)
+
+    def test_average_mode_variance_after_extension(self):
+        """Estimate after total time t has variance sigma0^2/t."""
+        finals = []
+        for seed in range(2000):
+            func = make(sigma0=2.0, seed=seed)
+            ev = func.evaluate([0.0, 0.0], time=1.0)
+            func.extend(ev, 3.0)  # total t = 4
+            finals.append(ev.estimate)
+        assert np.std(finals) == pytest.approx(1.0, rel=0.07)  # 2/sqrt(4)
+
+    def test_resample_mode_variance_after_extension(self):
+        finals = []
+        for seed in range(2000):
+            func = make(sigma0=2.0, mode="resample", seed=seed)
+            ev = func.evaluate([0.0, 0.0], time=1.0)
+            func.extend(ev, 3.0)
+            finals.append(ev.estimate)
+        assert np.std(finals) == pytest.approx(1.0, rel=0.07)
+
+    def test_location_dependent_sigma0(self):
+        func = StochasticFunction(
+            Sphere(1), sigma0=lambda theta: float(abs(theta[0])), rng=0
+        )
+        assert func.sigma0_at([3.0]) == 3.0
+        assert func.sigma0_at([0.0]) == 0.0
+
+    def test_sigma_unknown_hides_truth(self):
+        func = make(sigma0=5.0, sigma_known=False)
+        ev = func.start([0.0, 0.0])
+        assert ev.sigma0 is None
+
+    def test_counters(self):
+        func = make()
+        ev = func.evaluate([0.0, 0.0], time=2.0)
+        func.extend(ev, 3.0)
+        assert func.n_underlying_calls == 2
+        assert func.total_sampling_time == pytest.approx(5.0)
+
+    def test_extend_rejects_nonpositive_dt(self):
+        func = make()
+        ev = func.start([0.0, 0.0])
+        with pytest.raises(ValueError):
+            func.extend(ev, 0.0)
+
+    def test_seed_reproducibility(self):
+        a = make(seed=9).evaluate([1.0, 1.0], 1.0).estimate
+        b = make(seed=9).evaluate([1.0, 1.0], 1.0).estimate
+        assert a == b
+
+
+class TestSamplingPoolConcurrent:
+    def test_activation_samples_warmup(self):
+        func = make()
+        pool = SamplingPool(func, warmup=2.0)
+        ev = pool.activate([1.0, 1.0])
+        assert ev.time == pytest.approx(2.0)
+        assert pool.now == pytest.approx(2.0)
+
+    def test_concurrent_advance_extends_all(self):
+        func = make()
+        pool = SamplingPool(func, warmup=1.0, concurrent=True)
+        a = pool.activate([0.0, 0.0])
+        b = pool.activate([1.0, 1.0])
+        # b's activation warmup also extended a
+        assert a.time == pytest.approx(2.0)
+        pool.advance(5.0)
+        assert a.time == pytest.approx(7.0)
+        assert b.time == pytest.approx(6.0)
+
+    def test_clock_is_wall_time_not_total_effort(self):
+        func = make()
+        pool = SamplingPool(func, warmup=1.0)
+        pool.activate([0.0, 0.0])
+        pool.activate([1.0, 1.0])
+        pool.advance(10.0)
+        # wall time: 1 + 1 + 10; total effort is larger (parallel sampling)
+        assert pool.now == pytest.approx(12.0)
+        assert func.total_sampling_time > pool.now
+
+    def test_deactivate_stops_sampling(self):
+        func = make()
+        pool = SamplingPool(func, warmup=1.0)
+        a = pool.activate([0.0, 0.0])
+        pool.deactivate(a)
+        t = a.time
+        pool.activate([1.0, 1.0])
+        pool.advance(3.0)
+        assert a.time == t
+        assert a not in pool
+
+    def test_deactivate_unknown_raises(self):
+        func = make()
+        pool = SamplingPool(func, warmup=1.0)
+        ev = func.start([0.0, 0.0])
+        with pytest.raises(ValueError):
+            pool.deactivate(ev)
+
+    def test_adopt_registers_without_time(self):
+        func = make()
+        pool = SamplingPool(func, warmup=1.0)
+        ev = func.evaluate([0.0, 0.0], 1.0)
+        pool.adopt(ev)
+        assert ev in pool
+        assert pool.now == 0.0
+
+    def test_len_counts_active(self):
+        func = make()
+        pool = SamplingPool(func, warmup=1.0)
+        a = pool.activate([0.0, 0.0])
+        pool.activate([1.0, 1.0])
+        assert len(pool) == 2
+        pool.deactivate(a)
+        assert len(pool) == 1
+
+
+class TestSamplingPoolNonConcurrent:
+    def test_activation_extends_only_new(self):
+        func = make()
+        pool = SamplingPool(func, warmup=1.0, concurrent=False)
+        a = pool.activate([0.0, 0.0])
+        b = pool.activate([1.0, 1.0])
+        assert a.time == pytest.approx(1.0)
+        assert b.time == pytest.approx(1.0)
+        assert pool.now == pytest.approx(2.0)
+
+    def test_advance_without_targets_only_moves_clock(self):
+        func = make()
+        pool = SamplingPool(func, warmup=1.0, concurrent=False)
+        a = pool.activate([0.0, 0.0])
+        pool.advance(5.0)
+        assert a.time == pytest.approx(1.0)
+        assert pool.now == pytest.approx(6.0)
+
+    def test_advance_with_targets_extends_them(self):
+        func = make()
+        pool = SamplingPool(func, warmup=1.0, concurrent=False)
+        a = pool.activate([0.0, 0.0])
+        b = pool.activate([1.0, 1.0])
+        pool.advance(4.0, targets=[a])
+        assert a.time == pytest.approx(5.0)
+        assert b.time == pytest.approx(1.0)
+
+    def test_advance_rejects_inactive_target(self):
+        func = make()
+        pool = SamplingPool(func, warmup=1.0, concurrent=False)
+        ev = func.start([0.0, 0.0])
+        with pytest.raises(ValueError):
+            pool.advance(1.0, targets=[ev])
+
+    def test_shared_clock_between_pools(self):
+        clock = VirtualClock()
+        f1 = StochasticFunction(Sphere(1), sigma0=0.0, rng=0, clock=clock)
+        pool = SamplingPool(f1, warmup=2.0)
+        pool.activate([0.0])
+        assert clock.now == pytest.approx(2.0)

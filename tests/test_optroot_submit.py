@@ -1,0 +1,60 @@
+"""Tests for $OPTROOT -> PBS job submission (§4.2 job flow)."""
+
+import pytest
+
+from repro.cluster import Cluster, PBSScheduler
+from repro.optroot import OptRoot
+from repro.optroot.submit import (
+    processors_for_tree,
+    submit_optimization,
+)
+
+
+@pytest.fixture
+def tree(tmp_path):
+    root = OptRoot.create(tmp_path / "opt")
+    root.add_system("bulk")       # 1 run.sh
+    root.add_system("dilute")     # 1 run.sh
+    root.add_phase("dilute", "production", "#!/bin/sh\nexit 0\n")  # +1
+    return root
+
+
+class TestProcessorRequest:
+    def test_ns_equals_run_script_count(self, tree):
+        counts = processors_for_tree(tree, dim=3)
+        assert counts.ns == 3  # three run.sh scripts
+        assert counts.total == 3 * 3 + 3 * 3 + 2 * 3 + 7
+
+    def test_empty_tree_rejected(self, tmp_path):
+        root = OptRoot.create(tmp_path / "empty")
+        with pytest.raises(ValueError):
+            processors_for_tree(root, dim=2)
+
+
+class TestSubmission:
+    def test_grant_writes_machinefile_and_assigns_roles(self, tree):
+        scheduler = PBSScheduler(Cluster.homogeneous(8, 8))  # 64 cores
+        submitted = submit_optimization(tree, scheduler, dim=3)
+        assert submitted is not None
+        assert submitted.machinefile_path.exists()
+        lines = submitted.machinefile_path.read_text().splitlines()
+        assert len(lines) == processors_for_tree(tree, dim=3).total
+        # role assignment accounts for every granted core
+        assert submitted.allocation.total == len(lines)
+        assert submitted.allocation.master == lines[0]
+
+    def test_busy_cluster_queues(self, tree):
+        scheduler = PBSScheduler(Cluster.homogeneous(8, 8))
+        blocker = scheduler.submit(
+            __import__("repro.cluster.scheduler", fromlist=["JobRequest"]).JobRequest(
+                n_procs=60, name="blocker"
+            )
+        )
+        assert blocker is not None
+        queued = submit_optimization(tree, scheduler, dim=3)
+        assert queued is None
+        assert scheduler.queued == 1
+        # releasing the blocker admits the optimization
+        started = scheduler.release(blocker.request.job_id)
+        assert len(started) == 1
+        assert started[0].request.name == "optimization"

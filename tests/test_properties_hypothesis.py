@@ -1,0 +1,126 @@
+"""Cross-cutting property-based tests (hypothesis) on system invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cluster import Cluster, JobRequest, PBSScheduler
+from repro.core import MaxStepsTermination, NelderMead
+from repro.functions import Quadratic, initial_simplex
+from repro.mw import decode_message, encode_message, Message
+from repro.mw.messages import MSG_RESULT, MSG_TASK
+from repro.noise import StochasticFunction
+
+slow_settings = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestOptimizerEquivariance:
+    @given(
+        shift=hnp.arrays(float, (2,), elements=st.floats(-5, 5, allow_nan=False)),
+    )
+    @slow_settings
+    def test_det_translation_equivariance_of_outcome(self, shift):
+        """Minimizing f(x - c) from x0 + c lands at the shifted optimum.
+
+        (Exact *path* equivariance does not survive floating point — a tie
+        broken differently flips a branch — so the property tested is the
+        outcome: both runs converge equally close to their own minimizer.)
+        """
+        def run(center, start):
+            f = Quadratic(2, scales=[1.0, 3.0], center=center)
+            func = StochasticFunction(f, sigma0=0.0, rng=0)
+            opt = NelderMead(
+                func,
+                initial_simplex(start, step=0.7),
+                termination=MaxStepsTermination(200),
+            )
+            return opt.run(), f
+
+        base, f_base = run(np.zeros(2), np.array([1.3, -0.8]))
+        moved, f_moved = run(shift, np.array([1.3, -0.8]) + shift)
+        d_base = f_base.distance_to_solution(base.best_theta)
+        d_moved = f_moved.distance_to_solution(moved.best_theta)
+        assert d_base < 1e-3
+        assert d_moved < 1e-3
+
+    @given(scale=st.floats(0.1, 50.0))
+    @slow_settings
+    def test_det_invariant_to_objective_scaling(self, scale):
+        """Multiplying f by a positive constant changes no decision."""
+        def run(s):
+            f = Quadratic(2, scales=[s, 3.0 * s], center=[1.0, -1.0])
+            func = StochasticFunction(f, sigma0=0.0, rng=0)
+            opt = NelderMead(
+                func,
+                initial_simplex([0.0, 0.0], step=0.9),
+                termination=MaxStepsTermination(100),
+            )
+            return opt.run()
+
+        a = run(1.0)
+        b = run(scale)
+        np.testing.assert_allclose(a.best_theta, b.best_theta, atol=1e-9)
+        assert a.trace.operations() == b.trace.operations()
+
+
+class TestSchedulerInvariants:
+    @given(
+        sizes=st.lists(st.integers(1, 16), min_size=1, max_size=12),
+    )
+    @slow_settings
+    def test_core_conservation(self, sizes):
+        """free + allocated == total, at every point of any submit sequence."""
+        cluster = Cluster.homogeneous(4, cores_per_node=8)
+        sched = PBSScheduler(cluster)
+        jobs = []
+        for s in sizes:
+            job = sched.submit(JobRequest(n_procs=s))
+            if job is not None:
+                jobs.append(job)
+            allocated = sum(len(j.entries) for j in sched.running.values())
+            assert sched.free_cores + allocated == cluster.total_cores
+        # release everything; queued jobs may start, then drain them too
+        while sched.running:
+            jid = next(iter(sched.running))
+            sched.release(jid)
+        assert sched.free_cores == cluster.total_cores
+        assert sched.queued == 0 or all(
+            q.n_procs > cluster.total_cores for q in sched._queue
+        )
+
+    @given(sizes=st.lists(st.integers(1, 8), min_size=2, max_size=8))
+    @slow_settings
+    def test_no_core_double_allocation(self, sizes):
+        cluster = Cluster.homogeneous(3, cores_per_node=8)
+        sched = PBSScheduler(cluster)
+        for s in sizes:
+            sched.submit(JobRequest(n_procs=s))
+        entries = [e for j in sched.running.values() for e in j.entries]
+        # each physical core (machinefile slot) appears at most its multiplicity
+        from collections import Counter
+
+        total = Counter()
+        for e in entries:
+            total[e] += 1
+        for node, count in total.items():
+            assert count <= 8
+
+
+class TestMessageProperties:
+    @given(
+        payload=st.dictionaries(
+            st.text(max_size=6),
+            st.one_of(st.integers(-1000, 1000), st.floats(-1e6, 1e6, allow_nan=False), st.text(max_size=10)),
+            max_size=5,
+        ),
+        sender=st.integers(0, 100),
+        tag=st.sampled_from([MSG_TASK, MSG_RESULT]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_message_roundtrip_property(self, payload, sender, tag):
+        msg = Message(tag=tag, sender=sender, payload=payload)
+        assert decode_message(encode_message(msg)) == msg

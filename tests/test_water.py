@@ -1,0 +1,282 @@
+"""Tests for the water application layer: RDF model, cost, surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.water import (
+    EXPERIMENTAL_TARGETS,
+    FINAL_MN,
+    FINAL_PC,
+    FINAL_PCMN,
+    INITIAL_SIMPLEX_3_4A,
+    RDFModel,
+    TIP4P_PUBLISHED,
+    WaterCostFunction,
+    WaterSurrogate,
+    experimental_goo,
+    parameterize_water,
+    rdf_curve,
+    rdf_residual,
+    surrogate_cost_function,
+    water_systems,
+)
+from repro.water.experiment import EXPERIMENT_REFERENCE_THETA, experimental_rdf
+from repro.water.rdf_model import R_GRID
+from repro.water.tip4p import EPS_INTERNAL_TO_KCAL, vertices_for_dim
+
+
+class TestParameterSets:
+    def test_published_tip4p(self):
+        np.testing.assert_allclose(TIP4P_PUBLISHED, [0.1550, 3.154, 0.520])
+
+    def test_initial_simplex_shape(self):
+        """Table 3.4a: d+3 = 6 rows of (epsilon, sigma, qH)."""
+        assert INITIAL_SIMPLEX_3_4A.shape == (6, 3)
+
+    def test_epsilon_unit_conversion_consistency(self):
+        """The conversion maps the MN internal value back to 0.1514 kcal/mol."""
+        assert 6.345e-7 * EPS_INTERNAL_TO_KCAL == pytest.approx(0.1514)
+
+    def test_initial_epsilons_physically_plausible(self):
+        eps = INITIAL_SIMPLEX_3_4A[:, 0]
+        assert np.all((eps > 0.05) & (eps < 0.5))
+
+    def test_final_parameters_near_published(self):
+        """All converged sets are close to published TIP4P (§3.5)."""
+        for final in (FINAL_MN, FINAL_PC, FINAL_PCMN):
+            assert abs(final[0] - 0.155) < 0.01
+            assert abs(final[1] - 3.154) < 0.01
+            assert abs(final[2] - 0.520) < 0.005
+
+    def test_vertices_for_dim(self):
+        assert vertices_for_dim().shape == (4, 3)
+
+
+class TestRDFModel:
+    def test_curve_shape_and_positivity(self):
+        g = rdf_curve(TIP4P_PUBLISHED)
+        assert g.shape == R_GRID.shape
+        assert np.all(g >= 0.0)
+
+    def test_excluded_core(self):
+        g = rdf_curve(TIP4P_PUBLISHED)
+        assert np.all(g[R_GRID < 2.0] < 0.2)
+
+    def test_first_peak_location_tracks_sigma(self):
+        """The O-O first shell sits near 2.76 A for TIP4P-like sigma."""
+        model = RDFModel(0.155, 3.154, 0.52)
+        r1, h1, _ = model.first_peak()
+        assert 2.5 < r1 < 3.0
+        assert h1 > 2.0
+
+    def test_larger_sigma_shifts_peak_out(self):
+        g_small = rdf_curve([0.155, 3.0, 0.52])
+        g_large = rdf_curve([0.155, 3.4, 0.52])
+        assert R_GRID[np.argmax(g_small)] < R_GRID[np.argmax(g_large)]
+
+    def test_stronger_charges_sharpen_structure(self):
+        weak = RDFModel(0.155, 3.154, 0.40).first_peak()[1]
+        strong = RDFModel(0.155, 3.154, 0.60).first_peak()[1]
+        assert strong > weak
+
+    def test_long_range_limit_is_one(self):
+        g = rdf_curve(TIP4P_PUBLISHED)
+        assert np.mean(g[R_GRID > 9.0]) == pytest.approx(1.0, abs=0.1)
+
+    def test_species_variants(self):
+        for sp in ("OO", "OH", "HH"):
+            g = rdf_curve(TIP4P_PUBLISHED, species=sp)
+            assert np.all(np.isfinite(g))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RDFModel(0.1, -1.0, 0.5)
+        with pytest.raises(ValueError):
+            RDFModel(0.1, 3.0, 0.5, species="XX")
+
+
+class TestRDFResidual:
+    def test_identical_curves_zero(self):
+        g = rdf_curve(TIP4P_PUBLISHED)
+        assert rdf_residual(g, g, R_GRID) == 0.0
+
+    def test_constant_offset_recovered(self):
+        """RMS of a constant offset is the offset itself."""
+        g = np.ones_like(R_GRID)
+        assert rdf_residual(g + 0.1, g, R_GRID) == pytest.approx(0.1, rel=1e-6)
+
+    def test_symmetry(self):
+        a = rdf_curve(TIP4P_PUBLISHED)
+        b = experimental_goo()
+        assert rdf_residual(a, b, R_GRID) == pytest.approx(rdf_residual(b, a, R_GRID))
+
+    def test_validation(self):
+        g = np.ones_like(R_GRID)
+        with pytest.raises(ValueError):
+            rdf_residual(g[:-1], g, R_GRID)
+        with pytest.raises(ValueError):
+            rdf_residual(g, g, R_GRID, r_min=5.0, r_max=4.0)
+
+
+class TestWaterCostFunction:
+    def test_zero_at_exact_targets(self):
+        cost = WaterCostFunction(
+            {"a": {"target": 2.0, "weight": 1.0}, "b": {"target": 0.0, "scale": 1.0}}
+        )
+        assert cost({"a": 2.0, "b": 0.0}) == 0.0
+
+    def test_eq_3_4_form(self):
+        """g = w^2 (p - p0)^2 / s^2 for a single property."""
+        cost = WaterCostFunction({"a": {"target": 10.0, "weight": 2.0}})
+        # s defaults to |target| = 10
+        assert cost({"a": 11.0}) == pytest.approx(4.0 * 1.0 / 100.0)
+
+    def test_weights_scale_quadratically(self):
+        c1 = WaterCostFunction({"a": {"target": 1.0, "weight": 1.0}})
+        c2 = WaterCostFunction({"a": {"target": 1.0, "weight": 2.0}})
+        assert c2({"a": 1.5}) == pytest.approx(4.0 * c1({"a": 1.5}))
+
+    def test_zero_target_needs_scale(self):
+        with pytest.raises(ValueError):
+            WaterCostFunction({"a": {"target": 0.0}})
+
+    def test_missing_property_raises(self):
+        cost = WaterCostFunction({"a": {"target": 1.0}})
+        with pytest.raises(KeyError):
+            cost({"b": 1.0})
+
+    def test_gradient_matches_finite_difference(self):
+        cost = WaterCostFunction(
+            {"a": {"target": 1.0, "weight": 1.5}, "b": {"target": -2.0, "weight": 0.5}}
+        )
+        props = {"a": 1.7, "b": -1.1}
+        grad = cost.gradient_wrt_properties(props)
+        eps = 1e-7
+        for name in props:
+            up = dict(props)
+            up[name] += eps
+            dn = dict(props)
+            dn[name] -= eps
+            fd = (cost(up) - cost(dn)) / (2 * eps)
+            assert grad[name] == pytest.approx(fd, rel=1e-5)
+
+    def test_propagated_sigma_positive_with_floor(self):
+        cost = WaterCostFunction({"a": {"target": 1.0}})
+        # at the optimum the gradient vanishes; the floor keeps sigma > 0
+        assert cost.propagated_sigma({"a": 1.0}, {"a": 0.5}) > 0.0
+        assert (
+            cost.propagated_sigma({"a": 1.0}, {"a": 0.5}, include_floor=False) == 0.0
+        )
+
+    def test_paper_targets_loadable(self):
+        cost = WaterCostFunction(EXPERIMENTAL_TARGETS)
+        assert set(cost.properties) == {
+            "energy", "pressure", "diffusion", "p_goo", "p_goh", "p_ghh",
+        }
+
+
+class TestSurrogate:
+    @pytest.fixture(scope="class")
+    def surrogate(self):
+        return WaterSurrogate()
+
+    def test_tip4p_anchors_match_paper_scale(self, surrogate):
+        """Published TIP4P parameters give roughly the paper's property
+        values: U ~ -41.8 kJ/mol, P ~ 373 atm, D ~ 3.29e-5 cm^2/s."""
+        p = surrogate.properties(TIP4P_PUBLISHED)
+        assert p["energy"] == pytest.approx(-41.8, abs=0.3)
+        assert 150.0 < p["pressure"] < 650.0
+        assert 2.4e-5 < p["diffusion"] < 3.6e-5
+
+    def test_rdf_residuals_in_paper_range(self, surrogate):
+        p = surrogate.properties(TIP4P_PUBLISHED)
+        assert 0.02 < p["p_goo"] < 0.12
+        assert 0.03 < p["p_goh"] < 0.15
+        assert 0.01 < p["p_ghh"] < 0.10
+
+    def test_reference_point_hits_scalar_targets(self, surrogate):
+        p = surrogate.properties(EXPERIMENT_REFERENCE_THETA)
+        assert p["energy"] == pytest.approx(-41.5, abs=1e-9)
+        assert p["pressure"] == pytest.approx(1.0, abs=1e-9)
+        assert p["diffusion"] == pytest.approx(2.27e-5, abs=1e-12)
+
+    def test_rdf_floor_is_irreducible(self, surrogate):
+        """Even at the reference theta the RDF residuals stay positive —
+        the model family cannot reproduce the experimental fine structure
+        (why the paper's converged residuals are nonzero)."""
+        p = surrogate.properties(EXPERIMENT_REFERENCE_THETA)
+        assert p["p_goo"] > 0.01
+
+    def test_optimized_models_fit_goo_at_least_as_well_as_tip4p(self, surrogate):
+        """Fig 3.19 claim: optimized parameters fit experiment slightly
+        better than published TIP4P."""
+        tip4p = surrogate.properties(TIP4P_PUBLISHED)["p_goo"]
+        ref = surrogate.properties(EXPERIMENT_REFERENCE_THETA)["p_goo"]
+        assert ref <= tip4p
+
+    def test_sampling_noise_scales(self, surrogate):
+        rng = np.random.default_rng(0)
+        draws = [
+            surrogate.sample_properties(TIP4P_PUBLISHED, 1.0, rng)["pressure"]
+            for _ in range(500)
+        ]
+        assert np.std(draws) == pytest.approx(1200.0, rel=0.15)
+        draws_long = [
+            surrogate.sample_properties(TIP4P_PUBLISHED, 100.0, rng)["pressure"]
+            for _ in range(500)
+        ]
+        assert np.std(draws_long) == pytest.approx(120.0, rel=0.15)
+
+    def test_invalid_theta_rejected(self, surrogate):
+        with pytest.raises(ValueError):
+            surrogate.properties([1.0, 2.0])
+        with pytest.raises(ValueError):
+            surrogate.sample_properties(TIP4P_PUBLISHED, 0.0, np.random.default_rng(0))
+
+    def test_cost_function_wiring(self):
+        f, sigma0_fn, cost = surrogate_cost_function()
+        assert f(EXPERIMENT_REFERENCE_THETA) < f(TIP4P_PUBLISHED)
+        assert sigma0_fn(TIP4P_PUBLISHED) > 0.0
+
+    def test_initial_simplex_costs_are_terrible(self):
+        """Table 3.4a starting values give 'poor and unphysical results'."""
+        f, _, _ = surrogate_cost_function()
+        start_costs = [f(v) for v in INITIAL_SIMPLEX_3_4A]
+        assert min(start_costs) > 100.0 * f(TIP4P_PUBLISHED)
+
+
+class TestParameterizationPipeline:
+    def test_mn_converges_near_tip4p(self):
+        result = parameterize_water(
+            algorithm="MN", seed=1, walltime=2e5, max_steps=200, tau=1e-3
+        )
+        eps, sig, qh = result.best_theta
+        assert abs(eps - 0.155) < 0.02
+        assert abs(sig - 3.154) < 0.05
+        assert abs(qh - 0.520) < 0.02
+
+    def test_noiseless_mode(self):
+        result = parameterize_water(
+            algorithm="DET", noise_scale=0.0, max_steps=300, tau=1e-6
+        )
+        assert abs(result.best_theta[1] - 3.16) < 0.05
+
+    def test_invalid_noise_scale(self):
+        with pytest.raises(ValueError):
+            parameterize_water(noise_scale=-1.0)
+
+    def test_surrogate_systems_for_vertex_server(self):
+        from repro.mw import VertexServer
+        from repro.water.parameterize import water_cost
+
+        systems = water_systems(source="surrogate")
+        assert len(systems) == 6
+        server = VertexServer(systems, cost=water_cost(), seed=0)
+        out = server.evaluate(TIP4P_PUBLISHED, dt=10_000.0)
+        assert "sample" in out
+        f, _, _ = surrogate_cost_function()
+        assert out["sample"] == pytest.approx(f(TIP4P_PUBLISHED), abs=1.0)
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError):
+            water_systems(source="quantum")

@@ -1,0 +1,64 @@
+"""Additional water-pipeline coverage: algorithm variants and noise scales."""
+
+import numpy as np
+import pytest
+
+from repro.water import parameterize_water
+from repro.water.tip4p import PAPER_PROPERTIES
+
+
+class TestPaperPropertyRecords:
+    def test_all_models_recorded(self):
+        assert set(PAPER_PROPERTIES) == {"MN", "PC", "PC+MN", "TIP4P", "EXP"}
+
+    def test_experimental_record_values(self):
+        exp = PAPER_PROPERTIES["EXP"]
+        assert exp["energy"] == -41.5
+        assert exp["pressure"] == 1.0
+        assert exp["diffusion"] == 2.27e-5
+
+    def test_tip4p_record_values(self):
+        t = PAPER_PROPERTIES["TIP4P"]
+        assert t["pressure"] == 373.0
+        assert t["diffusion"] == 3.29e-5
+
+    def test_optimized_models_bracket_tip4p_energy(self):
+        """Paper: MN/PC/PC+MN energies lie between experiment and TIP4P."""
+        for alg in ("MN", "PC", "PC+MN"):
+            e = PAPER_PROPERTIES[alg]["energy"]
+            assert -41.81 <= e <= -41.49
+
+
+class TestParameterizeVariants:
+    @pytest.mark.parametrize("alg", ["PC", "PC+MN"])
+    def test_algorithms_converge(self, alg):
+        result = parameterize_water(
+            algorithm=alg, seed=2, walltime=2e5, max_steps=200, tau=1e-3
+        )
+        assert abs(result.best_theta[1] - 3.154) < 0.08
+
+    def test_custom_vertices(self):
+        verts = np.array(
+            [
+                [0.18, 3.0, 0.50],
+                [0.13, 3.3, 0.55],
+                [0.16, 3.1, 0.48],
+                [0.14, 3.2, 0.53],
+            ]
+        )
+        result = parameterize_water(
+            algorithm="MN", seed=0, vertices=verts,
+            walltime=1e5, max_steps=150, tau=1e-3,
+        )
+        assert result.best_theta.shape == (3,)
+
+    def test_reduced_noise_converges_tighter(self):
+        noisy = parameterize_water(
+            algorithm="PC", seed=4, noise_scale=1.0,
+            walltime=2e5, max_steps=200, tau=1e-3,
+        )
+        quiet = parameterize_water(
+            algorithm="PC", seed=4, noise_scale=0.05,
+            walltime=2e5, max_steps=200, tau=1e-3,
+        )
+        assert quiet.best_true <= noisy.best_true * 1.5
