@@ -8,6 +8,14 @@ been active"), run an algorithm under tolerance + walltime + step-cap
 termination, and score (N, R, D) against the known optimum.  Noise streams
 are decoupled from the initial-state stream so paired comparisons share
 initial simplexes, as in the figures.
+
+Both helpers are thin wrappers over :mod:`repro.campaign`: a single run is
+one :class:`~repro.campaign.Job` through
+:func:`~repro.campaign.execute_job`, and a paired sweep is a two-variant
+:class:`~repro.campaign.CampaignSpec` executed by a
+:class:`~repro.campaign.CampaignRunner` into an in-memory store.  The
+campaign execution layer preserves this protocol's seed discipline exactly,
+so results are bitwise identical to the pre-campaign harness.
 """
 
 from __future__ import annotations
@@ -16,11 +24,18 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.core import ALGORITHMS, default_termination
+from repro.campaign import (
+    AlgorithmVariant,
+    CampaignRunner,
+    CampaignSpec,
+    Job,
+    ResultStore,
+    execute_job,
+    paired_minima_from_records,
+)
 from repro.core.state import OptimizationResult
-from repro.functions import get_function, random_vertices
+from repro.functions import get_function
 from repro.functions.suite import TestFunction
-from repro.noise import StochasticFunction
 
 #: Default sweep termination (scaled down from the paper's multi-day runs).
 WALLTIME = 3e4
@@ -44,16 +59,23 @@ def controlled_run(
     **options,
 ) -> Tuple[OptimizationResult, TestFunction]:
     """One §3.2-protocol run; returns (result, test function)."""
-    f = get_function(function, dim)
-    init_rng = np.random.default_rng(seed)
-    vertices = random_vertices(dim, low=low, high=high, rng=init_rng)
-    noise_rng = np.random.default_rng(seed + 1_000_003)
-    func = StochasticFunction(f, sigma0=sigma0, mode=noise_mode, rng=noise_rng)
-    termination = default_termination(tau=tau, walltime=walltime, max_steps=max_steps)
-    opt = ALGORITHMS[algorithm.upper()](
-        func, vertices, termination=termination, record_trace=record_trace, **options
+    job = Job(
+        campaign="adhoc",
+        label=algorithm.upper(),
+        algorithm=algorithm.upper(),
+        function=function,
+        dim=dim,
+        sigma0=sigma0,
+        seed=seed,
+        noise_mode=noise_mode,
+        tau=tau,
+        walltime=walltime,
+        max_steps=max_steps,
+        low=low,
+        high=high,
+        options=dict(options),
     )
-    return opt.run(), f
+    return execute_job(job, record_trace=record_trace), get_function(function, dim)
 
 
 def paired_minima(
@@ -62,14 +84,40 @@ def paired_minima(
     options_a: Optional[Dict] = None,
     options_b: Optional[Dict] = None,
     n_seeds: int = 16,
-    **common,
+    function: str = "rosenbrock",
+    dim: int = 4,
+    sigma0: float = 1000.0,
+    low: float = -5.0,
+    high: float = 5.0,
+    walltime: float = WALLTIME,
+    max_steps: int = MAX_STEPS,
+    tau: float = TAU,
+    noise_mode: str = "resample",
+    backend: str = "serial",
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Converged true minima of two algorithms from the same initial states."""
-    mins_a = []
-    mins_b = []
-    for seed in range(n_seeds):
-        ra, _ = controlled_run(algo_a, seed=seed, **(options_a or {}), **common)
-        rb, _ = controlled_run(algo_b, seed=seed, **(options_b or {}), **common)
-        mins_a.append(max(ra.best_true, 0.0))
-        mins_b.append(max(rb.best_true, 0.0))
-    return np.array(mins_a), np.array(mins_b)
+    """Converged true minima of two algorithms from the same initial states.
+
+    Runs a two-variant campaign (labels ``"A"``/``"B"`` so identical
+    algorithm names with different options — the Fig. 3.7/3.8-17 ablations —
+    stay distinct cells) over seeds ``0..n_seeds-1``.
+    """
+    spec = CampaignSpec(
+        name=f"paired-{algo_a}-{algo_b}",
+        algorithms=[
+            AlgorithmVariant(algo_a, dict(options_a or {}), label="A"),
+            AlgorithmVariant(algo_b, dict(options_b or {}), label="B"),
+        ],
+        functions=[function],
+        dims=[dim],
+        sigma0s=[sigma0],
+        seeds=list(range(n_seeds)),
+        noise_mode=noise_mode,
+        tau=tau,
+        walltime=walltime,
+        max_steps=max_steps,
+        low=low,
+        high=high,
+    )
+    store = ResultStore()
+    CampaignRunner(spec, store, backend=backend).run()
+    return paired_minima_from_records(store.completed(), "A", "B")

@@ -7,7 +7,12 @@ levels; the table reports the median converged (true) function value and
 median step count.  Expect DET to degrade sharply as noise grows while the
 stochastic variants hold up.
 
-Run:  python examples/algorithm_comparison.py [n_seeds]
+The sweep goes through the campaign engine (:mod:`repro.campaign`): one
+declarative spec expands to algorithms x noise levels x seeds, runs on a
+chosen parallel backend, and the table is read back out of the result
+store.
+
+Run:  python examples/algorithm_comparison.py [n_seeds] [backend]
 """
 
 import sys
@@ -15,9 +20,7 @@ import sys
 import numpy as np
 
 from repro.analysis import format_table
-from repro.core import ALGORITHMS, default_termination
-from repro.functions import Rosenbrock, random_vertices
-from repro.noise import StochasticFunction
+from repro.campaign import AlgorithmVariant, CampaignRunner, CampaignSpec, ResultStore
 
 CONFIGS = {
     "DET": {},
@@ -27,34 +30,41 @@ CONFIGS = {
     "ANDERSON": {"k1": 2.0**10},
 }
 
-
-def run_one(alg: str, sigma0: float, seed: int, **options):
-    verts = random_vertices(4, low=-5.0, high=5.0, rng=np.random.default_rng(seed))
-    func = StochasticFunction(
-        Rosenbrock(4), sigma0=sigma0, mode="resample",
-        rng=np.random.default_rng(seed + 1000),
-    )
-    term = default_termination(tau=1e-3, walltime=3e4, max_steps=600)
-    opt = ALGORITHMS[alg](func, verts, termination=term, record_trace=False, **options)
-    return opt.run()
+NOISE_LEVELS = (1.0, 100.0, 1000.0)
 
 
 def main() -> None:
     n_seeds = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    backend = sys.argv[2] if len(sys.argv) > 2 else "serial"
+    spec = CampaignSpec(
+        name="algorithm-comparison",
+        algorithms=[AlgorithmVariant(alg, dict(opts)) for alg, opts in CONFIGS.items()],
+        functions=["rosenbrock"],
+        dims=[4],
+        sigma0s=NOISE_LEVELS,
+        seeds=list(range(n_seeds)),
+        tau=1e-3,
+        walltime=3e4,
+        max_steps=600,
+    )
+    store = ResultStore()
+    CampaignRunner(spec, store, backend=backend).run()
+
+    by_cell = {}
+    for rec in store.completed():
+        job = rec["job"]
+        key = (float(job["sigma0"]), job["label"])
+        by_cell.setdefault(key, []).append(rec["result"])
     rows = []
-    for sigma0 in (1.0, 100.0, 1000.0):
-        for alg, options in CONFIGS.items():
-            finals, steps = [], []
-            for seed in range(n_seeds):
-                result = run_one(alg, sigma0, seed, **options)
-                finals.append(result.best_true)
-                steps.append(result.n_steps)
+    for sigma0 in NOISE_LEVELS:
+        for alg in CONFIGS:
+            results = by_cell[(sigma0, alg)]
             rows.append(
                 [
                     f"{sigma0:g}",
                     alg,
-                    round(float(np.median(finals)), 4),
-                    int(np.median(steps)),
+                    round(float(np.median([r["best_true"] for r in results])), 4),
+                    int(np.median([r["n_steps"] for r in results])),
                 ]
             )
     print(

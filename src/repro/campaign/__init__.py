@@ -1,0 +1,53 @@
+"""Campaign orchestration: durable, parallel, resumable experiment sweeps.
+
+The layer between one ``optimize()`` call and a paper-scale study:
+a declarative :class:`CampaignSpec` expands into :class:`Job` records with
+stable ids, a :class:`CampaignRunner` executes the pending ones on the
+serial/thread/process backends, a :class:`ResultStore` records each outcome
+append-only (so interrupted campaigns resume instead of restarting), and
+the aggregation helpers reduce the store back to the paper's per-cell and
+paired statistics.
+
+CLI: ``python -m repro campaign run|status|summary|compare``.
+"""
+
+from repro.campaign.aggregate import (
+    CellSummary,
+    PairedComparison,
+    compare_labels,
+    paired_minima_from_records,
+    summarize,
+)
+from repro.campaign.execution import execute_job, job_function, run_job
+from repro.campaign.runner import (
+    RESULTS_FILENAME,
+    SPEC_FILENAME,
+    Campaign,
+    CampaignReport,
+    CampaignRunner,
+)
+from repro.campaign.spec import AlgorithmVariant, CampaignSpec, Job, canonical_json
+from repro.campaign.store import STATUS_DONE, STATUS_FAILED, ResultStore
+
+__all__ = [
+    "AlgorithmVariant",
+    "Campaign",
+    "CampaignReport",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CellSummary",
+    "Job",
+    "PairedComparison",
+    "RESULTS_FILENAME",
+    "ResultStore",
+    "SPEC_FILENAME",
+    "STATUS_DONE",
+    "STATUS_FAILED",
+    "canonical_json",
+    "compare_labels",
+    "execute_job",
+    "job_function",
+    "paired_minima_from_records",
+    "run_job",
+    "summarize",
+]

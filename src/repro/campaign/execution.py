@@ -1,0 +1,87 @@
+"""Job execution: the §3.2/§3.3 controlled-noise protocol, jobified.
+
+One :class:`~repro.campaign.spec.Job` maps to one optimizer run: draw the
+initial simplex from the job's seed stream, wrap the test function with
+``resample``-mode Gaussian noise from an *independent* stream (so paired
+comparisons across algorithms share initial simplexes, as in the paper's
+figures), run under tolerance + walltime + step-cap termination.
+
+The seed discipline is part of the job's identity: the same job produces
+bitwise-identical results on any backend, in any execution order, which is
+what lets an interrupted-and-resumed campaign reproduce an uninterrupted
+run exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.campaign.spec import Job
+from repro.campaign.store import STATUS_DONE, STATUS_FAILED
+from repro.core.driver import make_optimizer
+from repro.core.state import OptimizationResult
+from repro.core.termination import default_termination
+from repro.functions import get_function, random_vertices
+from repro.functions.suite import TestFunction
+from repro.noise import StochasticFunction
+
+#: Offset decoupling the noise stream from the initial-state stream.
+NOISE_SEED_OFFSET = 1_000_003
+
+
+def job_function(job: Job) -> TestFunction:
+    """The deterministic test function a job optimizes."""
+    return get_function(job.function, job.dim)
+
+
+def execute_job(job: Job, record_trace: bool = False) -> OptimizationResult:
+    """Run one job's optimizer to termination (deterministic in the job)."""
+    f = job_function(job)
+    init_rng = np.random.default_rng(job.seed)
+    vertices = random_vertices(job.dim, low=job.low, high=job.high, rng=init_rng)
+    noise_rng = np.random.default_rng(job.seed + NOISE_SEED_OFFSET)
+    func = StochasticFunction(f, sigma0=job.sigma0, mode=job.noise_mode, rng=noise_rng)
+    termination = default_termination(
+        tau=job.tau, walltime=job.walltime, max_steps=job.max_steps
+    )
+    opt = make_optimizer(
+        job.algorithm,
+        func,
+        vertices,
+        termination=termination,
+        record_trace=record_trace,
+        **job.options,
+    )
+    return opt.run()
+
+
+def run_job(job: Job) -> dict:
+    """Execute a job and package the outcome as a store record.
+
+    Module-level (picklable) so the ``process`` backend can ship it to
+    workers; exceptions become ``failed`` records instead of poisoning the
+    whole batch.
+    """
+    t0 = time.perf_counter()
+    try:
+        result = execute_job(job)
+    except Exception as exc:  # noqa: BLE001 - one bad job must not kill the sweep
+        return {
+            "job_id": job.job_id,
+            "status": STATUS_FAILED,
+            "job": job.to_dict(),
+            "result": None,
+            "error": f"{type(exc).__name__}: {exc}",
+            "elapsed_s": time.perf_counter() - t0,
+        }
+    return {
+        "job_id": job.job_id,
+        "status": STATUS_DONE,
+        "job": job.to_dict(),
+        "result": result.to_dict(),
+        "error": None,
+        "elapsed_s": time.perf_counter() - t0,
+    }

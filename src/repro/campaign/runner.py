@@ -1,0 +1,215 @@
+"""Campaign execution: resumable parallel sweeps over a job grid.
+
+:class:`CampaignRunner` is the scheduling layer between a
+:class:`~repro.campaign.spec.CampaignSpec` and the executors in
+:mod:`repro.parallel.backends`: it expands the grid, subtracts jobs the
+:class:`~repro.campaign.store.ResultStore` already holds (resume), and maps
+:func:`~repro.campaign.execution.run_job` over the remainder in batches.
+Batching bounds the blast radius of a crash or Ctrl-C — everything up to
+the last completed batch is durably recorded, and ``KeyboardInterrupt``
+returns a report instead of unwinding, so the obvious follow-up is simply
+to re-run the same command.
+
+:class:`Campaign` is the directory-level façade the CLI and examples use:
+``<dir>/spec.json`` plus ``<dir>/results.jsonl``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+from repro.campaign.aggregate import CellSummary, PairedComparison, compare_labels, summarize
+from repro.campaign.execution import run_job
+from repro.campaign.spec import CampaignSpec, Job
+from repro.campaign.store import STATUS_DONE, STATUS_FAILED, ResultStore
+from repro.parallel.backends import parallel_map
+
+SPEC_FILENAME = "spec.json"
+RESULTS_FILENAME = "results.jsonl"
+
+
+@dataclass
+class CampaignReport:
+    """What one ``run()`` call did."""
+
+    n_total: int          # jobs in the expanded grid
+    n_skipped: int        # already completed in the store (resume)
+    n_run: int            # executed this call
+    n_done: int           # of those, succeeded
+    n_failed: int         # of those, failed
+    interrupted: bool = False
+
+    @property
+    def n_remaining(self) -> int:
+        return self.n_total - self.n_skipped - self.n_done
+
+    def __str__(self) -> str:
+        tail = "  [interrupted]" if self.interrupted else ""
+        return (
+            f"{self.n_total} jobs: {self.n_skipped} already done, "
+            f"{self.n_done} completed, {self.n_failed} failed, "
+            f"{self.n_remaining} remaining{tail}"
+        )
+
+
+class CampaignRunner:
+    """Executes the pending jobs of a spec against a result store."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ResultStore,
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+        chunksize: int = 1,
+        batch_size: Optional[int] = None,
+    ) -> None:
+        self.spec = spec
+        self.store = store
+        self.backend = backend
+        self.max_workers = max_workers
+        self.chunksize = chunksize
+        if batch_size is None:
+            if backend == "serial":
+                batch_size = 1  # record after every job: finest resume grain
+            else:
+                workers = max_workers or os.cpu_count() or 2
+                batch_size = max(1, workers * chunksize)
+        self.batch_size = int(batch_size)
+
+    def pending(self) -> List[Job]:
+        """Grid jobs not yet completed in the store, in expansion order."""
+        done = self.store.completed_ids()
+        return [job for job in self.spec.expand() if job.job_id not in done]
+
+    def run(self, max_jobs: Optional[int] = None) -> CampaignReport:
+        """Execute pending jobs; returns instead of raising on Ctrl-C.
+
+        ``max_jobs`` caps how many jobs this call executes (useful for
+        smoke tests and for simulating an interrupted campaign).
+        """
+        n_total = len(self.spec.expand())
+        pending = self.pending()
+        n_skipped = n_total - len(pending)
+        if max_jobs is not None:
+            pending = pending[: max(0, int(max_jobs))]
+        n_done = n_failed = 0
+        interrupted = False
+        try:
+            for start in range(0, len(pending), self.batch_size):
+                batch = pending[start : start + self.batch_size]
+                records = parallel_map(
+                    run_job,
+                    batch,
+                    backend=self.backend,
+                    max_workers=self.max_workers,
+                    chunksize=self.chunksize,
+                )
+                for rec in records:
+                    self.store.record(rec)
+                    if rec["status"] == STATUS_DONE:
+                        n_done += 1
+                    else:
+                        n_failed += 1
+        except KeyboardInterrupt:
+            interrupted = True
+        return CampaignReport(
+            n_total=n_total,
+            n_skipped=n_skipped,
+            n_run=n_done + n_failed,
+            n_done=n_done,
+            n_failed=n_failed,
+            interrupted=interrupted,
+        )
+
+
+class Campaign:
+    """A campaign directory: ``spec.json`` + ``results.jsonl``.
+
+    Opening an existing directory with a *different* spec is an error — a
+    campaign's grid is fixed at creation so that resume semantics stay
+    meaningful.  Re-opening with the same (or no) spec resumes.
+    """
+
+    def __init__(self, directory, spec: Optional[CampaignSpec] = None) -> None:
+        self.directory = Path(directory)
+        spec_path = self.directory / SPEC_FILENAME
+        if spec_path.exists():
+            existing = CampaignSpec.load(spec_path)
+            if spec is not None and not spec.same_grid(existing):
+                raise ValueError(
+                    f"campaign at {self.directory} already initialised with a "
+                    f"different spec ({existing.name!r}); use a new directory"
+                )
+            self.spec = existing
+        else:
+            if spec is None:
+                raise FileNotFoundError(
+                    f"no {SPEC_FILENAME} in {self.directory} and no spec given"
+                )
+            self.spec = spec
+            spec.save(spec_path)
+        self.store = ResultStore(self.directory / RESULTS_FILENAME)
+
+    # -- execution --------------------------------------------------------
+
+    def run(
+        self,
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+        chunksize: int = 1,
+        batch_size: Optional[int] = None,
+        max_jobs: Optional[int] = None,
+    ) -> CampaignReport:
+        runner = CampaignRunner(
+            self.spec,
+            self.store,
+            backend=backend,
+            max_workers=max_workers,
+            chunksize=chunksize,
+            batch_size=batch_size,
+        )
+        return runner.run(max_jobs=max_jobs)
+
+    # -- inspection -------------------------------------------------------
+
+    def status(self) -> dict:
+        """Counts of done / failed / pending jobs plus per-cell progress."""
+        jobs = self.spec.expand()
+        records = {r["job_id"]: r for r in self.store.records()}
+        done = sum(
+            1 for j in jobs if records.get(j.job_id, {}).get("status") == STATUS_DONE
+        )
+        failed = sum(
+            1 for j in jobs if records.get(j.job_id, {}).get("status") == STATUS_FAILED
+        )
+        cells: dict = {}
+        for job in jobs:
+            key = job.cell
+            total, cell_done = cells.get(key, (0, 0))
+            is_done = records.get(job.job_id, {}).get("status") == STATUS_DONE
+            cells[key] = (total + 1, cell_done + (1 if is_done else 0))
+        return {
+            "name": self.spec.name,
+            "directory": str(self.directory),
+            "n_jobs": len(jobs),
+            "done": done,
+            "failed": failed,  # failed jobs are retried on the next run
+            "pending": len(jobs) - done - failed,
+            "cells": cells,
+        }
+
+    def records(self) -> List[dict]:
+        return self.store.records()
+
+    def summary(self) -> List[CellSummary]:
+        """Per-cell aggregates over completed jobs (see :mod:`.aggregate`)."""
+        return summarize(self.store.completed())
+
+    def compare(self, label_a: str, label_b: str, **kwargs) -> PairedComparison:
+        """Paired seed-for-seed comparison of two algorithm variants."""
+        return compare_labels(self.store.completed(), label_a, label_b, **kwargs)

@@ -1,0 +1,115 @@
+"""Durable result store for campaigns.
+
+Results live in an append-only JSONL file (``results.jsonl``) inside the
+campaign directory: one JSON object per line, written with ``O_APPEND`` in a
+single ``write`` call so concurrent writers (several runner processes
+pointed at the same campaign) interleave whole lines, never fragments.
+Append-only also makes interrupt-safety trivial — a killed run leaves a
+valid store containing exactly the jobs that finished.
+
+The reader is forgiving: a truncated final line (the one failure mode a
+hard kill can produce) is skipped, and when the same job id appears more
+than once the *last* record wins, so a re-run may correct an earlier
+failure without rewriting history.
+
+``ResultStore()`` with no path is an in-memory store for ephemeral sweeps
+(the benchmark harness) and tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set
+
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+
+class ResultStore:
+    """Append-only job-result log keyed by stable job id."""
+
+    def __init__(self, path=None) -> None:
+        self.path: Optional[Path] = None if path is None else Path(path)
+        self._memory: List[dict] = []
+        self._tail_checked = False
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def _needs_leading_newline(self) -> bool:
+        """Whether the file ends mid-line (a hard kill during a write).
+
+        Without this check the next append would concatenate onto the
+        truncated tail, corrupting a *good* record as well.  Checked once
+        per store instance, before its first write.
+        """
+        if self._tail_checked:
+            return False
+        self._tail_checked = True
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            return False
+        with open(self.path, "rb") as fh:
+            fh.seek(-1, os.SEEK_END)
+            return fh.read(1) != b"\n"
+
+    # -- writing ----------------------------------------------------------
+
+    def record(self, record: dict) -> None:
+        """Append one job record (must carry ``job_id`` and ``status``)."""
+        if "job_id" not in record or "status" not in record:
+            raise ValueError("record needs 'job_id' and 'status' fields")
+        if self.path is None:
+            self._memory.append(dict(record))
+            return
+        line = json.dumps(record, sort_keys=True) + "\n"
+        if self._needs_leading_newline():
+            line = "\n" + line
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    # -- reading ----------------------------------------------------------
+
+    def _raw_records(self) -> Iterable[dict]:
+        if self.path is None:
+            return list(self._memory)
+        if not self.path.exists():
+            return []
+        records = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue  # truncated tail from a hard kill
+        return records
+
+    def records(self) -> List[dict]:
+        """All records, deduplicated by job id (last record wins)."""
+        by_id: Dict[str, dict] = {}
+        for rec in self._raw_records():
+            by_id[rec["job_id"]] = rec
+        return list(by_id.values())
+
+    def completed(self) -> List[dict]:
+        return [r for r in self.records() if r.get("status") == STATUS_DONE]
+
+    def failed(self) -> List[dict]:
+        return [r for r in self.records() if r.get("status") == STATUS_FAILED]
+
+    def completed_ids(self) -> Set[str]:
+        """Ids of jobs that finished successfully (the resume skip-set)."""
+        return {r["job_id"] for r in self.completed()}
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = "memory" if self.path is None else str(self.path)
+        return f"<ResultStore {where} n={len(self)}>"

@@ -9,6 +9,9 @@ Subcommands:
 * ``scaleup`` — the Fig. 3.18 scale-up study on the virtual cluster.
 * ``optroot`` — inspect an $OPTROOT directory tree (systems, phases,
   processor count, property specs).
+* ``campaign`` — durable, parallel, resumable experiment sweeps
+  (``campaign run | status | summary | compare``); see
+  :mod:`repro.campaign`.
 """
 
 from __future__ import annotations
@@ -119,6 +122,141 @@ def _cmd_optroot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_spec_from_args(args: argparse.Namespace):
+    from repro.campaign import CampaignSpec
+
+    if args.spec is not None:
+        return CampaignSpec.load(args.spec)
+    return CampaignSpec(
+        name=args.name,
+        algorithms=list(args.algorithms),
+        functions=list(args.functions),
+        dims=list(args.dims),
+        sigma0s=list(args.sigma0s),
+        seeds=args.seeds,
+        n_seeds=args.n_seeds,
+        base_seed=args.base_seed,
+        noise_mode=args.noise_mode,
+        tau=args.tau,
+        walltime=args.walltime,
+        max_steps=args.max_steps,
+    )
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import SPEC_FILENAME, Campaign
+    from pathlib import Path
+
+    spec = None
+    if (Path(args.directory) / SPEC_FILENAME).exists():
+        if args.spec is not None:
+            spec = _campaign_spec_from_args(args)  # mismatch is an error
+        else:
+            print("resuming existing campaign (grid flags ignored; spec.json rules)")
+    else:
+        spec = _campaign_spec_from_args(args)
+    try:
+        campaign = Campaign(args.directory, spec=spec)
+    except ValueError as exc:  # conflicting spec for an existing directory
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = campaign.run(
+        backend=args.backend,
+        max_workers=args.max_workers,
+        chunksize=args.chunksize,
+        batch_size=args.batch_size,
+        max_jobs=args.max_jobs,
+    )
+    print(f"campaign  : {campaign.spec.name}")
+    print(f"directory : {campaign.directory}")
+    print(f"backend   : {args.backend}")
+    print(f"report    : {report}")
+    if report.interrupted or report.n_remaining > 0:
+        print("resume    : re-run the same command to finish the remaining jobs")
+    return 130 if report.interrupted else 0
+
+
+def _open_campaign(directory):
+    """Open an existing campaign or exit with a clean error (rc 2)."""
+    from repro.campaign import Campaign
+
+    try:
+        return Campaign(directory)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+
+    campaign = _open_campaign(args.directory)
+    status = campaign.status()
+    print(f"campaign  : {status['name']}")
+    print(f"directory : {status['directory']}")
+    print(
+        f"jobs      : {status['n_jobs']} total, {status['done']} done, "
+        f"{status['failed']} failed (retried on next run), "
+        f"{status['pending']} pending"
+    )
+    rows = [
+        [label, function, dim, f"{sigma0:g}", f"{done}/{total}"]
+        for (label, _algo, function, dim, sigma0), (total, done) in sorted(
+            status["cells"].items()
+        )
+    ]
+    print(format_table(["variant", "function", "dim", "sigma0", "done"], rows))
+    return 0
+
+
+def _cmd_campaign_summary(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.campaign import CellSummary
+
+    campaign = _open_campaign(args.directory)
+    summaries = campaign.summary()
+    if not summaries:
+        print("no completed jobs yet")
+        return 0
+    print(
+        format_table(
+            CellSummary.header(),
+            [s.as_row() for s in summaries],
+            title=f"campaign {campaign.spec.name!r}: per-cell aggregates",
+        )
+    )
+    return 0
+
+
+def _cmd_campaign_compare(args: argparse.Namespace) -> int:
+    campaign = _open_campaign(args.directory)
+    try:
+        cmp = campaign.compare(
+            args.label_a,
+            args.label_b,
+            tie_width=args.tie_width,
+            function=args.function,
+            dim=args.dim,
+            sigma0=args.sigma0,
+            pooled=args.pooled,
+        )
+    except ValueError as exc:
+        labels = sorted({r["job"]["label"] for r in campaign.store.completed()})
+        print(f"error: {exc}; completed variants: {labels}", file=sys.stderr)
+        return 2
+    print(f"pairs        : {cmp.n_pairs} shared seeds")
+    print(f"median ratio : {cmp.median:+.3f} decades (negative = {cmp.label_a} wins)")
+    if cmp.median_ci is not None:
+        ci = cmp.median_ci
+        print(f"bootstrap CI : [{ci.low:+.3f}, {ci.high:+.3f}] at {ci.confidence:.0%}")
+    s = cmp.sign
+    print(
+        f"sign test    : {s.n_wins} wins / {s.n_losses} losses / {s.n_ties} ties, "
+        f"p = {s.p_value:.4f}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-opt",
@@ -162,6 +300,68 @@ def build_parser() -> argparse.ArgumentParser:
     p_root = sub.add_parser("optroot", help="inspect an $OPTROOT tree")
     p_root.add_argument("root")
     p_root.set_defaults(func=_cmd_optroot)
+
+    p_camp = sub.add_parser(
+        "campaign", help="durable, parallel, resumable experiment sweeps"
+    )
+    camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+
+    p_crun = camp_sub.add_parser(
+        "run", help="run (or resume) the pending jobs of a campaign"
+    )
+    p_crun.add_argument("directory", help="campaign directory (spec.json + results.jsonl)")
+    p_crun.add_argument("--spec", default=None,
+                        help="JSON spec file to initialise a new campaign from")
+    p_crun.add_argument("--name", default="campaign")
+    p_crun.add_argument("--algorithms", nargs="+",
+                        default=["PC", "MN"],
+                        choices=["DET", "MN", "PC", "PC+MN", "ANDERSON"])
+    p_crun.add_argument("--functions", nargs="+", default=["rosenbrock"],
+                        choices=["rosenbrock", "powell", "sphere", "quadratic", "rastrigin"])
+    p_crun.add_argument("--dims", type=int, nargs="+", default=[4])
+    p_crun.add_argument("--sigma0s", type=float, nargs="+", default=[1000.0])
+    p_crun.add_argument("--seeds", type=int, nargs="+", default=None,
+                        help="explicit seed list (default: SeedSequence-spawned)")
+    p_crun.add_argument("--n-seeds", type=int, default=5)
+    p_crun.add_argument("--base-seed", type=int, default=0)
+    p_crun.add_argument("--noise-mode", default="resample",
+                        choices=["average", "resample"])
+    p_crun.add_argument("--tau", type=float, default=1e-3)
+    p_crun.add_argument("--walltime", type=float, default=3e4)
+    p_crun.add_argument("--max-steps", type=int, default=600)
+    p_crun.add_argument("--backend", default="serial",
+                        choices=["serial", "thread", "process"])
+    p_crun.add_argument("--max-workers", type=int, default=None)
+    p_crun.add_argument("--chunksize", type=int, default=1,
+                        help="jobs per IPC message on the process backend")
+    p_crun.add_argument("--batch-size", type=int, default=None,
+                        help="jobs between store writes (resume granularity)")
+    p_crun.add_argument("--max-jobs", type=int, default=None,
+                        help="stop after this many jobs (smoke tests / partial runs)")
+    p_crun.set_defaults(func=_cmd_campaign_run)
+
+    p_cstat = camp_sub.add_parser("status", help="job counts and per-cell progress")
+    p_cstat.add_argument("directory")
+    p_cstat.set_defaults(func=_cmd_campaign_status)
+
+    p_csum = camp_sub.add_parser("summary", help="per-cell aggregate table")
+    p_csum.add_argument("directory")
+    p_csum.set_defaults(func=_cmd_campaign_summary)
+
+    p_ccmp = camp_sub.add_parser(
+        "compare", help="paired comparison of two algorithm variants"
+    )
+    p_ccmp.add_argument("directory")
+    p_ccmp.add_argument("label_a")
+    p_ccmp.add_argument("label_b")
+    p_ccmp.add_argument("--tie-width", type=float, default=0.5)
+    p_ccmp.add_argument("--function", default=None,
+                        help="restrict the comparison to one test function")
+    p_ccmp.add_argument("--dim", type=int, default=None)
+    p_ccmp.add_argument("--sigma0", type=float, default=None)
+    p_ccmp.add_argument("--pooled", action="store_true",
+                        help="deliberately pool pairs across grid cells")
+    p_ccmp.set_defaults(func=_cmd_campaign_compare)
     return parser
 
 

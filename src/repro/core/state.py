@@ -8,10 +8,30 @@ Fig. 3.18c).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, List, Optional
 
 import numpy as np
+
+
+def plain_json(value: Any) -> Any:
+    """Strip numpy types so a structure is plain-JSON serializable.
+
+    Shared by result serialization here and by the campaign layer's
+    canonical job encoding (:mod:`repro.campaign.spec`).
+    """
+    if isinstance(value, dict):
+        return {str(k): plain_json(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [plain_json(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [plain_json(v) for v in value.tolist()]
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    return value
+
+
+_plain = plain_json
 
 
 @dataclass(frozen=True)
@@ -27,6 +47,13 @@ class StepRecord:
     contraction_level: int    # l, §2.2
     wait_time: float = 0.0    # virtual time spent in wait/resample loops this step
     resample_rounds: int = 0  # gated comparisons that needed extra sampling
+
+    def to_dict(self) -> dict:
+        return _plain(asdict(self))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StepRecord":
+        return cls(**data)
 
 
 class Trace:
@@ -76,6 +103,18 @@ class Trace:
             counts[r.operation] = counts.get(r.operation, 0) + 1
         return counts
 
+    # -- (de)serialization -------------------------------------------------
+
+    def to_records(self) -> List[dict]:
+        return [r.to_dict() for r in self.records]
+
+    @classmethod
+    def from_records(cls, records: List[dict]) -> "Trace":
+        trace = cls()
+        for rec in records:
+            trace.append(StepRecord.from_dict(rec))
+        return trace
+
 
 @dataclass
 class OptimizationResult:
@@ -104,3 +143,39 @@ class OptimizationResult:
             f"<OptimizationResult {self.algorithm} best={self.best_estimate:.6g} "
             f"true={self.best_true:.6g} steps={self.n_steps} reason={self.reason!r}>"
         )
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_dict(self, include_trace: bool = False) -> dict:
+        """Plain-JSON summary of the run (the campaign result-store format).
+
+        The trace is omitted by default — it is by far the largest part of a
+        result and the sweep-level aggregates never need it.
+        """
+        d = {
+            "algorithm": self.algorithm,
+            "best_theta": _plain(np.asarray(self.best_theta, dtype=float)),
+            "best_estimate": float(self.best_estimate),
+            "best_true": float(self.best_true),
+            "n_steps": int(self.n_steps),
+            "reason": str(self.reason),
+            "walltime": float(self.walltime),
+            "n_underlying_calls": int(self.n_underlying_calls),
+            "total_sampling_time": float(self.total_sampling_time),
+            "forced_decisions": int(self.forced_decisions),
+            "extra": _plain(self.extra),
+        }
+        if include_trace and self.trace is not None:
+            d["trace"] = self.trace.to_records()
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OptimizationResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        data = dict(data)
+        trace_records = data.pop("trace", None)
+        data["best_theta"] = np.asarray(data["best_theta"], dtype=float)
+        data["extra"] = dict(data.get("extra", {}))
+        if trace_records is not None:
+            data["trace"] = Trace.from_records(trace_records)
+        return cls(**data)

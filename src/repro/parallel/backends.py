@@ -33,21 +33,25 @@ def parallel_map(
     items: Iterable[T],
     backend: str = "serial",
     max_workers: Optional[int] = None,
+    chunksize: int = 1,
 ) -> List[R]:
     """Order-preserving map over items with a choice of executor.
 
     ``fn`` must be picklable for the ``process`` backend.  Exceptions
-    propagate (the first one raised by any task).
+    propagate (the first one raised by any task).  ``chunksize`` batches
+    items per inter-process message on the ``process`` backend, cutting IPC
+    overhead on large sweeps of cheap tasks; the other backends ignore it.
     """
     items = list(items)
     if backend not in _BACKENDS:
         raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+    chunksize = int(chunksize)
+    if chunksize < 1:
+        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
     if backend == "serial" or len(items) <= 1:
         return [fn(item) for item in items]
-    executor_cls = (
-        concurrent.futures.ThreadPoolExecutor
-        if backend == "thread"
-        else concurrent.futures.ProcessPoolExecutor
-    )
-    with executor_cls(max_workers=max_workers) as pool:
-        return list(pool.map(fn, items))
+    if backend == "thread":
+        with concurrent.futures.ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(fn, items))
+    with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))

@@ -66,6 +66,63 @@ class TestCommands:
         assert "d=   5" in out
         assert "time/step" in out
 
+    def test_campaign_lifecycle(self, tmp_path, capsys):
+        directory = str(tmp_path / "camp")
+        base = [
+            "campaign", "run", directory,
+            "--algorithms", "DET", "PC",
+            "--functions", "sphere", "--dims", "2",
+            "--sigma0s", "1.0", "--seeds", "0", "1",
+            "--max-steps", "40", "--walltime", "1e3",
+        ]
+        rc = main(base + ["--max-jobs", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 completed" in out and "resume" in out
+
+        rc = main(base)  # resume: spec comes from the directory
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 already done" in out and "3 completed" in out
+
+        rc = main(["campaign", "status", directory])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "4 total, 4 done" in out and "2/2" in out
+
+        rc = main(["campaign", "summary", directory])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "DET" in out and "PC" in out and "mean true min" in out
+
+        rc = main(["campaign", "compare", directory, "PC", "DET"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 shared seeds" in out and "sign test" in out
+
+    def test_campaign_summary_before_any_results(self, tmp_path, capsys):
+        from repro.campaign import Campaign, CampaignSpec
+
+        directory = tmp_path / "empty"
+        Campaign(directory, spec=CampaignSpec(name="e", algorithms=["DET"],
+                                              functions=["sphere"], dims=[2],
+                                              sigma0s=[1.0], seeds=[0]))
+        rc = main(["campaign", "summary", str(directory)])
+        assert rc == 0
+        assert "no completed jobs" in capsys.readouterr().out
+
+    def test_campaign_run_from_spec_file(self, tmp_path, capsys):
+        from repro.campaign import CampaignSpec
+
+        spec_path = CampaignSpec(
+            name="from-file", algorithms=["DET"], functions=["sphere"],
+            dims=[2], sigma0s=[1.0], seeds=[0], max_steps=40, walltime=1e3,
+        ).save(tmp_path / "spec.json")
+        rc = main(["campaign", "run", str(tmp_path / "camp"), "--spec", str(spec_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "from-file" in out and "1 completed" in out
+
     def test_optroot_command(self, tmp_path, capsys):
         from repro.optroot import OptRoot
         from repro.optroot.config import write_input, write_property_spec

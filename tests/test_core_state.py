@@ -85,3 +85,52 @@ class TestOptimizationResult:
         text = repr(result)
         assert "PC" in text and "tolerance" in text
         assert result.extra == {}
+
+
+class TestSerialization:
+    def make_result(self, trace=None):
+        return OptimizationResult(
+            algorithm="MN",
+            best_theta=np.array([1.5, -2.0]),
+            best_estimate=np.float64(0.5),
+            best_true=np.float64(0.25),
+            n_steps=np.int64(7),
+            reason="tolerance",
+            walltime=12.5,
+            trace=trace,
+            n_underlying_calls=42,
+            total_sampling_time=99.0,
+            forced_decisions=1,
+            extra={"restarts": np.int64(2), "grid": np.array([1.0, 2.0])},
+        )
+
+    def test_to_dict_is_plain_json(self):
+        import json
+
+        d = self.make_result().to_dict()
+        text = json.dumps(d)  # would raise on numpy-type leakage
+        assert json.loads(text) == d
+        assert d["best_theta"] == [1.5, -2.0]
+        assert d["extra"] == {"restarts": 2, "grid": [1.0, 2.0]}
+        assert type(d["n_steps"]) is int and type(d["best_estimate"]) is float
+
+    def test_round_trip(self):
+        result = self.make_result()
+        back = OptimizationResult.from_dict(result.to_dict())
+        np.testing.assert_array_equal(back.best_theta, result.best_theta)
+        assert back.best_true == result.best_true
+        assert back.n_steps == result.n_steps
+        assert back.reason == result.reason
+        assert back.extra["restarts"] == 2
+        assert back.trace is None
+
+    def test_trace_round_trip(self):
+        trace = Trace()
+        trace.append(record(1, 1.0, op="reflect"))
+        trace.append(record(2, 3.0, op="expand"))
+        result = self.make_result(trace=trace)
+        assert "trace" not in result.to_dict()  # omitted by default
+        back = OptimizationResult.from_dict(result.to_dict(include_trace=True))
+        assert len(back.trace) == 2
+        assert back.trace.operations() == ["reflect", "expand"]
+        np.testing.assert_allclose(back.trace.times(), trace.times())

@@ -1,0 +1,42 @@
+"""Tests for the serial/thread/process map helpers."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import parallel_map, seeded_tasks
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_preserves_order(self):
+        assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend must be one of"):
+            parallel_map(_square, [1], backend="mpi")
+
+    def test_invalid_chunksize_rejected(self):
+        with pytest.raises(ValueError, match="chunksize"):
+            parallel_map(_square, [1, 2], backend="process", chunksize=0)
+
+    def test_thread_backend(self):
+        assert parallel_map(_square, [1, 2, 3], backend="thread") == [1, 4, 9]
+
+    def test_process_backend_with_chunksize(self):
+        result = parallel_map(
+            _square, list(range(8)), backend="process", max_workers=2, chunksize=4
+        )
+        assert result == [x * x for x in range(8)]
+
+
+class TestSeededTasks:
+    def test_pairs_items_with_independent_streams(self):
+        tasks = seeded_tasks(["a", "b"], seed=0)
+        assert [item for item, _ in tasks] == ["a", "b"]
+        draws = [np.random.default_rng(seq).random() for _, seq in tasks]
+        assert draws[0] != draws[1]
+        again = [np.random.default_rng(seq).random() for _, seq in seeded_tasks(["a", "b"], seed=0)]
+        assert draws == again
