@@ -3,12 +3,18 @@
 The layer between one ``optimize()`` call and a paper-scale study:
 a declarative :class:`CampaignSpec` expands into :class:`Job` records with
 stable ids, a :class:`CampaignRunner` executes the pending ones on the
-serial/thread/process backends, a :class:`ResultStore` records each outcome
-append-only (so interrupted campaigns resume instead of restarting), and
-the aggregation helpers reduce the store back to the paper's per-cell and
-paired statistics.
+serial/thread/process backends or distributes them through the
+:class:`~repro.mw.MWDriver` master-worker layer (``backend="mw"``), a
+:class:`ResultStore` records each outcome append-only (so interrupted
+campaigns resume instead of restarting, and several runner processes or
+hosts can cooperatively drain one campaign directory), and the
+aggregation helpers reduce the store back to the paper's per-cell and
+paired statistics.  :meth:`ResultStore.compact` keeps 100k-job stores
+readable; :mod:`.progress` provides the live heartbeat and watch loops.
 
-CLI: ``python -m repro campaign run|status|summary|compare``.
+CLI: ``python -m repro campaign run|status|watch|summary|compare|compact``.
+See ``docs/CAMPAIGNS.md`` for the end-to-end guide and
+``docs/ARCHITECTURE.md`` for how this subsystem fits the rest.
 """
 
 from repro.campaign.aggregate import (
@@ -18,16 +24,24 @@ from repro.campaign.aggregate import (
     paired_minima_from_records,
     summarize,
 )
-from repro.campaign.execution import execute_job, job_function, run_job
+from repro.campaign.execution import execute_job, job_function, mw_job_executor, run_job
+from repro.campaign.progress import ProgressSnapshot, format_duration, watch_campaign
 from repro.campaign.runner import (
+    MW_TRANSPORTS,
     RESULTS_FILENAME,
+    RUNNER_BACKENDS,
     SPEC_FILENAME,
     Campaign,
     CampaignReport,
     CampaignRunner,
 )
 from repro.campaign.spec import AlgorithmVariant, CampaignSpec, Job, canonical_json
-from repro.campaign.store import STATUS_DONE, STATUS_FAILED, ResultStore
+from repro.campaign.store import (
+    STATUS_DONE,
+    STATUS_FAILED,
+    CompactionStats,
+    ResultStore,
+)
 
 __all__ = [
     "AlgorithmVariant",
@@ -36,9 +50,13 @@ __all__ = [
     "CampaignRunner",
     "CampaignSpec",
     "CellSummary",
+    "CompactionStats",
     "Job",
+    "MW_TRANSPORTS",
     "PairedComparison",
+    "ProgressSnapshot",
     "RESULTS_FILENAME",
+    "RUNNER_BACKENDS",
     "ResultStore",
     "SPEC_FILENAME",
     "STATUS_DONE",
@@ -46,8 +64,11 @@ __all__ = [
     "canonical_json",
     "compare_labels",
     "execute_job",
+    "format_duration",
     "job_function",
+    "mw_job_executor",
     "paired_minima_from_records",
     "run_job",
     "summarize",
+    "watch_campaign",
 ]

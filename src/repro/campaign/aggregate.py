@@ -52,6 +52,7 @@ class CellSummary:
     mean_walltime: float      # virtual seconds per job
 
     def as_row(self) -> list:
+        """Row form for ``format_table`` (pairs with :meth:`header`)."""
         return [
             self.label,
             self.function,
@@ -67,6 +68,7 @@ class CellSummary:
 
     @staticmethod
     def header() -> list:
+        """Column names matching :meth:`as_row`."""
         return [
             "variant",
             "function",
@@ -138,6 +140,7 @@ class PairedComparison:
 
     @property
     def median(self) -> float:
+        """Median log10 ratio (negative favours variant A)."""
         return float(np.median(self.log_ratios))
 
 

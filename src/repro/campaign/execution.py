@@ -65,6 +65,25 @@ def run_job(job: Job) -> dict:
     workers; exceptions become ``failed`` records instead of poisoning the
     whole batch.
     """
+    return _run_job_record(job)
+
+
+def mw_job_executor(work: dict, context) -> dict:
+    """MW executor adapter: run one job payload, return its store record.
+
+    ``work`` is a :meth:`Job.to_dict` payload (plain JSON, so it rides the
+    mw codec across the ``process`` transport) and ``context`` is the
+    worker's :class:`~repro.mw.worker.WorkerContext` — unused, because a
+    job's result is a deterministic function of the job alone, which is
+    what makes cooperative multi-runner draining safe: whichever runner
+    (or host) executes a job appends the identical record.
+
+    Module-level so process-transport workers can import it by reference.
+    """
+    return _run_job_record(Job.from_dict(work))
+
+
+def _run_job_record(job: Job) -> dict:
     t0 = time.perf_counter()
     try:
         result = execute_job(job)

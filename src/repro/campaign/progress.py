@@ -1,0 +1,112 @@
+"""Live campaign progress: heartbeat snapshots, rates, ETAs, watch loops.
+
+Two consumers share the :class:`ProgressSnapshot` shape:
+
+* ``campaign run --progress`` — the runner emits a snapshot after every
+  recorded batch (the heartbeat), with the rate measured over the whole
+  call so the ETA stays stable;
+* ``campaign watch`` — :func:`watch_campaign` polls a campaign directory
+  that *other* processes are draining and yields a snapshot per tick,
+  with the rate measured between consecutive observations.
+
+Both read only the spec and the result store, so watching works from any
+host that can see the shared campaign directory.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+
+def format_duration(seconds: Optional[float]) -> str:
+    """Compact human duration: ``42s``, ``3m12s``, ``2h05m``, or ``?``."""
+    if seconds is None or seconds != seconds or seconds < 0:
+        return "?"
+    seconds = int(round(seconds))
+    if seconds < 60:
+        return f"{seconds}s"
+    if seconds < 3600:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """One observation of a campaign's completion state."""
+
+    campaign: str
+    n_total: int          # jobs in the expanded grid
+    done: int             # completed store-wide (all cooperating runners)
+    failed: int           # latest-attempt failures (retried on re-run)
+    elapsed_s: float      # since the run call / watch loop started
+    rate: float           # completions per second over the measurement window
+
+    @property
+    def remaining(self) -> int:
+        """Jobs not yet completed anywhere."""
+        return max(0, self.n_total - self.done)
+
+    @property
+    def eta_s(self) -> Optional[float]:
+        """Estimated seconds to drain the remainder (``None`` if unknown)."""
+        if self.rate <= 0 or self.remaining == 0:
+            return None
+        return self.remaining / self.rate
+
+    def line(self) -> str:
+        """The one-line heartbeat format shared by ``--progress`` and ``watch``."""
+        rate = f"{self.rate:.2f} jobs/s" if self.rate > 0 else "? jobs/s"
+        return (
+            f"[{self.campaign}] {self.done}/{self.n_total} done, "
+            f"{self.failed} failed, {self.remaining} remaining | {rate} | "
+            f"eta {format_duration(self.eta_s)} | "
+            f"elapsed {format_duration(self.elapsed_s)}"
+        )
+
+
+def watch_campaign(
+    campaign,
+    interval: float = 2.0,
+    max_ticks: Optional[int] = None,
+    _sleep: Callable[[float], None] = time.sleep,
+    _clock: Callable[[], float] = time.monotonic,
+) -> Iterator[ProgressSnapshot]:
+    """Poll a campaign directory, yielding one snapshot per tick.
+
+    Ends when every job has settled (done or failed — failures only clear
+    on a re-run, so waiting for them would hang) or after ``max_ticks``
+    snapshots (``1`` gives the ``--once`` behaviour).  The per-tick rate is
+    the completion delta between observations over the wall-time between
+    them; the first tick has no window, so its rate is reported as 0.
+
+    ``campaign`` is a :class:`~repro.campaign.runner.Campaign`; ``_sleep``
+    and ``_clock`` are injectable for tests.
+    """
+    t0 = _clock()
+    prev_done: Optional[int] = None
+    prev_t = t0
+    ticks = 0
+    while True:
+        status = campaign.status()
+        now = _clock()
+        done = status["done"]
+        rate = 0.0
+        if prev_done is not None and now > prev_t:
+            rate = max(0.0, (done - prev_done) / (now - prev_t))
+        yield ProgressSnapshot(
+            campaign=status["name"],
+            n_total=status["n_jobs"],
+            done=done,
+            failed=status["failed"],
+            elapsed_s=now - t0,
+            rate=rate,
+        )
+        ticks += 1
+        if max_ticks is not None and ticks >= max_ticks:
+            return
+        if done + status["failed"] >= status["n_jobs"]:
+            return
+        prev_done, prev_t = done, now
+        _sleep(interval)

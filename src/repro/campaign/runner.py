@@ -1,14 +1,25 @@
 """Campaign execution: resumable parallel sweeps over a job grid.
 
 :class:`CampaignRunner` is the scheduling layer between a
-:class:`~repro.campaign.spec.CampaignSpec` and the executors in
-:mod:`repro.parallel.backends`: it expands the grid, subtracts jobs the
-:class:`~repro.campaign.store.ResultStore` already holds (resume), and maps
-:func:`~repro.campaign.execution.run_job` over the remainder in batches.
+:class:`~repro.campaign.spec.CampaignSpec` and an executor: it expands the
+grid, subtracts jobs the :class:`~repro.campaign.store.ResultStore` already
+holds (resume), and runs the remainder in batches on one of four backends —
+``serial`` / ``thread`` / ``process`` via
+:func:`~repro.parallel.backends.parallel_map`, or ``mw``, which dispatches
+each job as an :class:`~repro.mw.task.MWTask` through
+:class:`~repro.mw.MWDriver` (crashed workers requeue their tasks; affinity
+optionally pins jobs to worker ranks).
+
 Batching bounds the blast radius of a crash or Ctrl-C — everything up to
 the last completed batch is durably recorded, and ``KeyboardInterrupt``
 returns a report instead of unwinding, so the obvious follow-up is simply
-to re-run the same command.
+to re-run the same command.  Before each batch the runner re-reads the
+store, so several runner processes — or hosts sharing a filesystem —
+can *cooperatively drain one campaign*: jobs a peer completed since this
+runner expanded its pending list are shed instead of re-executed.  Because
+job results are deterministic in the job, the rare overlap (two runners
+in-flight on the same job) is harmless: both append identical records and
+last-record-wins deduplication absorbs it.
 
 :class:`Campaign` is the directory-level façade the CLI and examples use:
 ``<dir>/spec.json`` plus ``<dir>/results.jsonl``.
@@ -16,20 +27,33 @@ to re-run the same command.
 
 from __future__ import annotations
 
-import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.campaign.aggregate import CellSummary, PairedComparison, compare_labels, summarize
 from repro.campaign.execution import run_job
+from repro.campaign.progress import ProgressSnapshot
 from repro.campaign.spec import CampaignSpec, Job
-from repro.campaign.store import STATUS_DONE, STATUS_FAILED, ResultStore
+from repro.campaign.store import (
+    STATUS_DONE,
+    STATUS_FAILED,
+    CompactionStats,
+    ResultStore,
+)
 from repro.parallel.backends import parallel_map
 
 SPEC_FILENAME = "spec.json"
 RESULTS_FILENAME = "results.jsonl"
+
+#: Execution backends a runner accepts.
+RUNNER_BACKENDS = ("serial", "thread", "process", "mw")
+#: Transports the ``mw`` backend can put under the driver.
+MW_TRANSPORTS = ("inproc", "threaded", "process")
+
+ProgressCallback = Callable[[ProgressSnapshot], None]
 
 
 @dataclass
@@ -41,23 +65,67 @@ class CampaignReport:
     n_run: int            # executed this call
     n_done: int           # of those, succeeded
     n_failed: int         # of those, failed
+    n_shed: int = 0       # completed by a cooperating runner mid-flight
     interrupted: bool = False
 
     @property
     def n_remaining(self) -> int:
-        return self.n_total - self.n_skipped - self.n_done
+        """Jobs still not completed anywhere after this call."""
+        return self.n_total - self.n_skipped - self.n_done - self.n_shed
 
     def __str__(self) -> str:
+        shed = f", {self.n_shed} shed to peers" if self.n_shed else ""
         tail = "  [interrupted]" if self.interrupted else ""
         return (
             f"{self.n_total} jobs: {self.n_skipped} already done, "
-            f"{self.n_done} completed, {self.n_failed} failed, "
+            f"{self.n_done} completed, {self.n_failed} failed{shed}, "
             f"{self.n_remaining} remaining{tail}"
         )
 
 
 class CampaignRunner:
-    """Executes the pending jobs of a spec against a result store."""
+    """Executes the pending jobs of a spec against a result store.
+
+    Parameters
+    ----------
+    spec:
+        The declarative grid to drain.
+    store:
+        Result store shared by every cooperating runner (resume skip-set
+        plus the append target).
+    backend:
+        ``serial`` / ``thread`` / ``process`` (via ``parallel_map``) or
+        ``mw`` (via :class:`~repro.mw.MWDriver`).
+    max_workers:
+        Worker count for the parallel backends (``mw``: driver workers).
+    chunksize:
+        Jobs per IPC message on the ``process`` backend.
+    batch_size:
+        Jobs between store writes — the resume granularity.  Defaults to
+        1 for ``serial`` and ``workers * chunksize`` otherwise.
+    mw_transport:
+        What the mw workers run on: ``inproc`` (deterministic, tests),
+        ``threaded``, or ``process`` (real parallelism; the default).
+    mw_affinity:
+        Pin batch jobs round-robin to worker ranks (the paper restarts a
+        worker "on the same processors"; affinity keeps a job's retries
+        on its preferred rank when it is idle).
+    mw_max_retries:
+        Requeues per task after worker errors or crashes before the job
+        is recorded as failed.
+    refresh_pending:
+        Re-read the store before each batch (after the first) and shed
+        jobs a cooperating runner has completed.  Costs one incremental
+        file scan per batch; disable only for strictly single-runner use.
+    stagger:
+        Rotate this runner's pending list by a PID-derived offset so
+        concurrent runners traverse disjoint regions of the grid and the
+        periodic re-read actually sheds peer completions.  Without it,
+        runners started simultaneously walk the grid in lockstep and
+        duplicate (harmlessly, but wastefully) each other's work.  Off by
+        default because single-runner resume semantics are easier to
+        reason about in expansion order.
+    """
 
     def __init__(
         self,
@@ -67,12 +135,30 @@ class CampaignRunner:
         max_workers: Optional[int] = None,
         chunksize: int = 1,
         batch_size: Optional[int] = None,
+        mw_transport: str = "process",
+        mw_affinity: bool = False,
+        mw_max_retries: int = 2,
+        refresh_pending: bool = True,
+        stagger: bool = False,
     ) -> None:
+        if backend not in RUNNER_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {RUNNER_BACKENDS}, got {backend!r}"
+            )
+        if mw_transport not in MW_TRANSPORTS:
+            raise ValueError(
+                f"mw_transport must be one of {MW_TRANSPORTS}, got {mw_transport!r}"
+            )
         self.spec = spec
         self.store = store
         self.backend = backend
         self.max_workers = max_workers
         self.chunksize = chunksize
+        self.mw_transport = mw_transport
+        self.mw_affinity = bool(mw_affinity)
+        self.mw_max_retries = int(mw_max_retries)
+        self.refresh_pending = bool(refresh_pending)
+        self.stagger = bool(stagger)
         if batch_size is None:
             if backend == "serial":
                 batch_size = 1  # record after every job: finest resume grain
@@ -86,45 +172,175 @@ class CampaignRunner:
         done = self.store.completed_ids()
         return [job for job in self.spec.expand() if job.job_id not in done]
 
-    def run(self, max_jobs: Optional[int] = None) -> CampaignReport:
+    def run(
+        self,
+        max_jobs: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> CampaignReport:
         """Execute pending jobs; returns instead of raising on Ctrl-C.
 
         ``max_jobs`` caps how many jobs this call executes (useful for
         smoke tests and for simulating an interrupted campaign).
+        ``progress`` is called with a
+        :class:`~repro.campaign.progress.ProgressSnapshot` after every
+        recorded batch — the ``--progress`` heartbeat.
         """
         n_total = len(self.spec.expand())
         pending = self.pending()
         n_skipped = n_total - len(pending)
         if max_jobs is not None:
             pending = pending[: max(0, int(max_jobs))]
-        n_done = n_failed = 0
+        if self.stagger and len(pending) > 1:
+            # Disjoint, batch-aligned starting regions per runner;
+            # completions meet in the middle via the periodic store
+            # re-read.  Offsetting by whole batches keeps the offset
+            # pid-sensitive even when batch_size divides len(pending).
+            n_batches = -(-len(pending) // self.batch_size)
+            offset = (os.getpid() % n_batches) * self.batch_size
+            pending = pending[offset:] + pending[:offset]
+        counts = {"done": 0, "failed": 0, "shed": 0}
+        t0 = time.monotonic()
+
+        def emit() -> None:
+            if progress is None:
+                return
+            elapsed = max(time.monotonic() - t0, 1e-9)
+            progress(
+                ProgressSnapshot(
+                    campaign=self.spec.name,
+                    n_total=n_total,
+                    done=n_skipped + counts["done"] + counts["shed"],
+                    failed=counts["failed"],
+                    elapsed_s=elapsed,
+                    rate=counts["done"] / elapsed,
+                )
+            )
+
         interrupted = False
         try:
-            for start in range(0, len(pending), self.batch_size):
-                batch = pending[start : start + self.batch_size]
-                records = parallel_map(
-                    run_job,
-                    batch,
-                    backend=self.backend,
-                    max_workers=self.max_workers,
-                    chunksize=self.chunksize,
-                )
-                for rec in records:
-                    self.store.record(rec)
-                    if rec["status"] == STATUS_DONE:
-                        n_done += 1
-                    else:
-                        n_failed += 1
+            if self.backend == "mw":
+                self._run_mw(pending, counts, emit)
+            else:
+                self._run_batches(pending, counts, emit)
         except KeyboardInterrupt:
             interrupted = True
         return CampaignReport(
             n_total=n_total,
             n_skipped=n_skipped,
-            n_run=n_done + n_failed,
-            n_done=n_done,
-            n_failed=n_failed,
+            n_run=counts["done"] + counts["failed"],
+            n_done=counts["done"],
+            n_failed=counts["failed"],
+            n_shed=counts["shed"],
             interrupted=interrupted,
         )
+
+    # -- backend paths -----------------------------------------------------
+
+    def _fresh_batch(self, batch: List[Job], counts: dict) -> List[Job]:
+        """Drop jobs a cooperating runner completed since our expansion."""
+        if not self.refresh_pending:
+            return batch
+        done = self.store.completed_ids()
+        fresh = [job for job in batch if job.job_id not in done]
+        counts["shed"] += len(batch) - len(fresh)
+        return fresh
+
+    def _record_batch(self, records: List[dict], counts: dict) -> None:
+        """Append one batch of records, updating the done/failed counters."""
+        for rec in records:
+            self.store.record(rec)
+            if rec["status"] == STATUS_DONE:
+                counts["done"] += 1
+            else:
+                counts["failed"] += 1
+
+    def _run_batches(self, pending: List[Job], counts: dict, emit) -> None:
+        """serial / thread / process path: ``parallel_map`` per batch."""
+        for start in range(0, len(pending), self.batch_size):
+            batch = pending[start : start + self.batch_size]
+            if start:
+                batch = self._fresh_batch(batch, counts)
+                if not batch:
+                    emit()
+                    continue
+            records = parallel_map(
+                run_job,
+                batch,
+                backend=self.backend,
+                max_workers=self.max_workers,
+                chunksize=self.chunksize,
+            )
+            self._record_batch(records, counts)
+            emit()
+
+    def _run_mw(self, pending: List[Job], counts: dict, emit) -> None:
+        """mw path: one long-lived driver, one :class:`MWTask` per job.
+
+        Worker crashes on the ``process`` transport requeue the in-flight
+        task (up to ``mw_max_retries``); a task the driver gives up on is
+        recorded as failed, so the next ``run`` retries the job like any
+        other failure.
+        """
+        if not pending:
+            return
+        from repro.campaign.execution import mw_job_executor
+        from repro.campaign.spec import _is_plain_json
+        from repro.mw.driver import MWDriver
+
+        for job in pending:
+            if not _is_plain_json(job.options):
+                # The other backends pickle the Job intact; mw ships it as a
+                # codec dict, which would silently stringify rich options.
+                raise ValueError(
+                    f"job {job.label!r} has non-JSON options {job.options!r}; "
+                    f"the mw backend serializes jobs as plain JSON — use the "
+                    f"serial/thread/process backend, or express the options "
+                    f"as plain JSON"
+                )
+
+        n_workers = self.max_workers or os.cpu_count() or 2
+        n_workers = max(1, min(n_workers, len(pending)))
+        driver = MWDriver(
+            mw_job_executor,
+            n_workers=n_workers,
+            backend=self.mw_transport,
+            max_retries=self.mw_max_retries,
+            seed=0,
+        )
+        with driver:
+            for start in range(0, len(pending), self.batch_size):
+                batch = pending[start : start + self.batch_size]
+                if start:
+                    batch = self._fresh_batch(batch, counts)
+                    if not batch:
+                        emit()
+                        continue
+                tasks = [
+                    driver.submit(
+                        job.to_dict(),
+                        affinity=(i % n_workers) + 1 if self.mw_affinity else None,
+                    )
+                    for i, job in enumerate(batch)
+                ]
+                driver.wait_all()
+                records = [
+                    task.result if task.done else self._mw_failure_record(job, task)
+                    for job, task in zip(batch, tasks)
+                ]
+                self._record_batch(records, counts)
+                emit()
+
+    @staticmethod
+    def _mw_failure_record(job: Job, task) -> dict:
+        """Store record for a task the driver gave up on (retries exhausted)."""
+        return {
+            "job_id": job.job_id,
+            "status": STATUS_FAILED,
+            "job": job.to_dict(),
+            "result": None,
+            "error": task.error or "mw task failed",
+            "elapsed_s": 0.0,
+        }
 
 
 class Campaign:
@@ -154,6 +370,18 @@ class Campaign:
             self.spec = spec
             spec.save(spec_path)
         self.store = ResultStore(self.directory / RESULTS_FILENAME)
+        self._jobs: Optional[List[Job]] = None
+
+    def jobs(self) -> List[Job]:
+        """The expanded grid, cached — a campaign's grid is fixed at creation.
+
+        Caching matters for ``watch``: re-expanding (and re-hashing) a
+        100k-job grid every poll tick would dwarf the incremental store
+        read.
+        """
+        if self._jobs is None:
+            self._jobs = self.spec.expand()
+        return self._jobs
 
     # -- execution --------------------------------------------------------
 
@@ -164,7 +392,13 @@ class Campaign:
         chunksize: int = 1,
         batch_size: Optional[int] = None,
         max_jobs: Optional[int] = None,
+        mw_transport: str = "process",
+        mw_affinity: bool = False,
+        mw_max_retries: int = 2,
+        stagger: bool = False,
+        progress: Optional[ProgressCallback] = None,
     ) -> CampaignReport:
+        """Run (or resume) the pending jobs; see :class:`CampaignRunner`."""
         runner = CampaignRunner(
             self.spec,
             self.store,
@@ -172,27 +406,34 @@ class Campaign:
             max_workers=max_workers,
             chunksize=chunksize,
             batch_size=batch_size,
+            mw_transport=mw_transport,
+            mw_affinity=mw_affinity,
+            mw_max_retries=mw_max_retries,
+            stagger=stagger,
         )
-        return runner.run(max_jobs=max_jobs)
+        return runner.run(max_jobs=max_jobs, progress=progress)
+
+    # -- maintenance ------------------------------------------------------
+
+    def compact(self) -> CompactionStats:
+        """Compact the result store (see :meth:`ResultStore.compact`)."""
+        return self.store.compact()
 
     # -- inspection -------------------------------------------------------
 
     def status(self) -> dict:
         """Counts of done / failed / pending jobs plus per-cell progress."""
-        jobs = self.spec.expand()
+        jobs = self.jobs()
         records = {r["job_id"]: r for r in self.store.records()}
-        done = sum(
-            1 for j in jobs if records.get(j.job_id, {}).get("status") == STATUS_DONE
-        )
-        failed = sum(
-            1 for j in jobs if records.get(j.job_id, {}).get("status") == STATUS_FAILED
-        )
+        done = failed = 0
         cells: dict = {}
         for job in jobs:
-            key = job.cell
-            total, cell_done = cells.get(key, (0, 0))
-            is_done = records.get(job.job_id, {}).get("status") == STATUS_DONE
-            cells[key] = (total + 1, cell_done + (1 if is_done else 0))
+            state = records.get(job.job_id, {}).get("status")
+            is_done = state == STATUS_DONE
+            done += is_done
+            failed += state == STATUS_FAILED
+            total, cell_done = cells.get(job.cell, (0, 0))
+            cells[job.cell] = (total + 1, cell_done + is_done)
         return {
             "name": self.spec.name,
             "directory": str(self.directory),
@@ -204,6 +445,7 @@ class Campaign:
         }
 
     def records(self) -> List[dict]:
+        """All store records, deduplicated by job id (last record wins)."""
         return self.store.records()
 
     def summary(self) -> List[CellSummary]:

@@ -17,6 +17,7 @@ job-for-job.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import itertools
 import json
@@ -102,6 +103,7 @@ class AlgorithmVariant:
             object.__setattr__(self, "label", self.algorithm)
 
     def to_dict(self) -> dict:
+        """Canonical JSON shape of the variant (used in spec files)."""
         return {
             "label": self.label,
             "algorithm": self.algorithm,
@@ -110,6 +112,7 @@ class AlgorithmVariant:
 
     @classmethod
     def from_any(cls, value: Union[str, Mapping, "AlgorithmVariant"]) -> "AlgorithmVariant":
+        """Coerce a name, mapping, or variant into an :class:`AlgorithmVariant`."""
         if isinstance(value, AlgorithmVariant):
             return value
         if isinstance(value, str):
@@ -145,9 +148,15 @@ class Job:
     high: float = 5.0
     options: Dict[str, Any] = field(default_factory=dict)
 
-    @property
+    @functools.cached_property
     def job_id(self) -> str:
-        """Stable content hash of the job's identity fields."""
+        """Stable content hash of the job's identity fields.
+
+        Cached per instance (writes through ``__dict__``, which frozen
+        dataclasses permit) — status/watch loops touch every job's id on
+        every poll, and the canonical-JSON + SHA-1 work dominates
+        otherwise.
+        """
         identity = {name: getattr(self, name) for name in _IDENTITY_FIELDS}
         digest = hashlib.sha1(canonical_json(identity).encode("utf-8"))
         return digest.hexdigest()[:12]
@@ -158,6 +167,7 @@ class Job:
         return (self.label, self.algorithm, self.function, self.dim, self.sigma0)
 
     def to_dict(self) -> dict:
+        """Plain-JSON encoding of the job, including its derived ``job_id``."""
         d = {name: _canonical(getattr(self, name)) for name in _IDENTITY_FIELDS}
         d["campaign"] = self.campaign
         d["job_id"] = self.job_id
@@ -165,6 +175,7 @@ class Job:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "Job":
+        """Rebuild a job from :meth:`to_dict` output (extra keys ignored)."""
         kwargs = {name: data[name] for name in _IDENTITY_FIELDS if name in data}
         kwargs["options"] = dict(kwargs.get("options", {}))
         return cls(campaign=data.get("campaign", ""), **kwargs)
@@ -258,6 +269,7 @@ class CampaignSpec:
     # -- (de)serialization ------------------------------------------------
 
     def to_dict(self) -> dict:
+        """Plain-JSON encoding of the grid (the ``spec.json`` payload)."""
         return {
             "name": self.name,
             "algorithms": [v.to_dict() for v in self.algorithms],
@@ -278,6 +290,7 @@ class CampaignSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`to_dict` output (``version`` ignored)."""
         kwargs = dict(data)
         kwargs.pop("version", None)
         return cls(**kwargs)
@@ -311,6 +324,7 @@ class CampaignSpec:
 
     @classmethod
     def load(cls, path) -> "CampaignSpec":
+        """Load a spec saved by :meth:`save`."""
         return cls.from_dict(json.loads(Path(path).read_text()))
 
     def same_grid(self, other: "CampaignSpec") -> bool:

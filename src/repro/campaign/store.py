@@ -2,15 +2,31 @@
 
 Results live in an append-only JSONL file (``results.jsonl``) inside the
 campaign directory: one JSON object per line, written with ``O_APPEND`` in a
-single ``write`` call so concurrent writers (several runner processes
-pointed at the same campaign) interleave whole lines, never fragments.
-Append-only also makes interrupt-safety trivial — a killed run leaves a
-valid store containing exactly the jobs that finished.
+single ``write`` call so concurrent writers (several runner processes —
+or hosts sharing a filesystem — pointed at the same campaign) interleave
+whole lines, never fragments.  Append-only also makes interrupt-safety
+trivial — a killed run leaves a valid store containing exactly the jobs
+that finished.
 
 The reader is forgiving: a truncated final line (the one failure mode a
 hard kill can produce) is skipped, and when the same job id appears more
 than once the *last* record wins, so a re-run may correct an earlier
-failure without rewriting history.
+failure without rewriting history.  Reads are incremental — the store
+remembers how far into the file it has parsed and only folds in newly
+appended lines — which is what keeps the cooperative multi-runner
+re-read cheap even for 100k-job campaigns.
+
+Long-lived stores accumulate duplicate records (retried failures,
+overlapping runners); :meth:`ResultStore.compact` rewrites the log
+one-line-per-job into a fresh file and atomically renames it over the
+old one.  Appends and compaction both take an exclusive ``flock`` (an
+append is a microsecond-scale critical section), so on a local
+filesystem no append can race the rename, and the ends-mid-line tail
+check can never interleave with another writer's partial write; a
+writer that opened the pre-compaction inode detects the swap and
+reopens.
+(``flock`` degrades to advisory-or-absent on some network filesystems —
+run compaction when no runner is writing if the store lives on NFS.)
 
 ``ResultStore()`` with no path is an in-memory store for ephemeral sweeps
 (the benchmark harness) and tests.
@@ -18,94 +34,300 @@ failure without rewriting history.
 
 from __future__ import annotations
 
+import copy
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 STATUS_DONE = "done"
 STATUS_FAILED = "failed"
 
 
+@dataclass(frozen=True)
+class CompactionStats:
+    """What one :meth:`ResultStore.compact` call did."""
+
+    n_records_before: int   # raw parseable records, duplicates included
+    n_records_after: int    # one per job id
+    bytes_before: int
+    bytes_after: int
+
+    @property
+    def n_dropped(self) -> int:
+        """Duplicate / superseded records removed by the rewrite."""
+        return self.n_records_before - self.n_records_after
+
+    def __str__(self) -> str:
+        return (
+            f"{self.n_records_before} -> {self.n_records_after} records "
+            f"({self.n_dropped} dropped), "
+            f"{self.bytes_before} -> {self.bytes_after} bytes"
+        )
+
+
 class ResultStore:
-    """Append-only job-result log keyed by stable job id."""
+    """Append-only job-result log keyed by stable job id.
+
+    Parameters
+    ----------
+    path:
+        JSONL file backing the store; parent directories are created.
+        ``None`` keeps records in memory (ephemeral sweeps and tests).
+    """
 
     def __init__(self, path=None) -> None:
         self.path: Optional[Path] = None if path is None else Path(path)
         self._memory: List[dict] = []
-        self._tail_checked = False
+        # Incremental-read state: id-keyed cache of everything parsed so
+        # far, the byte offset of the first unparsed line, and the
+        # (st_dev, st_ino) identity of the file those offsets refer to
+        # (compaction replaces the inode, invalidating them).
+        self._by_id: Dict[str, dict] = {}
+        self._offset = 0
+        self._src: Optional[Tuple[int, int]] = None
+        # File size observed right after our own last append; while the
+        # size still matches, the tail is known to end in a newline.
+        self._clean_size: Optional[int] = None
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
 
-    def _needs_leading_newline(self) -> bool:
-        """Whether the file ends mid-line (a hard kill during a write).
-
-        Without this check the next append would concatenate onto the
-        truncated tail, corrupting a *good* record as well.  Checked once
-        per store instance, before its first write.
-        """
-        if self._tail_checked:
-            return False
-        self._tail_checked = True
-        if not self.path.exists() or self.path.stat().st_size == 0:
-            return False
-        with open(self.path, "rb") as fh:
-            fh.seek(-1, os.SEEK_END)
-            return fh.read(1) != b"\n"
-
     # -- writing ----------------------------------------------------------
 
+    def _fd_is_current(self, fd: int) -> bool:
+        """Whether ``fd`` still refers to the file at ``self.path``.
+
+        False when a concurrent :meth:`compact` renamed a fresh file over
+        the path between our ``open`` and ``flock`` — writing through the
+        stale descriptor would append to the unlinked old inode and lose
+        the record.
+        """
+        try:
+            st_path = os.stat(self.path)
+        except FileNotFoundError:
+            return False
+        st_fd = os.fstat(fd)
+        return (st_fd.st_dev, st_fd.st_ino) == (st_path.st_dev, st_path.st_ino)
+
+    def _needs_leading_newline(self, fd: int) -> bool:
+        """Whether the file currently ends mid-line (a hard kill during a write).
+
+        Without this check the next append would concatenate onto the
+        truncated tail, corrupting a *good* record as well.  Re-checked
+        whenever the file has changed size since our own last append —
+        another writer's kill can truncate the tail at any time, so a
+        once-per-instance check is not enough (the multi-writer edge).
+        The ``_clean_size`` shortcut is sound because it is captured under
+        the same exclusive lock as the write: no peer can slip a partial
+        line in between our write and our ``fstat``.
+        """
+        size = os.fstat(fd).st_size
+        if size == 0:
+            return False
+        if size == self._clean_size:
+            return False  # unchanged since our last append, which ended in \n
+        if hasattr(os, "pread"):
+            return os.pread(fd, 1, size - 1) != b"\n"
+        with open(self.path, "rb") as fh:  # pragma: no cover - non-POSIX
+            fh.seek(size - 1)
+            return fh.read(1) != b"\n"
+
     def record(self, record: dict) -> None:
-        """Append one job record (must carry ``job_id`` and ``status``)."""
+        """Append one job record (must carry ``job_id`` and ``status``).
+
+        The write is a single ``O_APPEND`` ``write`` under an exclusive
+        ``flock``, so concurrent writers interleave whole lines, never
+        race a compaction rename, and the tail check + write happen
+        atomically with respect to other (locking) writers.
+        """
         if "job_id" not in record or "status" not in record:
             raise ValueError("record needs 'job_id' and 'status' fields")
         if self.path is None:
             self._memory.append(dict(record))
             return
-        line = json.dumps(record, sort_keys=True) + "\n"
-        if self._needs_leading_newline():
-            line = "\n" + line
-        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
-        try:
-            os.write(fd, line.encode("utf-8"))
-        finally:
-            os.close(fd)
+        payload = json.dumps(record, sort_keys=True) + "\n"
+        while True:
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_EX)
+                    if not self._fd_is_current(fd):
+                        continue  # compacted underneath us; reopen
+                line = payload
+                if self._needs_leading_newline(fd):
+                    line = "\n" + payload
+                os.write(fd, line.encode("utf-8"))
+                self._clean_size = os.fstat(fd).st_size
+                return
+            finally:
+                os.close(fd)
 
     # -- reading ----------------------------------------------------------
 
-    def _raw_records(self) -> Iterable[dict]:
+    def _reset_cache(self) -> None:
+        self._by_id = {}
+        self._offset = 0
+        self._src = None
+
+    @staticmethod
+    def _parse_line(raw: bytes) -> Optional[dict]:
+        """One JSONL line -> record dict, or ``None`` for junk/truncation."""
+        raw = raw.strip()
+        if not raw:
+            return None
+        try:
+            rec = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None  # truncated tail from a hard kill
+        if not isinstance(rec, dict) or "job_id" not in rec:
+            return None
+        return rec
+
+    @classmethod
+    def _fold_lines(cls, data: bytes, by_id: Dict[str, dict]) -> int:
+        """Fold raw JSONL bytes into ``by_id`` (last record per id wins).
+
+        The single definition of the dedup discipline, shared by the
+        incremental scanner and compaction.  Returns how many parseable
+        records were folded (duplicates included).
+        """
+        n_parsed = 0
+        for raw in data.split(b"\n"):
+            rec = cls._parse_line(raw)
+            if rec is not None:
+                n_parsed += 1
+                by_id[rec["job_id"]] = rec
+        return n_parsed
+
+    @staticmethod
+    def _fold_records(records: List[dict]) -> Dict[str, dict]:
+        """Dedup already-parsed records by job id (last record wins)."""
+        by_id: Dict[str, dict] = {}
+        for rec in records:
+            by_id[rec["job_id"]] = rec
+        return by_id
+
+    def _scan(self) -> None:
+        """Fold lines appended since the last read into the id-keyed cache.
+
+        Detects file replacement (compaction by another process) or
+        truncation via the inode identity and size, and rescans from the
+        start in that case.  Only complete (newline-terminated) lines are
+        consumed, so a partial line being written right now is retried on
+        the next scan instead of being half-parsed.
+        """
         if self.path is None:
-            return list(self._memory)
-        if not self.path.exists():
-            return []
-        records = []
-        with open(self.path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    records.append(json.loads(line))
-                except json.JSONDecodeError:
-                    continue  # truncated tail from a hard kill
-        return records
+            return
+        try:
+            fh = open(self.path, "rb")
+        except FileNotFoundError:
+            self._reset_cache()
+            return
+        with fh:
+            st = os.fstat(fh.fileno())
+            src = (st.st_dev, st.st_ino)
+            if self._src != src or st.st_size < self._offset:
+                self._reset_cache()
+                self._src = src
+            if st.st_size == self._offset:
+                return
+            fh.seek(self._offset)
+            data = fh.read()
+        end = data.rfind(b"\n")
+        if end < 0:
+            return  # only a partial line so far
+        self._offset += end + 1
+        self._fold_lines(data[:end], self._by_id)
 
     def records(self) -> List[dict]:
-        """All records, deduplicated by job id (last record wins)."""
-        by_id: Dict[str, dict] = {}
-        for rec in self._raw_records():
-            by_id[rec["job_id"]] = rec
-        return list(by_id.values())
+        """All records, deduplicated by job id (last record wins).
+
+        Order is first appearance of each id, which compaction preserves —
+        aggregation output is identical before and after a compact.
+        Returned records are deep copies: mutating them cannot corrupt the
+        store's read cache.
+        """
+        if self.path is None:
+            by_id = self._fold_records(self._memory)
+            return [copy.deepcopy(r) for r in by_id.values()]
+        self._scan()
+        return [copy.deepcopy(r) for r in self._by_id.values()]
 
     def completed(self) -> List[dict]:
+        """Records of jobs that finished successfully."""
         return [r for r in self.records() if r.get("status") == STATUS_DONE]
 
     def failed(self) -> List[dict]:
+        """Records of jobs whose latest attempt failed (retried on re-run)."""
         return [r for r in self.records() if r.get("status") == STATUS_FAILED]
 
     def completed_ids(self) -> Set[str]:
         """Ids of jobs that finished successfully (the resume skip-set)."""
-        return {r["job_id"] for r in self.completed()}
+        if self.path is None:
+            return {r["job_id"] for r in self.completed()}
+        self._scan()
+        return {
+            rid
+            for rid, rec in self._by_id.items()
+            if rec.get("status") == STATUS_DONE
+        }
+
+    # -- compaction --------------------------------------------------------
+
+    def compact(self) -> CompactionStats:
+        """Rewrite the log one-line-per-job (last record wins), atomically.
+
+        The deduplicated records are written to a sibling temp file,
+        fsynced, and renamed over the live store, all under an exclusive
+        ``flock`` so no concurrent append can fall between the read and
+        the rename.  Record order (first appearance of each id) and the
+        per-record bytes are preserved, so ``summary``/``compare`` output
+        is identical before and after; truncated kill artifacts are
+        dropped.  Idempotent: compacting a compacted store is a no-op
+        rewrite.  Returns a :class:`CompactionStats`.
+        """
+        if self.path is None:
+            n_before = len(self._memory)
+            self._memory = list(self._fold_records(self._memory).values())
+            return CompactionStats(n_before, len(self._memory), 0, 0)
+        while True:
+            try:
+                fd = os.open(self.path, os.O_RDWR)
+            except FileNotFoundError:
+                return CompactionStats(0, 0, 0, 0)
+            try:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_EX)
+                    if not self._fd_is_current(fd):
+                        continue  # lost a race with another compactor; reopen
+                with os.fdopen(fd, "rb", closefd=False) as fh:
+                    data = fh.read()
+                by_id: Dict[str, dict] = {}
+                n_before = self._fold_lines(data, by_id)
+                body = "".join(
+                    json.dumps(rec, sort_keys=True) + "\n" for rec in by_id.values()
+                ).encode("utf-8")
+                tmp = self.path.with_name(self.path.name + f".compact.{os.getpid()}")
+                tfd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+                try:
+                    os.write(tfd, body)
+                    os.fsync(tfd)
+                finally:
+                    os.close(tfd)
+                os.replace(tmp, self.path)
+                self._reset_cache()
+                self._clean_size = None
+                return CompactionStats(n_before, len(by_id), len(data), len(body))
+            finally:
+                os.close(fd)
+
+    # -- misc --------------------------------------------------------------
 
     def __len__(self) -> int:
         return len(self.records())

@@ -10,8 +10,11 @@ Subcommands:
 * ``optroot`` — inspect an $OPTROOT directory tree (systems, phases,
   processor count, property specs).
 * ``campaign`` — durable, parallel, resumable experiment sweeps
-  (``campaign run | status | summary | compare``); see
-  :mod:`repro.campaign`.
+  (``campaign run | status | watch | summary | compare | compact``); see
+  :mod:`repro.campaign` and ``docs/CAMPAIGNS.md``.  ``run --backend mw``
+  distributes jobs through the :mod:`repro.mw` master-worker layer, and
+  several runner processes pointed at the same directory cooperatively
+  drain one campaign.
 """
 
 from __future__ import annotations
@@ -160,12 +163,20 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     except ValueError as exc:  # conflicting spec for an existing directory
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    progress_cb = None
+    if args.progress:
+        def progress_cb(snap):
+            print(snap.line(), flush=True)
     report = campaign.run(
         backend=args.backend,
         max_workers=args.max_workers,
         chunksize=args.chunksize,
         batch_size=args.batch_size,
         max_jobs=args.max_jobs,
+        mw_transport=args.mw_transport,
+        mw_affinity=args.mw_affinity,
+        stagger=args.stagger,
+        progress=progress_cb,
     )
     print(f"campaign  : {campaign.spec.name}")
     print(f"directory : {campaign.directory}")
@@ -185,6 +196,34 @@ def _open_campaign(directory):
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         raise SystemExit(2)
+
+
+def _cmd_campaign_watch(args: argparse.Namespace) -> int:
+    from repro.campaign import watch_campaign
+
+    campaign = _open_campaign(args.directory)
+    try:
+        for snap in watch_campaign(
+            campaign,
+            interval=args.interval,
+            max_ticks=1 if args.once else None,
+        ):
+            print(snap.line(), flush=True)
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+def _cmd_campaign_compact(args: argparse.Namespace) -> int:
+    campaign = _open_campaign(args.directory)
+    stats = campaign.compact()
+    print(f"store     : {campaign.store.path}")
+    print(
+        f"records   : {stats.n_records_before} -> {stats.n_records_after} "
+        f"({stats.n_dropped} duplicate/stale dropped)"
+    )
+    print(f"bytes     : {stats.bytes_before} -> {stats.bytes_after}")
+    return 0
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
@@ -330,7 +369,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_crun.add_argument("--walltime", type=float, default=3e4)
     p_crun.add_argument("--max-steps", type=int, default=600)
     p_crun.add_argument("--backend", default="serial",
-                        choices=["serial", "thread", "process"])
+                        choices=["serial", "thread", "process", "mw"],
+                        help="mw dispatches jobs through the master-worker driver")
     p_crun.add_argument("--max-workers", type=int, default=None)
     p_crun.add_argument("--chunksize", type=int, default=1,
                         help="jobs per IPC message on the process backend")
@@ -338,11 +378,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="jobs between store writes (resume granularity)")
     p_crun.add_argument("--max-jobs", type=int, default=None,
                         help="stop after this many jobs (smoke tests / partial runs)")
+    p_crun.add_argument("--mw-transport", default="process",
+                        choices=["inproc", "threaded", "process"],
+                        help="what mw workers run on (mw backend only)")
+    p_crun.add_argument("--mw-affinity", action="store_true",
+                        help="pin jobs round-robin to mw worker ranks")
+    p_crun.add_argument("--stagger", action="store_true",
+                        help="start at a PID-derived grid offset so concurrent "
+                             "runners drain disjoint regions")
+    p_crun.add_argument("--progress", action="store_true",
+                        help="print a heartbeat line after every recorded batch")
     p_crun.set_defaults(func=_cmd_campaign_run)
 
     p_cstat = camp_sub.add_parser("status", help="job counts and per-cell progress")
     p_cstat.add_argument("directory")
     p_cstat.set_defaults(func=_cmd_campaign_status)
+
+    p_cwatch = camp_sub.add_parser(
+        "watch", help="tail live progress (done/failed/remaining, rate, ETA)"
+    )
+    p_cwatch.add_argument("directory")
+    p_cwatch.add_argument("--interval", type=float, default=2.0,
+                          help="seconds between polls")
+    p_cwatch.add_argument("--once", action="store_true",
+                          help="print a single snapshot and exit")
+    p_cwatch.set_defaults(func=_cmd_campaign_watch)
+
+    p_ccompact = camp_sub.add_parser(
+        "compact", help="rewrite the result store one-line-per-job (atomic)"
+    )
+    p_ccompact.add_argument("directory")
+    p_ccompact.set_defaults(func=_cmd_campaign_compact)
 
     p_csum = camp_sub.add_parser("summary", help="per-cell aggregate table")
     p_csum.add_argument("directory")

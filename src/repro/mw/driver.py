@@ -22,6 +22,11 @@ Backends:
 ``process``
     One OS process per worker, ``multiprocessing`` queues carrying
     codec-encoded frames.  Real parallelism; the executor must be picklable.
+
+The campaign engine builds its distributed backend on this driver: each
+:class:`~repro.campaign.spec.Job` becomes one task
+(``python -m repro campaign run <dir> --backend mw``), so campaign sweeps
+inherit the crash-requeue and affinity semantics above.
 """
 
 from __future__ import annotations
@@ -328,6 +333,7 @@ class MWDriver:
     # -- introspection ----------------------------------------------------------------
 
     def stats(self) -> Dict[str, int]:
+        """Task counts by state plus the live worker count (monitoring hook)."""
         states = {s: 0 for s in TaskState}
         for task in self.tasks.values():
             states[task.state] += 1

@@ -16,6 +16,8 @@ _task_ids = itertools.count(1)
 
 
 class TaskState(enum.Enum):
+    """Lifecycle states of an :class:`MWTask`."""
+
     PENDING = "pending"
     RUNNING = "running"
     DONE = "done"
@@ -49,27 +51,33 @@ class MWTask:
 
     @property
     def done(self) -> bool:
+        """Whether the task completed successfully."""
         return self.state is TaskState.DONE
 
     @property
     def failed(self) -> bool:
+        """Whether the task exhausted its retry budget."""
         return self.state is TaskState.FAILED
 
     def mark_running(self, worker: int) -> None:
+        """Record dispatch to ``worker`` (counts as one attempt)."""
         self.state = TaskState.RUNNING
         self.worker = worker
         self.attempts += 1
 
     def mark_done(self, result: Any) -> None:
+        """Record successful completion with ``result``."""
         self.state = TaskState.DONE
         self.result = result
 
     def mark_retry(self, error: str) -> None:
+        """Return the task to the queue after a worker error or crash."""
         self.state = TaskState.PENDING
         self.error = error
         self.worker = None
 
     def mark_failed(self, error: str) -> None:
+        """Give up on the task (retry budget spent)."""
         self.state = TaskState.FAILED
         self.error = error
 

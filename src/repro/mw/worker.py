@@ -64,6 +64,10 @@ class MWWorker:
         self.n_executed = 0
         self.n_errors = 0
 
+    def stats(self) -> dict:
+        """Execution counters for monitoring: tasks executed and errors."""
+        return {"rank": self.rank, "executed": self.n_executed, "errors": self.n_errors}
+
     # -- synchronous execution (inproc backend drives this directly) --------
 
     def execute(self, task_id: int, work: Any) -> Message:

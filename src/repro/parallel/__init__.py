@@ -1,5 +1,5 @@
-"""Real-parallel evaluation helpers (serial / thread / process maps)."""
+"""Real-parallel evaluation helpers (serial / thread / process / mw maps)."""
 
-from repro.parallel.backends import parallel_map, seeded_tasks
+from repro.parallel.backends import BACKENDS, parallel_map, seeded_tasks
 
-__all__ = ["parallel_map", "seeded_tasks"]
+__all__ = ["BACKENDS", "parallel_map", "seeded_tasks"]

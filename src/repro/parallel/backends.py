@@ -1,15 +1,24 @@
 """Map helpers with the SeedSequence discipline for parallel sampling.
 
 Benchmark sweeps (100 initial simplexes x several algorithms) are
-embarrassingly parallel; these helpers run them serially, on threads, or on
-processes while guaranteeing independent, reproducible RNG streams per task
-(the mpi4py-tutorial style of explicit, structured parallelism rather than
+embarrassingly parallel; these helpers run them serially, on threads, on
+processes, or through the :mod:`repro.mw` master-worker framework, while
+guaranteeing independent, reproducible RNG streams per task (the
+mpi4py-tutorial style of explicit, structured parallelism rather than
 shared mutable state).
+
+The ``mw`` backend routes each item through an
+:class:`~repro.mw.MWDriver` task, which buys worker-crash resilience
+(dead workers requeue their tasks) at the cost of the mw codec's type
+restrictions: items and results must be codec-serializable (scalars,
+strings, bytes, lists, tuples, dicts, NumPy arrays) when the transport
+crosses process boundaries.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import os
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
@@ -17,7 +26,9 @@ import numpy as np
 T = TypeVar("T")
 R = TypeVar("R")
 
-_BACKENDS = ("serial", "thread", "process")
+#: Backends :func:`parallel_map` accepts.
+BACKENDS = ("serial", "thread", "process", "mw")
+_BACKENDS = BACKENDS  # backwards-compatible alias
 
 
 def seeded_tasks(
@@ -28,23 +39,64 @@ def seeded_tasks(
     return list(zip(items, seqs))
 
 
+class _FunctionExecutor:
+    """Adapt a plain ``fn(item)`` to the MW executor signature.
+
+    Picklable by reference as long as ``fn`` is module-level — the same
+    constraint the ``process`` backend already imposes.
+    """
+
+    def __init__(self, fn: Callable) -> None:
+        self.fn = fn
+
+    def __call__(self, work, context):
+        """Execute one item, ignoring the worker context."""
+        return self.fn(work)
+
+
+def _mw_map(
+    fn: Callable[[T], R],
+    items: List[T],
+    max_workers: Optional[int],
+    transport: str,
+) -> List[R]:
+    """Order-preserving map through an ephemeral :class:`MWDriver`."""
+    from repro.mw.driver import MWDriver
+
+    n_workers = max(1, min(max_workers or os.cpu_count() or 2, len(items)))
+    with MWDriver(
+        _FunctionExecutor(fn), n_workers=n_workers, backend=transport, seed=0
+    ) as driver:
+        tasks = [driver.submit(item) for item in items]
+        driver.wait_all()
+    for task in tasks:
+        if not task.done:
+            raise RuntimeError(f"mw task failed: {task.error}")
+    return [task.result for task in tasks]
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     backend: str = "serial",
     max_workers: Optional[int] = None,
     chunksize: int = 1,
+    mw_transport: str = "process",
 ) -> List[R]:
     """Order-preserving map over items with a choice of executor.
 
-    ``fn`` must be picklable for the ``process`` backend.  Exceptions
-    propagate (the first one raised by any task).  ``chunksize`` batches
-    items per inter-process message on the ``process`` backend, cutting IPC
-    overhead on large sweeps of cheap tasks; the other backends ignore it.
+    ``fn`` must be picklable for the ``process`` and ``mw`` backends.
+    Exceptions propagate (the first one raised by any task; the ``mw``
+    backend retries worker errors first and raises ``RuntimeError`` once
+    the retry budget is spent).  ``chunksize`` batches items per
+    inter-process message on the ``process`` backend, cutting IPC overhead
+    on large sweeps of cheap tasks; the other backends ignore it.
+    ``mw_transport`` picks what mw workers run on (``inproc`` /
+    ``threaded`` / ``process``) and is ignored by the other backends.
     """
     items = list(items)
-    if backend not in _BACKENDS:
-        raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
     chunksize = int(chunksize)
     if chunksize < 1:
         raise ValueError(f"chunksize must be >= 1, got {chunksize}")
@@ -53,5 +105,7 @@ def parallel_map(
     if backend == "thread":
         with concurrent.futures.ThreadPoolExecutor(max_workers=max_workers) as pool:
             return list(pool.map(fn, items))
+    if backend == "mw":
+        return _mw_map(fn, items, max_workers, mw_transport)
     with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
         return list(pool.map(fn, items, chunksize=chunksize))

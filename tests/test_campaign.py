@@ -145,6 +145,150 @@ class TestResultStore:
         resumed.record({"job_id": "c", "status": "done"})
         assert resumed.completed_ids() == {"a", "c"}
 
+    def test_truncated_tail_healed_by_live_instance(self, tmp_path):
+        """Multi-writer edge: another writer's kill truncates the tail
+        *after* this store instance already appended — the tail check must
+        re-run, not be cached once per instance."""
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.record({"job_id": "a", "status": "done"})
+        with open(path, "a") as fh:
+            fh.write('{"job_id": "b", "stat')  # peer killed mid-write
+        store.record({"job_id": "c", "status": "done"})  # same live instance
+        assert store.completed_ids() == {"a", "c"}
+
+    def test_sees_appends_from_other_writers(self, tmp_path):
+        """Cooperative draining: a store picks up records appended by a
+        second store instance (another runner process) between reads."""
+        path = tmp_path / "r.jsonl"
+        reader = ResultStore(path)
+        writer = ResultStore(path)
+        writer.record({"job_id": "a", "status": "done"})
+        assert reader.completed_ids() == {"a"}
+        writer.record({"job_id": "b", "status": "done"})
+        assert reader.completed_ids() == {"a", "b"}
+
+    def test_returned_records_do_not_alias_the_cache(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.record({"job_id": "a", "status": "done", "result": {"v": 1}})
+        rec = store.records()[0]
+        rec["result"]["v"] = 999  # caller mutates a nested dict
+        assert store.records()[0]["result"]["v"] == 1
+
+    def test_partial_line_not_consumed_early(self, tmp_path):
+        """An in-flight (unterminated) line is retried on the next scan,
+        not half-parsed and lost."""
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.record({"job_id": "a", "status": "done"})
+        line = '{"job_id": "b", "status": "done"}\n'
+        with open(path, "a") as fh:
+            fh.write(line[:10])
+            fh.flush()
+            assert store.completed_ids() == {"a"}  # mid-write snapshot
+            fh.write(line[10:])
+        assert store.completed_ids() == {"a", "b"}
+
+
+class TestCompaction:
+    def _dup_store(self, tmp_path, n=4, dups=2):
+        store = ResultStore(tmp_path / "r.jsonl")
+        for _ in range(dups):
+            for i in range(n):
+                store.record({"job_id": f"j{i}", "status": "done", "result": {"v": i}})
+        return store
+
+    def test_compact_preserves_last_record_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.record({"job_id": "a", "status": "failed", "result": None})
+        store.record({"job_id": "b", "status": "done", "result": {"v": 2}})
+        store.record({"job_id": "a", "status": "done", "result": {"v": 1}})
+        before = store.records()
+        stats = store.compact()
+        assert stats.n_records_before == 3 and stats.n_records_after == 2
+        assert store.records() == before
+        assert store.completed_ids() == {"a", "b"}
+
+    def test_compact_shrinks_duplicated_store(self, tmp_path):
+        store = self._dup_store(tmp_path, n=6, dups=3)
+        import os
+        size_before = os.path.getsize(store.path)
+        stats = store.compact()
+        assert stats.bytes_before == size_before
+        assert stats.bytes_after <= size_before // 2  # >= 2x duplicates removed
+        assert os.path.getsize(store.path) == stats.bytes_after
+        assert len(store.records()) == 6
+
+    def test_compact_is_idempotent(self, tmp_path):
+        store = self._dup_store(tmp_path)
+        store.compact()
+        first = store.path.read_bytes()
+        stats = store.compact()
+        assert store.path.read_bytes() == first
+        assert stats.n_dropped == 0
+        assert stats.bytes_before == stats.bytes_after
+
+    def test_compact_drops_kill_artifacts(self, tmp_path):
+        store = self._dup_store(tmp_path)
+        with open(store.path, "a") as fh:
+            fh.write('{"job_id": "x", "stat')  # truncated tail
+        store.compact()
+        raw = store.path.read_bytes()
+        assert raw.endswith(b"\n")
+        assert b'"x"' not in raw  # the artifact is gone, not healed into a record
+        import json
+        for line in raw.strip().splitlines():
+            json.loads(line)  # every surviving line is valid JSON
+
+    def test_compact_empty_and_missing_store(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        stats = store.compact()  # file never created
+        assert stats.n_records_before == 0 and stats.n_records_after == 0
+
+    def test_compact_in_memory_store(self):
+        store = ResultStore()
+        store.record({"job_id": "a", "status": "failed"})
+        store.record({"job_id": "a", "status": "done"})
+        stats = store.compact()
+        assert stats.n_records_before == 2 and stats.n_records_after == 1
+        assert store.completed_ids() == {"a"}
+
+    def test_other_instance_survives_compaction(self, tmp_path):
+        """A writer holding the pre-compaction file reopens and keeps
+        appending to the fresh file (inode check), and a reader rescans."""
+        path = tmp_path / "r.jsonl"
+        writer = ResultStore(path)
+        reader = ResultStore(path)
+        writer.record({"job_id": "a", "status": "done"})
+        writer.record({"job_id": "a", "status": "done"})
+        assert reader.completed_ids() == {"a"}  # reader has cached offsets
+        ResultStore(path).compact()  # a third process compacts
+        writer.record({"job_id": "b", "status": "done"})  # stale writer appends
+        assert reader.completed_ids() == {"a", "b"}
+        assert ResultStore(path).completed_ids() == {"a", "b"}
+
+    def test_compact_safe_against_concurrent_appender(self, tmp_path):
+        """No record appended while compactions run is ever lost."""
+        import threading
+
+        path = tmp_path / "r.jsonl"
+        main = ResultStore(path)
+        main.record({"job_id": "seed", "status": "done"})
+
+        def appender():
+            store = ResultStore(path)
+            for i in range(200):
+                store.record({"job_id": f"t{i}", "status": "done"})
+
+        thread = threading.Thread(target=appender)
+        thread.start()
+        for _ in range(20):
+            main.compact()
+        thread.join()
+        main.compact()
+        expected = {"seed"} | {f"t{i}" for i in range(200)}
+        assert main.completed_ids() == expected
+
 
 class TestExecution:
     def test_execute_job_deterministic(self):

@@ -100,6 +100,71 @@ class TestCommands:
         assert rc == 0
         assert "2 shared seeds" in out and "sign test" in out
 
+    def _small_campaign_args(self, directory):
+        return [
+            "campaign", "run", directory,
+            "--algorithms", "DET", "PC",
+            "--functions", "sphere", "--dims", "2",
+            "--sigma0s", "1.0", "--seeds", "0", "1",
+            "--max-steps", "40", "--walltime", "1e3",
+        ]
+
+    def test_campaign_run_mw_backend(self, tmp_path, capsys):
+        directory = str(tmp_path / "camp")
+        rc = main(
+            self._small_campaign_args(directory)
+            + ["--backend", "mw", "--mw-transport", "inproc", "--mw-affinity"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "backend   : mw" in out and "4 completed" in out
+
+    def test_campaign_run_progress_heartbeat(self, tmp_path, capsys):
+        directory = str(tmp_path / "camp")
+        rc = main(self._small_campaign_args(directory) + ["--progress"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        lines = [l for l in out.splitlines() if l.startswith("[campaign]")]
+        assert len(lines) == 4  # serial: one heartbeat per job
+        assert "4/4 done" in lines[-1] and "jobs/s" in lines[-1]
+
+    def test_campaign_watch_once(self, tmp_path, capsys):
+        directory = str(tmp_path / "camp")
+        main(self._small_campaign_args(directory) + ["--max-jobs", "1"])
+        capsys.readouterr()
+        rc = main(["campaign", "watch", directory, "--once"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1/4 done" in out and "3 remaining" in out and "eta" in out
+
+    def test_campaign_compact_cli_keeps_summary_identical(self, tmp_path, capsys):
+        from repro.campaign import Campaign
+
+        directory = str(tmp_path / "camp")
+        main(self._small_campaign_args(directory))
+        capsys.readouterr()
+        # duplicate every record, as overlapping runners would
+        store = Campaign(directory).store
+        for rec in store.records():
+            store.record(rec)
+        rc = main(["campaign", "summary", directory])
+        before = capsys.readouterr().out
+        assert rc == 0
+        rc = main(["campaign", "compact", directory])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "8 -> 4" in out and "4 duplicate/stale dropped" in out
+        rc = main(["campaign", "summary", directory])
+        after = capsys.readouterr().out
+        assert rc == 0
+        assert before == after  # byte-identical aggregation
+        rc = main(["campaign", "compare", directory, "PC", "DET"])
+        assert rc == 0
+
+    def test_campaign_watch_missing_directory(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "watch", str(tmp_path / "nowhere"), "--once"])
+
     def test_campaign_summary_before_any_results(self, tmp_path, capsys):
         from repro.campaign import Campaign, CampaignSpec
 

@@ -1,4 +1,4 @@
-"""Tests for the serial/thread/process map helpers."""
+"""Tests for the serial/thread/process/mw map helpers."""
 
 import numpy as np
 import pytest
@@ -30,6 +30,42 @@ class TestParallelMap:
             _square, list(range(8)), backend="process", max_workers=2, chunksize=4
         )
         assert result == [x * x for x in range(8)]
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x * x
+
+
+class TestMWBackend:
+    def test_mw_backend_matches_serial(self):
+        result = parallel_map(
+            _square, list(range(8)), backend="mw",
+            max_workers=3, mw_transport="inproc",
+        )
+        assert result == [x * x for x in range(8)]
+
+    def test_mw_backend_threaded_transport(self):
+        result = parallel_map(
+            _square, list(range(6)), backend="mw",
+            max_workers=2, mw_transport="threaded",
+        )
+        assert result == [x * x for x in range(6)]
+
+    def test_mw_backend_process_transport(self):
+        result = parallel_map(
+            _square, list(range(4)), backend="mw",
+            max_workers=2, mw_transport="process",
+        )
+        assert result == [x * x for x in range(4)]
+
+    def test_mw_task_failure_raises_after_retries(self):
+        with pytest.raises(RuntimeError, match="three is right out"):
+            parallel_map(
+                _fail_on_three, list(range(5)), backend="mw",
+                max_workers=2, mw_transport="inproc",
+            )
 
 
 class TestSeededTasks:
