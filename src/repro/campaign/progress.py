@@ -55,6 +55,24 @@ class ProgressSnapshot:
             return None
         return self.remaining / self.rate
 
+    def to_dict(self) -> dict:
+        """Machine-readable snapshot for dashboards (``campaign watch --json``).
+
+        One flat JSON-serializable object per observation; derived fields
+        (``remaining``, ``eta_s``) are materialized so consumers need no
+        arithmetic.  ``eta_s`` is ``None`` while the rate is unknown.
+        """
+        return {
+            "campaign": self.campaign,
+            "n_total": self.n_total,
+            "done": self.done,
+            "failed": self.failed,
+            "remaining": self.remaining,
+            "elapsed_s": self.elapsed_s,
+            "rate": self.rate,
+            "eta_s": self.eta_s,
+        }
+
     def line(self) -> str:
         """The one-line heartbeat format shared by ``--progress`` and ``watch``."""
         rate = f"{self.rate:.2f} jobs/s" if self.rate > 0 else "? jobs/s"

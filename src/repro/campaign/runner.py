@@ -43,6 +43,7 @@ from repro.campaign.store import (
     CompactionStats,
     ResultStore,
 )
+from repro.mw.transport import TRANSPORT_NAMES, is_tcp_spec
 from repro.parallel.backends import parallel_map
 
 SPEC_FILENAME = "spec.json"
@@ -50,10 +51,29 @@ RESULTS_FILENAME = "results.jsonl"
 
 #: Execution backends a runner accepts.
 RUNNER_BACKENDS = ("serial", "thread", "process", "mw")
-#: Transports the ``mw`` backend can put under the driver.
-MW_TRANSPORTS = ("inproc", "threaded", "process")
+#: Same-host transports the ``mw`` backend can put under the driver
+#: (a ``tcp://host:port`` listen URL is also accepted — see
+#: :mod:`repro.mw.tcp` and ``docs/CAMPAIGNS.md`` on cross-host campaigns).
+#: Owned by :mod:`repro.mw.transport`; re-exported here for campaign users.
+MW_TRANSPORTS = TRANSPORT_NAMES
 
 ProgressCallback = Callable[[ProgressSnapshot], None]
+
+
+def validate_mw_transport(spec: str) -> None:
+    """Raise ``ValueError`` unless ``spec`` names a usable mw transport.
+
+    Shared by :class:`CampaignRunner` and the CLI (which validates before
+    launching a run, so a typo'd ``--transport`` fails immediately instead
+    of surfacing as a mid-run error).  The set of valid specs is owned by
+    :mod:`repro.mw.transport`; this only rephrases its answer in campaign
+    terms.
+    """
+    if spec not in TRANSPORT_NAMES and not is_tcp_spec(spec):
+        raise ValueError(
+            f"mw_transport must be one of {TRANSPORT_NAMES} or a "
+            f"tcp://host:port URL, got {spec!r}"
+        )
 
 
 @dataclass
@@ -105,7 +125,10 @@ class CampaignRunner:
         1 for ``serial`` and ``workers * chunksize`` otherwise.
     mw_transport:
         What the mw workers run on: ``inproc`` (deterministic, tests),
-        ``threaded``, or ``process`` (real parallelism; the default).
+        ``threaded``, ``process`` (real parallelism; the default), or a
+        ``tcp://host:port`` listen URL — the master waits there for
+        standalone ``python -m repro mw-worker`` processes, which may sit
+        on other hosts with no shared filesystem.
     mw_affinity:
         Pin batch jobs round-robin to worker ranks (the paper restarts a
         worker "on the same processors"; affinity keeps a job's retries
@@ -145,10 +168,7 @@ class CampaignRunner:
             raise ValueError(
                 f"backend must be one of {RUNNER_BACKENDS}, got {backend!r}"
             )
-        if mw_transport not in MW_TRANSPORTS:
-            raise ValueError(
-                f"mw_transport must be one of {MW_TRANSPORTS}, got {mw_transport!r}"
-            )
+        validate_mw_transport(mw_transport)
         self.spec = spec
         self.store = store
         self.backend = backend

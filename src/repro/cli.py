@@ -14,7 +14,12 @@ Subcommands:
   :mod:`repro.campaign` and ``docs/CAMPAIGNS.md``.  ``run --backend mw``
   distributes jobs through the :mod:`repro.mw` master-worker layer, and
   several runner processes pointed at the same directory cooperatively
-  drain one campaign.
+  drain one campaign.  With ``--transport tcp://host:port`` the master
+  listens for remote workers instead of spawning local ones.
+* ``mw-worker`` — standalone TCP worker: connects to a master at
+  ``tcp://host:port`` and serves tasks until the master shuts down.
+  Start any number of these on any hosts that can reach the master; no
+  shared filesystem is needed.
 """
 
 from __future__ import annotations
@@ -167,6 +172,14 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     if args.progress:
         def progress_cb(snap):
             print(snap.line(), flush=True)
+    if args.backend == "mw":
+        from repro.campaign.runner import validate_mw_transport
+
+        try:
+            validate_mw_transport(args.mw_transport)
+        except ValueError as exc:  # a typo'd --transport fails up front
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     report = campaign.run(
         backend=args.backend,
         max_workers=args.max_workers,
@@ -199,6 +212,8 @@ def _open_campaign(directory):
 
 
 def _cmd_campaign_watch(args: argparse.Namespace) -> int:
+    import json
+
     from repro.campaign import watch_campaign
 
     campaign = _open_campaign(args.directory)
@@ -208,9 +223,47 @@ def _cmd_campaign_watch(args: argparse.Namespace) -> int:
             interval=args.interval,
             max_ticks=1 if args.once else None,
         ):
-            print(snap.line(), flush=True)
+            line = json.dumps(snap.to_dict()) if args.json else snap.line()
+            print(line, flush=True)
     except KeyboardInterrupt:
         return 130
+    return 0
+
+
+def _cmd_mw_worker(args: argparse.Namespace) -> int:
+    from repro.mw.codec import CodecError
+    from repro.mw.tcp import run_worker
+    from repro.mw.transport import resolve_executor
+
+    executor = None
+    if args.executor is not None:
+        try:
+            executor = resolve_executor({"kind": "executor", "spec": args.executor})
+        except (ImportError, AttributeError, ValueError) as exc:
+            print(f"error: cannot resolve executor {args.executor!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    try:
+        stats = run_worker(
+            args.url, executor=executor, connect_timeout=args.connect_timeout
+        )
+    except KeyboardInterrupt:
+        return 130
+    except (ImportError, AttributeError) as exc:
+        # the master-advertised executor spec did not resolve on this host
+        print(f"error: cannot resolve the master's executor spec: {exc}",
+              file=sys.stderr)
+        return 1
+    except (OSError, CodecError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if stats.get("refused"):
+        print(f"refused by master: {stats['refused']}", file=sys.stderr)
+        return 1
+    print(
+        f"worker rank {stats['rank']} finished: "
+        f"{stats['executed']} tasks executed, {stats['errors']} errors"
+    )
     return 0
 
 
@@ -340,6 +393,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_root.add_argument("root")
     p_root.set_defaults(func=_cmd_optroot)
 
+    p_worker = sub.add_parser(
+        "mw-worker",
+        help="standalone TCP worker serving a remote mw master (no shared "
+             "filesystem needed)",
+    )
+    p_worker.add_argument("url", help="the master's tcp://host:port")
+    p_worker.add_argument("--executor", default=None, metavar="MODULE:ATTR",
+                          help="executor override; by default the worker runs "
+                               "the executor spec the master advertises")
+    p_worker.add_argument("--connect-timeout", type=float, default=30.0,
+                          help="seconds to keep retrying the initial "
+                               "connection (workers may start before the "
+                               "master)")
+    p_worker.set_defaults(func=_cmd_mw_worker)
+
     p_camp = sub.add_parser(
         "campaign", help="durable, parallel, resumable experiment sweeps"
     )
@@ -378,9 +446,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="jobs between store writes (resume granularity)")
     p_crun.add_argument("--max-jobs", type=int, default=None,
                         help="stop after this many jobs (smoke tests / partial runs)")
-    p_crun.add_argument("--mw-transport", default="process",
-                        choices=["inproc", "threaded", "process"],
-                        help="what mw workers run on (mw backend only)")
+    p_crun.add_argument("--transport", "--mw-transport", dest="mw_transport",
+                        default="process", metavar="TRANSPORT",
+                        help="what mw workers run on (mw backend only): "
+                             "inproc | threaded | process, or tcp://host:port "
+                             "to listen for remote 'mw-worker' processes")
     p_crun.add_argument("--mw-affinity", action="store_true",
                         help="pin jobs round-robin to mw worker ranks")
     p_crun.add_argument("--stagger", action="store_true",
@@ -402,6 +472,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="seconds between polls")
     p_cwatch.add_argument("--once", action="store_true",
                           help="print a single snapshot and exit")
+    p_cwatch.add_argument("--json", action="store_true",
+                          help="emit one JSON object per refresh instead of "
+                               "the human one-liner (for dashboards)")
     p_cwatch.set_defaults(func=_cmd_campaign_watch)
 
     p_ccompact = camp_sub.add_parser(

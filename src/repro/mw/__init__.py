@@ -7,14 +7,18 @@ library: ``MWDriver`` (the master: manages workers, dispatches tasks),
 ``MWRMComm`` layer with ``pack``/``unpack``/``send``/``recv`` primitives that
 can ride on different transports.
 
-This package mirrors that decomposition in Python with three interchangeable
-backends:
+This package mirrors that decomposition in Python: the master is written
+against the :class:`~repro.mw.transport.Transport` seam (the MWRMComm
+role), with four interchangeable transports:
 
 * ``inproc``  — deterministic, single-threaded message passing (default; the
   event-driven cluster model in :mod:`repro.cluster` builds on it),
 * ``threaded`` — real concurrency via ``queue.Queue`` and worker threads,
 * ``process`` — real parallelism via ``multiprocessing`` (workers are OS
-  processes; the executor must be picklable).
+  processes; the executor must be picklable),
+* ``tcp://host:port`` — cross-host sockets (:mod:`repro.mw.tcp`): the master
+  listens, standalone ``python -m repro mw-worker`` processes connect from
+  anywhere, no shared filesystem required.
 
 Tasks and workers never talk to each other directly — results go to the
 master, which "has the ability to direct a cessation of work at one point in
@@ -33,6 +37,13 @@ from repro.mw.messages import (
 )
 from repro.mw.task import MWTask, TaskState
 from repro.mw.worker import MWWorker, WorkerContext
+from repro.mw.transport import (
+    InprocTransport,
+    ProcessTransport,
+    ThreadedTransport,
+    Transport,
+    make_transport,
+)
 from repro.mw.driver import MWDriver
 from repro.mw.vertex_pool import MWVertexPool, VertexSampler
 from repro.mw.fileio import FileIOChannel
@@ -40,6 +51,7 @@ from repro.mw.vertex_server import SimulationClient, VertexServer
 
 __all__ = [
     "FileIOChannel",
+    "InprocTransport",
     "MSG_ERROR",
     "MSG_RESULT",
     "MSG_SHUTDOWN",
@@ -49,13 +61,17 @@ __all__ = [
     "MWVertexPool",
     "MWWorker",
     "Message",
+    "ProcessTransport",
     "SimulationClient",
     "TaskState",
+    "ThreadedTransport",
+    "Transport",
     "VertexSampler",
     "VertexServer",
     "WorkerContext",
     "decode_message",
     "encode_message",
+    "make_transport",
     "pack",
     "unpack",
 ]

@@ -1,27 +1,33 @@
 """MWDriver — the master: manages workers, dispatches tasks (paper §3.1).
 
-The driver owns a pool of workers over one of three transports and schedules
-:class:`~repro.mw.task.MWTask` objects onto them.  Design points taken from
-the paper's MW usage:
+The driver schedules :class:`~repro.mw.task.MWTask` objects onto a pool of
+worker ranks reached through a :class:`~repro.mw.transport.Transport` — the
+MWRMComm seam of the original MW library.  Design points taken from the
+paper's MW usage:
 
 * tasks and workers do not communicate with one another directly — results
   come back to the master only;
 * each simplex vertex prefers a dedicated worker (*affinity*), and "when a
   worker is restarted by the master, it is restarted on the same processors";
-* worker errors requeue the task (up to ``max_retries``) rather than aborting
-  the optimization.
+* worker errors (and worker deaths) requeue the task (up to ``max_retries``)
+  rather than aborting the optimization.
 
-Backends:
+Transports (``backend=``):
 
 ``inproc``
     No concurrency; ``wait_all`` executes tasks synchronously in deterministic
     round-robin order.  Used by unit tests and the virtual-cluster simulator.
 ``threaded``
-    One Python thread per worker, ``queue.Queue`` transports.  Real overlap
+    One Python thread per worker, ``queue.Queue`` channels.  Real overlap
     for I/O-bound executors.
 ``process``
     One OS process per worker, ``multiprocessing`` queues carrying
     codec-encoded frames.  Real parallelism; the executor must be picklable.
+``tcp://host:port``
+    Cross-host sockets (:mod:`repro.mw.tcp`): the master listens, standalone
+    ``python -m repro mw-worker`` processes connect — before or after the
+    master starts waiting — and dead peers (detected by heartbeat silence or
+    a dropped connection) feed the same requeue path as crashed processes.
 
 The campaign engine builds its distributed backend on this driver: each
 :class:`~repro.campaign.spec.Job` becomes one task
@@ -31,43 +37,21 @@ inherit the crash-requeue and affinity semantics above.
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import queue
-import threading
 import time
 from collections import deque
 from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.mw.messages import (
-    MSG_ERROR,
-    MSG_RESULT,
-    MSG_SHUTDOWN,
-    MSG_TASK,
-    Message,
-    decode_message,
-    encode_message,
-)
+from repro.mw.messages import MSG_RESULT, MSG_TASK, Message
 from repro.mw.task import MWTask, TaskState
-from repro.mw.worker import Executor, MWWorker
-
-_BACKENDS = ("inproc", "threaded", "process")
-
-
-def _process_worker_main(rank, executor, seed_entropy, inbox, outbox) -> None:
-    """Entry point of a process-backend worker: decode frames, run the loop."""
-    worker = MWWorker(rank, executor, np.random.SeedSequence(seed_entropy))
-    while True:
-        frame = inbox.get()
-        message = decode_message(frame)
-        if message.tag == MSG_SHUTDOWN:
-            return
-        if message.tag != MSG_TASK:
-            continue
-        payload = message.payload
-        reply = worker.execute(payload["task_id"], payload["work"])
-        outbox.put(encode_message(reply))
+from repro.mw.transport import (
+    EVENT_DIED,
+    EVENT_JOINED,
+    Transport,
+    make_transport,
+)
+from repro.mw.worker import Executor
 
 
 class MWDriver:
@@ -77,16 +61,29 @@ class MWDriver:
     ----------
     executor:
         ``executor(work, context) -> result`` run on workers.  Must be
-        picklable for the ``process`` backend.
+        picklable for the ``process`` transport and importable by wire
+        spec (``module:attr``) for TCP workers not launched with their
+        own ``--executor``.
     n_workers:
-        Number of workers (the paper uses ``d + 3`` for a d-dim simplex).
+        Number of worker ranks (the paper uses ``d + 3`` for a d-dim
+        simplex).  On TCP this is the number of slots remote workers can
+        occupy.
     backend:
-        ``"inproc"`` (default), ``"threaded"`` or ``"process"``.
+        ``"inproc"`` (default), ``"threaded"``, ``"process"``, or a
+        ``"tcp://host:port"`` listen URL.
     max_retries:
-        How many times a task is requeued after worker errors before being
-        marked failed.
+        How many times a task is requeued after worker errors or deaths
+        before being marked failed.
     seed:
-        Root seed; each worker receives an independent spawned RNG stream.
+        Root seed; each worker rank receives an independent spawned RNG
+        stream (on every transport, including reconnecting TCP workers).
+    transport:
+        Pre-built :class:`~repro.mw.transport.Transport` instance,
+        overriding ``backend`` (advanced; the driver still owns its
+        lifecycle and will ``start``/``close`` it).
+    transport_options:
+        Extra keyword options for :func:`~repro.mw.transport.make_transport`
+        (e.g. TCP heartbeat tuning).
     """
 
     def __init__(
@@ -96,11 +93,11 @@ class MWDriver:
         backend: str = "inproc",
         max_retries: int = 2,
         seed: Optional[int] = None,
+        transport: Optional[Transport] = None,
+        transport_options: Optional[dict] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
-        if backend not in _BACKENDS:
-            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.backend = backend
@@ -109,53 +106,26 @@ class MWDriver:
         self.tasks: Dict[int, MWTask] = {}
         self._pending: deque[MWTask] = deque()
         self._running: Dict[int, MWTask] = {}
-        self._idle: List[int] = list(range(1, n_workers + 1))
-        self._alive = {rank: True for rank in range(1, n_workers + 1)}
         self._shutdown = False
         seqs = np.random.SeedSequence(seed).spawn(n_workers)
+        if transport is None:
+            transport = make_transport(
+                backend,
+                executor=executor,
+                n_workers=n_workers,
+                seed_seqs=seqs,
+                **(transport_options or {}),
+            )
+        self.transport = transport
+        self.transport.start()
+        live = self.transport.initially_live()
+        self._alive = {rank: rank in live for rank in range(1, n_workers + 1)}
+        self._idle: List[int] = [r for r in range(1, n_workers + 1) if self._alive[r]]
 
-        if backend == "inproc":
-            self._workers = {
-                rank: MWWorker(rank, executor, seqs[rank - 1])
-                for rank in range(1, n_workers + 1)
-            }
-        elif backend == "threaded":
-            self._inboxes = {r: queue.Queue() for r in range(1, n_workers + 1)}
-            self._outbox: queue.Queue = queue.Queue()
-            self._workers = {
-                rank: MWWorker(rank, executor, seqs[rank - 1])
-                for rank in range(1, n_workers + 1)
-            }
-            self._threads = {}
-            for rank, worker in self._workers.items():
-                t = threading.Thread(
-                    target=worker.run_loop,
-                    args=(self._inboxes[rank], self._outbox),
-                    daemon=True,
-                    name=f"mw-worker-{rank}",
-                )
-                t.start()
-                self._threads[rank] = t
-        else:  # process
-            ctx = mp.get_context("fork")
-            self._inboxes = {r: ctx.Queue() for r in range(1, n_workers + 1)}
-            self._outbox = ctx.Queue()
-            self._procs = {}
-            for rank in range(1, n_workers + 1):
-                p = ctx.Process(
-                    target=_process_worker_main,
-                    args=(
-                        rank,
-                        executor,
-                        seqs[rank - 1].entropy,
-                        self._inboxes[rank],
-                        self._outbox,
-                    ),
-                    daemon=True,
-                    name=f"mw-worker-{rank}",
-                )
-                p.start()
-                self._procs[rank] = p
+    @property
+    def _procs(self):
+        """Worker processes of the ``process`` transport (tests/diagnostics)."""
+        return self.transport.procs
 
     # -- context manager --------------------------------------------------------
 
@@ -214,17 +184,23 @@ class MWDriver:
                 sender=0,
                 payload={"task_id": task.task_id, "work": task.work},
             )
-            if self.backend == "inproc":
-                # execute synchronously; the reply comes back immediately
-                reply = self._workers[rank].execute(task.task_id, task.work)
-                self._handle_reply(reply)
-            elif self.backend == "threaded":
-                self._inboxes[rank].put(message)
-            else:
-                self._inboxes[rank].put(encode_message(message))
+            self.transport.send(rank, message)
+            if self.transport.synchronous:
+                # the reply is already buffered; handle it before the next
+                # pick so the worker returns to the idle pool (deterministic
+                # round-robin and per-task affinity, as inproc always had)
+                self._drain_buffered_replies()
             sent = True
         self._pending.extendleft(reversed(deferred))
         return sent
+
+    def _drain_buffered_replies(self) -> None:
+        """Handle every reply available without blocking (synchronous path)."""
+        while True:
+            reply = self.transport.recv(timeout=0)
+            if reply is None:
+                return
+            self._handle_reply(reply)
 
     def _handle_reply(self, message: Message) -> None:
         payload = message.payload
@@ -246,23 +222,31 @@ class MWDriver:
                 task.mark_retry(error)
                 self._pending.append(task)
 
-    def _reap_dead_workers(self) -> None:
-        """Process backend only: detect dead processes, requeue their tasks."""
-        if self.backend != "process":
-            return
-        for rank, proc in self._procs.items():
-            if self._alive[rank] and not proc.is_alive():
+    def _requeue_tasks_of(self, rank: int) -> None:
+        """Return a dead worker's in-flight tasks to the queue (or fail them)."""
+        for task in list(self._running.values()):
+            if task.worker == rank:
+                self._running.pop(task.task_id, None)
+                if task.attempts > self.max_retries:
+                    task.mark_failed("worker died")
+                else:
+                    task.mark_retry("worker died")
+                    self._pending.append(task)
+
+    def _poll_transport(self) -> None:
+        """Apply join/death events: liveness, idle pool, crash requeue."""
+        for kind, rank in self.transport.poll():
+            if kind == EVENT_JOINED:
+                self._alive[rank] = True
+                if rank not in self._idle and not any(
+                    t.worker == rank for t in self._running.values()
+                ):
+                    self._idle.append(rank)
+            elif kind == EVENT_DIED:
                 self._alive[rank] = False
                 if rank in self._idle:
                     self._idle.remove(rank)
-                for task in list(self._running.values()):
-                    if task.worker == rank:
-                        self._running.pop(task.task_id, None)
-                        if task.attempts > self.max_retries:
-                            task.mark_failed("worker died")
-                        else:
-                            task.mark_retry("worker died")
-                            self._pending.append(task)
+                self._requeue_tasks_of(rank)
 
     def _outstanding(self) -> int:
         return len(self._pending) + len(self._running)
@@ -271,22 +255,21 @@ class MWDriver:
         """Drive scheduling until every submitted task is DONE or FAILED.
 
         Returns all tasks in submission order.  Raises ``TimeoutError`` if a
-        real-time ``timeout`` (seconds) elapses first (threaded/process
-        backends; the inproc backend is synchronous and ignores it).
+        real-time ``timeout`` (seconds) elapses first (the synchronous inproc
+        transport ignores it).  On a dynamic transport (TCP) the master keeps
+        waiting for workers to join — pass a ``timeout`` to bound that.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         while self._outstanding():
-            self._reap_dead_workers()
-            if self.backend == "process" and not any(self._alive.values()):
+            self._poll_transport()
+            if not self.transport.dynamic and not any(self._alive.values()):
                 for task in list(self._pending):
                     task.mark_failed("no live workers")
                 self._pending.clear()
                 break
             self._dispatch()
-            if self.backend == "inproc":
-                continue  # dispatch already processed replies synchronously
-            if not self._running:
-                continue
+            if self.transport.synchronous:
+                continue  # dispatch already processed replies
             wait = 0.1
             if deadline is not None:
                 remaining = deadline - time.monotonic()
@@ -295,40 +278,19 @@ class MWDriver:
                         f"{self._outstanding()} tasks outstanding at timeout"
                     )
                 wait = min(wait, remaining)
-            try:
-                item = self._outbox.get(timeout=wait)
-            except queue.Empty:
-                continue
-            if self.backend == "process":
-                item = decode_message(item)
-            self._handle_reply(item)
+            reply = self.transport.recv(timeout=wait)
+            if reply is not None:
+                self._handle_reply(reply)
         return sorted(self.tasks.values(), key=lambda t: t.task_id)
 
     # -- teardown ------------------------------------------------------------------
 
     def shutdown(self) -> None:
-        """Stop all workers; idempotent."""
+        """Stop all workers (shutdown fan-out via the transport); idempotent."""
         if self._shutdown:
             return
         self._shutdown = True
-        if self.backend == "threaded":
-            for rank in self._inboxes:
-                self._inboxes[rank].put(Message(tag=MSG_SHUTDOWN, sender=0))
-            for t in self._threads.values():
-                t.join(timeout=5.0)
-        elif self.backend == "process":
-            for rank, proc in self._procs.items():
-                if proc.is_alive():
-                    try:
-                        self._inboxes[rank].put(
-                            encode_message(Message(tag=MSG_SHUTDOWN, sender=0))
-                        )
-                    except Exception:  # noqa: BLE001 - queue may be broken
-                        pass
-            for proc in self._procs.values():
-                proc.join(timeout=5.0)
-                if proc.is_alive():
-                    proc.terminate()
+        self.transport.close()
 
     # -- introspection ----------------------------------------------------------------
 

@@ -2,8 +2,10 @@
 
 A message is ``(tag, sender, payload)``; tags mirror the MW protocol: the
 master sends ``task`` and ``shutdown``; workers answer with ``result`` or
-``error``.  Encoding rides on the typed codec, so the same bytes work over
-in-process queues, thread queues, pipes or spool files.
+``error``.  Connection-oriented transports add a session layer on the same
+frames: ``hello`` / ``welcome`` for the join handshake and ``heartbeat``
+for liveness.  Encoding rides on the typed codec, so the same bytes work
+over in-process queues, thread queues, pipes, spool files or sockets.
 """
 
 from __future__ import annotations
@@ -17,8 +19,23 @@ MSG_TASK = "task"
 MSG_RESULT = "result"
 MSG_ERROR = "error"
 MSG_SHUTDOWN = "shutdown"
+# Session-control tags used by connection-oriented transports (repro.mw.tcp):
+# a joining worker introduces itself (hello), the master assigns it a rank,
+# seed stream and executor spec (welcome), and the worker proves liveness
+# between tasks (heartbeat).
+MSG_HELLO = "hello"
+MSG_WELCOME = "welcome"
+MSG_HEARTBEAT = "heartbeat"
 
-_VALID_TAGS = (MSG_TASK, MSG_RESULT, MSG_ERROR, MSG_SHUTDOWN)
+_VALID_TAGS = (
+    MSG_TASK,
+    MSG_RESULT,
+    MSG_ERROR,
+    MSG_SHUTDOWN,
+    MSG_HELLO,
+    MSG_WELCOME,
+    MSG_HEARTBEAT,
+)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,609 @@
+"""TCP socket transport: cross-host master-worker without a shared filesystem.
+
+Completes the paper's §4.3 picture — evaluation workers on *remote
+processors* — with a small framed protocol over plain sockets:
+
+* every frame is a big-endian u32 length prefix followed by one
+  codec-encoded :class:`~repro.mw.messages.Message` (see
+  :func:`repro.mw.codec.encode_frame`; truncated or oversized frames
+  raise :class:`~repro.mw.codec.CodecError`, never hang);
+* the master (:class:`TcpMasterTransport`) listens on ``tcp://host:port``
+  and accepts workers whenever they show up — *late joiners* are welcome,
+  which is how a campaign master on one host is served by workers
+  launched minutes later on others;
+* a joining worker sends ``hello``; the master answers ``welcome`` with
+  the worker's assigned rank, its spawned seed stream (entropy +
+  spawn key, so per-rank RNG streams are identical to the same-host
+  transports), the executor's importable ``module:attr`` wire spec, and
+  the heartbeat interval;
+* workers heartbeat between tasks; a silent or disconnected worker is
+  reported dead through :meth:`TcpMasterTransport.poll`, which feeds the
+  driver's existing crash-requeue path, and its rank becomes free so a
+  replacement worker is "restarted on the same processors" (§3.1);
+* master shutdown fans a ``shutdown`` frame to every connected worker and
+  closes all sockets, so ``python -m repro mw-worker`` processes exit
+  cleanly when the campaign finishes.
+
+The standalone worker entrypoint is :func:`run_worker`, exposed on the
+CLI as ``python -m repro mw-worker tcp://host:port``.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mw.codec import (
+    CodecError,
+    FRAME_HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    decode_frame_length,
+    encode_frame,
+)
+from repro.mw.messages import (
+    MSG_HEARTBEAT,
+    MSG_HELLO,
+    MSG_SHUTDOWN,
+    MSG_TASK,
+    MSG_WELCOME,
+    Message,
+    decode_message,
+    encode_message,
+)
+from repro.mw.transport import (
+    EVENT_DIED,
+    EVENT_JOINED,
+    Transport,
+    TransportEvent,
+    executor_wire_spec,
+    resolve_executor,
+)
+from repro.mw.worker import Executor, MWWorker
+
+#: Protocol version carried in the hello/welcome handshake.
+PROTOCOL_VERSION = 1
+
+#: Default seconds between worker heartbeats.
+DEFAULT_HEARTBEAT_INTERVAL = 1.0
+
+#: Dead-peer detection: a worker silent for this many heartbeat intervals
+#: (no heartbeat, result, or error frame) is presumed crashed.
+HEARTBEAT_TIMEOUT_INTERVALS = 5.0
+
+
+def parse_tcp_url(url: str) -> Tuple[str, int]:
+    """Split ``tcp://host:port`` into ``(host, port)``; port may be 0."""
+    if not url.startswith("tcp://"):
+        raise ValueError(f"expected a tcp://host:port URL, got {url!r}")
+    rest = url[len("tcp://") :]
+    host, sep, port_s = rest.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected a tcp://host:port URL, got {url!r}")
+    try:
+        port = int(port_s)
+    except ValueError:
+        raise ValueError(f"invalid port {port_s!r} in {url!r}") from None
+    if not (0 <= port <= 65535):
+        raise ValueError(f"port out of range in {url!r}")
+    return host, port
+
+
+def recv_exact(sock: socket.socket, n: int, allow_eof: bool = False) -> Optional[bytes]:
+    """Read exactly ``n`` bytes from a blocking socket.
+
+    A clean EOF *between* frames returns ``None`` when ``allow_eof`` is
+    set; EOF mid-read always raises :class:`CodecError` (a truncated
+    frame must be an error, never a hang or a silent short read).
+    """
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            if allow_eof and not buf:
+                return None
+            raise CodecError(f"connection closed mid-frame ({len(buf)}/{n} bytes)")
+        buf += chunk
+    return bytes(buf)
+
+
+def send_frame(sock: socket.socket, message: Message) -> None:
+    """Write one framed message to the socket."""
+    sock.sendall(encode_frame(encode_message(message)))
+
+
+def recv_frame(sock: socket.socket) -> Optional[Message]:
+    """Read one framed message; ``None`` on clean EOF at a frame boundary."""
+    header = recv_exact(sock, FRAME_HEADER_BYTES, allow_eof=True)
+    if header is None:
+        return None
+    length = decode_frame_length(header, MAX_FRAME_BYTES)
+    data = recv_exact(sock, length)
+    return decode_message(data)
+
+
+def _enable_keepalive(
+    sock: socket.socket, idle: int = 30, interval: int = 10, count: int = 3
+) -> None:
+    """Arm kernel TCP keepalive so a vanished peer surfaces as an error.
+
+    Heartbeat frames only protect the *master* against silent workers; a
+    master host that power-cuts or partitions away would otherwise leave
+    workers blocked in ``recv`` on a half-open connection forever.  With
+    these defaults a dead peer is detected within roughly
+    ``idle + interval * count`` seconds.  Tuning options are set
+    best-effort (not every platform exposes them); the base switch is
+    POSIX-universal.
+    """
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+    except OSError:  # pragma: no cover - keepalive unsupported
+        return
+    for option, value in (
+        (getattr(socket, "TCP_KEEPIDLE", None), idle),
+        (getattr(socket, "TCP_KEEPINTVL", None), interval),
+        (getattr(socket, "TCP_KEEPCNT", None), count),
+    ):
+        if option is not None:
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, option, value)
+            except OSError:  # pragma: no cover - platform-specific
+                pass
+
+
+def _seed_payload(seq: np.random.SeedSequence) -> dict:
+    """Codec-safe description of a spawned seed stream.
+
+    ``entropy`` travels as a decimal string because it can exceed the
+    codec's 64-bit integer range (128-bit when the root seed is None).
+    """
+    return {
+        "entropy": str(seq.entropy),
+        "spawn_key": [int(k) for k in seq.spawn_key],
+    }
+
+
+def _seed_from_payload(payload: dict) -> np.random.SeedSequence:
+    """Inverse of :func:`_seed_payload`."""
+    return np.random.SeedSequence(
+        int(payload["entropy"]), spawn_key=tuple(payload["spawn_key"])
+    )
+
+
+class TcpMasterTransport(Transport):
+    """Master side of the TCP transport: listener, registry, heartbeats.
+
+    Owns ``n_workers`` rank slots.  Workers connect at any time; each is
+    welcomed onto the lowest free rank (a rank freed by a dead worker is
+    reused first-come, so replacements inherit the dead worker's seed
+    stream and affinity).  Excess workers beyond ``n_workers`` are turned
+    away with a ``shutdown`` frame.
+
+    Parameters
+    ----------
+    url:
+        ``tcp://host:port`` to listen on; port 0 binds an ephemeral port
+        (read the result from :attr:`address`).
+    executor:
+        The master's executor; shipped to workers as an importable
+        ``module:attr`` wire spec when possible.  Workers launched with
+        an explicit ``--executor`` ignore it.
+    n_workers:
+        Rank slots (1..n_workers).
+    seed_seqs:
+        One spawned ``SeedSequence`` per rank.
+    heartbeat_interval:
+        Seconds between worker heartbeats (sent to workers in the
+        welcome).
+    heartbeat_timeout:
+        Seconds of silence after which a worker is presumed dead
+        (default: ``HEARTBEAT_TIMEOUT_INTERVALS * heartbeat_interval``).
+    """
+
+    dynamic = True
+
+    def __init__(
+        self,
+        url: str,
+        executor: Executor,
+        n_workers: int,
+        seed_seqs: Sequence[np.random.SeedSequence],
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        heartbeat_timeout: Optional[float] = None,
+    ) -> None:
+        self.host, self.port = parse_tcp_url(url)
+        if heartbeat_interval <= 0:
+            raise ValueError(f"heartbeat_interval must be > 0, got {heartbeat_interval}")
+        self.n_workers = int(n_workers)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_timeout = float(
+            heartbeat_timeout
+            if heartbeat_timeout is not None
+            else HEARTBEAT_TIMEOUT_INTERVALS * heartbeat_interval
+        )
+        self._seed_seqs = list(seed_seqs)
+        self._executor_payload = executor_wire_spec(executor)
+        self._replies: queue.Queue = queue.Queue()
+        self._lock = threading.Lock()
+        self._conns: Dict[int, socket.socket] = {}
+        self._last_seen: Dict[int, float] = {}
+        self._events: List[TransportEvent] = []
+        self._threads: List[threading.Thread] = []
+        self._listener: Optional[socket.socket] = None
+        self._closing = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the listener and start accepting workers in the background."""
+        self._listener = socket.create_server(
+            (self.host, self.port), backlog=self.n_workers + 2, reuse_port=False
+        )
+        # closing a socket does not wake a thread blocked in accept() on
+        # Linux, so the accept loop polls with a short timeout instead
+        self._listener.settimeout(0.25)
+        self.port = self._listener.getsockname()[1]
+        t = threading.Thread(target=self._accept_loop, daemon=True, name="mw-tcp-accept")
+        t.start()
+        self._threads.append(t)
+
+    @property
+    def address(self) -> str:
+        """The bound ``tcp://host:port`` (port resolved after ``start``)."""
+        return f"tcp://{self.host}:{self.port}"
+
+    def initially_live(self) -> set:
+        """No ranks: TCP workers join after the master starts listening."""
+        return set()
+
+    def close(self) -> None:
+        """Fan shutdown out to every worker, close all sockets; idempotent."""
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            conns = list(self._conns.values())
+            self._conns.clear()
+        for sock in conns:
+            try:
+                send_frame(sock, Message(tag=MSG_SHUTDOWN, sender=0))
+            except (OSError, CodecError):
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for t in self._threads:
+            t.join(timeout=5.0)
+
+    # -- master-side plumbing ---------------------------------------------
+
+    def _accept_loop(self) -> None:
+        """Accept connections until the listener closes; handshake each."""
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                with self._lock:
+                    if self._closing:
+                        return
+                continue
+            except OSError:
+                return  # listener closed
+            # handshake on its own thread: one silent or slow connection
+            # (port scanner, health probe) must not block other joiners
+            threading.Thread(
+                target=self._handshake_guarded, args=(sock,),
+                daemon=True, name="mw-tcp-handshake",
+            ).start()
+
+    def _handshake_guarded(self, sock: socket.socket) -> None:
+        """Run one handshake, closing the socket on any failure."""
+        try:
+            self._handshake(sock)
+        except (OSError, CodecError, ValueError):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _handshake(self, sock: socket.socket) -> None:
+        """Welcome one connecting worker onto a free rank (or turn it away)."""
+        sock.settimeout(self.heartbeat_timeout)
+        hello = recv_frame(sock)
+        if hello is None or hello.tag != MSG_HELLO:
+            raise ValueError("worker did not introduce itself with a hello frame")
+        version = (hello.payload or {}).get("version")
+        if version != PROTOCOL_VERSION:
+            send_frame(sock, Message(tag=MSG_SHUTDOWN, sender=0,
+                                     payload={"reason": "protocol version mismatch"}))
+            raise ValueError(f"unsupported protocol version {version!r}")
+        with self._lock:
+            if self._closing:
+                raise ValueError("transport is closing")
+            free = [r for r in range(1, self.n_workers + 1) if r not in self._conns]
+            if not free:
+                rank = None
+            else:
+                rank = free[0]
+                self._conns[rank] = sock
+                self._last_seen[rank] = time.monotonic()
+        if rank is None:
+            send_frame(sock, Message(tag=MSG_SHUTDOWN, sender=0,
+                                     payload={"reason": "all worker ranks are taken"}))
+            raise ValueError("no free worker rank")
+        welcome = Message(
+            tag=MSG_WELCOME,
+            sender=0,
+            payload={
+                "rank": rank,
+                "seed": _seed_payload(self._seed_seqs[rank - 1]),
+                "executor": self._executor_payload,
+                "heartbeat_interval": self.heartbeat_interval,
+            },
+        )
+        try:
+            send_frame(sock, welcome)
+        except OSError:
+            self._drop(rank, sock, report=False)
+            raise
+        sock.settimeout(None)
+        _enable_keepalive(sock)
+        with self._lock:
+            if self._conns.get(rank) is not sock:
+                # swept dead (welcome stalled past the heartbeat window) or
+                # superseded while we handshook; do not announce the join
+                raise ValueError("connection lost during handshake")
+            self._last_seen[rank] = time.monotonic()
+            # queue the join BEFORE the reader thread exists: the reader is
+            # the only source of this connection's DIED event, so starting
+            # it later makes died-before-joined inversion impossible
+            self._events.append((EVENT_JOINED, rank))
+        t = threading.Thread(
+            target=self._reader_loop, args=(rank, sock),
+            daemon=True, name=f"mw-tcp-reader-{rank}",
+        )
+        t.start()
+        with self._lock:
+            self._threads.append(t)
+
+    def _reader_loop(self, rank: int, sock: socket.socket) -> None:
+        """Pump frames from one worker into the reply queue until EOF/error."""
+        try:
+            while True:
+                message = recv_frame(sock)
+                if message is None:
+                    break
+                with self._lock:
+                    if self._conns.get(rank) is not sock:
+                        return  # superseded (e.g. presumed dead, rank reused)
+                    self._last_seen[rank] = time.monotonic()
+                if message.tag == MSG_HEARTBEAT:
+                    continue
+                self._replies.put(message)
+        except (OSError, CodecError):
+            pass
+        self._drop(rank, sock)
+
+    def _drop(self, rank: int, sock: socket.socket, report: bool = True) -> None:
+        """Unregister a connection; report the death unless we are closing."""
+        with self._lock:
+            if self._conns.get(rank) is not sock:
+                return
+            del self._conns[rank]
+            self._last_seen.pop(rank, None)
+            if report and not self._closing:
+                self._events.append((EVENT_DIED, rank))
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    # -- Transport interface ----------------------------------------------
+
+    def send(self, rank: int, message: Message) -> None:
+        """Frame and send to one worker; a failed send reports it dead."""
+        with self._lock:
+            sock = self._conns.get(rank)
+        if sock is None:
+            return  # died between poll and send; poll() already reported it
+        try:
+            send_frame(sock, message)
+        except (OSError, CodecError):
+            self._drop(rank, sock)
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Message]:
+        """Next worker result/error frame (``None`` on timeout)."""
+        try:
+            if timeout == 0:
+                return self._replies.get_nowait()
+            return self._replies.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def poll(self) -> List[TransportEvent]:
+        """Drain join/death events; also sweep for heartbeat timeouts."""
+        now = time.monotonic()
+        stale: List[Tuple[int, socket.socket]] = []
+        with self._lock:
+            for rank, sock in self._conns.items():
+                if now - self._last_seen.get(rank, now) > self.heartbeat_timeout:
+                    stale.append((rank, sock))
+        for rank, sock in stale:
+            self._drop(rank, sock)
+        with self._lock:
+            events, self._events = self._events, []
+        return events
+
+    def stats(self) -> dict:
+        """Connection counts for monitoring: connected ranks and slots."""
+        with self._lock:
+            return {
+                "connected": sorted(self._conns),
+                "n_workers": self.n_workers,
+                "address": self.address,
+            }
+
+
+class TcpWorkerEndpoint:
+    """Worker side of the TCP transport: connect, handshake, serve tasks.
+
+    The endpoint retries the initial connection until ``connect_timeout``
+    elapses, so workers may be launched before the master is listening.
+    After the welcome it executes ``task`` frames one at a time with an
+    :class:`~repro.mw.worker.MWWorker` seeded from the master-assigned
+    stream, heartbeating from a background thread, until the master sends
+    ``shutdown`` or closes the socket.
+
+    Parameters
+    ----------
+    url:
+        The master's ``tcp://host:port``.
+    executor:
+        Local executor override.  When ``None`` the endpoint resolves the
+        master's wire spec (``module:attr``) — the normal mode for
+        ``python -m repro mw-worker``.
+    connect_timeout:
+        Seconds to keep retrying the initial connection.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        executor: Optional[Executor] = None,
+        connect_timeout: float = 30.0,
+    ) -> None:
+        self.host, self.port = parse_tcp_url(url)
+        if self.port == 0:
+            raise ValueError(f"worker needs an explicit master port, got {url!r}")
+        self.executor = executor
+        self.connect_timeout = float(connect_timeout)
+        self.rank: Optional[int] = None
+        self._send_lock = threading.Lock()
+        self._stop_heartbeat = threading.Event()
+
+    def _connect(self) -> socket.socket:
+        """Dial the master, retrying until ``connect_timeout`` elapses."""
+        deadline = time.monotonic() + self.connect_timeout
+        while True:
+            try:
+                sock = socket.create_connection((self.host, self.port), timeout=5.0)
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.2)
+                continue
+            # a bounded timeout for the handshake only; the task loop resets
+            # it to blocking (idle gaps between tasks can be arbitrarily long)
+            sock.settimeout(max(self.connect_timeout, 30.0))
+            return sock
+
+    def _send(self, sock: socket.socket, message: Message) -> None:
+        """Serialized frame write (heartbeat thread and task loop share it)."""
+        with self._send_lock:
+            send_frame(sock, message)
+
+    def _heartbeat_loop(self, sock: socket.socket, interval: float) -> None:
+        """Send a heartbeat every ``interval`` seconds until stopped."""
+        rank = self.rank or 0
+        while not self._stop_heartbeat.wait(interval):
+            try:
+                self._send(sock, Message(tag=MSG_HEARTBEAT, sender=rank))
+            except (OSError, CodecError):
+                return
+
+    def run(self) -> dict:
+        """Serve tasks until the master shuts down; returns worker stats.
+
+        Raises ``OSError`` if the master cannot be reached within
+        ``connect_timeout``, ``CodecError`` on a corrupt stream, and
+        ``ValueError`` if no executor is available on either side.
+        """
+        sock = self._connect()
+        try:
+            return self._serve(sock)
+        finally:
+            self._stop_heartbeat.set()
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _serve(self, sock: socket.socket) -> dict:
+        """The handshake + task loop on an established connection."""
+        self._send(sock, Message(tag=MSG_HELLO, sender=0,
+                                 payload={"version": PROTOCOL_VERSION}))
+        welcome = recv_frame(sock)
+        if welcome is None:
+            raise CodecError("master closed the connection before welcome")
+        if welcome.tag == MSG_SHUTDOWN:
+            reason = (welcome.payload or {}).get("reason", "master refused the worker")
+            return {"rank": None, "executed": 0, "errors": 0, "refused": reason}
+        if welcome.tag != MSG_WELCOME:
+            raise CodecError(f"expected welcome, got {welcome.tag!r}")
+        payload = welcome.payload
+        self.rank = int(payload["rank"])
+        executor = self.executor
+        if executor is None:
+            if payload.get("executor") is None:
+                raise ValueError(
+                    "master did not provide an executor spec; launch the worker "
+                    "with an explicit --executor module:attr"
+                )
+            executor = resolve_executor(payload["executor"])
+        worker = MWWorker(self.rank, executor, _seed_from_payload(payload["seed"]))
+        # blocking from here (idle waits have no bound), with kernel
+        # keepalive so a master that vanishes without FIN/RST still
+        # unblocks the loop instead of orphaning the worker process
+        sock.settimeout(None)
+        _enable_keepalive(sock)
+        interval = float(payload.get("heartbeat_interval", DEFAULT_HEARTBEAT_INTERVAL))
+        beat = threading.Thread(
+            target=self._heartbeat_loop, args=(sock, interval),
+            daemon=True, name=f"mw-tcp-heartbeat-{self.rank}",
+        )
+        beat.start()
+        while True:
+            # after the handshake, a broken stream means the master is gone
+            # (crash, or the shutdown/close race) — exit cleanly, do not
+            # traceback: the worker's job is over either way
+            try:
+                message = recv_frame(sock)
+            except (OSError, CodecError):
+                break
+            if message is None or message.tag == MSG_SHUTDOWN:
+                break
+            if message.tag != MSG_TASK:
+                continue  # tolerate stray traffic
+            task = message.payload
+            reply = worker.execute(task["task_id"], task["work"])
+            try:
+                self._send(sock, reply)
+            except (OSError, CodecError):
+                break
+        stats = worker.stats()
+        stats["refused"] = None
+        return stats
+
+
+def run_worker(
+    url: str,
+    executor: Optional[Executor] = None,
+    connect_timeout: float = 30.0,
+) -> dict:
+    """Run one standalone TCP worker to completion; returns its stats.
+
+    The ``python -m repro mw-worker`` entrypoint: connects to the master
+    at ``url``, serves tasks until the master shuts down, and reports
+    ``{"rank", "executed", "errors", "refused"}``.
+    """
+    return TcpWorkerEndpoint(url, executor=executor, connect_timeout=connect_timeout).run()

@@ -1,0 +1,427 @@
+"""Transport — the MWRMComm layer separated from the driver (paper §3.1).
+
+The Wisconsin MW hides its communication substrate behind an abstract
+``MWRMComm`` with ``pack``/``unpack``/``send``/``recv`` primitives so the
+same master logic runs over Condor, PVM or sockets.  This module is that
+seam for the Python reproduction: :class:`Transport` carries
+codec-encodable :class:`~repro.mw.messages.Message` frames between the
+master (:class:`~repro.mw.driver.MWDriver`) and a set of worker *ranks*,
+and the driver is written purely against it — scheduling, affinity,
+retries and seeding live in the driver; *where the workers are* lives
+here.
+
+Three same-host transports re-express the historical backends:
+
+* :class:`InprocTransport` — synchronous, deterministic; ``send``
+  executes the task immediately and buffers the reply.
+* :class:`ThreadedTransport` — one thread per worker over
+  ``queue.Queue`` channels.
+* :class:`ProcessTransport` — one OS process per worker over
+  ``multiprocessing`` queues carrying codec-encoded frames.
+
+The cross-host TCP transport lives in :mod:`repro.mw.tcp` and is selected
+with a ``tcp://host:port`` spec; :func:`make_transport` maps any spec
+string to an instance.  Workers on dynamic transports may join *after*
+the master starts (late joiners), which the driver learns about through
+:meth:`Transport.poll` events.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing as mp
+import queue
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.mw.messages import (
+    MSG_SHUTDOWN,
+    MSG_TASK,
+    Message,
+    decode_message,
+    encode_message,
+)
+from repro.mw.worker import Executor, MWWorker
+
+#: Same-host transport names (a ``tcp://host:port`` URL is also accepted).
+TRANSPORT_NAMES = ("inproc", "threaded", "process")
+
+#: A transport lifecycle event: ``("joined" | "died", rank)``.
+TransportEvent = Tuple[str, int]
+
+EVENT_JOINED = "joined"
+EVENT_DIED = "died"
+
+
+class Transport:
+    """Master-side view of a worker pool: frame routing plus liveness.
+
+    A transport owns the communication channels to ``n_workers`` worker
+    ranks (1-based; rank 0 is the master).  The driver calls
+    :meth:`send` to dispatch a task frame to a rank, :meth:`recv` to
+    collect the next worker reply, :meth:`poll` to learn which ranks
+    joined or died since the last poll, and :meth:`close` to fan a clean
+    shutdown out to every worker.  Implementations must tolerate
+    ``close`` being called more than once.
+    """
+
+    #: ``send`` completes the task before returning; replies are
+    #: immediately available from ``recv`` (the deterministic inproc mode).
+    synchronous: bool = False
+    #: Workers may join (or rejoin) after ``start`` — the driver must not
+    #: give up when no rank is currently live.
+    dynamic: bool = False
+
+    def start(self) -> None:
+        """Bring the transport up (bind sockets, spawn workers); no-op here."""
+
+    def initially_live(self) -> Set[int]:
+        """Ranks that are connected and usable immediately after ``start``."""
+        raise NotImplementedError
+
+    def send(self, rank: int, message: Message) -> None:
+        """Deliver ``message`` to worker ``rank`` (best-effort for dead ranks)."""
+        raise NotImplementedError
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Message]:
+        """Next worker reply, or ``None`` if nothing arrives within ``timeout``.
+
+        ``timeout=None`` blocks until a reply is available; ``timeout=0``
+        polls without blocking.
+        """
+        raise NotImplementedError
+
+    def poll(self) -> List[TransportEvent]:
+        """Liveness events since the last poll, in chronological order."""
+        return []
+
+    def close(self) -> None:
+        """Shut every worker down and release channels; idempotent."""
+        raise NotImplementedError
+
+
+class InprocTransport(Transport):
+    """Deterministic single-threaded transport: tasks run inside ``send``.
+
+    The historical ``inproc`` backend: no concurrency, synchronous
+    round-robin execution, used by unit tests and the virtual-cluster
+    simulator.  Replies buffer in FIFO order and drain through ``recv``.
+    """
+
+    synchronous = True
+
+    def __init__(
+        self, executor: Executor, seed_seqs: Sequence[np.random.SeedSequence]
+    ) -> None:
+        self.workers: Dict[int, MWWorker] = {
+            rank: MWWorker(rank, executor, seq)
+            for rank, seq in enumerate(seed_seqs, start=1)
+        }
+        self._replies: deque[Message] = deque()
+
+    def initially_live(self) -> Set[int]:
+        """All ranks: in-process workers exist from construction."""
+        return set(self.workers)
+
+    def send(self, rank: int, message: Message) -> None:
+        """Execute a task message synchronously, buffering the reply."""
+        if message.tag != MSG_TASK:
+            return
+        payload = message.payload
+        reply = self.workers[rank].execute(payload["task_id"], payload["work"])
+        self._replies.append(reply)
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Message]:
+        """Pop the oldest buffered reply (never blocks)."""
+        return self._replies.popleft() if self._replies else None
+
+    def close(self) -> None:
+        """Nothing to tear down for in-process workers."""
+
+
+class ThreadedTransport(Transport):
+    """One Python thread per worker rank over ``queue.Queue`` channels.
+
+    Messages travel un-encoded (same interpreter); real overlap for
+    I/O-bound executors.
+    """
+
+    def __init__(
+        self, executor: Executor, seed_seqs: Sequence[np.random.SeedSequence]
+    ) -> None:
+        self.workers: Dict[int, MWWorker] = {
+            rank: MWWorker(rank, executor, seq)
+            for rank, seq in enumerate(seed_seqs, start=1)
+        }
+        self._inboxes: Dict[int, queue.Queue] = {r: queue.Queue() for r in self.workers}
+        self._outbox: queue.Queue = queue.Queue()
+        self._threads: Dict[int, threading.Thread] = {}
+
+    def start(self) -> None:
+        """Start one daemon thread per worker running its receive loop."""
+        for rank, worker in self.workers.items():
+            t = threading.Thread(
+                target=worker.run_loop,
+                args=(self._inboxes[rank], self._outbox),
+                daemon=True,
+                name=f"mw-worker-{rank}",
+            )
+            t.start()
+            self._threads[rank] = t
+
+    def initially_live(self) -> Set[int]:
+        """All ranks: threads are running once ``start`` returns."""
+        return set(self.workers)
+
+    def send(self, rank: int, message: Message) -> None:
+        """Enqueue the message on the rank's inbox."""
+        self._inboxes[rank].put(message)
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Message]:
+        """Blocking pop from the shared outbox (``None`` on timeout)."""
+        try:
+            if timeout == 0:
+                return self._outbox.get_nowait()
+            return self._outbox.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def close(self) -> None:
+        """Send shutdown to every thread and join them (bounded wait)."""
+        for rank in self._inboxes:
+            self._inboxes[rank].put(Message(tag=MSG_SHUTDOWN, sender=0))
+        for t in self._threads.values():
+            t.join(timeout=5.0)
+
+
+def _process_worker_main(rank, executor, entropy, spawn_key, inbox, outbox) -> None:
+    """Entry point of a process-backend worker: decode frames, run the loop."""
+    seq = np.random.SeedSequence(entropy, spawn_key=tuple(spawn_key))
+    worker = MWWorker(rank, executor, seq)
+    while True:
+        frame = inbox.get()
+        message = decode_message(frame)
+        if message.tag == MSG_SHUTDOWN:
+            return
+        if message.tag != MSG_TASK:
+            continue
+        payload = message.payload
+        reply = worker.execute(payload["task_id"], payload["work"])
+        outbox.put(encode_message(reply))
+
+
+class ProcessTransport(Transport):
+    """One OS process per worker rank; frames cross on ``multiprocessing`` queues.
+
+    Real parallelism; the executor must be picklable.  ``poll`` detects
+    dead processes so the driver can requeue their in-flight tasks.
+    """
+
+    def __init__(
+        self, executor: Executor, seed_seqs: Sequence[np.random.SeedSequence]
+    ) -> None:
+        self._executor = executor
+        self._seed_seqs = list(seed_seqs)
+        self._ranks = range(1, len(self._seed_seqs) + 1)
+        ctx = mp.get_context("fork")
+        self._inboxes = {r: ctx.Queue() for r in self._ranks}
+        self._outbox = ctx.Queue()
+        self._ctx = ctx
+        self.procs: Dict[int, mp.Process] = {}
+        self._reported_dead: Set[int] = set()
+
+    def start(self) -> None:
+        """Fork one daemon process per rank, handing it its seed stream."""
+        for rank in self._ranks:
+            seq = self._seed_seqs[rank - 1]
+            p = self._ctx.Process(
+                target=_process_worker_main,
+                args=(
+                    rank,
+                    self._executor,
+                    seq.entropy,
+                    tuple(seq.spawn_key),
+                    self._inboxes[rank],
+                    self._outbox,
+                ),
+                daemon=True,
+                name=f"mw-worker-{rank}",
+            )
+            p.start()
+            self.procs[rank] = p
+
+    def initially_live(self) -> Set[int]:
+        """All ranks: the processes are forked by ``start``."""
+        return set(self._ranks)
+
+    def send(self, rank: int, message: Message) -> None:
+        """Encode the message and enqueue it on the rank's inbox."""
+        self._inboxes[rank].put(encode_message(message))
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Message]:
+        """Blocking pop + decode from the shared outbox (``None`` on timeout)."""
+        try:
+            if timeout == 0:
+                frame = self._outbox.get_nowait()
+            else:
+                frame = self._outbox.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        return decode_message(frame)
+
+    def poll(self) -> List[TransportEvent]:
+        """Report each dead worker process exactly once."""
+        events: List[TransportEvent] = []
+        for rank, proc in self.procs.items():
+            if rank not in self._reported_dead and not proc.is_alive():
+                self._reported_dead.add(rank)
+                events.append((EVENT_DIED, rank))
+        return events
+
+    def close(self) -> None:
+        """Send shutdown frames, join, and terminate stragglers."""
+        for rank, proc in self.procs.items():
+            if proc.is_alive():
+                try:
+                    self._inboxes[rank].put(
+                        encode_message(Message(tag=MSG_SHUTDOWN, sender=0))
+                    )
+                except Exception:  # noqa: BLE001 - queue may be broken
+                    pass
+        for proc in self.procs.values():
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+
+
+# -- executor wire specs ------------------------------------------------------
+#
+# Cross-host transports cannot ship code: the codec carries data only (no
+# pickle).  Instead the master describes its executor as an importable
+# "module:attr" spec that standalone workers resolve locally, the same way
+# the paper's workers import the simulation binary from their own disk.
+
+
+class FunctionExecutor:
+    """Adapt a plain ``fn(item)`` to the ``executor(work, context)`` signature.
+
+    Used by :func:`repro.parallel.backends.parallel_map`'s ``mw`` backend.
+    Picklable by reference as long as ``fn`` is module-level — the same
+    constraint the ``process`` backend already imposes — and wire-speccable
+    for TCP workers whenever ``fn`` itself is importable.
+    """
+
+    def __init__(self, fn) -> None:
+        self.fn = fn
+
+    def __call__(self, work, context):
+        """Execute one item, ignoring the worker context."""
+        return self.fn(work)
+
+    def mw_wire_spec(self) -> Optional[dict]:
+        """Wire spec telling remote workers to wrap ``fn`` themselves."""
+        spec = spec_of(self.fn)
+        if spec is None:
+            return None
+        return {"kind": "function", "spec": spec}
+
+
+def spec_of(obj: Any) -> Optional[str]:
+    """``"module:attr"`` for an importable module-level callable, else ``None``."""
+    module = getattr(obj, "__module__", None)
+    qualname = getattr(obj, "__qualname__", None)
+    if not module or not isinstance(qualname, str) or "." in qualname:
+        return None
+    try:
+        imported = importlib.import_module(module)
+    except ImportError:
+        return None
+    if getattr(imported, qualname, None) is not obj:
+        return None
+    return f"{module}:{qualname}"
+
+
+def executor_wire_spec(executor: Executor) -> Optional[dict]:
+    """Describe ``executor`` for the wire, or ``None`` if it cannot travel.
+
+    Returns ``{"kind": "executor" | "function", "spec": "module:attr"}``.
+    Objects may customize via an ``mw_wire_spec()`` method (see
+    :class:`FunctionExecutor`); plain module-level callables are described
+    generically.
+    """
+    custom = getattr(executor, "mw_wire_spec", None)
+    if callable(custom):
+        return custom()
+    spec = spec_of(executor)
+    if spec is None:
+        return None
+    return {"kind": "executor", "spec": spec}
+
+
+def resolve_executor(payload: dict) -> Executor:
+    """Inverse of :func:`executor_wire_spec`: import and adapt the callable.
+
+    Raises ``ValueError`` for malformed payloads and lets import errors
+    propagate with their natural message (the worker operator needs it).
+    """
+    if not isinstance(payload, dict) or "spec" not in payload:
+        raise ValueError(f"malformed executor spec {payload!r}")
+    kind = payload.get("kind", "executor")
+    module_name, sep, attr = str(payload["spec"]).partition(":")
+    if not sep or not attr:
+        raise ValueError(f"executor spec must be 'module:attr', got {payload['spec']!r}")
+    obj = getattr(importlib.import_module(module_name), attr)
+    if kind == "function":
+        return FunctionExecutor(obj)
+    if kind == "executor":
+        return obj
+    raise ValueError(f"unknown executor kind {kind!r}")
+
+
+# -- factory ------------------------------------------------------------------
+
+
+def is_tcp_spec(spec: str) -> bool:
+    """Whether ``spec`` selects the TCP transport (``tcp://host:port``)."""
+    return isinstance(spec, str) and spec.startswith("tcp://")
+
+
+def make_transport(
+    spec: str,
+    executor: Executor,
+    n_workers: int,
+    seed_seqs: Sequence[np.random.SeedSequence],
+    **options: Any,
+) -> Transport:
+    """Build the transport named by ``spec``.
+
+    ``spec`` is ``"inproc"``, ``"threaded"``, ``"process"`` or a
+    ``tcp://host:port`` URL (the master listens there; ``port`` may be 0
+    for an ephemeral port).  ``options`` are forwarded to the TCP
+    transport (heartbeat tuning); the same-host transports take none.
+    """
+    if spec in ("inproc", "threaded", "process") and options:
+        raise ValueError(f"transport {spec!r} accepts no options, got {options}")
+    if spec == "inproc":
+        return InprocTransport(executor, seed_seqs)
+    if spec == "threaded":
+        return ThreadedTransport(executor, seed_seqs)
+    if spec == "process":
+        return ProcessTransport(executor, seed_seqs)
+    if is_tcp_spec(spec):
+        from repro.mw.tcp import TcpMasterTransport
+
+        return TcpMasterTransport(
+            spec,
+            executor=executor,
+            n_workers=n_workers,
+            seed_seqs=seed_seqs,
+            **options,
+        )
+    raise ValueError(
+        f"backend must be one of {TRANSPORT_NAMES} or a tcp://host:port URL, "
+        f"got {spec!r}"
+    )

@@ -39,21 +39,6 @@ def seeded_tasks(
     return list(zip(items, seqs))
 
 
-class _FunctionExecutor:
-    """Adapt a plain ``fn(item)`` to the MW executor signature.
-
-    Picklable by reference as long as ``fn`` is module-level — the same
-    constraint the ``process`` backend already imposes.
-    """
-
-    def __init__(self, fn: Callable) -> None:
-        self.fn = fn
-
-    def __call__(self, work, context):
-        """Execute one item, ignoring the worker context."""
-        return self.fn(work)
-
-
 def _mw_map(
     fn: Callable[[T], R],
     items: List[T],
@@ -62,10 +47,11 @@ def _mw_map(
 ) -> List[R]:
     """Order-preserving map through an ephemeral :class:`MWDriver`."""
     from repro.mw.driver import MWDriver
+    from repro.mw.transport import FunctionExecutor
 
     n_workers = max(1, min(max_workers or os.cpu_count() or 2, len(items)))
     with MWDriver(
-        _FunctionExecutor(fn), n_workers=n_workers, backend=transport, seed=0
+        FunctionExecutor(fn), n_workers=n_workers, backend=transport, seed=0
     ) as driver:
         tasks = [driver.submit(item) for item in items]
         driver.wait_all()
@@ -92,7 +78,10 @@ def parallel_map(
     inter-process message on the ``process`` backend, cutting IPC overhead
     on large sweeps of cheap tasks; the other backends ignore it.
     ``mw_transport`` picks what mw workers run on (``inproc`` /
-    ``threaded`` / ``process``) and is ignored by the other backends.
+    ``threaded`` / ``process``, or a ``tcp://host:port`` listen URL for
+    standalone cross-host workers — ``fn`` must then be importable by
+    ``module:attr`` on the worker hosts) and is ignored by the other
+    backends.
     """
     items = list(items)
     if backend not in BACKENDS:

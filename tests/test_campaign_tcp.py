@@ -1,0 +1,151 @@
+"""Cross-host campaign acceptance: TCP master + standalone mw-worker processes.
+
+The PR-3 acceptance criterion: a campaign run with ``--backend mw
+--transport tcp://127.0.0.1:<port>`` served by two separately-launched
+``python -m repro mw-worker`` processes completes all jobs and produces a
+result store identical (same job ids, same per-job results) to a serial
+run of the same spec — with no shared filesystem between master and
+workers (the workers never see the campaign directory).
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import Campaign, CampaignRunner, CampaignSpec, ResultStore
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def free_port() -> int:
+    """An OS-assigned localhost port, released for immediate reuse."""
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    """A fast 2-algorithm x 3-seed sphere grid (6 jobs)."""
+    kwargs = dict(
+        name="tcp-dist",
+        algorithms=["DET", "PC"],
+        functions=["sphere"],
+        dims=[2],
+        sigma0s=[1.0],
+        seeds=[0, 1, 2],
+        tau=1e-3,
+        walltime=1e3,
+        max_steps=40,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+def reference_results(spec):
+    store = ResultStore()
+    CampaignRunner(spec, store).run()
+    return {r["job_id"]: r["result"] for r in store.records()}
+
+
+def spawn(args, **kwargs):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        **kwargs,
+    )
+
+
+class TestTcpCampaignAcceptance:
+    def test_two_cli_workers_serve_a_tcp_campaign(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        spec = small_spec()
+        Campaign(directory, spec=spec)
+        port = free_port()
+        url = f"tcp://127.0.0.1:{port}"
+        workers = [spawn(["mw-worker", url]) for _ in range(2)]
+        master = spawn([
+            "campaign", "run", directory, "--backend", "mw",
+            "--transport", url, "--max-workers", "2",
+        ])
+        out, _ = master.communicate(timeout=300)
+        assert master.returncode == 0, out.decode()
+        for proc in workers:
+            wout, _ = proc.communicate(timeout=60)
+            assert proc.returncode == 0, wout.decode()
+            assert b"finished" in wout
+        campaign = Campaign(directory)
+        got = {r["job_id"]: r["result"] for r in campaign.store.completed()}
+        assert got == reference_results(spec)
+
+    def test_killed_tcp_worker_triggers_requeue_at_campaign_level(self, tmp_path):
+        """SIGKILL one of two workers mid-campaign; the survivor finishes
+        everything and the store still matches the serial reference."""
+        directory = str(tmp_path / "camp")
+        spec = small_spec(seeds=list(range(6)))  # 12 jobs
+        Campaign(directory, spec=spec)
+        port = free_port()
+        url = f"tcp://127.0.0.1:{port}"
+        victim = spawn(["mw-worker", url])
+        survivor = spawn(["mw-worker", url])
+        master = spawn([
+            "campaign", "run", directory, "--backend", "mw",
+            "--transport", url, "--max-workers", "2",
+        ])
+        time.sleep(2.0)  # let the campaign get in flight
+        victim.send_signal(signal.SIGKILL)
+        victim.communicate()
+        out, _ = master.communicate(timeout=300)
+        assert master.returncode == 0, out.decode()
+        survivor.communicate(timeout=60)
+        campaign = Campaign(directory)
+        got = {r["job_id"]: r["result"] for r in campaign.store.completed()}
+        assert got == reference_results(spec)
+
+    def test_workers_launched_before_the_master_connect_late(self, tmp_path):
+        """Worker processes may be started first; they retry until the
+        master's listener appears."""
+        directory = str(tmp_path / "camp")
+        spec = small_spec()
+        Campaign(directory, spec=spec)
+        port = free_port()
+        url = f"tcp://127.0.0.1:{port}"
+        worker = spawn(["mw-worker", url, "--connect-timeout", "60"])
+        time.sleep(1.0)  # master not up yet; the worker must be retrying
+        master = spawn([
+            "campaign", "run", directory, "--backend", "mw",
+            "--transport", url, "--max-workers", "1",
+        ])
+        out, _ = master.communicate(timeout=300)
+        assert master.returncode == 0, out.decode()
+        wout, _ = worker.communicate(timeout=60)
+        assert worker.returncode == 0, wout.decode()
+        campaign = Campaign(directory)
+        assert len(campaign.store.completed()) == 6
+
+
+class TestWatchJson:
+    def test_watch_json_snapshots_are_machine_readable(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        spec = small_spec()
+        Campaign(directory, spec=spec)
+        runner = CampaignRunner(spec, Campaign(directory).store)
+        runner.run(max_jobs=2)
+        proc = spawn(["campaign", "watch", directory, "--once", "--json"])
+        out, _ = proc.communicate(timeout=120)
+        assert proc.returncode == 0, out.decode()
+        snap = json.loads(out.decode().strip().splitlines()[-1])
+        assert snap["campaign"] == "tcp-dist"
+        assert snap["n_total"] == 6
+        assert snap["done"] == 2
+        assert snap["remaining"] == 4
+        assert set(snap) >= {"failed", "elapsed_s", "rate", "eta_s"}

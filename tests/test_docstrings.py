@@ -23,9 +23,13 @@ MODULES = [
     "repro.campaign.store",
     "repro.parallel",
     "repro.parallel.backends",
+    "repro.mw.codec",
     "repro.mw.driver",
-    "repro.mw.worker",
+    "repro.mw.messages",
     "repro.mw.task",
+    "repro.mw.tcp",
+    "repro.mw.transport",
+    "repro.mw.worker",
 ]
 
 

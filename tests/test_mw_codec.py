@@ -103,3 +103,45 @@ class TestErrors:
     def test_empty_payload_rejected(self):
         with pytest.raises(CodecError):
             unpack(b"")
+
+
+class TestFraming:
+    """The length-prefixed frame layer used by stream transports."""
+
+    def test_frame_roundtrip(self):
+        from repro.mw.codec import decode_frame_length, encode_frame
+
+        payload = pack({"task_id": 1, "work": [1.0, 2.0]})
+        frame = encode_frame(payload)
+        assert decode_frame_length(frame[:4]) == len(payload)
+        assert frame[4:] == payload
+
+    def test_oversized_frame_rejected_on_encode(self):
+        from repro.mw.codec import encode_frame
+
+        with pytest.raises(CodecError, match="exceeds"):
+            encode_frame(b"x" * 100, max_bytes=10)
+
+    def test_oversized_declared_length_rejected_on_decode(self):
+        """A corrupt/hostile length prefix must fail, not allocate or hang."""
+        import struct
+
+        from repro.mw.codec import decode_frame_length
+
+        header = struct.pack(">I", 2**31)
+        with pytest.raises(CodecError, match="exceeds"):
+            decode_frame_length(header)
+
+    def test_short_header_rejected(self):
+        from repro.mw.codec import decode_frame_length
+
+        with pytest.raises(CodecError, match="truncated frame header"):
+            decode_frame_length(b"\x00\x01")
+
+    def test_default_limit_accepts_real_messages(self):
+        from repro.mw.codec import MAX_FRAME_BYTES, decode_frame_length, encode_frame
+
+        payload = pack(np.zeros(1024))
+        frame = encode_frame(payload)
+        assert len(payload) < MAX_FRAME_BYTES
+        assert decode_frame_length(frame[:4], MAX_FRAME_BYTES) == len(payload)

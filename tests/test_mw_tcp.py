@@ -1,0 +1,349 @@
+"""Tests for the TCP socket transport: framing, handshake, cross-host flows.
+
+Workers run as in-process threads (same protocol as ``python -m repro
+mw-worker``, minus the process boundary) so the suite stays fast; the
+subprocess-level acceptance path is covered in test_campaign_tcp.py.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.mw import MWDriver
+from repro.mw.codec import CodecError, encode_frame
+from repro.mw.messages import (
+    MSG_HELLO,
+    MSG_SHUTDOWN,
+    MSG_TASK,
+    MSG_WELCOME,
+    Message,
+    encode_message,
+)
+from repro.mw.tcp import (
+    PROTOCOL_VERSION,
+    TcpWorkerEndpoint,
+    parse_tcp_url,
+    recv_frame,
+    run_worker,
+    send_frame,
+)
+
+
+def square(work, ctx):
+    return work * work
+
+
+def slow_square(work, ctx):
+    time.sleep(0.05)
+    return work * work
+
+
+def tcp_driver(executor, n_workers=2, **kwargs):
+    """A driver listening on an ephemeral localhost port, fast heartbeats."""
+    options = {"heartbeat_interval": 0.1}
+    options.update(kwargs.pop("transport_options", {}))
+    return MWDriver(
+        executor,
+        n_workers=n_workers,
+        backend="tcp://127.0.0.1:0",
+        transport_options=options,
+        **kwargs,
+    )
+
+
+def start_worker(address, executor, **kwargs):
+    """One endpoint worker on a thread; returns (thread, result-holder)."""
+    holder = {}
+
+    def run():
+        try:
+            holder["stats"] = TcpWorkerEndpoint(address, executor=executor, **kwargs).run()
+        except Exception as exc:  # noqa: BLE001 - surfaced by the test
+            holder["error"] = exc
+
+    t = threading.Thread(target=run, daemon=True)
+    t.start()
+    return t, holder
+
+
+class TestUrlParsing:
+    def test_host_port(self):
+        assert parse_tcp_url("tcp://10.0.0.5:7777") == ("10.0.0.5", 7777)
+
+    def test_ephemeral_port_allowed(self):
+        assert parse_tcp_url("tcp://0.0.0.0:0") == ("0.0.0.0", 0)
+
+    @pytest.mark.parametrize("bad", [
+        "127.0.0.1:7777", "tcp://", "tcp://host", "tcp://host:port",
+        "tcp://host:70000", "tcp://:5555",
+    ])
+    def test_malformed_urls_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_tcp_url(bad)
+
+    def test_worker_rejects_ephemeral_master_port(self):
+        with pytest.raises(ValueError, match="explicit master port"):
+            TcpWorkerEndpoint("tcp://127.0.0.1:0")
+
+
+class TestSocketFraming:
+    def test_roundtrip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            msg = Message(tag=MSG_TASK, sender=0,
+                          payload={"task_id": 3, "work": [1.0, 2.0]})
+            send_frame(a, msg)
+            assert recv_frame(b) == msg
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_truncated_frame_raises_codec_error(self):
+        """EOF mid-frame must raise, never hang or return partial data."""
+        a, b = socket.socketpair()
+        try:
+            frame = encode_frame(encode_message(Message(tag=MSG_TASK, sender=0,
+                                                        payload={"x": 1})))
+            a.sendall(frame[:-3])
+            a.close()
+            with pytest.raises(CodecError, match="mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_header_raises_codec_error(self):
+        import struct
+
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 2**30 + 1) + b"xxxx")
+            with pytest.raises(CodecError, match="exceeds"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestEndToEnd:
+    def test_two_workers_complete_all_tasks(self):
+        with tcp_driver(square) as driver:
+            tasks = [driver.submit(i) for i in range(10)]
+            addr = driver.transport.address
+            t1, h1 = start_worker(addr, square)
+            t2, h2 = start_worker(addr, square)
+            driver.wait_all(timeout=30)
+            assert [t.result for t in tasks] == [i * i for i in range(10)]
+            assert driver.stats()["live_workers"] >= 1
+        # master shutdown fans out to both workers; they exit cleanly
+        t1.join(timeout=10)
+        t2.join(timeout=10)
+        assert not t1.is_alive() and not t2.is_alive()
+        executed = [h.get("stats", {}).get("executed", 0) for h in (h1, h2)]
+        assert sum(executed) == 10
+
+    def test_worker_joining_after_wait_all_starts_receives_work(self):
+        """Late joiners: the master waits, a worker shows up, work flows."""
+        with tcp_driver(square, n_workers=1) as driver:
+            tasks = [driver.submit(i) for i in range(3)]
+            addr = driver.transport.address
+
+            def late_join():
+                time.sleep(0.4)
+                start_worker(addr, square)
+
+            threading.Thread(target=late_join, daemon=True).start()
+            driver.wait_all(timeout=30)
+            assert [t.result for t in tasks] == [0, 1, 4]
+
+    def test_worker_errors_are_retried_then_failed(self):
+        def failing(work, ctx):
+            raise RuntimeError("boom")
+
+        with tcp_driver(failing, n_workers=1, max_retries=1) as driver:
+            task = driver.submit(1)
+            start_worker(driver.transport.address, failing)
+            driver.wait_all(timeout=30)
+            assert task.failed
+            assert "boom" in task.error
+            assert task.attempts == 2
+
+    def test_worker_rng_streams_match_inproc(self):
+        """Rank seed streams travel the wire intact (entropy + spawn key)."""
+        def draw(work, ctx):
+            return float(ctx.rng.normal())
+
+        def inproc_draws():
+            with MWDriver(draw, n_workers=2, backend="inproc", seed=5) as d:
+                ts = [d.submit(None, affinity=r) for r in (1, 2)]
+                d.wait_all()
+                return sorted(t.result for t in ts)
+
+        with tcp_driver(draw, seed=5) as driver:
+            t1, _ = start_worker(driver.transport.address, draw)
+            t2, _ = start_worker(driver.transport.address, draw)
+            # both ranks must be connected before dispatch so each affinity
+            # lands on its own rank (otherwise the draws come from one stream)
+            deadline = time.monotonic() + 10
+            while len(driver.transport.stats()["connected"]) < 2 \
+                    and time.monotonic() < deadline:
+                time.sleep(0.02)
+            tasks = [driver.submit(None, affinity=r) for r in (1, 2)]
+            driver.wait_all(timeout=30)
+            assert sorted(t.result for t in tasks) == inproc_draws()
+
+
+class TestCrashRecovery:
+    def test_worker_crash_mid_task_triggers_requeue(self):
+        """A worker whose connection drops mid-task has it requeued."""
+        with tcp_driver(slow_square, n_workers=2) as driver:
+            addr = driver.transport.address
+            tasks = [driver.submit(i) for i in range(6)]
+
+            # a misbehaving worker: handshakes, reads one task, drops dead
+            def crashing_worker():
+                sock = socket.create_connection(
+                    (driver.transport.host, driver.transport.port), timeout=5)
+                send_frame(sock, Message(tag=MSG_HELLO, sender=0,
+                                         payload={"version": PROTOCOL_VERSION}))
+                welcome = recv_frame(sock)
+                assert welcome.tag == MSG_WELCOME
+                task = recv_frame(sock)  # receive work, never answer
+                assert task.tag == MSG_TASK
+                sock.close()  # crash
+
+            crash = threading.Thread(target=crashing_worker, daemon=True)
+            crash.start()
+            deadline = time.monotonic() + 10
+            while not driver.transport.stats()["connected"] \
+                    and time.monotonic() < deadline:
+                time.sleep(0.02)
+            survivor, _ = start_worker(addr, slow_square)
+            driver.wait_all(timeout=30)
+            crash.join(timeout=10)
+            assert all(t.done for t in tasks)
+            assert [t.result for t in tasks] == [i * i for i in range(6)]
+            # the dropped task was re-attempted
+            assert any(t.attempts > 1 for t in tasks)
+
+    def test_silent_worker_is_presumed_dead_by_heartbeat_timeout(self):
+        """A connected-but-silent peer is swept after the heartbeat window."""
+        with tcp_driver(square, n_workers=2,
+                        transport_options={"heartbeat_interval": 0.05,
+                                           "heartbeat_timeout": 0.3}) as driver:
+            addr = driver.transport.address
+            tasks = [driver.submit(i) for i in range(4)]
+
+            # handshake, then go completely silent (no heartbeats, no reads)
+            sock = socket.create_connection(
+                (driver.transport.host, driver.transport.port), timeout=5)
+            send_frame(sock, Message(tag=MSG_HELLO, sender=0,
+                                     payload={"version": PROTOCOL_VERSION}))
+            assert recv_frame(sock).tag == MSG_WELCOME
+            try:
+                start_worker(addr, square)
+                driver.wait_all(timeout=30)
+                assert [t.result for t in tasks] == [i * i for i in range(4)]
+            finally:
+                sock.close()
+
+    def test_replacement_worker_takes_over_the_dead_rank(self):
+        """A rank freed by a dead worker is reissued to the next joiner —
+        the paper's "restarted on the same processors"."""
+        with tcp_driver(square, n_workers=1) as driver:
+            addr = driver.transport.address
+            task = driver.submit(3)
+            t1, h1 = start_worker(addr, square)
+            driver.wait_all(timeout=30)
+            assert task.result == 9
+            rank1 = None
+            # tear the first worker down by closing from the master side
+            with driver.transport._lock:
+                sock = driver.transport._conns[1]
+            sock.close()
+            t1.join(timeout=10)
+            rank1 = h1["stats"]["rank"] if "stats" in h1 else None
+            # wait until the master notices the death
+            deadline = time.monotonic() + 10
+            while driver.transport.stats()["connected"] and time.monotonic() < deadline:
+                driver._poll_transport()
+                time.sleep(0.05)
+            t2, h2 = start_worker(addr, square)
+            task2 = driver.submit(4)
+            driver.wait_all(timeout=30)
+            assert task2.result == 16
+            assert driver.transport.stats()["connected"] == [1]
+            assert rank1 == 1
+
+
+class TestShutdownAndRefusal:
+    def test_master_shutdown_closes_all_sockets(self):
+        driver = tcp_driver(square)
+        addr = driver.transport.address
+        t1, h1 = start_worker(addr, square)
+        t2, h2 = start_worker(addr, square)
+        deadline = time.monotonic() + 10
+        while len(driver.transport.stats()["connected"]) < 2 \
+                and time.monotonic() < deadline:
+            time.sleep(0.05)
+        driver.shutdown()
+        t1.join(timeout=10)
+        t2.join(timeout=10)
+        assert not t1.is_alive() and not t2.is_alive()
+        assert h1["stats"]["executed"] == 0 and h2["stats"]["executed"] == 0
+        # every master-side socket is gone
+        assert driver.transport.stats()["connected"] == []
+        # (no "connect now fails" probe here: a connect to a closed ephemeral
+        # port from the same host can TCP-self-connect and appear open)
+
+    def test_excess_worker_is_turned_away(self):
+        with tcp_driver(square, n_workers=1) as driver:
+            addr = driver.transport.address
+            t1, _ = start_worker(addr, square)
+            deadline = time.monotonic() + 10
+            while not driver.transport.stats()["connected"] \
+                    and time.monotonic() < deadline:
+                time.sleep(0.05)
+            stats = run_worker(addr, executor=square, connect_timeout=5)
+            assert stats["refused"]
+            assert stats["rank"] is None
+
+    def test_version_mismatch_is_refused(self):
+        with tcp_driver(square, n_workers=1) as driver:
+            sock = socket.create_connection(
+                (driver.transport.host, driver.transport.port), timeout=5)
+            try:
+                send_frame(sock, Message(tag=MSG_HELLO, sender=0,
+                                         payload={"version": 999}))
+                reply = recv_frame(sock)
+                assert reply.tag == MSG_SHUTDOWN
+                assert "version" in reply.payload["reason"]
+            finally:
+                sock.close()
+
+    def test_worker_without_any_executor_errors_cleanly(self):
+        """No local override and no master wire spec -> a loud ValueError."""
+        unshippable = lambda work, ctx: work  # noqa: E731 - deliberately unimportable
+
+        with tcp_driver(unshippable, n_workers=1) as driver:
+            with pytest.raises(ValueError, match="--executor"):
+                run_worker(driver.transport.address, connect_timeout=5)
+
+    def test_connect_timeout_raises_oserror(self):
+        # nothing listens on this port (bound-then-closed)
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(OSError):
+            run_worker(f"tcp://127.0.0.1:{port}", executor=square,
+                       connect_timeout=0.5)
