@@ -6,11 +6,19 @@ stable ids, a :class:`CampaignRunner` executes the pending ones on the
 serial/thread/process backends or distributes them through the
 :class:`~repro.mw.MWDriver` master-worker layer (``backend="mw"``), a
 :class:`ResultStore` records each outcome append-only (so interrupted
-campaigns resume instead of restarting, and several runner processes or
-hosts can cooperatively drain one campaign directory), and the
-aggregation helpers reduce the store back to the paper's per-cell and
-paired statistics.  :meth:`ResultStore.compact` keeps 100k-job stores
-readable; :mod:`.progress` provides the live heartbeat and watch loops.
+campaigns resume instead of restarting), and the aggregation helpers
+reduce the store back to the paper's per-cell and paired statistics.
+
+Any number of runner processes or hosts cooperatively drain one campaign
+directory: claim **leases** in the store (:meth:`ResultStore.claim`,
+granted under the store lock, renewed on a heartbeat, expiring when a
+runner is killed) guarantee each job is executed exactly once, and the
+store can be **sharded** over ``results-<k>.jsonl`` files
+(:class:`ShardedResultStore`, :func:`open_store`) so multi-million-job
+campaigns don't serialize every append through one lock.
+:meth:`ResultStore.compact` keeps long-lived stores readable;
+:mod:`.progress` provides the live heartbeat, per-cell progress, and
+watch loops.
 
 CLI: ``python -m repro campaign run|status|watch|summary|compare|compact``.
 See ``docs/CAMPAIGNS.md`` for the end-to-end guide and
@@ -24,9 +32,22 @@ from repro.campaign.aggregate import (
     paired_minima_from_records,
     summarize,
 )
-from repro.campaign.execution import execute_job, job_function, mw_job_executor, run_job
-from repro.campaign.progress import ProgressSnapshot, format_duration, watch_campaign
+from repro.campaign.execution import (
+    JOB_AUDIT_ENV,
+    execute_job,
+    job_function,
+    mw_job_executor,
+    run_job,
+)
+from repro.campaign.progress import (
+    CellProgress,
+    ProgressSnapshot,
+    cells_from_status,
+    format_duration,
+    watch_campaign,
+)
 from repro.campaign.runner import (
+    DEFAULT_LEASE_TTL,
     MW_TRANSPORTS,
     RESULTS_FILENAME,
     RUNNER_BACKENDS,
@@ -34,12 +55,23 @@ from repro.campaign.runner import (
     Campaign,
     CampaignReport,
     CampaignRunner,
+    default_runner_id,
+)
+from repro.campaign.sharding import (
+    MANIFEST_FILENAME,
+    ShardedResultStore,
+    migrate_legacy_store,
+    open_store,
+    shard_index,
 )
 from repro.campaign.spec import AlgorithmVariant, CampaignSpec, Job, canonical_json
 from repro.campaign.store import (
+    STATUS_CLAIMED,
     STATUS_DONE,
     STATUS_FAILED,
+    STATUS_RELEASED,
     CompactionStats,
+    Lease,
     ResultStore,
 )
 
@@ -49,9 +81,14 @@ __all__ = [
     "CampaignReport",
     "CampaignRunner",
     "CampaignSpec",
+    "CellProgress",
     "CellSummary",
     "CompactionStats",
+    "DEFAULT_LEASE_TTL",
+    "JOB_AUDIT_ENV",
     "Job",
+    "Lease",
+    "MANIFEST_FILENAME",
     "MW_TRANSPORTS",
     "PairedComparison",
     "ProgressSnapshot",
@@ -59,16 +96,24 @@ __all__ = [
     "RUNNER_BACKENDS",
     "ResultStore",
     "SPEC_FILENAME",
+    "STATUS_CLAIMED",
     "STATUS_DONE",
     "STATUS_FAILED",
+    "STATUS_RELEASED",
+    "ShardedResultStore",
     "canonical_json",
+    "cells_from_status",
     "compare_labels",
+    "default_runner_id",
     "execute_job",
     "format_duration",
     "job_function",
+    "migrate_legacy_store",
     "mw_job_executor",
+    "open_store",
     "paired_minima_from_records",
     "run_job",
+    "shard_index",
     "summarize",
     "watch_campaign",
 ]

@@ -14,6 +14,7 @@ run exactly.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Optional
 
@@ -30,6 +31,27 @@ from repro.noise import StochasticFunction
 
 #: Offset decoupling the noise stream from the initial-state stream.
 NOISE_SEED_OFFSET = 1_000_003
+
+#: Environment variable naming an execution audit log.  When set, every
+#: job execution appends its job id (one ``O_APPEND`` line, so entries
+#: from any number of runner processes interleave whole) to that file
+#: *before* running — the ground truth for "how many times was this job
+#: actually evaluated", which store records cannot answer (last-record-
+#: wins hides duplicates).  The chaos test suite and the CI chaos-smoke
+#: job assert exactly-once execution through this log.
+JOB_AUDIT_ENV = "REPRO_JOB_AUDIT_LOG"
+
+
+def _audit_execution(job_id: str) -> None:
+    """Append ``job_id`` to the ``$REPRO_JOB_AUDIT_LOG`` file, if set."""
+    path = os.environ.get(JOB_AUDIT_ENV)
+    if not path:
+        return
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, (job_id + "\n").encode("utf-8"))
+    finally:
+        os.close(fd)
 
 
 def job_function(job: Job) -> TestFunction:
@@ -84,6 +106,7 @@ def mw_job_executor(work: dict, context) -> dict:
 
 
 def _run_job_record(job: Job) -> dict:
+    _audit_execution(job.job_id)
     t0 = time.perf_counter()
     try:
         result = execute_job(job)

@@ -7,7 +7,10 @@ Two consumers share the :class:`ProgressSnapshot` shape:
   call so the ETA stays stable;
 * ``campaign watch`` — :func:`watch_campaign` polls a campaign directory
   that *other* processes are draining and yields a snapshot per tick,
-  with the rate measured between consecutive observations.
+  with the rate measured between consecutive observations.  Watch
+  snapshots also carry per-cell progress (:class:`CellProgress`) and the
+  count of jobs currently under a live claim lease, so a dashboard can
+  tell "nobody is working on this cell" from "claimed, in flight".
 
 Both read only the spec and the result store, so watching works from any
 host that can see the shared campaign directory.
@@ -17,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator, Optional, Tuple
 
 
 def format_duration(seconds: Optional[float]) -> str:
@@ -33,6 +36,52 @@ def format_duration(seconds: Optional[float]) -> str:
 
 
 @dataclass(frozen=True)
+class CellProgress:
+    """Completion state of one grid cell (variant x function x dim x sigma0).
+
+    ``claimed`` counts unfinished jobs currently under a live lease —
+    some runner is entitled to be executing them right now; expired or
+    released claims do not count.
+    """
+
+    label: str
+    algorithm: str
+    function: str
+    dim: int
+    sigma0: float
+    total: int
+    done: int
+    failed: int
+    claimed: int
+
+    def to_dict(self) -> dict:
+        """Flat JSON shape for ``campaign watch --json`` consumers."""
+        return {
+            "label": self.label,
+            "algorithm": self.algorithm,
+            "function": self.function,
+            "dim": self.dim,
+            "sigma0": self.sigma0,
+            "total": self.total,
+            "done": self.done,
+            "failed": self.failed,
+            "claimed": self.claimed,
+        }
+
+    def line(self) -> str:
+        """One indented per-cell line for the plain ``watch --cells`` view."""
+        extras = ""
+        if self.claimed:
+            extras += f", {self.claimed} claimed"
+        if self.failed:
+            extras += f", {self.failed} failed"
+        return (
+            f"  {self.label} {self.function} d={self.dim} "
+            f"s0={self.sigma0:g}: {self.done}/{self.total} done{extras}"
+        )
+
+
+@dataclass(frozen=True)
 class ProgressSnapshot:
     """One observation of a campaign's completion state."""
 
@@ -42,6 +91,8 @@ class ProgressSnapshot:
     failed: int           # latest-attempt failures (retried on re-run)
     elapsed_s: float      # since the run call / watch loop started
     rate: float           # completions per second over the measurement window
+    claimed: int = 0      # unfinished jobs under a live lease (watch only)
+    cells: Tuple[CellProgress, ...] = ()  # per-cell detail (watch only)
 
     @property
     def remaining(self) -> int:
@@ -60,28 +111,60 @@ class ProgressSnapshot:
 
         One flat JSON-serializable object per observation; derived fields
         (``remaining``, ``eta_s``) are materialized so consumers need no
-        arithmetic.  ``eta_s`` is ``None`` while the rate is unknown.
+        arithmetic.  ``eta_s`` is ``None`` while the rate is unknown;
+        ``cells`` carries the per-cell breakdown when the producer
+        computed one (the watch loop does, the runner heartbeat does not).
         """
         return {
             "campaign": self.campaign,
             "n_total": self.n_total,
             "done": self.done,
             "failed": self.failed,
+            "claimed": self.claimed,
             "remaining": self.remaining,
             "elapsed_s": self.elapsed_s,
             "rate": self.rate,
             "eta_s": self.eta_s,
+            "cells": [cell.to_dict() for cell in self.cells],
         }
 
     def line(self) -> str:
         """The one-line heartbeat format shared by ``--progress`` and ``watch``."""
         rate = f"{self.rate:.2f} jobs/s" if self.rate > 0 else "? jobs/s"
+        claimed = f", {self.claimed} claimed" if self.claimed else ""
         return (
             f"[{self.campaign}] {self.done}/{self.n_total} done, "
-            f"{self.failed} failed, {self.remaining} remaining | {rate} | "
-            f"eta {format_duration(self.eta_s)} | "
+            f"{self.failed} failed, {self.remaining} remaining{claimed} | "
+            f"{rate} | eta {format_duration(self.eta_s)} | "
             f"elapsed {format_duration(self.elapsed_s)}"
         )
+
+
+def cells_from_status(status: dict) -> Tuple[CellProgress, ...]:
+    """Build sorted :class:`CellProgress` rows from ``Campaign.status()``.
+
+    ``status["cells"]`` maps the cell tuple (label, algorithm, function,
+    dim, sigma0) to its count dict; the rows come back sorted by that
+    tuple so output order is stable across polls and layouts.
+    """
+    rows = []
+    for key in sorted(status["cells"]):
+        label, algorithm, function, dim, sigma0 = key
+        counts = status["cells"][key]
+        rows.append(
+            CellProgress(
+                label=label,
+                algorithm=algorithm,
+                function=function,
+                dim=int(dim),
+                sigma0=float(sigma0),
+                total=counts["total"],
+                done=counts["done"],
+                failed=counts["failed"],
+                claimed=counts["claimed"],
+            )
+        )
+    return tuple(rows)
 
 
 def watch_campaign(
@@ -98,6 +181,7 @@ def watch_campaign(
     snapshots (``1`` gives the ``--once`` behaviour).  The per-tick rate is
     the completion delta between observations over the wall-time between
     them; the first tick has no window, so its rate is reported as 0.
+    Each snapshot carries the per-cell breakdown and live-claim counts.
 
     ``campaign`` is a :class:`~repro.campaign.runner.Campaign`; ``_sleep``
     and ``_clock`` are injectable for tests.
@@ -120,6 +204,8 @@ def watch_campaign(
             failed=status["failed"],
             elapsed_s=now - t0,
             rate=rate,
+            claimed=status.get("claimed", 0),
+            cells=cells_from_status(status),
         )
         ticks += 1
         if max_ticks is not None and ticks >= max_ticks:

@@ -13,29 +13,38 @@ optionally pins jobs to worker ranks).
 Batching bounds the blast radius of a crash or Ctrl-C — everything up to
 the last completed batch is durably recorded, and ``KeyboardInterrupt``
 returns a report instead of unwinding, so the obvious follow-up is simply
-to re-run the same command.  Before each batch the runner re-reads the
-store, so several runner processes — or hosts sharing a filesystem —
-can *cooperatively drain one campaign*: jobs a peer completed since this
-runner expanded its pending list are shed instead of re-executed.  Because
-job results are deterministic in the job, the rare overlap (two runners
-in-flight on the same job) is harmless: both append identical records and
-last-record-wins deduplication absorbs it.
+to re-run the same command.  Several runner processes — or hosts sharing
+a filesystem — can *cooperatively drain one campaign*; with leases
+enabled (the default) each batch is **claimed** in the store before it is
+dispatched, so exactly one runner executes each job: the claim is granted
+under the store's lock, renewed by a heartbeat thread while the batch is
+in flight, released on graceful interrupt, and simply allowed to expire
+when a runner is hard-killed — at which point any peer reclaims the jobs.
+With ``lease=False`` the runner falls back to the older stagger + shed
+heuristic (periodic store re-reads shed peer completions; overlap is
+harmless because job results are deterministic in the job, merely
+wasteful).
 
 :class:`Campaign` is the directory-level façade the CLI and examples use:
-``<dir>/spec.json`` plus ``<dir>/results.jsonl``.
+``<dir>/spec.json`` plus a result store — the legacy single
+``results.jsonl`` or the sharded ``results-<k>.jsonl`` layout (see
+:mod:`repro.campaign.sharding`).
 """
 
 from __future__ import annotations
 
 import os
+import socket
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, Set
 
 from repro.campaign.aggregate import CellSummary, PairedComparison, compare_labels, summarize
 from repro.campaign.execution import run_job
 from repro.campaign.progress import ProgressSnapshot
+from repro.campaign.sharding import open_store
 from repro.campaign.spec import CampaignSpec, Job
 from repro.campaign.store import (
     STATUS_DONE,
@@ -57,7 +66,22 @@ RUNNER_BACKENDS = ("serial", "thread", "process", "mw")
 #: Owned by :mod:`repro.mw.transport`; re-exported here for campaign users.
 MW_TRANSPORTS = TRANSPORT_NAMES
 
+#: Default seconds a claim lease lives without renewal.  Generous on
+#: purpose: expiry only has to beat *abandonment* (a killed runner), not
+#: latency, and it must absorb cross-host clock skew and GC/IO pauses.
+DEFAULT_LEASE_TTL = 60.0
+
 ProgressCallback = Callable[[ProgressSnapshot], None]
+
+
+def default_runner_id() -> str:
+    """This process's runner identity for lease lines (``host:pid``).
+
+    Unique among live runners sharing a store (one filesystem namespace
+    per host, one pid per process); stable for the lifetime of the
+    process, which is exactly a lease's scope.
+    """
+    return f"{socket.gethostname()}:{os.getpid()}"
 
 
 def validate_mw_transport(spec: str) -> None:
@@ -86,6 +110,7 @@ class CampaignReport:
     n_done: int           # of those, succeeded
     n_failed: int         # of those, failed
     n_shed: int = 0       # completed by a cooperating runner mid-flight
+    n_leased: int = 0     # left to a peer holding a live claim lease
     interrupted: bool = False
 
     @property
@@ -95,12 +120,53 @@ class CampaignReport:
 
     def __str__(self) -> str:
         shed = f", {self.n_shed} shed to peers" if self.n_shed else ""
+        leased = f", {self.n_leased} leased to peers" if self.n_leased else ""
         tail = "  [interrupted]" if self.interrupted else ""
         return (
             f"{self.n_total} jobs: {self.n_skipped} already done, "
-            f"{self.n_done} completed, {self.n_failed} failed{shed}, "
+            f"{self.n_done} completed, {self.n_failed} failed{shed}{leased}, "
             f"{self.n_remaining} remaining{tail}"
         )
+
+
+class _LeaseHeartbeat:
+    """Background renewal of one batch's leases while it is in flight.
+
+    The runner blocks inside ``parallel_map`` / ``driver.wait_all`` for
+    the whole batch, so renewal has to come from a daemon thread.  Every
+    ``ttl / 3`` seconds it re-asserts the leases this runner *still
+    holds* (:meth:`ResultStore.renew` checks ownership under the store
+    lock, so a lease a peer legitimately reclaimed after a stall is not
+    clobbered) and it is joined before the batch's results are recorded,
+    so the store is never touched from two threads at once.  A renewal
+    that fails (transient filesystem error) is skipped, not fatal: the
+    next beat retries, and in the worst case the lease expires and a peer
+    duplicates the batch — wasteful, never wrong.
+    """
+
+    def __init__(self, store, job_ids: Sequence[str], runner: str, ttl: float) -> None:
+        self._store = store
+        self._job_ids = list(job_ids)
+        self._runner = runner
+        self._ttl = float(ttl)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="lease-heartbeat", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        interval = max(self._ttl / 3.0, 0.05)
+        while not self._stop.wait(interval):
+            try:
+                self._store.renew(self._job_ids, self._runner, self._ttl)
+            except OSError:  # pragma: no cover - transient fs hiccup
+                continue
+
+    def stop(self) -> None:
+        """Stop renewing and wait for the thread (store is ours again)."""
+        self._stop.set()
+        self._thread.join()
 
 
 class CampaignRunner:
@@ -111,8 +177,10 @@ class CampaignRunner:
     spec:
         The declarative grid to drain.
     store:
-        Result store shared by every cooperating runner (resume skip-set
-        plus the append target).
+        Result store shared by every cooperating runner (resume skip-set,
+        claim-lease arbiter, and the append target) — a
+        :class:`~repro.campaign.store.ResultStore` or a
+        :class:`~repro.campaign.sharding.ShardedResultStore`.
     backend:
         ``serial`` / ``thread`` / ``process`` (via ``parallel_map``) or
         ``mw`` (via :class:`~repro.mw.MWDriver`).
@@ -121,8 +189,9 @@ class CampaignRunner:
     chunksize:
         Jobs per IPC message on the ``process`` backend.
     batch_size:
-        Jobs between store writes — the resume granularity.  Defaults to
-        1 for ``serial`` and ``workers * chunksize`` otherwise.
+        Jobs between store writes — the resume granularity, and with
+        leases also the claim granularity.  Defaults to 1 for ``serial``
+        and ``workers * chunksize`` otherwise.
     mw_transport:
         What the mw workers run on: ``inproc`` (deterministic, tests),
         ``threaded``, ``process`` (real parallelism; the default), or a
@@ -137,23 +206,38 @@ class CampaignRunner:
         Requeues per task after worker errors or crashes before the job
         is recorded as failed.
     refresh_pending:
-        Re-read the store before each batch (after the first) and shed
-        jobs a cooperating runner has completed.  Costs one incremental
-        file scan per batch; disable only for strictly single-runner use.
+        Legacy-mode only (``lease=False``): re-read the store before each
+        batch (after the first) and shed jobs a cooperating runner has
+        completed.  With leases the claim itself performs this check
+        under the store lock.
     stagger:
-        Rotate this runner's pending list by a PID-derived offset so
-        concurrent runners traverse disjoint regions of the grid and the
-        periodic re-read actually sheds peer completions.  Without it,
-        runners started simultaneously walk the grid in lockstep and
-        duplicate (harmlessly, but wastefully) each other's work.  Off by
-        default because single-runner resume semantics are easier to
-        reason about in expansion order.
+        Legacy-mode fallback: rotate this runner's pending list by a
+        PID-derived offset so concurrent runners traverse disjoint
+        regions of the grid.  With leases this is unnecessary (claims
+        partition the grid exactly) but harmless.
+    lease:
+        Claim each batch in the store before dispatching it (the
+        default).  Guarantees exactly one runner executes each job —
+        concurrent runners partition the grid via granted claims, a
+        killed runner's claims expire after ``lease_ttl`` seconds and are
+        then requeued, and a run keeps making passes until everything is
+        done, failed, or validly leased to a live peer.  ``False``
+        restores the PR-2 stagger + shed behaviour (duplicate in-flight
+        work possible, results unaffected).
+    lease_ttl:
+        Seconds a claim survives without renewal.  The heartbeat renews
+        at ``ttl / 3``, so only a hard-killed runner lets one lapse; keep
+        it generous (default 60) — it bounds how long a crashed runner's
+        jobs stay unavailable, not how fast healthy runs go.
+    runner_id:
+        Lease identity of this runner; defaults to
+        :func:`default_runner_id` (``host:pid``).
     """
 
     def __init__(
         self,
         spec: CampaignSpec,
-        store: ResultStore,
+        store,
         backend: str = "serial",
         max_workers: Optional[int] = None,
         chunksize: int = 1,
@@ -163,12 +247,17 @@ class CampaignRunner:
         mw_max_retries: int = 2,
         refresh_pending: bool = True,
         stagger: bool = False,
+        lease: bool = True,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        runner_id: Optional[str] = None,
     ) -> None:
         if backend not in RUNNER_BACKENDS:
             raise ValueError(
                 f"backend must be one of {RUNNER_BACKENDS}, got {backend!r}"
             )
         validate_mw_transport(mw_transport)
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
         self.spec = spec
         self.store = store
         self.backend = backend
@@ -179,6 +268,9 @@ class CampaignRunner:
         self.mw_max_retries = int(mw_max_retries)
         self.refresh_pending = bool(refresh_pending)
         self.stagger = bool(stagger)
+        self.lease = bool(lease)
+        self.lease_ttl = float(lease_ttl)
+        self.runner_id = runner_id or default_runner_id()
         if batch_size is None:
             if backend == "serial":
                 batch_size = 1  # record after every job: finest resume grain
@@ -204,21 +296,21 @@ class CampaignRunner:
         ``progress`` is called with a
         :class:`~repro.campaign.progress.ProgressSnapshot` after every
         recorded batch — the ``--progress`` heartbeat.
+
+        With leases enabled the call makes repeated passes over the
+        grid: each pass claims and executes what it can, and jobs whose
+        leases expired between passes (an abandoned peer) are requeued.
+        The call returns when everything is settled or the only jobs
+        left are validly leased to live peers (``n_leased`` in the
+        report; re-run later, or let the peer finish).
         """
-        n_total = len(self.spec.expand())
-        pending = self.pending()
-        n_skipped = n_total - len(pending)
-        if max_jobs is not None:
-            pending = pending[: max(0, int(max_jobs))]
-        if self.stagger and len(pending) > 1:
-            # Disjoint, batch-aligned starting regions per runner;
-            # completions meet in the middle via the periodic store
-            # re-read.  Offsetting by whole batches keeps the offset
-            # pid-sensitive even when batch_size divides len(pending).
-            n_batches = -(-len(pending) // self.batch_size)
-            offset = (os.getpid() % n_batches) * self.batch_size
-            pending = pending[offset:] + pending[:offset]
-        counts = {"done": 0, "failed": 0, "shed": 0}
+        jobs = self.spec.expand()
+        n_total = len(jobs)
+        done = self.store.completed_ids()
+        n_skipped = n_total - sum(1 for j in jobs if j.job_id not in done)
+        counts = {"done": 0, "failed": 0, "shed": 0, "leased": 0}
+        executed: Set[str] = set()
+        budget = None if max_jobs is None else max(0, int(max_jobs))
         t0 = time.monotonic()
 
         def emit() -> None:
@@ -238,10 +330,34 @@ class CampaignRunner:
 
         interrupted = False
         try:
-            if self.backend == "mw":
-                self._run_mw(pending, counts, emit)
-            else:
-                self._run_batches(pending, counts, emit)
+            while True:
+                pending = self._pending_pass(jobs, executed)
+                if budget is not None:
+                    pending = pending[:budget]
+                if self.stagger and len(pending) > 1:
+                    # Disjoint, batch-aligned starting regions per runner;
+                    # completions meet in the middle via the periodic store
+                    # re-read.  Offsetting by whole batches keeps the offset
+                    # pid-sensitive even when batch_size divides len(pending).
+                    n_batches = -(-len(pending) // self.batch_size)
+                    offset = (os.getpid() % n_batches) * self.batch_size
+                    pending = pending[offset:] + pending[:offset]
+                if not pending:
+                    break
+                counts["leased"] = 0  # re-observed every pass, not accumulated
+                n_before = counts["done"] + counts["failed"]
+                if self.backend == "mw":
+                    self._run_mw(pending, counts, emit, executed)
+                else:
+                    self._run_batches(pending, counts, emit, executed)
+                n_executed = counts["done"] + counts["failed"] - n_before
+                if budget is not None:
+                    budget -= n_executed
+                if not self.lease or n_executed == 0:
+                    # Legacy mode is single-pass; with leases, a pass that
+                    # claimed nothing means everything left is held by live
+                    # peers — looping again would spin, not help.
+                    break
         except KeyboardInterrupt:
             interrupted = True
         return CampaignReport(
@@ -251,19 +367,61 @@ class CampaignRunner:
             n_done=counts["done"],
             n_failed=counts["failed"],
             n_shed=counts["shed"],
+            n_leased=counts["leased"],
             interrupted=interrupted,
         )
 
     # -- backend paths -----------------------------------------------------
 
+    def _pending_pass(self, jobs: List[Job], executed: Set[str]) -> List[Job]:
+        """Jobs still worth attempting this pass, in expansion order.
+
+        Excludes store-completed jobs and anything this call already
+        executed — a job that *failed* under this runner is not retried
+        within the same call (that is the next ``run``'s business), and
+        a claim this runner already used up is not re-claimed.
+        """
+        done = self.store.completed_ids()
+        return [
+            job for job in jobs
+            if job.job_id not in done and job.job_id not in executed
+        ]
+
     def _fresh_batch(self, batch: List[Job], counts: dict) -> List[Job]:
-        """Drop jobs a cooperating runner completed since our expansion."""
+        """Legacy shed: drop jobs a peer completed since our expansion."""
         if not self.refresh_pending:
             return batch
         done = self.store.completed_ids()
         fresh = [job for job in batch if job.job_id not in done]
         counts["shed"] += len(batch) - len(fresh)
         return fresh
+
+    def _claim_batch(self, batch: List[Job], counts: dict) -> List[Job]:
+        """Claim a batch in the store; return only the granted jobs.
+
+        Non-granted jobs are either already completed (``shed`` — the
+        claim saw their result under the lock) or validly leased to a
+        peer (``leased``); both are dropped from this batch.
+        """
+        ids = [job.job_id for job in batch]
+        granted = set(self.store.claim(ids, self.runner_id, self.lease_ttl))
+        if len(granted) != len(ids):
+            done = self.store.completed_ids()
+            for job in batch:
+                if job.job_id in granted:
+                    continue
+                if job.job_id in done:
+                    counts["shed"] += 1
+                else:
+                    counts["leased"] += 1
+        return [job for job in batch if job.job_id in granted]
+
+    def _release_quietly(self, job_ids: Sequence[str]) -> None:
+        """Best-effort release of claims we will not fulfil (interrupt path)."""
+        try:
+            self.store.release(job_ids, self.runner_id)
+        except OSError:  # pragma: no cover - store gone mid-teardown
+            pass
 
     def _record_batch(self, records: List[dict], counts: dict) -> None:
         """Append one batch of records, updating the done/failed counters."""
@@ -274,26 +432,45 @@ class CampaignRunner:
             else:
                 counts["failed"] += 1
 
-    def _run_batches(self, pending: List[Job], counts: dict, emit) -> None:
+    def _run_batches(self, pending: List[Job], counts: dict, emit, executed: Set[str]) -> None:
         """serial / thread / process path: ``parallel_map`` per batch."""
         for start in range(0, len(pending), self.batch_size):
             batch = pending[start : start + self.batch_size]
-            if start:
+            if self.lease:
+                batch = self._claim_batch(batch, counts)
+            elif start:
                 batch = self._fresh_batch(batch, counts)
-                if not batch:
-                    emit()
-                    continue
-            records = parallel_map(
-                run_job,
-                batch,
-                backend=self.backend,
-                max_workers=self.max_workers,
-                chunksize=self.chunksize,
+            if not batch:
+                emit()
+                continue
+            ids = [job.job_id for job in batch]
+            heartbeat = (
+                _LeaseHeartbeat(self.store, ids, self.runner_id, self.lease_ttl)
+                if self.lease else None
             )
+            try:
+                records = parallel_map(
+                    run_job,
+                    batch,
+                    backend=self.backend,
+                    max_workers=self.max_workers,
+                    chunksize=self.chunksize,
+                )
+            except BaseException:
+                if heartbeat is not None:
+                    heartbeat.stop()
+                    heartbeat = None
+                if self.lease:
+                    self._release_quietly(ids)
+                raise
+            finally:
+                if heartbeat is not None:
+                    heartbeat.stop()
             self._record_batch(records, counts)
+            executed.update(ids)
             emit()
 
-    def _run_mw(self, pending: List[Job], counts: dict, emit) -> None:
+    def _run_mw(self, pending: List[Job], counts: dict, emit, executed: Set[str]) -> None:
         """mw path: one long-lived driver, one :class:`MWTask` per job.
 
         Worker crashes on the ``process`` transport requeue the in-flight
@@ -330,24 +507,43 @@ class CampaignRunner:
         with driver:
             for start in range(0, len(pending), self.batch_size):
                 batch = pending[start : start + self.batch_size]
-                if start:
+                if self.lease:
+                    batch = self._claim_batch(batch, counts)
+                elif start:
                     batch = self._fresh_batch(batch, counts)
-                    if not batch:
-                        emit()
-                        continue
-                tasks = [
-                    driver.submit(
-                        job.to_dict(),
-                        affinity=(i % n_workers) + 1 if self.mw_affinity else None,
-                    )
-                    for i, job in enumerate(batch)
-                ]
-                driver.wait_all()
+                if not batch:
+                    emit()
+                    continue
+                ids = [job.job_id for job in batch]
+                heartbeat = (
+                    _LeaseHeartbeat(self.store, ids, self.runner_id, self.lease_ttl)
+                    if self.lease else None
+                )
+                try:
+                    tasks = [
+                        driver.submit(
+                            job.to_dict(),
+                            affinity=(i % n_workers) + 1 if self.mw_affinity else None,
+                        )
+                        for i, job in enumerate(batch)
+                    ]
+                    driver.wait_all()
+                except BaseException:
+                    if heartbeat is not None:
+                        heartbeat.stop()
+                        heartbeat = None
+                    if self.lease:
+                        self._release_quietly(ids)
+                    raise
+                finally:
+                    if heartbeat is not None:
+                        heartbeat.stop()
                 records = [
                     task.result if task.done else self._mw_failure_record(job, task)
                     for job, task in zip(batch, tasks)
                 ]
                 self._record_batch(records, counts)
+                executed.update(ids)
                 emit()
 
     @staticmethod
@@ -364,14 +560,20 @@ class CampaignRunner:
 
 
 class Campaign:
-    """A campaign directory: ``spec.json`` + ``results.jsonl``.
+    """A campaign directory: ``spec.json`` plus its result store.
 
-    Opening an existing directory with a *different* spec is an error — a
-    campaign's grid is fixed at creation so that resume semantics stay
-    meaningful.  Re-opening with the same (or no) spec resumes.
+    The store is resolved by :func:`~repro.campaign.sharding.open_store`:
+    the legacy single ``results.jsonl`` by default, or the sharded
+    ``results-<k>.jsonl`` layout when ``shards`` is given or a manifest
+    already exists (``shards=N`` on a legacy directory migrates it in
+    place).  Opening an existing directory with a *different* spec is an
+    error — a campaign's grid is fixed at creation so that resume
+    semantics stay meaningful.  Re-opening with the same (or no) spec
+    resumes.
     """
 
-    def __init__(self, directory, spec: Optional[CampaignSpec] = None) -> None:
+    def __init__(self, directory, spec: Optional[CampaignSpec] = None,
+                 shards: Optional[int] = None) -> None:
         self.directory = Path(directory)
         spec_path = self.directory / SPEC_FILENAME
         if spec_path.exists():
@@ -389,7 +591,7 @@ class Campaign:
                 )
             self.spec = spec
             spec.save(spec_path)
-        self.store = ResultStore(self.directory / RESULTS_FILENAME)
+        self.store = open_store(self.directory, shards=shards)
         self._jobs: Optional[List[Job]] = None
 
     def jobs(self) -> List[Job]:
@@ -416,6 +618,9 @@ class Campaign:
         mw_affinity: bool = False,
         mw_max_retries: int = 2,
         stagger: bool = False,
+        lease: bool = True,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        runner_id: Optional[str] = None,
         progress: Optional[ProgressCallback] = None,
     ) -> CampaignReport:
         """Run (or resume) the pending jobs; see :class:`CampaignRunner`."""
@@ -430,6 +635,9 @@ class Campaign:
             mw_affinity=mw_affinity,
             mw_max_retries=mw_max_retries,
             stagger=stagger,
+            lease=lease,
+            lease_ttl=lease_ttl,
+            runner_id=runner_id,
         )
         return runner.run(max_jobs=max_jobs, progress=progress)
 
@@ -442,18 +650,34 @@ class Campaign:
     # -- inspection -------------------------------------------------------
 
     def status(self) -> dict:
-        """Counts of done / failed / pending jobs plus per-cell progress."""
+        """Counts of done / failed / pending / claimed jobs, plus per-cell detail.
+
+        ``claimed`` counts unfinished jobs currently under a live lease
+        (some runner is executing them right now); it overlays — not
+        partitions — the pending/failed counts.  ``cells`` maps each grid
+        cell to its own ``{"total", "done", "failed", "claimed"}`` counts,
+        and ``shards`` reports the store layout (1 for the legacy file).
+        """
         jobs = self.jobs()
         records = {r["job_id"]: r for r in self.store.records()}
-        done = failed = 0
+        leases = self.store.leases()
+        done = failed = claimed = 0
         cells: dict = {}
         for job in jobs:
             state = records.get(job.job_id, {}).get("status")
             is_done = state == STATUS_DONE
+            is_failed = state == STATUS_FAILED
+            is_claimed = not is_done and job.job_id in leases
             done += is_done
-            failed += state == STATUS_FAILED
-            total, cell_done = cells.get(job.cell, (0, 0))
-            cells[job.cell] = (total + 1, cell_done + is_done)
+            failed += is_failed
+            claimed += is_claimed
+            cell = cells.setdefault(
+                job.cell, {"total": 0, "done": 0, "failed": 0, "claimed": 0}
+            )
+            cell["total"] += 1
+            cell["done"] += is_done
+            cell["failed"] += is_failed
+            cell["claimed"] += is_claimed
         return {
             "name": self.spec.name,
             "directory": str(self.directory),
@@ -461,6 +685,8 @@ class Campaign:
             "done": done,
             "failed": failed,  # failed jobs are retried on the next run
             "pending": len(jobs) - done - failed,
+            "claimed": claimed,
+            "shards": getattr(self.store, "n_shards", 1),
             "cells": cells,
         }
 

@@ -1,0 +1,294 @@
+"""Sharded result stores for multi-million-job campaigns.
+
+One ``results.jsonl`` serializes every append through a single ``flock``
+— fine for thousands of jobs, a bottleneck when dozens of runners drain
+millions.  A :class:`ShardedResultStore` spreads the identical JSONL
+format (result records + lease lines, see :mod:`repro.campaign.store`)
+over ``results-<k>.jsonl`` files, routing each record by a stable hash
+of its job id, with a small ``store-manifest.json`` pinning the shard
+count.  Every property of the single-file store holds *per shard*:
+appends contend only within a shard, incremental reads and the
+truncated-tail heal are per-shard (a torn write on one shard never
+blocks reads of the others), compaction rewrites shards independently,
+and batch claims partition naturally because a claim touches only the
+shards its job ids hash to.
+
+The shard of a job is a pure function of (job id, shard count), so every
+runner, watcher, and aggregator agrees on the layout with no
+coordination beyond the manifest.  Aggregate views (``records``,
+``status``, ``summary``, ``compare``) are byte-for-byte insensitive to
+the layout: a sharded store round-trips them identically to the legacy
+single file.
+
+:func:`open_store` is the single resolution point the campaign façade
+and CLI use: it detects an existing layout (manifest beats legacy file),
+creates the requested one, and — via :func:`migrate_legacy_store` —
+losslessly and idempotently upgrades a legacy ``results.jsonl`` campaign
+directory in place when a shard count is requested.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.campaign.store import CompactionStats, Lease, ResultStore
+
+#: Manifest file pinning a directory's shard layout.
+MANIFEST_FILENAME = "store-manifest.json"
+#: The single-file layout this module migrates away from.
+LEGACY_RESULTS_FILENAME = "results.jsonl"
+#: Suffix the migrated legacy file is parked under (kept, not deleted).
+MIGRATED_SUFFIX = ".migrated"
+
+_MANIFEST_VERSION = 1
+
+
+def shard_filename(index: int) -> str:
+    """The JSONL filename of shard ``index`` (``results-<k>.jsonl``)."""
+    return f"results-{index}.jsonl"
+
+
+def shard_index(job_id: str, n_shards: int) -> int:
+    """Stable shard of ``job_id`` among ``n_shards``.
+
+    SHA-1 based (like job ids themselves), so the routing is identical
+    across processes, hosts, and Python versions — never ``hash()``,
+    which is salted per process.
+    """
+    digest = hashlib.sha1(job_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % n_shards
+
+
+class ShardedResultStore:
+    """The :class:`~repro.campaign.store.ResultStore` API over N shards.
+
+    Parameters
+    ----------
+    directory:
+        Campaign directory holding ``store-manifest.json`` and the
+        ``results-<k>.jsonl`` shard files (created as needed).
+    n_shards:
+        Shard count when creating a fresh layout.  When a manifest
+        already exists it wins; passing a *different* explicit count is
+        an error (resharding is not an in-place operation).
+    """
+
+    def __init__(self, directory, n_shards: Optional[int] = None) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest_path = self.directory / MANIFEST_FILENAME
+        if manifest_path.exists():
+            manifest = json.loads(manifest_path.read_text())
+            existing = int(manifest["n_shards"])
+            if n_shards is not None and int(n_shards) != existing:
+                raise ValueError(
+                    f"store at {self.directory} is already sharded into "
+                    f"{existing} shards; cannot reopen with n_shards={n_shards}"
+                )
+            n_shards = existing
+        else:
+            if n_shards is None:
+                raise ValueError(
+                    f"no {MANIFEST_FILENAME} in {self.directory} and no "
+                    f"n_shards given"
+                )
+            if int(n_shards) < 1:
+                raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+            self._write_manifest(manifest_path, int(n_shards))
+        self.n_shards = int(n_shards)
+        self.shards: List[ResultStore] = [
+            ResultStore(self.directory / shard_filename(k))
+            for k in range(self.n_shards)
+        ]
+
+    @staticmethod
+    def _write_manifest(path: Path, n_shards: int) -> None:
+        """Atomically create the manifest (concurrent creators converge)."""
+        payload = json.dumps(
+            {"version": _MANIFEST_VERSION, "n_shards": n_shards, "hash": "sha1"},
+            sort_keys=True,
+        ) + "\n"
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        tmp.write_text(payload)
+        os.replace(tmp, path)
+
+    @property
+    def path(self) -> Path:
+        """The directory holding the shards (display / identification)."""
+        return self.directory
+
+    def shard_for(self, job_id: str) -> ResultStore:
+        """The shard store a job's records live in."""
+        return self.shards[shard_index(job_id, self.n_shards)]
+
+    def _group_by_shard(self, job_ids: Sequence[str]) -> Dict[int, List[str]]:
+        groups: Dict[int, List[str]] = {}
+        for jid in job_ids:
+            groups.setdefault(shard_index(jid, self.n_shards), []).append(jid)
+        return groups
+
+    # -- the ResultStore API, fanned out ----------------------------------
+
+    def record(self, record: dict) -> None:
+        """Append one job record to the shard its ``job_id`` hashes to."""
+        if "job_id" not in record or "status" not in record:
+            raise ValueError("record needs 'job_id' and 'status' fields")
+        self.shard_for(record["job_id"]).record(record)
+
+    def records(self) -> List[dict]:
+        """All result records across shards, deduplicated per job id.
+
+        Order is shard-major (shard 0's records first), first appearance
+        within each shard — stable, but different from a single file's
+        append order; every aggregate consumer (status/summary/compare)
+        is order-insensitive.
+        """
+        out: List[dict] = []
+        for shard in self.shards:
+            out.extend(shard.records())
+        return out
+
+    def completed(self) -> List[dict]:
+        """Records of jobs that finished successfully, across shards."""
+        out: List[dict] = []
+        for shard in self.shards:
+            out.extend(shard.completed())
+        return out
+
+    def failed(self) -> List[dict]:
+        """Latest-attempt failure records across shards."""
+        out: List[dict] = []
+        for shard in self.shards:
+            out.extend(shard.failed())
+        return out
+
+    def completed_ids(self) -> Set[str]:
+        """Ids of successfully finished jobs (the resume skip-set)."""
+        out: Set[str] = set()
+        for shard in self.shards:
+            out |= shard.completed_ids()
+        return out
+
+    def claim(
+        self,
+        job_ids: Sequence[str],
+        runner: str,
+        ttl: float,
+        now: Optional[float] = None,
+    ) -> List[str]:
+        """Claim the free subset of ``job_ids``; see :meth:`ResultStore.claim`.
+
+        Each shard's portion is claimed under that shard's own lock, so a
+        batch claim touches only the shards it hashes to and concurrent
+        claimants contend per shard, not globally.  Granted ids are
+        returned in input order.
+        """
+        granted: Set[str] = set()
+        for index, ids in self._group_by_shard(job_ids).items():
+            granted.update(self.shards[index].claim(ids, runner, ttl, now=now))
+        return [jid for jid in job_ids if jid in granted]
+
+    def renew(
+        self,
+        job_ids: Sequence[str],
+        runner: str,
+        ttl: float,
+        now: Optional[float] = None,
+    ) -> List[str]:
+        """Extend still-held leases; see :meth:`ResultStore.renew`."""
+        renewed: Set[str] = set()
+        for index, ids in self._group_by_shard(job_ids).items():
+            renewed.update(self.shards[index].renew(ids, runner, ttl, now=now))
+        return [jid for jid in job_ids if jid in renewed]
+
+    def release(self, job_ids: Sequence[str], runner: str) -> None:
+        """Give up held claims; see :meth:`ResultStore.release`."""
+        for index, ids in self._group_by_shard(job_ids).items():
+            self.shards[index].release(ids, runner)
+
+    def leases(self, now: Optional[float] = None) -> Dict[str, Lease]:
+        """Live (claimed, unexpired) leases across all shards."""
+        live: Dict[str, Lease] = {}
+        for shard in self.shards:
+            live.update(shard.leases(now=now))
+        return live
+
+    def compact(self, now: Optional[float] = None) -> CompactionStats:
+        """Compact every shard independently; returns the summed stats.
+
+        Shard rewrites are not one atomic operation, but each shard's is,
+        and shards share no job ids — an interruption leaves some shards
+        compacted and the rest untouched, all valid.
+        """
+        stats = CompactionStats(0, 0, 0, 0)
+        for shard in self.shards:
+            stats = stats + shard.compact(now=now)
+        return stats
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ShardedResultStore {self.directory} "
+            f"shards={self.n_shards} n={len(self)}>"
+        )
+
+
+def migrate_legacy_store(directory, n_shards: Optional[int] = None) -> ShardedResultStore:
+    """Upgrade a legacy single-file store to the sharded layout, in place.
+
+    Folds the deduplicated result records of ``results.jsonl`` into the
+    shards (creating the manifest if needed), then parks the legacy file
+    as ``results.jsonl.migrated`` so nothing re-reads it.  Lossless: the
+    sharded store's deduplicated records equal the legacy store's
+    (truncated-tail artifacts were never records to begin with).
+    Idempotent: appends dedup last-record-wins, so re-running — including
+    after a crash between the fold and the rename — converges to the
+    same store.  In-flight lease lines are *not* migrated (migrate when
+    no runner is active; an abandoned claim would only have expired
+    anyway).  Run it directly, or implicitly via :func:`open_store` with
+    a ``shards`` count on a legacy directory.
+    """
+    directory = Path(directory)
+    sharded = ShardedResultStore(directory, n_shards=n_shards)
+    legacy = directory / LEGACY_RESULTS_FILENAME
+    if legacy.exists():
+        for rec in ResultStore(legacy).records():
+            sharded.record(rec)
+        try:
+            legacy.rename(legacy.with_name(legacy.name + MIGRATED_SUFFIX))
+        except FileNotFoundError:
+            pass  # a concurrent migrator parked it first; their fold == ours
+    return sharded
+
+
+def open_store(directory, shards: Optional[int] = None):
+    """Resolve a campaign directory's result store (legacy or sharded).
+
+    The single resolution point used by the campaign façade and the CLI:
+
+    * a ``store-manifest.json`` wins — the store is sharded (an
+      interrupted migration's leftover legacy file is folded in first);
+    * otherwise, ``shards=N`` requests the sharded layout — a fresh one,
+      or a migration of the legacy ``results.jsonl`` if one exists;
+    * otherwise the legacy single-file store, which is also the default
+      for brand-new directories (small campaigns stay simple).
+
+    Returns a :class:`~repro.campaign.store.ResultStore` or a
+    :class:`ShardedResultStore`; the two expose the same interface.
+    """
+    directory = Path(directory)
+    manifest = directory / MANIFEST_FILENAME
+    legacy = directory / LEGACY_RESULTS_FILENAME
+    if manifest.exists():
+        if legacy.exists():
+            return migrate_legacy_store(directory, shards)
+        return ShardedResultStore(directory, n_shards=shards)
+    if shards is not None:
+        return migrate_legacy_store(directory, int(shards))
+    return ResultStore(legacy)

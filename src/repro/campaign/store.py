@@ -1,4 +1,4 @@
-"""Durable result store for campaigns.
+"""Durable result store for campaigns: job records plus claim leases.
 
 Results live in an append-only JSONL file (``results.jsonl``) inside the
 campaign directory: one JSON object per line, written with ``O_APPEND`` in a
@@ -7,6 +7,22 @@ or hosts sharing a filesystem — pointed at the same campaign) interleave
 whole lines, never fragments.  Append-only also makes interrupt-safety
 trivial — a killed run leaves a valid store containing exactly the jobs
 that finished.
+
+The log carries two kinds of lines, distinguished by ``status``:
+
+* **result records** (``done`` / ``failed`` / anything else) — the
+  durable outcome of a job, deduplicated last-record-wins per job id;
+* **lease lines** (``claimed`` / ``released``) — lightweight claim
+  bookkeeping written by :meth:`ResultStore.claim`, :meth:`renew` and
+  :meth:`release`.  A claim names the claiming runner and a wall-clock
+  ``deadline``; the latest lease line per job wins, a result record
+  supersedes any earlier lease line for its job, and a claim whose
+  deadline has passed counts as expired (requeueable).  Claims are
+  granted under the same exclusive ``flock`` as appends, with a re-scan
+  inside the critical section, so two runners can never both hold a live
+  lease on one job.  Deadlines are epoch seconds: across hosts the
+  scheme only needs clocks that agree to within the lease TTL, which is
+  why TTLs should be generous (tens of seconds) rather than tight.
 
 The reader is forgiving: a truncated final line (the one failure mode a
 hard kill can produce) is skipped, and when the same job id appears more
@@ -17,19 +33,21 @@ appended lines — which is what keeps the cooperative multi-runner
 re-read cheap even for 100k-job campaigns.
 
 Long-lived stores accumulate duplicate records (retried failures,
-overlapping runners); :meth:`ResultStore.compact` rewrites the log
-one-line-per-job into a fresh file and atomically renames it over the
-old one.  Appends and compaction both take an exclusive ``flock`` (an
-append is a microsecond-scale critical section), so on a local
-filesystem no append can race the rename, and the ends-mid-line tail
-check can never interleave with another writer's partial write; a
-writer that opened the pre-compaction inode detects the swap and
-reopens.
+overlapping runners) and stale lease lines; :meth:`ResultStore.compact`
+rewrites the log one-line-per-job (keeping only live, unexpired claims)
+into a fresh file and atomically renames it over the old one.  Appends
+and compaction both take an exclusive ``flock`` (an append is a
+microsecond-scale critical section), so on a local filesystem no append
+can race the rename, and the ends-mid-line tail check can never
+interleave with another writer's partial write; a writer that opened the
+pre-compaction inode detects the swap and reopens.
 (``flock`` degrades to advisory-or-absent on some network filesystems —
 run compaction when no runner is writing if the store lives on NFS.)
 
 ``ResultStore()`` with no path is an in-memory store for ephemeral sweeps
-(the benchmark harness) and tests.
+(the benchmark harness) and tests.  For multi-million-job campaigns the
+single file becomes the contention point; :mod:`repro.campaign.sharding`
+spreads the same format over ``results-<k>.jsonl`` shards.
 """
 
 from __future__ import annotations
@@ -37,9 +55,10 @@ from __future__ import annotations
 import copy
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 try:
     import fcntl
@@ -48,20 +67,46 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 
 STATUS_DONE = "done"
 STATUS_FAILED = "failed"
+#: Lease-line statuses (claim bookkeeping, not job outcomes).
+STATUS_CLAIMED = "claimed"
+STATUS_RELEASED = "released"
+LEASE_STATUSES = (STATUS_CLAIMED, STATUS_RELEASED)
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One live claim: ``runner`` owns ``job_id`` until ``deadline``.
+
+    ``deadline`` is wall-clock epoch seconds; a lease whose deadline has
+    passed is *expired* and its job is requeueable by any runner.
+    """
+
+    job_id: str
+    runner: str
+    deadline: float
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Whether the deadline has passed (``now`` defaults to wall clock)."""
+        return (time.time() if now is None else now) >= self.deadline
 
 
 @dataclass(frozen=True)
 class CompactionStats:
-    """What one :meth:`ResultStore.compact` call did."""
+    """What one :meth:`ResultStore.compact` call did.
 
-    n_records_before: int   # raw parseable records, duplicates included
+    Record counts cover *result* records only (lease lines are pure
+    bookkeeping — stale ones are silently dropped, live ones preserved);
+    the byte counts cover the whole file, lease lines included.
+    """
+
+    n_records_before: int   # raw parseable result records, duplicates included
     n_records_after: int    # one per job id
     bytes_before: int
     bytes_after: int
 
     @property
     def n_dropped(self) -> int:
-        """Duplicate / superseded records removed by the rewrite."""
+        """Duplicate / superseded result records removed by the rewrite."""
         return self.n_records_before - self.n_records_after
 
     def __str__(self) -> str:
@@ -69,6 +114,15 @@ class CompactionStats:
             f"{self.n_records_before} -> {self.n_records_after} records "
             f"({self.n_dropped} dropped), "
             f"{self.bytes_before} -> {self.bytes_after} bytes"
+        )
+
+    def __add__(self, other: "CompactionStats") -> "CompactionStats":
+        """Aggregate per-shard stats (used by the sharded store)."""
+        return CompactionStats(
+            self.n_records_before + other.n_records_before,
+            self.n_records_after + other.n_records_after,
+            self.bytes_before + other.bytes_before,
+            self.bytes_after + other.bytes_after,
         )
 
 
@@ -85,11 +139,13 @@ class ResultStore:
     def __init__(self, path=None) -> None:
         self.path: Optional[Path] = None if path is None else Path(path)
         self._memory: List[dict] = []
-        # Incremental-read state: id-keyed cache of everything parsed so
-        # far, the byte offset of the first unparsed line, and the
-        # (st_dev, st_ino) identity of the file those offsets refer to
-        # (compaction replaces the inode, invalidating them).
+        # Incremental-read state: id-keyed caches of everything parsed so
+        # far (result records and lease lines separately), the byte offset
+        # of the first unparsed line, and the (st_dev, st_ino) identity of
+        # the file those offsets refer to (compaction replaces the inode,
+        # invalidating them).
         self._by_id: Dict[str, dict] = {}
+        self._lease_by_id: Dict[str, dict] = {}
         self._offset = 0
         self._src: Optional[Tuple[int, int]] = None
         # File size observed right after our own last append; while the
@@ -138,20 +194,22 @@ class ResultStore:
             fh.seek(size - 1)
             return fh.read(1) != b"\n"
 
-    def record(self, record: dict) -> None:
-        """Append one job record (must carry ``job_id`` and ``status``).
+    def _write_locked(self, fd: int, payload: str) -> None:
+        """Append ``payload`` (newline-terminated lines) under the held lock."""
+        if self._needs_leading_newline(fd):
+            payload = "\n" + payload
+        os.write(fd, payload.encode("utf-8"))
+        self._clean_size = os.fstat(fd).st_size
 
-        The write is a single ``O_APPEND`` ``write`` under an exclusive
-        ``flock``, so concurrent writers interleave whole lines, never
-        race a compaction rename, and the tail check + write happen
-        atomically with respect to other (locking) writers.
+    def _append_payload(self, payload: str) -> None:
+        """Append pre-encoded JSONL under an exclusive ``flock``.
+
+        The open/lock/recheck loop shared by :meth:`record`,
+        :meth:`renew` and :meth:`release`: a single ``O_APPEND`` write,
+        so concurrent writers interleave whole lines, never race a
+        compaction rename, and the tail check + write happen atomically
+        with respect to other (locking) writers.
         """
-        if "job_id" not in record or "status" not in record:
-            raise ValueError("record needs 'job_id' and 'status' fields")
-        if self.path is None:
-            self._memory.append(dict(record))
-            return
-        payload = json.dumps(record, sort_keys=True) + "\n"
         while True:
             fd = os.open(self.path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
             try:
@@ -159,19 +217,232 @@ class ResultStore:
                     fcntl.flock(fd, fcntl.LOCK_EX)
                     if not self._fd_is_current(fd):
                         continue  # compacted underneath us; reopen
-                line = payload
-                if self._needs_leading_newline(fd):
-                    line = "\n" + payload
-                os.write(fd, line.encode("utf-8"))
-                self._clean_size = os.fstat(fd).st_size
+                self._write_locked(fd, payload)
                 return
             finally:
                 os.close(fd)
+
+    def record(self, record: dict) -> None:
+        """Append one job record (must carry ``job_id`` and ``status``)."""
+        if "job_id" not in record or "status" not in record:
+            raise ValueError("record needs 'job_id' and 'status' fields")
+        if self.path is None:
+            self._memory.append(dict(record))
+            return
+        self._append_payload(json.dumps(record, sort_keys=True) + "\n")
+
+    # -- leases ------------------------------------------------------------
+
+    @staticmethod
+    def _claim_line(job_id: str, runner: str, deadline: float) -> dict:
+        return {
+            "job_id": job_id,
+            "status": STATUS_CLAIMED,
+            "runner": runner,
+            "deadline": deadline,
+        }
+
+    @staticmethod
+    def _grantable(
+        job_id: str,
+        runner: str,
+        now: float,
+        by_id: Dict[str, dict],
+        leases: Dict[str, dict],
+    ) -> bool:
+        """Whether ``runner`` may claim ``job_id`` given the folded state.
+
+        Completed jobs are never grantable; failed jobs are (retry policy
+        lives in the runner).  A live claim blocks everyone but its
+        holder; released or expired claims block nobody.
+        """
+        rec = by_id.get(job_id)
+        if rec is not None and rec.get("status") == STATUS_DONE:
+            return False
+        lease = leases.get(job_id)
+        if lease is None or lease.get("status") != STATUS_CLAIMED:
+            return True
+        if lease.get("runner") == runner:
+            return True  # renewing / re-claiming our own lease
+        return float(lease.get("deadline", 0.0)) <= now
+
+    def claim(
+        self,
+        job_ids: Sequence[str],
+        runner: str,
+        ttl: float,
+        now: Optional[float] = None,
+    ) -> List[str]:
+        """Atomically claim the free subset of ``job_ids`` for ``runner``.
+
+        A job is granted unless it is already completed or another runner
+        holds a live (unexpired) lease on it; expired leases are silently
+        requeued to the new claimant.  The check and the claim-line
+        append happen under one exclusive ``flock`` with a re-scan inside
+        the critical section, so concurrent claimants of the same batch
+        partition it — no job is ever granted twice.  Returns the granted
+        ids in input order.  ``now`` (epoch seconds) is injectable for
+        tests; the deadline written is ``now + ttl``.
+        """
+        now = time.time() if now is None else float(now)
+        deadline = now + float(ttl)
+        if self.path is None:
+            by_id, leases = self._memory_state()
+            granted = [
+                jid for jid in job_ids
+                if self._grantable(jid, runner, now, by_id, leases)
+            ]
+            for jid in granted:
+                self._memory.append(self._claim_line(jid, runner, deadline))
+            return granted
+        while True:
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_EX)
+                    if not self._fd_is_current(fd):
+                        continue  # compacted underneath us; reopen
+                self._scan()  # safe: we hold the lock, nobody can append
+                granted = [
+                    jid for jid in job_ids
+                    if self._grantable(jid, runner, now, self._by_id, self._lease_by_id)
+                ]
+                if granted:
+                    payload = "".join(
+                        json.dumps(self._claim_line(jid, runner, deadline),
+                                   sort_keys=True) + "\n"
+                        for jid in granted
+                    )
+                    self._write_locked(fd, payload)
+                    for jid in granted:  # keep the cache coherent pre-rescan
+                        self._lease_by_id[jid] = self._claim_line(jid, runner, deadline)
+                return granted
+            finally:
+                os.close(fd)
+
+    def _held_by(
+        self,
+        job_ids: Sequence[str],
+        runner: str,
+        by_id: Dict[str, dict],
+        leases: Dict[str, dict],
+    ) -> List[str]:
+        """The subset of ``job_ids`` whose current lease belongs to ``runner``.
+
+        The renewal ownership check: a lease that lapsed and was
+        reclaimed by a peer (or fulfilled by a result) must not be
+        clobbered by a stalled runner's late heartbeat.
+        """
+        held = []
+        for jid in job_ids:
+            if jid in by_id:
+                continue  # fulfilled: a result superseded the claim
+            lease = leases.get(jid)
+            if (
+                lease is not None
+                and lease.get("status") == STATUS_CLAIMED
+                and lease.get("runner") == runner
+            ):
+                held.append(jid)
+        return held
+
+    def renew(
+        self,
+        job_ids: Sequence[str],
+        runner: str,
+        ttl: float,
+        now: Optional[float] = None,
+    ) -> List[str]:
+        """Extend ``runner``'s leases on ``job_ids`` to ``now + ttl``.
+
+        Only leases the runner *still holds* are renewed (checked under
+        the same exclusive lock as the append): if a lease lapsed —
+        e.g. this runner stalled past the TTL — and a peer reclaimed
+        the job, the late heartbeat must not clobber the peer's claim.
+        Returns the ids actually renewed; the heartbeat path calls this
+        every ``ttl / 3`` seconds, and the cost is one incremental scan
+        plus one append.
+        """
+        now = time.time() if now is None else float(now)
+        deadline = now + float(ttl)
+        if not job_ids:
+            return []
+        if self.path is None:
+            by_id, leases = self._memory_state()
+            held = self._held_by(job_ids, runner, by_id, leases)
+            for jid in held:
+                self._memory.append(self._claim_line(jid, runner, deadline))
+            return held
+        while True:
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_EX)
+                    if not self._fd_is_current(fd):
+                        continue  # compacted underneath us; reopen
+                self._scan()  # safe: we hold the lock, nobody can append
+                held = self._held_by(job_ids, runner, self._by_id, self._lease_by_id)
+                if held:
+                    payload = "".join(
+                        json.dumps(self._claim_line(jid, runner, deadline),
+                                   sort_keys=True) + "\n"
+                        for jid in held
+                    )
+                    self._write_locked(fd, payload)
+                    for jid in held:
+                        self._lease_by_id[jid] = self._claim_line(jid, runner, deadline)
+                return held
+            finally:
+                os.close(fd)
+
+    def release(self, job_ids: Sequence[str], runner: str) -> None:
+        """Give up ``runner``'s claims on ``job_ids`` without a result.
+
+        Written on graceful interrupt so peers can reclaim immediately
+        instead of waiting out the TTL; a hard-killed runner never gets
+        to call this, which is exactly what expiry is for.
+        """
+        lines = [
+            {"job_id": jid, "status": STATUS_RELEASED, "runner": runner}
+            for jid in job_ids
+        ]
+        if not lines:
+            return
+        if self.path is None:
+            self._memory.extend(lines)
+            return
+        self._append_payload(
+            "".join(json.dumps(line, sort_keys=True) + "\n" for line in lines)
+        )
+
+    def leases(self, now: Optional[float] = None) -> Dict[str, Lease]:
+        """Live (claimed, unexpired) leases by job id.
+
+        Released, expired, and result-superseded claims are excluded — a
+        job in this mapping is exactly one some runner is entitled to be
+        executing right now.
+        """
+        now = time.time() if now is None else float(now)
+        if self.path is None:
+            _, lease_map = self._memory_state()
+        else:
+            self._scan()
+            lease_map = self._lease_by_id
+        live: Dict[str, Lease] = {}
+        for jid, rec in lease_map.items():
+            if rec.get("status") != STATUS_CLAIMED:
+                continue
+            lease = Lease(jid, str(rec.get("runner", "")),
+                          float(rec.get("deadline", 0.0)))
+            if not lease.expired(now):
+                live[jid] = lease
+        return live
 
     # -- reading ----------------------------------------------------------
 
     def _reset_cache(self) -> None:
         self._by_id = {}
+        self._lease_by_id = {}
         self._offset = 0
         self._src = None
 
@@ -190,31 +461,53 @@ class ResultStore:
         return rec
 
     @classmethod
-    def _fold_lines(cls, data: bytes, by_id: Dict[str, dict]) -> int:
-        """Fold raw JSONL bytes into ``by_id`` (last record per id wins).
+    def _fold_one(
+        cls, rec: dict, by_id: Dict[str, dict], leases: Dict[str, dict]
+    ) -> bool:
+        """Fold one parsed record into the two id-keyed maps.
 
-        The single definition of the dedup discipline, shared by the
-        incremental scanner and compaction.  Returns how many parseable
-        records were folded (duplicates included).
+        The single definition of the dedup discipline: lease lines
+        (``claimed``/``released``) go to ``leases`` last-line-wins;
+        anything else is a result record, last-record-wins in ``by_id``
+        *and* superseding any earlier lease line for that job (a result
+        is the lease's fulfilment).  A lease line folded after a result
+        stands on its own — that is a later re-claim (e.g. retrying a
+        failure).  Returns True for result records (the countable kind).
         """
-        n_parsed = 0
+        jid = rec["job_id"]
+        if rec.get("status") in LEASE_STATUSES:
+            leases[jid] = rec
+            return False
+        by_id[jid] = rec
+        leases.pop(jid, None)
+        return True
+
+    @classmethod
+    def _fold_lines(
+        cls, data: bytes, by_id: Dict[str, dict], leases: Dict[str, dict]
+    ) -> int:
+        """Fold raw JSONL bytes into the id-keyed maps (see :meth:`_fold_one`).
+
+        Shared by the incremental scanner and compaction.  Returns how
+        many parseable *result* records were folded (duplicates included).
+        """
+        n_results = 0
         for raw in data.split(b"\n"):
             rec = cls._parse_line(raw)
             if rec is not None:
-                n_parsed += 1
-                by_id[rec["job_id"]] = rec
-        return n_parsed
+                n_results += cls._fold_one(rec, by_id, leases)
+        return n_results
 
-    @staticmethod
-    def _fold_records(records: List[dict]) -> Dict[str, dict]:
-        """Dedup already-parsed records by job id (last record wins)."""
+    def _memory_state(self) -> Tuple[Dict[str, dict], Dict[str, dict]]:
+        """Fold the in-memory record list into (results, leases) maps."""
         by_id: Dict[str, dict] = {}
-        for rec in records:
-            by_id[rec["job_id"]] = rec
-        return by_id
+        leases: Dict[str, dict] = {}
+        for rec in self._memory:
+            self._fold_one(rec, by_id, leases)
+        return by_id, leases
 
     def _scan(self) -> None:
-        """Fold lines appended since the last read into the id-keyed cache.
+        """Fold lines appended since the last read into the id-keyed caches.
 
         Detects file replacement (compaction by another process) or
         truncation via the inode identity and size, and rescans from the
@@ -243,18 +536,20 @@ class ResultStore:
         if end < 0:
             return  # only a partial line so far
         self._offset += end + 1
-        self._fold_lines(data[:end], self._by_id)
+        self._fold_lines(data[:end], self._by_id, self._lease_by_id)
 
     def records(self) -> List[dict]:
-        """All records, deduplicated by job id (last record wins).
+        """All result records, deduplicated by job id (last record wins).
 
-        Order is first appearance of each id, which compaction preserves —
-        aggregation output is identical before and after a compact.
-        Returned records are deep copies: mutating them cannot corrupt the
-        store's read cache.
+        Lease lines are bookkeeping, not results, and are never returned
+        here — aggregation and status consumers see exactly what they saw
+        before leases existed.  Order is first appearance of each id,
+        which compaction preserves — aggregation output is identical
+        before and after a compact.  Returned records are deep copies:
+        mutating them cannot corrupt the store's read cache.
         """
         if self.path is None:
-            by_id = self._fold_records(self._memory)
+            by_id, _ = self._memory_state()
             return [copy.deepcopy(r) for r in by_id.values()]
         self._scan()
         return [copy.deepcopy(r) for r in self._by_id.values()]
@@ -280,22 +575,50 @@ class ResultStore:
 
     # -- compaction --------------------------------------------------------
 
-    def compact(self) -> CompactionStats:
+    @classmethod
+    def _compact_body(
+        cls,
+        by_id: Dict[str, dict],
+        leases: Dict[str, dict],
+        now: float,
+    ) -> str:
+        """The rewritten log: result records plus still-live claim lines."""
+        lines = [json.dumps(rec, sort_keys=True) + "\n" for rec in by_id.values()]
+        for jid, rec in leases.items():
+            if rec.get("status") != STATUS_CLAIMED:
+                continue  # released: nothing to preserve
+            if float(rec.get("deadline", 0.0)) <= now:
+                continue  # expired: the job is requeueable, drop the line
+            lines.append(json.dumps(rec, sort_keys=True) + "\n")
+        return "".join(lines)
+
+    def compact(self, now: Optional[float] = None) -> CompactionStats:
         """Rewrite the log one-line-per-job (last record wins), atomically.
 
         The deduplicated records are written to a sibling temp file,
         fsynced, and renamed over the live store, all under an exclusive
         ``flock`` so no concurrent append can fall between the read and
-        the rename.  Record order (first appearance of each id) and the
+        the rewrite.  Record order (first appearance of each id) and the
         per-record bytes are preserved, so ``summary``/``compare`` output
-        is identical before and after; truncated kill artifacts are
-        dropped.  Idempotent: compacting a compacted store is a no-op
-        rewrite.  Returns a :class:`CompactionStats`.
+        is identical before and after; truncated kill artifacts, stale
+        duplicate records, and released/expired/superseded lease lines
+        are dropped (live claims survive, so compacting under active
+        runners loses no mutual exclusion).  Idempotent: compacting a
+        compacted store is a no-op rewrite.  Returns a
+        :class:`CompactionStats`.
         """
+        now = time.time() if now is None else float(now)
         if self.path is None:
-            n_before = len(self._memory)
-            self._memory = list(self._fold_records(self._memory).values())
-            return CompactionStats(n_before, len(self._memory), 0, 0)
+            by_id, leases = self._memory_state()
+            n_before = sum(
+                1 for r in self._memory if r.get("status") not in LEASE_STATUSES
+            )
+            self._memory = list(by_id.values()) + [
+                rec for rec in leases.values()
+                if rec.get("status") == STATUS_CLAIMED
+                and float(rec.get("deadline", 0.0)) > now
+            ]
+            return CompactionStats(n_before, len(by_id), 0, 0)
         while True:
             try:
                 fd = os.open(self.path, os.O_RDWR)
@@ -309,10 +632,9 @@ class ResultStore:
                 with os.fdopen(fd, "rb", closefd=False) as fh:
                     data = fh.read()
                 by_id: Dict[str, dict] = {}
-                n_before = self._fold_lines(data, by_id)
-                body = "".join(
-                    json.dumps(rec, sort_keys=True) + "\n" for rec in by_id.values()
-                ).encode("utf-8")
+                leases: Dict[str, dict] = {}
+                n_before = self._fold_lines(data, by_id, leases)
+                body = self._compact_body(by_id, leases, now).encode("utf-8")
                 tmp = self.path.with_name(self.path.name + f".compact.{os.getpid()}")
                 tfd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
                 try:

@@ -14,8 +14,11 @@ Subcommands:
   :mod:`repro.campaign` and ``docs/CAMPAIGNS.md``.  ``run --backend mw``
   distributes jobs through the :mod:`repro.mw` master-worker layer, and
   several runner processes pointed at the same directory cooperatively
-  drain one campaign.  With ``--transport tcp://host:port`` the master
-  listens for remote workers instead of spawning local ones.
+  drain one campaign — claim leases (on by default; ``--lease-ttl``,
+  ``--no-lease``) guarantee exactly one runner executes each job, and
+  ``--shards N`` spreads the result store over N files for high runner
+  counts.  With ``--transport tcp://host:port`` the master listens for
+  remote workers instead of spawning local ones.
 * ``mw-worker`` — standalone TCP worker: connects to a master at
   ``tcp://host:port`` and serves tasks until the master shuts down.
   Start any number of these on any hosts that can reach the master; no
@@ -152,7 +155,7 @@ def _campaign_spec_from_args(args: argparse.Namespace):
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
-    from repro.campaign import SPEC_FILENAME, Campaign
+    from repro.campaign import DEFAULT_LEASE_TTL, SPEC_FILENAME, Campaign
     from pathlib import Path
 
     spec = None
@@ -164,8 +167,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     else:
         spec = _campaign_spec_from_args(args)
     try:
-        campaign = Campaign(args.directory, spec=spec)
-    except ValueError as exc:  # conflicting spec for an existing directory
+        campaign = Campaign(args.directory, spec=spec, shards=args.shards)
+    except ValueError as exc:  # conflicting spec / mismatched shard count
         print(f"error: {exc}", file=sys.stderr)
         return 2
     progress_cb = None
@@ -189,6 +192,9 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         mw_transport=args.mw_transport,
         mw_affinity=args.mw_affinity,
         stagger=args.stagger,
+        lease=args.lease,
+        lease_ttl=(DEFAULT_LEASE_TTL if args.lease_ttl is None
+                   else args.lease_ttl),
         progress=progress_cb,
     )
     print(f"campaign  : {campaign.spec.name}")
@@ -223,8 +229,13 @@ def _cmd_campaign_watch(args: argparse.Namespace) -> int:
             interval=args.interval,
             max_ticks=1 if args.once else None,
         ):
-            line = json.dumps(snap.to_dict()) if args.json else snap.line()
-            print(line, flush=True)
+            if args.json:
+                print(json.dumps(snap.to_dict()), flush=True)
+                continue
+            print(snap.line(), flush=True)
+            if args.cells:
+                for cell in snap.cells:
+                    print(cell.line(), flush=True)
     except KeyboardInterrupt:
         return 130
     return 0
@@ -270,7 +281,9 @@ def _cmd_mw_worker(args: argparse.Namespace) -> int:
 def _cmd_campaign_compact(args: argparse.Namespace) -> int:
     campaign = _open_campaign(args.directory)
     stats = campaign.compact()
-    print(f"store     : {campaign.store.path}")
+    n_shards = getattr(campaign.store, "n_shards", 1)
+    layout = f"  ({n_shards} shards)" if n_shards > 1 else ""
+    print(f"store     : {campaign.store.path}{layout}")
     print(
         f"records   : {stats.n_records_before} -> {stats.n_records_after} "
         f"({stats.n_dropped} duplicate/stale dropped)"
@@ -286,18 +299,24 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     status = campaign.status()
     print(f"campaign  : {status['name']}")
     print(f"directory : {status['directory']}")
+    if status["shards"] > 1:
+        print(f"store     : {status['shards']} shards")
+    claimed = f", {status['claimed']} claimed" if status["claimed"] else ""
     print(
         f"jobs      : {status['n_jobs']} total, {status['done']} done, "
         f"{status['failed']} failed (retried on next run), "
-        f"{status['pending']} pending"
+        f"{status['pending']} pending{claimed}"
     )
     rows = [
-        [label, function, dim, f"{sigma0:g}", f"{done}/{total}"]
-        for (label, _algo, function, dim, sigma0), (total, done) in sorted(
+        [label, function, dim, f"{sigma0:g}",
+         f"{counts['done']}/{counts['total']}", counts["claimed"]]
+        for (label, _algo, function, dim, sigma0), counts in sorted(
             status["cells"].items()
         )
     ]
-    print(format_table(["variant", "function", "dim", "sigma0", "done"], rows))
+    print(format_table(
+        ["variant", "function", "dim", "sigma0", "done", "claimed"], rows
+    ))
     return 0
 
 
@@ -453,9 +472,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "to listen for remote 'mw-worker' processes")
     p_crun.add_argument("--mw-affinity", action="store_true",
                         help="pin jobs round-robin to mw worker ranks")
+    p_crun.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="shard the result store into N results-<k>.jsonl "
+                             "files (migrates a legacy single-file store in "
+                             "place; existing sharded stores auto-detect)")
+    p_crun.add_argument("--no-lease", dest="lease", action="store_false",
+                        help="disable claim leases and fall back to the "
+                             "stagger+shed heuristic (duplicate in-flight "
+                             "work possible)")
+    p_crun.add_argument("--lease-ttl", type=float, default=None,
+                        metavar="SECONDS",
+                        help="seconds a claim survives without renewal — how "
+                             "long a killed runner's jobs stay unavailable "
+                             "(default 60)")
     p_crun.add_argument("--stagger", action="store_true",
                         help="start at a PID-derived grid offset so concurrent "
-                             "runners drain disjoint regions")
+                             "runners drain disjoint regions (the --no-lease "
+                             "fallback; harmless with leases)")
     p_crun.add_argument("--progress", action="store_true",
                         help="print a heartbeat line after every recorded batch")
     p_crun.set_defaults(func=_cmd_campaign_run)
@@ -472,6 +505,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="seconds between polls")
     p_cwatch.add_argument("--once", action="store_true",
                           help="print a single snapshot and exit")
+    p_cwatch.add_argument("--cells", action="store_true",
+                          help="append one line per grid cell (done/claimed/"
+                               "failed counts) to every snapshot")
     p_cwatch.add_argument("--json", action="store_true",
                           help="emit one JSON object per refresh instead of "
                                "the human one-liner (for dashboards)")

@@ -2,11 +2,54 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.functions import Rosenbrock, Sphere
 from repro.noise import SamplingPool, StochasticFunction
+
+try:  # hypothesis is a tier-1 dependency but not every CI job installs it
+    from hypothesis import HealthCheck, settings as hyp_settings
+except ImportError:
+    pass
+else:
+    # The reproducible profile CI runs the property suite under
+    # (HYPOTHESIS_PROFILE=ci): derandomized, bounded examples, no
+    # deadline flakes on loaded runners.
+    hyp_settings.register_profile(
+        "ci",
+        derandomize=True,
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    if os.environ.get("HYPOTHESIS_PROFILE"):
+        hyp_settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
+
+
+@pytest.fixture
+def result_lines():
+    """Counter of raw result-record lines in a campaign store file.
+
+    Lease lines are excluded, and *lines* are counted, not deduplicated
+    records — the assertion that a job was never re-executed.  Shared by
+    the campaign test modules.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.campaign import STATUS_CLAIMED, STATUS_RELEASED
+
+    def count(path) -> int:
+        n = 0
+        for line in Path(path).read_text().strip().splitlines():
+            if json.loads(line)["status"] not in (STATUS_CLAIMED, STATUS_RELEASED):
+                n += 1
+        return n
+
+    return count
 
 
 @pytest.fixture

@@ -327,7 +327,7 @@ class TestRunner:
         assert report.n_remaining == 0
         assert store.completed_ids() == {j.job_id for j in spec.expand()}
 
-    def test_resume_skips_completed_jobs(self, tmp_path):
+    def test_resume_skips_completed_jobs(self, tmp_path, result_lines):
         spec = small_spec()
         store = ResultStore(tmp_path / "r.jsonl")
         first = CampaignRunner(spec, store).run(max_jobs=2)
@@ -335,8 +335,7 @@ class TestRunner:
         second = CampaignRunner(spec, store).run()
         assert second.n_skipped == 2 and second.n_done == 4
         # every job recorded exactly once: nothing was re-executed
-        lines = (tmp_path / "r.jsonl").read_text().strip().splitlines()
-        assert len(lines) == 6
+        assert result_lines(tmp_path / "r.jsonl") == 6
 
     def test_interrupted_store_identical_to_uninterrupted(self, tmp_path):
         """Satellite: kill mid-campaign (max-jobs cutoff), re-run, compare."""

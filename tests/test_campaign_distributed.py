@@ -140,7 +140,7 @@ class TestMWBackend:
 
 
 class TestCooperativeDraining:
-    def test_interleaved_runners_share_one_store(self, tmp_path):
+    def test_interleaved_runners_share_one_store(self, tmp_path, result_lines):
         """Two runner instances alternating on one directory never
         re-execute each other's jobs (the resume skip-set is shared)."""
         spec = small_spec()
@@ -150,11 +150,10 @@ class TestCooperativeDraining:
         CampaignRunner(spec, store_b).run(max_jobs=2)
         report = CampaignRunner(spec, store_a).run()
         assert report.n_skipped == 4 and report.n_done == 2
-        lines = (tmp_path / "r.jsonl").read_text().strip().splitlines()
-        assert len(lines) == 6  # every job executed exactly once
+        assert result_lines(tmp_path / "r.jsonl") == 6  # each executed exactly once
         assert store_a.completed_ids() == {j.job_id for j in spec.expand()}
 
-    def test_peer_completions_are_shed_mid_run(self, tmp_path):
+    def test_peer_completions_are_shed_mid_run(self, tmp_path, result_lines):
         """The periodic store re-read drops jobs a peer completed after
         this runner expanded its pending list."""
         spec = small_spec()
@@ -173,8 +172,7 @@ class TestCooperativeDraining:
         assert report.n_shed == 1
         assert report.n_done == 5
         assert report.n_remaining == 0
-        lines = (tmp_path / "r.jsonl").read_text().strip().splitlines()
-        assert len(lines) == 6  # shed job was not re-executed
+        assert result_lines(tmp_path / "r.jsonl") == 6  # shed job not re-executed
         assert "shed to peers" in str(report)
 
     def test_stagger_rotates_execution_order(self, tmp_path):
@@ -205,7 +203,9 @@ class TestCooperativeDraining:
                 fired.append(True)
                 peer.record(run_job(jobs[3]))
 
-        runner = CampaignRunner(spec, store, batch_size=2, refresh_pending=False)
+        # legacy mode: with leases the claim itself would shed the job
+        runner = CampaignRunner(spec, store, batch_size=2,
+                                refresh_pending=False, lease=False)
         report = runner.run(progress=peer_completes_job_3)
         assert report.n_shed == 0 and report.n_done == 6  # job 3 re-executed
 

@@ -1,0 +1,334 @@
+"""Claim leases and the sharded result store.
+
+Covers the store-level lease protocol (claim/renew/release, expiry,
+last-record-wins with results superseding claims), the sharded layout
+(stable routing, manifest, per-shard tail heal, migration), and the
+acceptance criterion that an N=8 sharded store round-trips
+status/summary/compare/compact identically to the legacy single file.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignRunner,
+    CampaignSpec,
+    ResultStore,
+    ShardedResultStore,
+    migrate_legacy_store,
+    open_store,
+    shard_index,
+)
+from repro.campaign.sharding import MANIFEST_FILENAME, shard_filename
+from repro.campaign.store import STATUS_CLAIMED
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    """A fast 2-algorithm x 3-seed sphere grid (6 jobs)."""
+    kwargs = dict(
+        name="shardtest",
+        algorithms=["DET", "PC"],
+        functions=["sphere"],
+        dims=[2],
+        sigma0s=[1.0],
+        seeds=[0, 1, 2],
+        tau=1e-3,
+        walltime=1e3,
+        max_steps=40,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+@pytest.fixture(params=["memory", "file", "sharded"])
+def any_store(request, tmp_path):
+    """The same lease/record API behind all three store layouts."""
+    if request.param == "memory":
+        return ResultStore()
+    if request.param == "file":
+        return ResultStore(tmp_path / "r.jsonl")
+    return ShardedResultStore(tmp_path, n_shards=3)
+
+
+class TestLeases:
+    def test_claim_grants_free_jobs_once(self, any_store):
+        store = any_store
+        assert store.claim(["a", "b"], "r1", ttl=60) == ["a", "b"]
+        # a second runner gets nothing; the holder may re-claim its own
+        assert store.claim(["a", "b"], "r2", ttl=60) == []
+        assert store.claim(["a", "b"], "r1", ttl=60) == ["a", "b"]
+        leases = store.leases()
+        assert set(leases) == {"a", "b"}
+        assert all(l.runner == "r1" for l in leases.values())
+
+    def test_claim_denied_for_completed_jobs(self, any_store):
+        store = any_store
+        store.record({"job_id": "a", "status": "done"})
+        store.record({"job_id": "b", "status": "failed"})
+        # done is final; failed is claimable (retry policy is the runner's)
+        assert store.claim(["a", "b"], "r1", ttl=60) == ["b"]
+
+    def test_expired_lease_is_requeued_to_new_claimant(self, any_store):
+        store = any_store
+        t0 = 1000.0
+        assert store.claim(["a"], "dead", ttl=5, now=t0) == ["a"]
+        assert store.claim(["a"], "r2", ttl=5, now=t0 + 1) == []   # still live
+        assert store.claim(["a"], "r2", ttl=5, now=t0 + 10) == ["a"]  # expired
+        assert store.leases(now=t0 + 11)["a"].runner == "r2"
+
+    def test_renew_extends_deadline(self, any_store):
+        store = any_store
+        t0 = 1000.0
+        store.claim(["a"], "r1", ttl=5, now=t0)
+        store.renew(["a"], "r1", ttl=5, now=t0 + 4)  # heartbeat at t+4
+        assert store.claim(["a"], "r2", ttl=5, now=t0 + 6) == []  # lease held
+        assert store.leases(now=t0 + 6)["a"].deadline == pytest.approx(t0 + 9)
+
+    def test_stalled_runner_renewal_cannot_clobber_reclaim(self, any_store):
+        """A heartbeat arriving after the lease lapsed *and was reclaimed*
+        must not steal it back from the new holder."""
+        store = any_store
+        t0 = 1000.0
+        store.claim(["a"], "r1", ttl=5, now=t0)
+        assert store.claim(["a"], "r2", ttl=60, now=t0 + 10) == ["a"]  # lapsed
+        assert store.renew(["a"], "r1", ttl=60, now=t0 + 11) == []  # too late
+        assert store.leases(now=t0 + 12)["a"].runner == "r2"
+        assert store.renew(["a"], "r2", ttl=60, now=t0 + 12) == ["a"]
+        # a fulfilled claim is not renewed either
+        store.record({"job_id": "a", "status": "done"})
+        assert store.renew(["a"], "r2", ttl=60, now=t0 + 13) == []
+
+    def test_release_frees_immediately(self, any_store):
+        store = any_store
+        store.claim(["a", "b"], "r1", ttl=3600)
+        store.release(["a"], "r1")
+        assert set(store.leases()) == {"b"}
+        assert store.claim(["a"], "r2", ttl=60) == ["a"]
+
+    def test_result_record_supersedes_claim(self, any_store):
+        store = any_store
+        store.claim(["a"], "r1", ttl=3600)
+        store.record({"job_id": "a", "status": "done"})
+        assert store.leases() == {}
+        assert store.completed_ids() == {"a"}
+
+    def test_claim_after_failure_is_live(self, any_store):
+        """A re-claim written after a failed record is a live retry lease."""
+        store = any_store
+        store.claim(["a"], "r1", ttl=3600)
+        store.record({"job_id": "a", "status": "failed"})
+        assert store.leases() == {}  # the failure fulfilled that claim
+        assert store.claim(["a"], "r2", ttl=3600) == ["a"]
+        assert store.leases()["a"].runner == "r2"
+
+    def test_lease_lines_never_surface_as_records(self, any_store):
+        store = any_store
+        store.claim(["a"], "r1", ttl=3600)
+        store.record({"job_id": "b", "status": "done"})
+        assert [r["job_id"] for r in store.records()] == ["b"]
+        assert len(store) == 1
+
+    def test_concurrent_store_instances_partition_claims(self, tmp_path):
+        """Two store instances on one file (two runner processes in
+        miniature): the flock + in-lock rescan means their claims on the
+        same batch partition it, never overlap."""
+        path = tmp_path / "r.jsonl"
+        a, b = ResultStore(path), ResultStore(path)
+        ids = [f"j{i}" for i in range(10)]
+        got_a = a.claim(ids[:7], "ra", ttl=60)
+        got_b = b.claim(ids, "rb", ttl=60)
+        assert set(got_a) & set(got_b) == set()
+        assert set(got_a) | set(got_b) == set(ids)
+
+    def test_compact_preserves_live_claims_drops_stale(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        now = time.time()
+        store.claim(["live"], "r1", ttl=3600, now=now)
+        store.claim(["expired"], "r1", ttl=1, now=now - 100)
+        store.claim(["released"], "r1", ttl=3600, now=now)
+        store.release(["released"], "r1")
+        store.claim(["finished"], "r1", ttl=3600, now=now)
+        store.record({"job_id": "finished", "status": "done"})
+        stats = store.compact(now=now)
+        assert stats.n_records_before == 1 and stats.n_records_after == 1
+        raw = (tmp_path / "r.jsonl").read_text()
+        statuses = {
+            json.loads(line)["job_id"]: json.loads(line)["status"]
+            for line in raw.strip().splitlines()
+        }
+        assert statuses == {"finished": "done", "live": STATUS_CLAIMED}
+        # mutual exclusion survived the rewrite
+        assert store.claim(["live"], "r2", ttl=60, now=now) == []
+
+
+class TestShardRouting:
+    def test_shard_index_is_stable_and_in_range(self):
+        for jid in ("a", "deadbeef", "97af2845df80", ""):
+            k = shard_index(jid, 8)
+            assert 0 <= k < 8
+            assert shard_index(jid, 8) == k  # deterministic
+
+    def test_records_land_on_their_hashed_shard(self, tmp_path):
+        store = ShardedResultStore(tmp_path, n_shards=4)
+        ids = [f"job-{i}" for i in range(32)]
+        for jid in ids:
+            store.record({"job_id": jid, "status": "done"})
+        for jid in ids:
+            k = shard_index(jid, 4)
+            raw = (tmp_path / shard_filename(k)).read_text()
+            assert jid in raw
+        # 32 ids over 4 shards: every shard should have seen traffic
+        assert all((tmp_path / shard_filename(k)).exists() for k in range(4))
+        assert store.completed_ids() == set(ids)
+
+    def test_manifest_pins_shard_count(self, tmp_path):
+        ShardedResultStore(tmp_path, n_shards=4)
+        reopened = ShardedResultStore(tmp_path)  # count from the manifest
+        assert reopened.n_shards == 4
+        with pytest.raises(ValueError, match="already sharded into 4"):
+            ShardedResultStore(tmp_path, n_shards=8)
+        with pytest.raises(ValueError, match="no store-manifest"):
+            ShardedResultStore(tmp_path / "fresh")
+
+    def test_torn_write_on_one_shard_does_not_block_others(self, tmp_path):
+        """Regression: the truncated-tail heal is per-shard — a hard kill
+        mid-write on shard k leaves every other shard readable, and shard
+        k itself heals on the next append."""
+        store = ShardedResultStore(tmp_path, n_shards=3)
+        ids = [f"job-{i}" for i in range(9)]
+        for jid in ids:
+            store.record({"job_id": jid, "status": "done"})
+        torn = shard_index("job-0", 3)
+        with open(tmp_path / shard_filename(torn), "a") as fh:
+            fh.write('{"job_id": "torn", "stat')  # killed mid-write
+        # a fresh reader sees every intact record on every shard
+        reader = ShardedResultStore(tmp_path)
+        assert reader.completed_ids() == set(ids)
+        # the torn shard heals: the next append routed there is readable
+        healing = next(
+            f"extra-{i}" for i in range(100)
+            if shard_index(f"extra-{i}", 3) == torn
+        )
+        reader.record({"job_id": healing, "status": "done"})
+        assert ShardedResultStore(tmp_path).completed_ids() == set(ids) | {healing}
+
+    def test_sharded_compact_aggregates_stats(self, tmp_path):
+        store = ShardedResultStore(tmp_path, n_shards=4)
+        for _ in range(3):
+            for i in range(8):
+                store.record({"job_id": f"j{i}", "status": "done", "result": {"v": i}})
+        stats = store.compact()
+        assert stats.n_records_before == 24 and stats.n_records_after == 8
+        assert stats.n_dropped == 16
+        assert len(store.records()) == 8
+
+
+class TestMigration:
+    def _legacy_store(self, tmp_path, n=6):
+        legacy = ResultStore(tmp_path / "results.jsonl")
+        for i in range(n):
+            legacy.record({"job_id": f"j{i}", "status": "failed", "result": None})
+        for i in range(n):  # duplicates: the retry overwrote the failure
+            legacy.record({"job_id": f"j{i}", "status": "done", "result": {"v": i}})
+        return legacy
+
+    def test_migration_is_lossless(self, tmp_path):
+        legacy = self._legacy_store(tmp_path)
+        expected = {r["job_id"]: r for r in legacy.records()}
+        sharded = migrate_legacy_store(tmp_path, n_shards=4)
+        assert {r["job_id"]: r for r in sharded.records()} == expected
+        assert not (tmp_path / "results.jsonl").exists()
+        assert (tmp_path / "results.jsonl.migrated").exists()
+
+    def test_migration_is_idempotent(self, tmp_path):
+        self._legacy_store(tmp_path)
+        first = migrate_legacy_store(tmp_path, n_shards=4)
+        snapshot = {r["job_id"]: r for r in first.records()}
+        again = migrate_legacy_store(tmp_path, n_shards=4)  # no legacy file now
+        assert {r["job_id"]: r for r in again.records()} == snapshot
+        # crash-mid-migration shape: legacy reappears next to the manifest
+        relegated = ResultStore(tmp_path / "results.jsonl")
+        relegated.record({"job_id": "j0", "status": "done", "result": {"v": 0}})
+        resumed = open_store(tmp_path)  # open_store folds the leftover in
+        assert {r["job_id"]: r for r in resumed.records()} == snapshot
+
+    def test_open_store_resolution(self, tmp_path):
+        # fresh directory, no shards requested -> legacy single file
+        store = open_store(tmp_path / "a")
+        assert isinstance(store, ResultStore)
+        # fresh directory, shards requested -> sharded layout
+        store = open_store(tmp_path / "b", shards=4)
+        assert isinstance(store, ShardedResultStore) and store.n_shards == 4
+        # existing manifest wins with no shards argument
+        assert open_store(tmp_path / "b").n_shards == 4
+        # legacy directory + shards -> migrated in place
+        legacy_ids = self._legacy_store(tmp_path / "c").completed_ids()
+        migrated = open_store(tmp_path / "c", shards=2)
+        assert isinstance(migrated, ShardedResultStore)
+        assert migrated.completed_ids() == legacy_ids
+        assert (tmp_path / "c" / MANIFEST_FILENAME).exists()
+
+
+class TestShardedCampaignParity:
+    """Acceptance: N=8 shards round-trip identically to the single file."""
+
+    def _statuses(self, campaign):
+        status = campaign.status()
+        status.pop("directory")
+        status.pop("shards")
+        return status
+
+    def test_sharded_round_trips_like_single_file(self, tmp_path):
+        spec = small_spec()
+        single = Campaign(tmp_path / "single", spec=spec)
+        single.run()
+        sharded = Campaign(tmp_path / "sharded", spec=spec, shards=8)
+        sharded.run()
+
+        assert self._statuses(single) == self._statuses(sharded)
+        assert single.summary() == sharded.summary()
+        cmp_a = single.compare("DET", "PC")
+        cmp_b = sharded.compare("DET", "PC")
+        assert cmp_a.log_ratios.tolist() == cmp_b.log_ratios.tolist()
+        assert cmp_a.sign == cmp_b.sign
+
+        # compaction changes neither side's aggregates
+        single.compact()
+        sharded.compact()
+        assert self._statuses(single) == self._statuses(sharded)
+        assert single.summary() == sharded.summary()
+
+    def test_campaign_reopens_sharded_store(self, tmp_path):
+        spec = small_spec()
+        Campaign(tmp_path / "c", spec=spec, shards=4).run(max_jobs=2)
+        reopened = Campaign(tmp_path / "c")  # layout detected from manifest
+        assert isinstance(reopened.store, ShardedResultStore)
+        status = reopened.status()
+        assert status["done"] == 2 and status["shards"] == 4
+        report = reopened.run()
+        assert report.n_done == 4 and report.n_skipped == 2
+
+    def test_runner_leases_on_sharded_store(self, tmp_path):
+        """A runner claims through shards; a peer's live lease is honoured."""
+        spec = small_spec()
+        jobs = spec.expand()
+        store = ShardedResultStore(tmp_path, n_shards=4)
+        # a live peer holds two jobs; an abandoned peer's lease is expired
+        store.claim([jobs[0].job_id], "peer", ttl=3600)
+        store.claim([jobs[1].job_id], "ghost", ttl=1, now=time.time() - 100)
+        report = CampaignRunner(spec, store).run()
+        assert report.n_done == 5  # the expired claim was requeued to us
+        assert report.n_leased == 1 and report.n_remaining == 1
+        assert "1 leased to peers" in str(report)
+        # the peer finishes its job; the next run completes the campaign
+        store.record(
+            {"job_id": jobs[0].job_id, "status": "done",
+             "job": jobs[0].to_dict(),
+             "result": None, "error": None, "elapsed_s": 0.0}
+        )
+        assert CampaignRunner(spec, store).run().n_skipped == 6

@@ -161,6 +161,88 @@ class TestCommands:
         rc = main(["campaign", "compare", directory, "PC", "DET"])
         assert rc == 0
 
+    def _mixed_state_campaign(self, tmp_path):
+        """A campaign with one done, one live-claimed, one expired-claim,
+        and one plain-pending job (the watch per-cell fixture)."""
+        import time
+
+        from repro.campaign import Campaign
+
+        directory = str(tmp_path / "camp")
+        main(self._small_campaign_args(directory) + ["--max-jobs", "1"])
+        campaign = Campaign(directory)
+        done = campaign.store.completed_ids()
+        pending = [j for j in campaign.jobs() if j.job_id not in done]
+        campaign.store.claim([pending[0].job_id], "live-peer", ttl=3600)
+        campaign.store.claim([pending[1].job_id], "dead-peer", ttl=1,
+                             now=time.time() - 100)
+        return directory, pending
+
+    def test_campaign_watch_cells_plain(self, tmp_path, capsys):
+        directory, _ = self._mixed_state_campaign(tmp_path)
+        capsys.readouterr()
+        rc = main(["campaign", "watch", directory, "--once", "--cells"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        # heartbeat counts only the live claim, not the expired one
+        assert "1/4 done" in out and "1 claimed" in out
+        cell_lines = [l for l in out.splitlines() if l.startswith("  ")]
+        assert len(cell_lines) == 2  # DET and PC cells
+        assert any("DET sphere d=2" in l for l in cell_lines)
+        assert any("1 claimed" in l for l in cell_lines)
+
+    def test_campaign_watch_cells_json(self, tmp_path, capsys):
+        import json
+
+        directory, pending = self._mixed_state_campaign(tmp_path)
+        capsys.readouterr()
+        rc = main(["campaign", "watch", directory, "--once", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        snap = json.loads(out.strip())
+        assert snap["done"] == 1 and snap["claimed"] == 1
+        cells = {(c["label"], c["function"]): c for c in snap["cells"]}
+        assert set(cells) == {("DET", "sphere"), ("PC", "sphere")}
+        assert sum(c["total"] for c in cells.values()) == 4
+        assert sum(c["claimed"] for c in cells.values()) == 1  # expired excluded
+        claimed_cell = pending[0].label
+        assert cells[(claimed_cell, "sphere")]["claimed"] == 1
+
+    def test_campaign_run_with_shards_lifecycle(self, tmp_path, capsys):
+        from repro.campaign.sharding import MANIFEST_FILENAME
+
+        directory = str(tmp_path / "camp")
+        rc = main(self._small_campaign_args(directory) + ["--shards", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "4 completed" in out
+        assert (tmp_path / "camp" / MANIFEST_FILENAME).exists()
+        assert (tmp_path / "camp" / "results-0.jsonl").exists()
+
+        rc = main(self._small_campaign_args(directory))  # layout auto-detected
+        out = capsys.readouterr().out
+        assert rc == 0 and "4 already done" in out
+
+        rc = main(["campaign", "status", directory])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "store     : 2 shards" in out and "4 total, 4 done" in out
+
+        rc = main(["campaign", "summary", directory])
+        out = capsys.readouterr().out
+        assert rc == 0 and "DET" in out and "PC" in out
+
+        rc = main(["campaign", "compact", directory])
+        out = capsys.readouterr().out
+        assert rc == 0 and "(2 shards)" in out and "4 -> 4" in out
+
+    def test_campaign_run_shard_count_conflict_is_clean(self, tmp_path, capsys):
+        directory = str(tmp_path / "camp")
+        main(self._small_campaign_args(directory) + ["--shards", "2"])
+        capsys.readouterr()
+        rc = main(self._small_campaign_args(directory) + ["--shards", "8"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "already sharded into 2" in err
+
     def test_campaign_watch_missing_directory(self, tmp_path, capsys):
         with pytest.raises(SystemExit):
             main(["campaign", "watch", str(tmp_path / "nowhere"), "--once"])

@@ -19,6 +19,7 @@ MODULES = [
     "repro.campaign.execution",
     "repro.campaign.progress",
     "repro.campaign.runner",
+    "repro.campaign.sharding",
     "repro.campaign.spec",
     "repro.campaign.store",
     "repro.parallel",

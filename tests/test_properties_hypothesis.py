@@ -1,11 +1,20 @@
 """Cross-cutting property-based tests (hypothesis) on system invariants."""
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
+from repro.campaign import (
+    ResultStore,
+    ShardedResultStore,
+    migrate_legacy_store,
+    open_store,
+)
 from repro.cluster import Cluster, JobRequest, PBSScheduler
 from repro.core import MaxStepsTermination, NelderMead
 from repro.functions import Quadratic, initial_simplex
@@ -108,6 +117,98 @@ class TestSchedulerInvariants:
             total[e] += 1
         for node, count in total.items():
             assert count <= 8
+
+
+# A deliberately tiny id pool so random op sequences collide on job ids
+# (duplicates, re-claims, and overwrites are the interesting cases).
+_job_ids = st.text(alphabet="abc", min_size=1, max_size=2)
+_runners = st.sampled_from(["r1", "r2"])
+
+_store_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("record"), _job_ids,
+                  st.sampled_from(["done", "failed"]), st.integers(0, 9)),
+        st.tuples(st.just("claim"), st.lists(_job_ids, max_size=3), _runners),
+        st.tuples(st.just("release"), st.lists(_job_ids, max_size=3), _runners),
+        st.tuples(st.just("compact")),
+    ),
+    max_size=30,
+)
+
+
+class TestStoreProperties:
+    """The sharded store under random append/claim/release/compact mixes."""
+
+    @staticmethod
+    def _apply(store, model, op):
+        """Run one op against the real store and the pure-dict model.
+
+        The model tracks *results only* — the invariant under test is that
+        lease traffic and compaction never disturb (or surface as) result
+        records, and that last-record-wins holds across shards.
+        """
+        if op[0] == "record":
+            _, jid, status, v = op
+            rec = {"job_id": jid, "status": status, "result": {"v": v}}
+            store.record(rec)
+            model[jid] = rec
+        elif op[0] == "claim":
+            store.claim(op[1], op[2], ttl=3600)
+        elif op[0] == "release":
+            store.release(op[1], op[2])
+        else:
+            store.compact()
+
+    @given(ops=_store_ops, n_shards=st.integers(1, 5))
+    @slow_settings
+    def test_random_interleavings_preserve_last_record_wins(self, ops, n_shards):
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ShardedResultStore(tmp, n_shards=n_shards)
+            model = {}
+            for op in ops:
+                self._apply(store, model, op)
+                done = {j for j, r in model.items() if r["status"] == "done"}
+                assert store.completed_ids() == done  # no completed result lost
+            assert {r["job_id"]: r for r in store.records()} == model
+            store.compact()  # a final compact changes nothing observable
+            assert {r["job_id"]: r for r in store.records()} == model
+            # and a fresh reader of the same directory agrees
+            reread = ShardedResultStore(tmp)
+            assert {r["job_id"]: r for r in reread.records()} == model
+
+    @given(
+        records=st.lists(
+            st.tuples(_job_ids, st.sampled_from(["done", "failed"]),
+                      st.integers(0, 9)),
+            max_size=30,
+        ),
+        n_shards=st.integers(1, 5),
+        torn_tail=st.booleans(),
+    )
+    @slow_settings
+    def test_legacy_migration_is_lossless_and_idempotent(
+        self, records, n_shards, torn_tail
+    ):
+        with tempfile.TemporaryDirectory() as tmp:
+            legacy = ResultStore(Path(tmp) / "results.jsonl")
+            for jid, status, v in records:
+                legacy.record({"job_id": jid, "status": status, "result": {"v": v}})
+            if torn_tail and records:
+                with open(legacy.path, "a") as fh:
+                    fh.write('{"job_id": "zz", "stat')  # hard-kill artifact
+            expected = {r["job_id"]: r for r in legacy.records()}
+
+            sharded = migrate_legacy_store(tmp, n_shards=n_shards)
+            assert {r["job_id"]: r for r in sharded.records()} == expected
+            assert not (Path(tmp) / "results.jsonl").exists()
+
+            # idempotent: re-resolving (and re-migrating) changes nothing
+            again = open_store(tmp)
+            assert isinstance(again, ShardedResultStore)
+            assert again.n_shards == n_shards
+            assert {r["job_id"]: r for r in again.records()} == expected
+            again.compact()
+            assert {r["job_id"]: r for r in again.records()} == expected
 
 
 class TestMessageProperties:
