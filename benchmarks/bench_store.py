@@ -1,0 +1,160 @@
+"""Claim+append throughput microbenchmark across store engines.
+
+Simulates the hot path of a lease-coordinated campaign runner — claim a
+batch of job ids, then append one result record per claimed job — for
+each store engine (single-file JSONL, sharded JSONL, SQLite) at
+campaign-realistic volume (10k jobs by default), and reports jobs/s.
+
+This is the number the ROADMAP's scaling work steers by: it is what
+bounds how fast a fleet of runners can drain a grid, independent of how
+expensive the jobs themselves are.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_store.py
+    PYTHONPATH=src python benchmarks/bench_store.py --jobs 10000 \\
+        --json BENCH_store.json
+    PYTHONPATH=src python benchmarks/bench_store.py \\
+        --check benchmarks/baselines/bench_store.json --tolerance 0.30
+
+``--json`` writes the measurements for the CI artifact; ``--check``
+compares the SQLite engine's claim+append throughput against a committed
+baseline and exits non-zero when it regressed by more than
+``--tolerance`` (the CI bench-regression gate).  Other engines are
+reported for context but not gated — their absolute numbers swing more
+with filesystem behaviour than with code changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.campaign import open_store  # noqa: E402 - path bootstrap above
+
+#: The engine whose throughput the regression gate checks.
+GATED_ENGINE = "sqlite"
+
+
+def make_store(engine: str, directory: Path, shards: int):
+    """A fresh store of ``engine`` rooted at ``directory``.
+
+    Resolved through :func:`repro.campaign.open_store` — the same
+    production path campaigns use — so the benchmark measures exactly
+    what a runner would touch.
+    """
+    if engine == "jsonl":
+        return open_store(directory)
+    if engine == "sharded":
+        return open_store(directory, shards=shards)
+    if engine == "sqlite":
+        return open_store(directory, engine="sqlite")
+    raise ValueError(f"unknown engine {engine!r}")
+
+
+def synthetic_record(job_id: str) -> dict:
+    """A store record shaped like a real campaign outcome."""
+    return {
+        "job_id": job_id,
+        "status": "done",
+        "job": {"label": "PC", "algorithm": "PC", "function": "sphere",
+                "dim": 4, "sigma0": 1.0, "seed": 0},
+        "result": {"best_estimate": 1e-6, "n_steps": 120, "reason": "tolerance"},
+        "error": None,
+        "elapsed_s": 0.01,
+    }
+
+
+def bench_engine(engine: str, n_jobs: int, batch: int, shards: int) -> dict:
+    """Time the claim+append loop for one engine; returns the measurement."""
+    job_ids = [f"job-{i:08d}" for i in range(n_jobs)]
+    with tempfile.TemporaryDirectory(prefix=f"bench-store-{engine}-") as tmp:
+        store = make_store(engine, Path(tmp), shards)
+        n_claimed = 0
+        t0 = time.perf_counter()
+        for start in range(0, n_jobs, batch):
+            ids = job_ids[start:start + batch]
+            granted = store.claim(ids, "bench-runner", ttl=3600.0)
+            # one record_many per batch, exactly like CampaignRunner
+            store.record_many([synthetic_record(jid) for jid in granted])
+            n_claimed += len(granted)
+        elapsed = time.perf_counter() - t0
+        assert n_claimed == n_jobs, (n_claimed, n_jobs)
+        assert len(store.completed_ids()) == n_jobs
+    return {
+        "engine": engine,
+        "n_jobs": n_jobs,
+        "batch": batch,
+        "elapsed_s": elapsed,
+        "claim_append_jobs_per_s": n_jobs / elapsed,
+    }
+
+
+def check_regression(results: dict, baseline_path: Path, tolerance: float) -> int:
+    """Compare the gated engine against the baseline; 0 = pass, 1 = fail."""
+    baseline = json.loads(baseline_path.read_text())
+    base = baseline["engines"][GATED_ENGINE]["claim_append_jobs_per_s"]
+    current = results["engines"][GATED_ENGINE]["claim_append_jobs_per_s"]
+    floor = base * (1.0 - tolerance)
+    verdict = "ok" if current >= floor else "REGRESSION"
+    print(
+        f"bench-regression [{GATED_ENGINE}]: {current:,.0f} jobs/s vs "
+        f"baseline {base:,.0f} (floor {floor:,.0f} at "
+        f"{tolerance:.0%} tolerance) -> {verdict}"
+    )
+    return 0 if current >= floor else 1
+
+
+def main(argv=None) -> int:
+    """Run the benchmark; see the module docstring for the modes."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=10_000,
+                        help="jobs per engine (default 10000)")
+    parser.add_argument("--batch", type=int, default=100,
+                        help="claim/append batch size (default 100)")
+    parser.add_argument("--shards", type=int, default=8,
+                        help="shard count for the sharded engine (default 8)")
+    parser.add_argument("--engines", nargs="+",
+                        default=["jsonl", "sharded", "sqlite"],
+                        choices=["jsonl", "sharded", "sqlite"])
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the measurements as JSON")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="baseline JSON to gate the sqlite engine against")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional throughput drop (default 0.30)")
+    args = parser.parse_args(argv)
+
+    results = {"n_jobs": args.jobs, "batch": args.batch, "engines": {}}
+    print(f"claim+append throughput, {args.jobs} jobs, batches of {args.batch}:")
+    for engine in args.engines:
+        measurement = bench_engine(engine, args.jobs, args.batch, args.shards)
+        results["engines"][engine] = measurement
+        label = f"{engine} ({args.shards} shards)" if engine == "sharded" else engine
+        print(
+            f"  {label:<20} {measurement['claim_append_jobs_per_s']:>12,.0f} jobs/s"
+            f"  ({measurement['elapsed_s']:.2f}s)"
+        )
+
+    if args.json:
+        Path(args.json).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if args.check:
+        if GATED_ENGINE not in results["engines"]:
+            print(f"--check requires the {GATED_ENGINE} engine to be benchmarked",
+                  file=sys.stderr)
+            return 2
+        return check_regression(results, Path(args.check), args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,19 +12,34 @@ reduce the store back to the paper's per-cell and paired statistics.
 Any number of runner processes or hosts cooperatively drain one campaign
 directory: claim **leases** in the store (:meth:`ResultStore.claim`,
 granted under the store lock, renewed on a heartbeat, expiring when a
-runner is killed) guarantee each job is executed exactly once, and the
-store can be **sharded** over ``results-<k>.jsonl`` files
-(:class:`ShardedResultStore`, :func:`open_store`) so multi-million-job
-campaigns don't serialize every append through one lock.
-:meth:`ResultStore.compact` keeps long-lived stores readable;
-:mod:`.progress` provides the live heartbeat, per-cell progress, and
-watch loops.
+runner is killed) guarantee each job is executed exactly once.  The
+store itself is a pluggable **engine** behind the
+:class:`~repro.campaign.backends.base.StoreBackend` contract
+(:mod:`.backends`): the append-only JSONL file, the **sharded**
+``results-<k>.jsonl`` layout (:class:`ShardedResultStore`,
+:func:`open_store`) so multi-million-job campaigns don't serialize every
+append through one lock, or a transactional **SQLite** database
+(:class:`SQLiteStoreBackend`, ``--store sqlite``) that coordinates
+through the database instead of filesystem locks.
+:func:`migrate_store` converts a campaign between engines or shard
+counts losslessly; :meth:`ResultStore.compact` keeps long-lived stores
+readable; :mod:`.progress` provides the live heartbeat, per-cell
+progress, and watch loops.
 
-CLI: ``python -m repro campaign run|status|watch|summary|compare|compact``.
+CLI: ``python -m repro campaign
+run|status|watch|summary|compare|compact|migrate-store``.
 See ``docs/CAMPAIGNS.md`` for the end-to-end guide and
 ``docs/ARCHITECTURE.md`` for how this subsystem fits the rest.
 """
 
+from repro.campaign.backends import (
+    ENGINE_JSONL,
+    ENGINE_SQLITE,
+    STORE_ENGINES,
+    SQLiteStoreBackend,
+    StoreBackend,
+    parse_store_spec,
+)
 from repro.campaign.aggregate import (
     CellSummary,
     PairedComparison,
@@ -61,7 +76,9 @@ from repro.campaign.sharding import (
     MANIFEST_FILENAME,
     ShardedResultStore,
     migrate_legacy_store,
+    migrate_store,
     open_store,
+    read_manifest,
     shard_index,
 )
 from repro.campaign.spec import AlgorithmVariant, CampaignSpec, Job, canonical_json
@@ -85,6 +102,8 @@ __all__ = [
     "CellSummary",
     "CompactionStats",
     "DEFAULT_LEASE_TTL",
+    "ENGINE_JSONL",
+    "ENGINE_SQLITE",
     "JOB_AUDIT_ENV",
     "Job",
     "Lease",
@@ -100,7 +119,10 @@ __all__ = [
     "STATUS_DONE",
     "STATUS_FAILED",
     "STATUS_RELEASED",
+    "STORE_ENGINES",
+    "SQLiteStoreBackend",
     "ShardedResultStore",
+    "StoreBackend",
     "canonical_json",
     "cells_from_status",
     "compare_labels",
@@ -109,9 +131,12 @@ __all__ = [
     "format_duration",
     "job_function",
     "migrate_legacy_store",
+    "migrate_store",
     "mw_job_executor",
     "open_store",
     "paired_minima_from_records",
+    "parse_store_spec",
+    "read_manifest",
     "run_job",
     "shard_index",
     "summarize",

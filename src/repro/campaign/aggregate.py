@@ -1,6 +1,6 @@
 """Aggregation over campaign result stores.
 
-Turns the flat JSONL job records into the shapes the paper reports:
+Turns flat job records into the shapes the paper reports:
 
 * :func:`summarize` — per-cell (variant x function x dim x sigma0) means of
   the §3.2 performance triple (N, R, D) via
@@ -12,8 +12,11 @@ Turns the flat JSONL job records into the shapes the paper reports:
   converged minima, an exact sign test, and a bootstrap CI on the median
   ratio, both from :mod:`repro.analysis.stats`.
 
-Everything operates on plain store records, so aggregation works on a live
-campaign directory, a finished one, or an in-memory store alike.
+Everything operates on plain record dicts as returned by
+``StoreBackend.records()`` — never on a store's representation — so
+aggregation works identically on a live campaign directory, a finished
+one, an in-memory store, and every engine (JSONL, sharded, SQLite); a
+migrated store reproduces its tables exactly.
 """
 
 from __future__ import annotations

@@ -1,0 +1,92 @@
+"""Pluggable result-store engines behind the :class:`StoreBackend` contract.
+
+The campaign layer talks to its durable substrate through exactly one
+seam — :class:`~repro.campaign.backends.base.StoreBackend` — and this
+package owns that seam plus the engines that implement it:
+
+* ``jsonl`` — the append-only JSONL engines
+  (:class:`~repro.campaign.store.ResultStore` single file,
+  :class:`~repro.campaign.sharding.ShardedResultStore` over
+  ``results-<k>.jsonl`` shards), coordinated by ``flock``;
+* ``sqlite`` — :class:`~repro.campaign.backends.sqlite.SQLiteStoreBackend`,
+  one WAL-mode database coordinated by transactions.
+
+A campaign directory's engine is pinned by the ``engine`` field of its
+``store-manifest.json`` and resolved by
+:func:`~repro.campaign.sharding.open_store`; users select one with
+``campaign run --store jsonl|jsonl:N|sqlite`` (parsed by
+:func:`parse_store_spec`) and convert between engines with ``campaign
+migrate-store`` (:func:`~repro.campaign.sharding.migrate_store`).
+"""
+
+from repro.campaign.backends.base import (
+    LEASE_STATUSES,
+    STATUS_CLAIMED,
+    STATUS_DONE,
+    STATUS_FAILED,
+    STATUS_RELEASED,
+    CompactionStats,
+    Lease,
+    StoreBackend,
+)
+from repro.campaign.backends.sqlite import DB_FILENAME, SQLiteStoreBackend
+
+#: The JSONL engine family (single file or sharded).
+ENGINE_JSONL = "jsonl"
+#: The SQLite engine.
+ENGINE_SQLITE = "sqlite"
+#: Every engine a store manifest (or ``--store``) may name.
+STORE_ENGINES = (ENGINE_JSONL, ENGINE_SQLITE)
+
+
+def parse_store_spec(spec):
+    """Parse a ``--store`` engine spec into ``(engine, shards)``.
+
+    Accepted forms: ``"jsonl"`` (single file), ``"jsonl:N"`` (N JSONL
+    shards), ``"sqlite"``; ``None`` passes through as ``(None, None)``
+    (auto-detect / default).  Raises ``ValueError`` on anything else, so
+    a typo'd CLI flag fails before any store is touched.
+    """
+    if spec is None:
+        return None, None
+    name, sep, arg = str(spec).partition(":")
+    if name == ENGINE_SQLITE:
+        if sep:
+            raise ValueError(
+                f"the sqlite engine takes no shard count, got {spec!r}"
+            )
+        return ENGINE_SQLITE, None
+    if name == ENGINE_JSONL:
+        if not sep:
+            return ENGINE_JSONL, None
+        try:
+            shards = int(arg)
+        except ValueError:
+            raise ValueError(
+                f"bad shard count in store spec {spec!r} (want jsonl:N)"
+            ) from None
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {spec!r}")
+        return ENGINE_JSONL, shards
+    raise ValueError(
+        f"unknown store engine {spec!r}; expected one of "
+        f"{STORE_ENGINES} (jsonl optionally as jsonl:N)"
+    )
+
+
+__all__ = [
+    "DB_FILENAME",
+    "ENGINE_JSONL",
+    "ENGINE_SQLITE",
+    "LEASE_STATUSES",
+    "STATUS_CLAIMED",
+    "STATUS_DONE",
+    "STATUS_FAILED",
+    "STATUS_RELEASED",
+    "STORE_ENGINES",
+    "CompactionStats",
+    "Lease",
+    "SQLiteStoreBackend",
+    "StoreBackend",
+    "parse_store_spec",
+]

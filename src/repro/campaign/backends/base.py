@@ -1,0 +1,230 @@
+"""The store contract every campaign result-store engine implements.
+
+:class:`StoreBackend` is the seam between the campaign layer and its
+durable substrate.  :class:`~repro.campaign.runner.CampaignRunner`,
+:mod:`~repro.campaign.progress`, :mod:`~repro.campaign.aggregate`, and
+the CLI depend on exactly this surface — append a result record, claim /
+renew / release leases, read the deduplicated records back (engines are
+expected to make repeated reads cheap, e.g. incrementally), compact, and
+count — and on nothing else, so an engine is free to choose any storage
+representation that preserves the semantics spelled out on each method.
+
+Three engines ship with the package:
+
+* :class:`~repro.campaign.store.ResultStore` — the original append-only
+  JSONL file (``results.jsonl``) with ``flock``-guarded appends,
+  truncated-tail heal, and last-record-wins dedup; also the in-memory
+  store when constructed without a path.
+* :class:`~repro.campaign.sharding.ShardedResultStore` — the identical
+  JSONL format spread over ``results-<k>.jsonl`` shards routed by a
+  stable job-id hash.
+* :class:`~repro.campaign.backends.sqlite.SQLiteStoreBackend` — a
+  transactional SQLite database (WAL mode) for campaigns that outgrow
+  filesystem-level coordination.
+
+This module also owns the small value types the contract speaks in
+(:class:`Lease`, :class:`CompactionStats`) and the record/lease status
+constants, so concrete engines depend only on this module, never on each
+other.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+#: Result-record statuses (durable job outcomes).
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+#: Lease-line statuses (claim bookkeeping, not job outcomes).
+STATUS_CLAIMED = "claimed"
+STATUS_RELEASED = "released"
+LEASE_STATUSES = (STATUS_CLAIMED, STATUS_RELEASED)
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One live claim: ``runner`` owns ``job_id`` until ``deadline``.
+
+    ``deadline`` is wall-clock epoch seconds; a lease whose deadline has
+    passed is *expired* and its job is requeueable by any runner.
+    """
+
+    job_id: str
+    runner: str
+    deadline: float
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Whether the deadline has passed (``now`` defaults to wall clock)."""
+        return (time.time() if now is None else now) >= self.deadline
+
+
+@dataclass(frozen=True)
+class CompactionStats:
+    """What one :meth:`StoreBackend.compact` call did.
+
+    Record counts cover *result* records only (lease lines are pure
+    bookkeeping — stale ones are silently dropped, live ones preserved);
+    the byte counts cover the whole on-disk representation.
+    """
+
+    n_records_before: int   # raw stored result records, duplicates included
+    n_records_after: int    # one per job id
+    bytes_before: int
+    bytes_after: int
+
+    @property
+    def n_dropped(self) -> int:
+        """Duplicate / superseded result records removed by the rewrite."""
+        return self.n_records_before - self.n_records_after
+
+    def __str__(self) -> str:
+        return (
+            f"{self.n_records_before} -> {self.n_records_after} records "
+            f"({self.n_dropped} dropped), "
+            f"{self.bytes_before} -> {self.bytes_after} bytes"
+        )
+
+    def __add__(self, other: "CompactionStats") -> "CompactionStats":
+        """Aggregate per-shard stats (used by the sharded store)."""
+        return CompactionStats(
+            self.n_records_before + other.n_records_before,
+            self.n_records_after + other.n_records_after,
+            self.bytes_before + other.bytes_before,
+            self.bytes_after + other.bytes_after,
+        )
+
+
+class StoreBackend(abc.ABC):
+    """Abstract result store: what the campaign layer requires of an engine.
+
+    The semantic contract, shared by every implementation and exercised
+    engine-by-engine by the test suite's parametrized ``store_backend``
+    fixture:
+
+    * **Append / dedup** — :meth:`record` durably appends one job
+      outcome; when a job id recurs, the *latest* record wins (a re-run
+      may correct an earlier failure without rewriting history).
+    * **Leases** — :meth:`claim` atomically grants the free subset of a
+      batch (no completed job, no other runner's live lease) under one
+      engine-level critical section, so concurrent claimants *partition*
+      a batch; :meth:`renew` extends only leases the runner still holds;
+      :meth:`release` frees claims immediately; an unrenewed lease
+      expires at its wall-clock deadline and the job becomes requeueable.
+      A result record supersedes the claim it fulfils.
+    * **Reads** — :meth:`records` returns the deduplicated result
+      records in first-appearance order, lease bookkeeping excluded;
+      repeated reads must be cheap enough to poll (the JSONL engines
+      read incrementally, SQLite folds rows changed since the last
+      read).  Mutating a returned record must not corrupt the store.
+    * **Compaction** — :meth:`compact` drops duplicate records and stale
+      lease state without changing any observable read, atomically with
+      respect to concurrent writers.
+
+    Engines also expose :attr:`engine` (the manifest identifier) and a
+    ``path`` attribute or property naming their on-disk location.
+    """
+
+    #: Engine identifier recorded in ``store-manifest.json`` and shown by
+    #: ``campaign status``; concrete engines override as appropriate.
+    engine: str = "jsonl"
+
+    # -- writing -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def record(self, record: dict) -> None:
+        """Durably append one job record (must carry ``job_id`` and ``status``)."""
+
+    def record_many(self, records: Sequence[dict]) -> None:
+        """Durably append a batch of job records.
+
+        Semantically ``record`` in a loop; engines override to batch the
+        whole append into one critical section (one locked write for
+        JSONL, one transaction for SQLite) — the campaign runner records
+        per batch, so this is the append hot path.
+        """
+        for rec in records:
+            self.record(rec)
+
+    # -- leases ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def claim(
+        self,
+        job_ids: Sequence[str],
+        runner: str,
+        ttl: float,
+        now: Optional[float] = None,
+    ) -> List[str]:
+        """Atomically claim the free subset of ``job_ids`` for ``runner``.
+
+        Granted ids come back in input order; a job already completed or
+        validly leased to another runner is silently skipped, and an
+        expired lease is requeued to the new claimant.  ``now`` (epoch
+        seconds) is injectable for tests; the deadline is ``now + ttl``.
+        """
+
+    @abc.abstractmethod
+    def renew(
+        self,
+        job_ids: Sequence[str],
+        runner: str,
+        ttl: float,
+        now: Optional[float] = None,
+    ) -> List[str]:
+        """Extend ``runner``'s still-held leases to ``now + ttl``.
+
+        Returns the ids actually renewed; a lease that lapsed and was
+        reclaimed by a peer (or fulfilled by a result) is not clobbered.
+        """
+
+    @abc.abstractmethod
+    def release(self, job_ids: Sequence[str], runner: str) -> None:
+        """Give up claims on ``job_ids`` without a result (graceful interrupt)."""
+
+    @abc.abstractmethod
+    def leases(self, now: Optional[float] = None) -> Dict[str, Lease]:
+        """Live (claimed, unexpired) leases by job id."""
+
+    # -- reading -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def records(self) -> List[dict]:
+        """All result records, deduplicated by job id (last record wins)."""
+
+    def completed(self) -> List[dict]:
+        """Records of jobs that finished successfully."""
+        return [r for r in self.records() if r.get("status") == STATUS_DONE]
+
+    def failed(self) -> List[dict]:
+        """Records of jobs whose latest attempt failed (retried on re-run)."""
+        return [r for r in self.records() if r.get("status") == STATUS_FAILED]
+
+    def completed_ids(self) -> Set[str]:
+        """Ids of jobs that finished successfully (the resume skip-set)."""
+        return {r["job_id"] for r in self.completed()}
+
+    def counts(self) -> Dict[str, int]:
+        """Result-record tallies: ``{"total", "done", "failed"}``.
+
+        ``total`` counts distinct job ids with any result record; engines
+        with a cheaper path than a full read (SQLite) override this.
+        """
+        total = done = failed = 0
+        for rec in self.records():
+            total += 1
+            status = rec.get("status")
+            done += status == STATUS_DONE
+            failed += status == STATUS_FAILED
+        return {"total": total, "done": done, "failed": failed}
+
+    # -- maintenance -------------------------------------------------------
+
+    @abc.abstractmethod
+    def compact(self, now: Optional[float] = None) -> CompactionStats:
+        """Drop duplicate records and stale lease state; returns the stats."""
+
+    def __len__(self) -> int:
+        return len(self.records())

@@ -12,8 +12,11 @@ Two consumers share the :class:`ProgressSnapshot` shape:
   count of jobs currently under a live claim lease, so a dashboard can
   tell "nobody is working on this cell" from "claimed, in flight".
 
-Both read only the spec and the result store, so watching works from any
-host that can see the shared campaign directory.
+Both read only the spec and the result store — through the
+:class:`~repro.campaign.backends.base.StoreBackend` contract, so every
+engine (single-file JSONL, sharded, SQLite) is watchable identically —
+and watching works from any host that can see the shared campaign
+directory.
 """
 
 from __future__ import annotations

@@ -26,9 +26,11 @@ harmless because job results are deterministic in the job, merely
 wasteful).
 
 :class:`Campaign` is the directory-level façade the CLI and examples use:
-``<dir>/spec.json`` plus a result store — the legacy single
-``results.jsonl`` or the sharded ``results-<k>.jsonl`` layout (see
-:mod:`repro.campaign.sharding`).
+``<dir>/spec.json`` plus a result store — any
+:class:`~repro.campaign.backends.base.StoreBackend` engine: the legacy
+single ``results.jsonl``, the sharded ``results-<k>.jsonl`` layout (see
+:mod:`repro.campaign.sharding`), or the transactional SQLite store
+(``store="sqlite"``).
 """
 
 from __future__ import annotations
@@ -43,6 +45,7 @@ from typing import Callable, List, Optional, Sequence, Set
 
 from repro.campaign.aggregate import CellSummary, PairedComparison, compare_labels, summarize
 from repro.campaign.execution import run_job
+from repro.campaign.backends import parse_store_spec
 from repro.campaign.progress import ProgressSnapshot
 from repro.campaign.sharding import open_store
 from repro.campaign.spec import CampaignSpec, Job
@@ -178,9 +181,11 @@ class CampaignRunner:
         The declarative grid to drain.
     store:
         Result store shared by every cooperating runner (resume skip-set,
-        claim-lease arbiter, and the append target) — a
-        :class:`~repro.campaign.store.ResultStore` or a
-        :class:`~repro.campaign.sharding.ShardedResultStore`.
+        claim-lease arbiter, and the append target) — any
+        :class:`~repro.campaign.backends.base.StoreBackend`
+        implementation: the JSONL
+        :class:`~repro.campaign.store.ResultStore` (single file or
+        in-memory), the sharded layout, or the SQLite engine.
     backend:
         ``serial`` / ``thread`` / ``process`` (via ``parallel_map``) or
         ``mw`` (via :class:`~repro.mw.MWDriver`).
@@ -424,9 +429,13 @@ class CampaignRunner:
             pass
 
     def _record_batch(self, records: List[dict], counts: dict) -> None:
-        """Append one batch of records, updating the done/failed counters."""
+        """Append one batch of records, updating the done/failed counters.
+
+        One ``record_many`` call, so the engine batches the whole append
+        into a single critical section (one locked write / transaction).
+        """
+        self.store.record_many(records)
         for rec in records:
-            self.store.record(rec)
             if rec["status"] == STATUS_DONE:
                 counts["done"] += 1
             else:
@@ -562,18 +571,31 @@ class CampaignRunner:
 class Campaign:
     """A campaign directory: ``spec.json`` plus its result store.
 
-    The store is resolved by :func:`~repro.campaign.sharding.open_store`:
-    the legacy single ``results.jsonl`` by default, or the sharded
-    ``results-<k>.jsonl`` layout when ``shards`` is given or a manifest
-    already exists (``shards=N`` on a legacy directory migrates it in
-    place).  Opening an existing directory with a *different* spec is an
-    error — a campaign's grid is fixed at creation so that resume
-    semantics stay meaningful.  Re-opening with the same (or no) spec
-    resumes.
+    The store is resolved by :func:`~repro.campaign.sharding.open_store`
+    behind the :class:`~repro.campaign.backends.base.StoreBackend` seam:
+    the legacy single ``results.jsonl`` by default, the sharded
+    ``results-<k>.jsonl`` layout when ``shards`` is given, or the engine
+    a ``store`` spec (``"jsonl"``, ``"jsonl:N"``, ``"sqlite"``) requests
+    — an existing ``store-manifest.json`` always wins, and requesting a
+    *conflicting* engine is an error (``campaign migrate-store``
+    converts).  ``shards=N`` or ``store="sqlite"`` on a legacy directory
+    migrates it in place.  Opening an existing directory with a
+    *different* spec is an error — a campaign's grid is fixed at
+    creation so that resume semantics stay meaningful.  Re-opening with
+    the same (or no) spec resumes.
     """
 
     def __init__(self, directory, spec: Optional[CampaignSpec] = None,
-                 shards: Optional[int] = None) -> None:
+                 shards: Optional[int] = None,
+                 store: Optional[str] = None) -> None:
+        engine, store_shards = parse_store_spec(store)
+        if store_shards is not None:
+            if shards is not None and int(shards) != store_shards:
+                raise ValueError(
+                    f"conflicting shard counts: shards={shards} vs "
+                    f"store={store!r}"
+                )
+            shards = store_shards
         self.directory = Path(directory)
         spec_path = self.directory / SPEC_FILENAME
         if spec_path.exists():
@@ -591,7 +613,7 @@ class Campaign:
                 )
             self.spec = spec
             spec.save(spec_path)
-        self.store = open_store(self.directory, shards=shards)
+        self.store = open_store(self.directory, shards=shards, engine=engine)
         self._jobs: Optional[List[Job]] = None
 
     def jobs(self) -> List[Job]:
@@ -656,7 +678,8 @@ class Campaign:
         (some runner is executing them right now); it overlays — not
         partitions — the pending/failed counts.  ``cells`` maps each grid
         cell to its own ``{"total", "done", "failed", "claimed"}`` counts,
-        and ``shards`` reports the store layout (1 for the legacy file).
+        ``engine`` names the store engine (``jsonl`` / ``sqlite``), and
+        ``shards`` reports the JSONL layout (1 for the legacy file).
         """
         jobs = self.jobs()
         records = {r["job_id"]: r for r in self.store.records()}
@@ -686,6 +709,7 @@ class Campaign:
             "failed": failed,  # failed jobs are retried on the next run
             "pending": len(jobs) - done - failed,
             "claimed": claimed,
+            "engine": getattr(self.store, "engine", "jsonl"),
             "shards": getattr(self.store, "n_shards", 1),
             "cells": cells,
         }

@@ -21,10 +21,15 @@ the layout: a sharded store round-trips them identically to the legacy
 single file.
 
 :func:`open_store` is the single resolution point the campaign façade
-and CLI use: it detects an existing layout (manifest beats legacy file),
-creates the requested one, and — via :func:`migrate_legacy_store` —
-losslessly and idempotently upgrades a legacy ``results.jsonl`` campaign
-directory in place when a shard count is requested.
+and CLI use: it detects an existing layout (manifest beats legacy file,
+and the manifest's ``engine`` field picks the implementation — JSONL or
+:class:`~repro.campaign.backends.sqlite.SQLiteStoreBackend`), creates
+the requested one, and — via :func:`migrate_legacy_store` — losslessly
+and idempotently upgrades a legacy ``results.jsonl`` campaign directory
+in place when a shard count is requested.  :func:`migrate_store` copies
+any store into a *fresh* directory under any engine or shard count (the
+resharding and jsonl↔sqlite conversion tool behind ``campaign
+migrate-store``).
 """
 
 from __future__ import annotations
@@ -33,18 +38,74 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.campaign.backends import (
+    ENGINE_JSONL,
+    ENGINE_SQLITE,
+    SQLiteStoreBackend,
+)
+from repro.campaign.backends.base import StoreBackend
 from repro.campaign.store import CompactionStats, Lease, ResultStore
 
-#: Manifest file pinning a directory's shard layout.
+#: Manifest file pinning a directory's store engine (and shard layout).
 MANIFEST_FILENAME = "store-manifest.json"
 #: The single-file layout this module migrates away from.
 LEGACY_RESULTS_FILENAME = "results.jsonl"
 #: Suffix the migrated legacy file is parked under (kept, not deleted).
 MIGRATED_SUFFIX = ".migrated"
+#: The campaign spec file copied along by :func:`migrate_store`.
+_SPEC_FILENAME = "spec.json"
 
 _MANIFEST_VERSION = 1
+
+
+def read_manifest(directory) -> Optional[dict]:
+    """The parsed ``store-manifest.json`` of ``directory``, or ``None``.
+
+    Manifests written before engines existed carry no ``engine`` field;
+    they are reported as ``jsonl`` (the only engine that existed then).
+    """
+    path = Path(directory) / MANIFEST_FILENAME
+    if not path.exists():
+        return None
+    manifest = json.loads(path.read_text())
+    manifest.setdefault("engine", ENGINE_JSONL)
+    return manifest
+
+
+def ensure_manifest(directory, engine: str, n_shards: Optional[int] = None) -> dict:
+    """Validate or create ``directory``'s manifest for ``engine``.
+
+    An existing manifest must name the same engine — the representations
+    cannot coexist, so reopening a directory under a different engine is
+    a hard error pointing at ``campaign migrate-store``.  Returns the
+    (existing or freshly written) manifest dict.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = read_manifest(directory)
+    if manifest is not None:
+        if manifest["engine"] != engine:
+            raise ValueError(
+                f"store at {directory} uses the {manifest['engine']!r} "
+                f"engine; cannot reopen it as {engine!r} — use "
+                f"'campaign migrate-store' to convert"
+            )
+        return manifest
+    manifest = {"version": _MANIFEST_VERSION, "engine": engine}
+    if engine == ENGINE_JSONL:
+        manifest.update({"n_shards": int(n_shards), "hash": "sha1"})
+    _write_manifest_file(directory / MANIFEST_FILENAME, manifest)
+    return manifest
+
+
+def _write_manifest_file(path: Path, manifest: dict) -> None:
+    """Atomically create the manifest (concurrent creators converge)."""
+    payload = json.dumps(manifest, sort_keys=True) + "\n"
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    tmp.write_text(payload)
+    os.replace(tmp, path)
 
 
 def shard_filename(index: int) -> str:
@@ -63,26 +124,33 @@ def shard_index(job_id: str, n_shards: int) -> int:
     return int.from_bytes(digest[:4], "big") % n_shards
 
 
-class ShardedResultStore:
+class ShardedResultStore(StoreBackend):
     """The :class:`~repro.campaign.store.ResultStore` API over N shards.
 
     Parameters
     ----------
     directory:
         Campaign directory holding ``store-manifest.json`` and the
-        ``results-<k>.jsonl`` shard files (created as needed).
+        ``results-<k>.jsonl`` shard files (created as needed).  The
+        manifest must name the ``jsonl`` engine (or predate engines).
     n_shards:
         Shard count when creating a fresh layout.  When a manifest
         already exists it wins; passing a *different* explicit count is
-        an error (resharding is not an in-place operation).
+        an error (resharding means :func:`migrate_store` into a fresh
+        directory).
     """
 
     def __init__(self, directory, n_shards: Optional[int] = None) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        manifest_path = self.directory / MANIFEST_FILENAME
-        if manifest_path.exists():
-            manifest = json.loads(manifest_path.read_text())
+        manifest = read_manifest(self.directory)
+        if manifest is not None:
+            if manifest["engine"] != ENGINE_JSONL:
+                raise ValueError(
+                    f"store at {self.directory} uses the "
+                    f"{manifest['engine']!r} engine; cannot open it as "
+                    f"sharded jsonl — use 'campaign migrate-store' to convert"
+                )
             existing = int(manifest["n_shards"])
             if n_shards is not None and int(n_shards) != existing:
                 raise ValueError(
@@ -98,23 +166,12 @@ class ShardedResultStore:
                 )
             if int(n_shards) < 1:
                 raise ValueError(f"n_shards must be >= 1, got {n_shards}")
-            self._write_manifest(manifest_path, int(n_shards))
+            ensure_manifest(self.directory, ENGINE_JSONL, n_shards=int(n_shards))
         self.n_shards = int(n_shards)
         self.shards: List[ResultStore] = [
             ResultStore(self.directory / shard_filename(k))
             for k in range(self.n_shards)
         ]
-
-    @staticmethod
-    def _write_manifest(path: Path, n_shards: int) -> None:
-        """Atomically create the manifest (concurrent creators converge)."""
-        payload = json.dumps(
-            {"version": _MANIFEST_VERSION, "n_shards": n_shards, "hash": "sha1"},
-            sort_keys=True,
-        ) + "\n"
-        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
-        tmp.write_text(payload)
-        os.replace(tmp, path)
 
     @property
     def path(self) -> Path:
@@ -138,6 +195,17 @@ class ShardedResultStore:
         if "job_id" not in record or "status" not in record:
             raise ValueError("record needs 'job_id' and 'status' fields")
         self.shard_for(record["job_id"]).record(record)
+
+    def record_many(self, records: Sequence[dict]) -> None:
+        """Append a batch of records, one locked write per touched shard."""
+        groups: Dict[int, List[dict]] = {}
+        for rec in records:
+            if "job_id" not in rec or "status" not in rec:
+                raise ValueError("record needs 'job_id' and 'status' fields")
+            index = shard_index(rec["job_id"], self.n_shards)
+            groups.setdefault(index, []).append(rec)
+        for index, recs in groups.items():
+            self.shards[index].record_many(recs)
 
     def records(self) -> List[dict]:
         """All result records across shards, deduplicated per job id.
@@ -239,6 +307,39 @@ class ShardedResultStore:
         )
 
 
+def _fold_legacy_file(store: StoreBackend, directory: Path) -> StoreBackend:
+    """Fold a leftover legacy ``results.jsonl`` into ``store`` and park it.
+
+    The shared tail of every in-place migration: the legacy file's
+    deduplicated records are appended (last-record-wins makes this
+    idempotent, including after a crash between the fold and the
+    rename), then the file is renamed to ``results.jsonl.migrated`` so
+    nothing re-reads it.  A concurrent migrator may win the rename race;
+    its fold equals ours, so losing it is fine.
+    """
+    legacy = directory / LEGACY_RESULTS_FILENAME
+    if legacy.exists():
+        _copy_records(ResultStore(legacy), store)
+        try:
+            legacy.rename(legacy.with_name(legacy.name + MIGRATED_SUFFIX))
+        except FileNotFoundError:
+            pass  # a concurrent migrator parked it first; their fold == ours
+    return store
+
+
+def _copy_records(src: StoreBackend, dst: StoreBackend, batch: int = 1000) -> int:
+    """Append ``src``'s deduplicated records to ``dst`` in batches.
+
+    ``record_many`` batches bound the engine-side critical section (one
+    locked write / transaction per chunk, not per record).  Returns how
+    many records were copied.
+    """
+    records = src.records()
+    for start in range(0, len(records), batch):
+        dst.record_many(records[start:start + batch])
+    return len(records)
+
+
 def migrate_legacy_store(directory, n_shards: Optional[int] = None) -> ShardedResultStore:
     """Upgrade a legacy single-file store to the sharded layout, in place.
 
@@ -256,39 +357,91 @@ def migrate_legacy_store(directory, n_shards: Optional[int] = None) -> ShardedRe
     """
     directory = Path(directory)
     sharded = ShardedResultStore(directory, n_shards=n_shards)
-    legacy = directory / LEGACY_RESULTS_FILENAME
-    if legacy.exists():
-        for rec in ResultStore(legacy).records():
-            sharded.record(rec)
-        try:
-            legacy.rename(legacy.with_name(legacy.name + MIGRATED_SUFFIX))
-        except FileNotFoundError:
-            pass  # a concurrent migrator parked it first; their fold == ours
+    _fold_legacy_file(sharded, directory)
     return sharded
 
 
-def open_store(directory, shards: Optional[int] = None):
-    """Resolve a campaign directory's result store (legacy or sharded).
+def open_store(directory, shards: Optional[int] = None,
+               engine: Optional[str] = None) -> StoreBackend:
+    """Resolve a campaign directory's result store (any engine, any layout).
 
     The single resolution point used by the campaign façade and the CLI:
 
-    * a ``store-manifest.json`` wins — the store is sharded (an
-      interrupted migration's leftover legacy file is folded in first);
-    * otherwise, ``shards=N`` requests the sharded layout — a fresh one,
-      or a migration of the legacy ``results.jsonl`` if one exists;
+    * a ``store-manifest.json`` wins — its ``engine`` field picks the
+      implementation (``sqlite`` → :class:`SQLiteStoreBackend`,
+      ``jsonl`` → :class:`ShardedResultStore`), and an interrupted
+      migration's leftover legacy file is folded in first.  Passing a
+      *different* explicit ``engine`` is an error pointing at
+      ``campaign migrate-store``.
+    * otherwise, ``engine="sqlite"`` creates the SQLite store —
+      migrating a legacy ``results.jsonl`` in place if one exists;
+    * otherwise, ``shards=N`` requests the sharded JSONL layout — a
+      fresh one, or a migration of the legacy file;
     * otherwise the legacy single-file store, which is also the default
       for brand-new directories (small campaigns stay simple).
 
-    Returns a :class:`~repro.campaign.store.ResultStore` or a
-    :class:`ShardedResultStore`; the two expose the same interface.
+    Returns a :class:`~repro.campaign.backends.base.StoreBackend`; all
+    engines expose the same interface.
     """
     directory = Path(directory)
-    manifest = directory / MANIFEST_FILENAME
-    legacy = directory / LEGACY_RESULTS_FILENAME
-    if manifest.exists():
-        if legacy.exists():
+    manifest = read_manifest(directory)
+    existing_engine = None if manifest is None else manifest["engine"]
+    if engine is None and shards is not None:
+        engine = ENGINE_JSONL  # a shard count implies the jsonl engine
+    if engine is not None and existing_engine is not None and engine != existing_engine:
+        raise ValueError(
+            f"store at {directory} already uses the {existing_engine!r} "
+            f"engine; cannot open it as {engine!r} — use "
+            f"'campaign migrate-store' to convert"
+        )
+    engine = engine if existing_engine is None else existing_engine
+    if engine == ENGINE_SQLITE:
+        if shards is not None:
+            raise ValueError(
+                f"the sqlite engine has no shard count (got shards={shards})"
+            )
+        return _fold_legacy_file(SQLiteStoreBackend(directory), directory)
+    if existing_engine is not None:
+        if (directory / LEGACY_RESULTS_FILENAME).exists():
             return migrate_legacy_store(directory, shards)
         return ShardedResultStore(directory, n_shards=shards)
     if shards is not None:
         return migrate_legacy_store(directory, int(shards))
-    return ResultStore(legacy)
+    return ResultStore(directory / LEGACY_RESULTS_FILENAME)
+
+
+def migrate_store(source, dest, engine: Optional[str] = None,
+                  shards: Optional[int] = None) -> Tuple[StoreBackend, int]:
+    """Copy a campaign store into a fresh directory under a new engine/layout.
+
+    The tool behind ``campaign migrate-store``: resharding
+    (``engine="jsonl"`` with a new ``shards`` count) and engine
+    conversion (jsonl ↔ sqlite) are the same operation — open the source
+    read-only, open (or create) the destination with the requested
+    engine, and append the source's deduplicated records in
+    first-appearance order.  Lossless down to the bytes: records travel
+    as canonical sorted-key JSON in every engine, so a jsonl → sqlite →
+    jsonl round trip reproduces the compacted source byte-for-byte.
+    Idempotent: re-running after an interruption converges (appends
+    dedup last-record-wins).  In-flight leases are *not* migrated —
+    migrate when no runner is active.  ``spec.json`` is copied verbatim
+    when the source has one and the destination does not.
+
+    Returns ``(destination store, records copied)``.
+    """
+    source, dest = Path(source), Path(dest)
+    if source.resolve() == dest.resolve():
+        raise ValueError(
+            f"migrate-store needs a fresh destination directory, got the "
+            f"source itself ({source})"
+        )
+    if read_manifest(source) is None and not (source / LEGACY_RESULTS_FILENAME).exists():
+        raise ValueError(f"no campaign store at {source}")
+    src_store = open_store(source)
+    dst_store = open_store(dest, shards=shards, engine=engine)
+    n_copied = _copy_records(src_store, dst_store)
+    src_spec = source / _SPEC_FILENAME
+    dst_spec = dest / _SPEC_FILENAME
+    if src_spec.exists() and not dst_spec.exists():
+        dst_spec.write_bytes(src_spec.read_bytes())
+    return dst_store, n_copied

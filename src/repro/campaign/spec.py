@@ -29,6 +29,11 @@ import numpy as np
 
 from repro.core.state import plain_json
 
+#: Fields that define a job's aggregation cell (everything but the seed
+#: that varies across a grid) — the single definition behind
+#: :attr:`Job.cell` and the SQLite store's cell index.
+CELL_FIELDS = ("label", "algorithm", "function", "dim", "sigma0")
+
 #: Fields that define a job's identity (hashed into the job id).
 _IDENTITY_FIELDS = (
     "label",
@@ -163,8 +168,8 @@ class Job:
 
     @property
     def cell(self) -> tuple:
-        """The aggregation cell this job belongs to (everything but the seed)."""
-        return (self.label, self.algorithm, self.function, self.dim, self.sigma0)
+        """The aggregation cell this job belongs to (:data:`CELL_FIELDS`)."""
+        return tuple(getattr(self, name) for name in CELL_FIELDS)
 
     def to_dict(self) -> dict:
         """Plain-JSON encoding of the job, including its derived ``job_id``."""

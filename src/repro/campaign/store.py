@@ -1,5 +1,11 @@
 """Durable result store for campaigns: job records plus claim leases.
 
+This module is the original **JSONL engine** behind the
+:class:`~repro.campaign.backends.base.StoreBackend` contract (see
+:mod:`repro.campaign.backends` for the seam and the other engines; the
+shared :class:`Lease`/:class:`CompactionStats` value types and status
+constants live there and are re-exported here).
+
 Results live in an append-only JSONL file (``results.jsonl``) inside the
 campaign directory: one JSON object per line, written with ``O_APPEND`` in a
 single ``write`` call so concurrent writers (several runner processes —
@@ -56,77 +62,38 @@ import copy
 import json
 import os
 import time
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.campaign.backends.base import (
+    LEASE_STATUSES,
+    STATUS_CLAIMED,
+    STATUS_DONE,
+    STATUS_FAILED,
+    STATUS_RELEASED,
+    CompactionStats,
+    Lease,
+    StoreBackend,
+)
 
 try:
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
-STATUS_DONE = "done"
-STATUS_FAILED = "failed"
-#: Lease-line statuses (claim bookkeeping, not job outcomes).
-STATUS_CLAIMED = "claimed"
-STATUS_RELEASED = "released"
-LEASE_STATUSES = (STATUS_CLAIMED, STATUS_RELEASED)
+__all__ = [
+    "LEASE_STATUSES",
+    "STATUS_CLAIMED",
+    "STATUS_DONE",
+    "STATUS_FAILED",
+    "STATUS_RELEASED",
+    "CompactionStats",
+    "Lease",
+    "ResultStore",
+]
 
 
-@dataclass(frozen=True)
-class Lease:
-    """One live claim: ``runner`` owns ``job_id`` until ``deadline``.
-
-    ``deadline`` is wall-clock epoch seconds; a lease whose deadline has
-    passed is *expired* and its job is requeueable by any runner.
-    """
-
-    job_id: str
-    runner: str
-    deadline: float
-
-    def expired(self, now: Optional[float] = None) -> bool:
-        """Whether the deadline has passed (``now`` defaults to wall clock)."""
-        return (time.time() if now is None else now) >= self.deadline
-
-
-@dataclass(frozen=True)
-class CompactionStats:
-    """What one :meth:`ResultStore.compact` call did.
-
-    Record counts cover *result* records only (lease lines are pure
-    bookkeeping — stale ones are silently dropped, live ones preserved);
-    the byte counts cover the whole file, lease lines included.
-    """
-
-    n_records_before: int   # raw parseable result records, duplicates included
-    n_records_after: int    # one per job id
-    bytes_before: int
-    bytes_after: int
-
-    @property
-    def n_dropped(self) -> int:
-        """Duplicate / superseded result records removed by the rewrite."""
-        return self.n_records_before - self.n_records_after
-
-    def __str__(self) -> str:
-        return (
-            f"{self.n_records_before} -> {self.n_records_after} records "
-            f"({self.n_dropped} dropped), "
-            f"{self.bytes_before} -> {self.bytes_after} bytes"
-        )
-
-    def __add__(self, other: "CompactionStats") -> "CompactionStats":
-        """Aggregate per-shard stats (used by the sharded store)."""
-        return CompactionStats(
-            self.n_records_before + other.n_records_before,
-            self.n_records_after + other.n_records_after,
-            self.bytes_before + other.bytes_before,
-            self.bytes_after + other.bytes_after,
-        )
-
-
-class ResultStore:
+class ResultStore(StoreBackend):
     """Append-only job-result log keyed by stable job id.
 
     Parameters
@@ -230,6 +197,28 @@ class ResultStore:
             self._memory.append(dict(record))
             return
         self._append_payload(json.dumps(record, sort_keys=True) + "\n")
+
+    def record_many(self, records: Sequence[dict]) -> None:
+        """Append a batch of records as one locked multi-line write.
+
+        One open/flock/write cycle instead of one per record — the
+        runner's per-batch append path.  All-or-nothing with respect to
+        concurrent writers (the payload is a single ``write``), and a
+        hard kill mid-write can tear at most the final line, exactly as
+        with single appends.
+        """
+        records = list(records)
+        for rec in records:
+            if "job_id" not in rec or "status" not in rec:
+                raise ValueError("record needs 'job_id' and 'status' fields")
+        if not records:
+            return
+        if self.path is None:
+            self._memory.extend(dict(r) for r in records)
+            return
+        self._append_payload(
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+        )
 
     # -- leases ------------------------------------------------------------
 

@@ -10,13 +10,15 @@ Subcommands:
 * ``optroot`` — inspect an $OPTROOT directory tree (systems, phases,
   processor count, property specs).
 * ``campaign`` — durable, parallel, resumable experiment sweeps
-  (``campaign run | status | watch | summary | compare | compact``); see
-  :mod:`repro.campaign` and ``docs/CAMPAIGNS.md``.  ``run --backend mw``
-  distributes jobs through the :mod:`repro.mw` master-worker layer, and
-  several runner processes pointed at the same directory cooperatively
-  drain one campaign — claim leases (on by default; ``--lease-ttl``,
-  ``--no-lease``) guarantee exactly one runner executes each job, and
-  ``--shards N`` spreads the result store over N files for high runner
+  (``campaign run | status | watch | summary | compare | compact |
+  migrate-store``); see :mod:`repro.campaign` and ``docs/CAMPAIGNS.md``.
+  ``run --backend mw`` distributes jobs through the :mod:`repro.mw`
+  master-worker layer, and several runner processes pointed at the same
+  directory cooperatively drain one campaign — claim leases (on by
+  default; ``--lease-ttl``, ``--no-lease``) guarantee exactly one runner
+  executes each job.  ``--store jsonl|jsonl:N|sqlite`` picks the result
+  store engine (``--shards N`` is shorthand for ``jsonl:N``); ``campaign
+  migrate-store`` converts an existing campaign between engines or shard
   counts.  With ``--transport tcp://host:port`` the master listens for
   remote workers instead of spawning local ones.
 * ``mw-worker`` — standalone TCP worker: connects to a master at
@@ -167,8 +169,9 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     else:
         spec = _campaign_spec_from_args(args)
     try:
-        campaign = Campaign(args.directory, spec=spec, shards=args.shards)
-    except ValueError as exc:  # conflicting spec / mismatched shard count
+        campaign = Campaign(args.directory, spec=spec, shards=args.shards,
+                            store=args.store)
+    except ValueError as exc:  # conflicting spec / shard count / engine
         print(f"error: {exc}", file=sys.stderr)
         return 2
     progress_cb = None
@@ -292,6 +295,26 @@ def _cmd_campaign_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign_migrate_store(args: argparse.Namespace) -> int:
+    from repro.campaign import migrate_store, parse_store_spec
+
+    try:
+        engine, shards = parse_store_spec(args.store)
+        store, n_copied = migrate_store(
+            args.source, args.dest, engine=engine, shards=shards
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    n_shards = getattr(store, "n_shards", 1)
+    layout = f" ({n_shards} shards)" if n_shards > 1 else ""
+    print(f"source    : {args.source}")
+    print(f"dest      : {args.dest}")
+    print(f"engine    : {store.engine}{layout}")
+    print(f"records   : {n_copied} copied (leases are not migrated)")
+    return 0
+
+
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
     from repro.analysis import format_table
 
@@ -299,7 +322,9 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     status = campaign.status()
     print(f"campaign  : {status['name']}")
     print(f"directory : {status['directory']}")
-    if status["shards"] > 1:
+    if status["engine"] != "jsonl":
+        print(f"store     : {status['engine']}")
+    elif status["shards"] > 1:
         print(f"store     : {status['shards']} shards")
     claimed = f", {status['claimed']} claimed" if status["claimed"] else ""
     print(
@@ -472,10 +497,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "to listen for remote 'mw-worker' processes")
     p_crun.add_argument("--mw-affinity", action="store_true",
                         help="pin jobs round-robin to mw worker ranks")
+    p_crun.add_argument("--store", default=None, metavar="ENGINE",
+                        help="result store engine: jsonl (single file, the "
+                             "default), jsonl:N (N sharded files), or sqlite "
+                             "(one transactional WAL database); existing "
+                             "stores auto-detect from store-manifest.json")
     p_crun.add_argument("--shards", type=int, default=None, metavar="N",
-                        help="shard the result store into N results-<k>.jsonl "
-                             "files (migrates a legacy single-file store in "
-                             "place; existing sharded stores auto-detect)")
+                        help="shorthand for --store jsonl:N — shard the "
+                             "result store into N results-<k>.jsonl files "
+                             "(migrates a legacy single-file store in place; "
+                             "existing sharded stores auto-detect)")
     p_crun.add_argument("--no-lease", dest="lease", action="store_false",
                         help="disable claim leases and fall back to the "
                              "stagger+shed heuristic (duplicate in-flight "
@@ -518,6 +549,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_ccompact.add_argument("directory")
     p_ccompact.set_defaults(func=_cmd_campaign_compact)
+
+    p_cmig = camp_sub.add_parser(
+        "migrate-store",
+        help="copy a campaign's store into a fresh directory under a new "
+             "engine or shard count (jsonl <-> sqlite, resharding); lossless "
+             "and idempotent, leases not migrated",
+    )
+    p_cmig.add_argument("source", help="existing campaign directory")
+    p_cmig.add_argument("dest", help="fresh destination directory")
+    p_cmig.add_argument("--store", required=True, metavar="ENGINE",
+                        help="destination engine: jsonl | jsonl:N | sqlite")
+    p_cmig.set_defaults(func=_cmd_campaign_migrate_store)
 
     p_csum = camp_sub.add_parser("summary", help="per-cell aggregate table")
     p_csum.add_argument("directory")

@@ -7,6 +7,8 @@ import os
 import numpy as np
 import pytest
 
+from store_helpers import STORE_BACKENDS, open_store_backend
+
 from repro.functions import Rosenbrock, Sphere
 from repro.noise import SamplingPool, StochasticFunction
 
@@ -27,6 +29,30 @@ else:
     )
     if os.environ.get("HYPOTHESIS_PROFILE"):
         hyp_settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
+
+
+@pytest.fixture(params=STORE_BACKENDS)
+def store_backend(request, tmp_path):
+    """Factory of store instances, parametrized over every engine.
+
+    Each call opens a *fresh instance* over the same substrate (one
+    directory per test), so multi-runner tests model real cooperating
+    processes.  The factory carries metadata for engine-sensitive
+    assertions: ``.engine`` (fixture param), ``.shards`` (expected
+    ``n_shards`` of the opened store), and ``.cli_store_spec`` (the
+    ``--store`` argument creating this layout from the CLI).
+    """
+    def make():
+        return open_store_backend(request.param, tmp_path / "backend-store")
+
+    make.engine = request.param
+    make.shards = 3 if request.param == "sharded" else 1
+    make.cli_store_spec = {
+        "jsonl": "jsonl",
+        "sharded": "jsonl:3",
+        "sqlite": "sqlite",
+    }[request.param]
+    return make
 
 
 @pytest.fixture

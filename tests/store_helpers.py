@@ -1,0 +1,33 @@
+"""Shared store-engine helpers for backend-parity tests.
+
+A module (not conftest) so test files can import it by a unique name —
+``import conftest`` is ambiguous from the repo root, where
+``benchmarks/conftest.py`` also exists.
+"""
+
+from pathlib import Path
+
+#: Store engines every backend-parity test runs against: the legacy
+#: single JSONL file, the sharded JSONL layout, and the SQLite database.
+STORE_BACKENDS = ("jsonl", "sharded", "sqlite")
+
+
+def open_store_backend(engine, directory, n_shards=3):
+    """Open a store instance of ``engine`` over ``directory``.
+
+    Shared by the ``store_backend`` fixture and the hypothesis store-op
+    properties (which build fresh stores per example, where a
+    function-scoped fixture cannot).  Calling it again on the same
+    directory reopens the same underlying store — two instances model
+    two runner processes.
+    """
+    from repro.campaign import ResultStore, ShardedResultStore, SQLiteStoreBackend
+
+    directory = Path(directory)
+    if engine == "jsonl":
+        return ResultStore(directory / "results.jsonl")
+    if engine == "sharded":
+        return ShardedResultStore(directory, n_shards=n_shards)
+    if engine == "sqlite":
+        return SQLiteStoreBackend(directory)
+    raise ValueError(f"unknown store backend {engine!r}")

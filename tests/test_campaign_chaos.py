@@ -9,7 +9,10 @@ job execution, written by ``repro.campaign.execution`` before each run).
 Covered: two racing runners never duplicate an execution (the acceptance
 criterion, >= 200 jobs over a sharded store), a SIGKILLed runner's leased
 jobs are reclaimed exactly once after expiry, graceful interrupts release
-claims immediately, and the audit log itself.
+claims immediately, and the audit log itself.  Every scenario runs once
+per store engine via the parametrized ``store_backend`` fixture — the
+lease protocol's guarantees are the engine contract, not a JSONL
+implementation detail.
 """
 
 import json
@@ -74,8 +77,8 @@ def synthetic_run_job(job) -> dict:
 
 
 class TestInProcessRaces:
-    def test_two_thread_runners_zero_duplicate_executions(self, tmp_path, monkeypatch):
-        """Two runners racing the same grid through one store file execute
+    def test_two_thread_runners_zero_duplicate_executions(self, store_backend, monkeypatch):
+        """Two runners racing the same grid through one store execute
         every job exactly once — counted at the evaluator, not the store."""
         calls = Counter()
         lock = threading.Lock()
@@ -92,7 +95,7 @@ class TestInProcessRaces:
         def drain(slot):
             runner = CampaignRunner(
                 spec,
-                ResultStore(tmp_path / "r.jsonl"),
+                store_backend(),  # each runner gets its own store instance
                 batch_size=5,
                 runner_id=f"runner-{slot}",  # threads share a pid
             )
@@ -108,10 +111,9 @@ class TestInProcessRaces:
         assert set(calls) == expected
         assert all(n == 1 for n in calls.values()), calls.most_common(3)
         assert reports[0].n_done + reports[1].n_done == len(expected)
-        store = ResultStore(tmp_path / "r.jsonl")
-        assert store.completed_ids() == expected
+        assert store_backend().completed_ids() == expected
 
-    def test_interrupt_releases_unfulfilled_claims(self, tmp_path, monkeypatch):
+    def test_interrupt_releases_unfulfilled_claims(self, store_backend, monkeypatch):
         """Ctrl-C mid-batch gives the batch's claims back immediately, so a
         peer reclaims without waiting out the TTL."""
         executed = []
@@ -124,20 +126,20 @@ class TestInProcessRaces:
 
         monkeypatch.setattr("repro.campaign.runner.run_job", interrupting_run_job)
         spec = fast_spec(n_seeds=3)  # 6 jobs
-        store = ResultStore(tmp_path / "r.jsonl")
+        store = store_backend()
         report = CampaignRunner(spec, store, batch_size=6, lease_ttl=3600).run()
         assert report.interrupted
         assert store.leases() == {}  # released, not left to expire
         # a peer can claim the whole grid right now, hour-long TTL or not
         ids = [j.job_id for j in spec.expand()]
-        assert ResultStore(tmp_path / "r.jsonl").claim(ids, "peer", ttl=60) == ids
+        assert store_backend().claim(ids, "peer", ttl=60) == ids
 
-    def test_expired_peer_lease_requeued_within_one_run(self, tmp_path):
+    def test_expired_peer_lease_requeued_within_one_run(self, store_backend):
         """A crashed peer's expired leases don't force a re-run: the same
         run() call requeues them on a later pass."""
         spec = fast_spec(n_seeds=3)  # 6 jobs
         ids = [j.job_id for j in spec.expand()]
-        store = ResultStore(tmp_path / "r.jsonl")
+        store = store_backend()
         # a peer claimed half the grid and died long ago
         store.claim(ids[:3], "ghost", ttl=1, now=time.time() - 100)
         report = CampaignRunner(spec, store).run()
@@ -170,12 +172,12 @@ class TestRunnerProcessChaos:
         assert proc.returncode == 0, out.decode()
         return out.decode()
 
-    def test_two_racing_runners_one_evaluation_per_job(self, tmp_path):
-        """Acceptance: a 2-runner campaign over >= 200 jobs on a sharded
-        store performs exactly one evaluation per job."""
+    def test_two_racing_runners_one_evaluation_per_job(self, tmp_path, store_backend):
+        """Acceptance: a 2-runner campaign over >= 200 jobs performs
+        exactly one evaluation per job, whatever the store engine."""
         directory = tmp_path / "camp"
         spec = fast_spec(n_seeds=100)  # 200 jobs
-        Campaign(directory, spec=spec, shards=4)
+        Campaign(directory, spec=spec, store=store_backend.cli_store_spec)
         audit = tmp_path / "audit.log"
         procs = [
             self._run_cli(directory, "--batch-size", "10", audit=audit, wait=False)
@@ -188,9 +190,12 @@ class TestRunnerProcessChaos:
         assert sorted(audit_ids(audit)) == expected  # exactly once each
         campaign = Campaign(directory)
         assert campaign.store.completed_ids() == set(expected)
-        assert campaign.store.n_shards == 4
+        assert getattr(campaign.store, "n_shards", 1) == store_backend.shards
+        assert campaign.store.engine == (
+            "sqlite" if store_backend.engine == "sqlite" else "jsonl"
+        )
 
-    def test_killed_runner_leases_reclaimed_exactly_once(self, tmp_path):
+    def test_killed_runner_leases_reclaimed_exactly_once(self, tmp_path, store_backend):
         """SIGKILL a runner mid-batch: its leases stay live until the TTL
         lapses, then a second runner reclaims each leased job exactly once."""
         directory = tmp_path / "camp"
@@ -198,7 +203,7 @@ class TestRunnerProcessChaos:
         # (tau/walltime set so nothing terminates before max_steps)
         spec = fast_spec(n_seeds=20, functions=["rosenbrock"], dims=[4],
                          max_steps=600, tau=1e-9, walltime=1e5)
-        Campaign(directory, spec=spec, shards=2)
+        Campaign(directory, spec=spec, store=store_backend.cli_store_spec)
         audit = tmp_path / "audit.log"
         ttl = ["--lease-ttl", "2"]
         victim = self._run_cli(directory, "--batch-size", "40", *ttl,
@@ -233,13 +238,13 @@ class TestRunnerProcessChaos:
         assert all(n == 1 for n in post_kill.values()), post_kill  # ...once
         assert open_store(directory).completed_ids() == all_ids
 
-    def test_staggered_kill_runners_converge_and_compact(self, tmp_path):
+    def test_staggered_kill_runners_converge_and_compact(self, tmp_path, store_backend):
         """Two runners killed at staggered times leave a store a final run
         completes and compaction round-trips (the CI chaos-smoke shape)."""
         directory = tmp_path / "camp"
         spec = fast_spec(n_seeds=15, functions=["rosenbrock"], dims=[4],
                          max_steps=400, tau=1e-9, walltime=1e5)  # 30 x ~40 ms
-        Campaign(directory, spec=spec, shards=4)
+        Campaign(directory, spec=spec, store=store_backend.cli_store_spec)
         audit = tmp_path / "audit.log"
         ttl = ["--lease-ttl", "1"]
         for n_lines in (2, 5):  # kill once early, once mid-drain

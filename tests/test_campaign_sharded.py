@@ -45,13 +45,17 @@ def small_spec(**overrides) -> CampaignSpec:
     return CampaignSpec(**kwargs)
 
 
-@pytest.fixture(params=["memory", "file", "sharded"])
+@pytest.fixture(params=["memory", "file", "sharded", "sqlite"])
 def any_store(request, tmp_path):
-    """The same lease/record API behind all three store layouts."""
+    """The same lease/record API behind every store engine."""
     if request.param == "memory":
         return ResultStore()
     if request.param == "file":
         return ResultStore(tmp_path / "r.jsonl")
+    if request.param == "sqlite":
+        from repro.campaign import SQLiteStoreBackend
+
+        return SQLiteStoreBackend(tmp_path)
     return ShardedResultStore(tmp_path, n_shards=3)
 
 
@@ -256,6 +260,53 @@ class TestMigration:
         relegated.record({"job_id": "j0", "status": "done", "result": {"v": 0}})
         resumed = open_store(tmp_path)  # open_store folds the leftover in
         assert {r["job_id"]: r for r in resumed.records()} == snapshot
+
+    def test_concurrent_migrators_race_one_wins_store_intact(self, tmp_path):
+        """Regression: two migrators racing on one directory converge —
+        whoever loses the park-the-legacy-file rename tolerates it, and
+        the migrated store is intact either way."""
+        import threading
+
+        self._legacy_store(tmp_path)
+        expected = ResultStore(tmp_path / "results.jsonl").completed_ids()
+        stores = [None, None]
+        barrier = threading.Barrier(2)
+
+        def migrate(slot):
+            barrier.wait()  # maximize overlap of the two fold+rename paths
+            stores[slot] = migrate_legacy_store(tmp_path, n_shards=4)
+
+        threads = [threading.Thread(target=migrate, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert all(s is not None for s in stores)  # neither migrator raised
+        assert not (tmp_path / "results.jsonl").exists()
+        assert (tmp_path / "results.jsonl.migrated").exists()
+        for store in stores + [open_store(tmp_path)]:
+            assert store.completed_ids() == expected
+
+    def test_migrator_losing_park_rename_still_succeeds(self, tmp_path, monkeypatch):
+        """Deterministic shape of the race: the legacy file vanishes (a
+        concurrent migrator parked it) between our fold and our rename."""
+        from pathlib import Path
+
+        self._legacy_store(tmp_path)
+        expected = ResultStore(tmp_path / "results.jsonl").completed_ids()
+        real_rename = Path.rename
+
+        def stolen_rename(self, target):
+            if self.name == "results.jsonl":
+                self.unlink()  # the peer parked (and thus removed) it first
+                raise FileNotFoundError(self)
+            return real_rename(self, target)
+
+        monkeypatch.setattr(Path, "rename", stolen_rename)
+        store = migrate_legacy_store(tmp_path, n_shards=4)  # must not raise
+        assert store.completed_ids() == expected
+        assert open_store(tmp_path).completed_ids() == expected
 
     def test_open_store_resolution(self, tmp_path):
         # fresh directory, no shards requested -> legacy single file

@@ -243,6 +243,82 @@ class TestCommands:
         err = capsys.readouterr().err
         assert rc == 2 and "already sharded into 2" in err
 
+    def test_campaign_run_with_sqlite_store_lifecycle(self, tmp_path, capsys):
+        from repro.campaign import SQLiteStoreBackend, Campaign
+        from repro.campaign.backends import DB_FILENAME
+
+        directory = str(tmp_path / "camp")
+        rc = main(self._small_campaign_args(directory) + ["--store", "sqlite"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "4 completed" in out
+        assert (tmp_path / "camp" / DB_FILENAME).exists()
+
+        rc = main(self._small_campaign_args(directory))  # engine auto-detected
+        out = capsys.readouterr().out
+        assert rc == 0 and "4 already done" in out
+        assert isinstance(Campaign(directory).store, SQLiteStoreBackend)
+
+        rc = main(["campaign", "status", directory])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "store     : sqlite" in out and "4 total, 4 done" in out
+
+        rc = main(["campaign", "summary", directory])
+        out = capsys.readouterr().out
+        assert rc == 0 and "DET" in out and "PC" in out
+
+        rc = main(["campaign", "compact", directory])
+        out = capsys.readouterr().out
+        assert rc == 0 and "results.sqlite" in out and "4 -> 4" in out
+
+    def test_campaign_run_store_engine_conflict_is_clean(self, tmp_path, capsys):
+        directory = str(tmp_path / "camp")
+        main(self._small_campaign_args(directory) + ["--store", "sqlite"])
+        capsys.readouterr()
+        rc = main(self._small_campaign_args(directory) + ["--shards", "4"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "migrate-store" in err
+        rc = main(self._small_campaign_args(directory) + ["--store", "parquet"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "unknown store engine" in err
+
+    def test_campaign_migrate_store_cli_round_trip(self, tmp_path, capsys):
+        src = str(tmp_path / "src")
+        main(self._small_campaign_args(src))
+        main(["campaign", "compact", src])
+        capsys.readouterr()
+        source_bytes = (tmp_path / "src" / "results.jsonl").read_bytes()
+
+        rc = main(["campaign", "migrate-store", src, str(tmp_path / "mid"),
+                   "--store", "sqlite"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "4 copied" in out and "engine    : sqlite" in out
+        rc = main(["campaign", "migrate-store", str(tmp_path / "mid"),
+                   str(tmp_path / "dst"), "--store", "jsonl"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "4 copied" in out
+
+        rc = main(["campaign", "compact", str(tmp_path / "dst")])
+        capsys.readouterr()
+        assert rc == 0
+        assert (tmp_path / "dst" / "results.jsonl").read_bytes() == source_bytes
+        # the migrated campaign is fully usable (spec travelled along)
+        rc = main(["campaign", "status", str(tmp_path / "dst")])
+        out = capsys.readouterr().out
+        assert rc == 0 and "4 total, 4 done" in out
+
+    def test_campaign_migrate_store_errors_are_clean(self, tmp_path, capsys):
+        rc = main(["campaign", "migrate-store", str(tmp_path / "nowhere"),
+                   str(tmp_path / "dst"), "--store", "sqlite"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "no campaign store" in err
+        src = str(tmp_path / "src")
+        main(self._small_campaign_args(src))
+        capsys.readouterr()
+        rc = main(["campaign", "migrate-store", src, src, "--store", "sqlite"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "fresh destination" in err
+
     def test_campaign_watch_missing_directory(self, tmp_path, capsys):
         with pytest.raises(SystemExit):
             main(["campaign", "watch", str(tmp_path / "nowhere"), "--once"])

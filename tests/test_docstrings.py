@@ -16,6 +16,9 @@ import pytest
 MODULES = [
     "repro.campaign",
     "repro.campaign.aggregate",
+    "repro.campaign.backends",
+    "repro.campaign.backends.base",
+    "repro.campaign.backends.sqlite",
     "repro.campaign.execution",
     "repro.campaign.progress",
     "repro.campaign.runner",

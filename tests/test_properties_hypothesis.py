@@ -9,10 +9,10 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
+from store_helpers import STORE_BACKENDS, open_store_backend
 from repro.campaign import (
     ResultStore,
     ShardedResultStore,
-    migrate_legacy_store,
     open_store,
 )
 from repro.cluster import Cluster, JobRequest, PBSScheduler
@@ -137,7 +137,12 @@ _store_ops = st.lists(
 
 
 class TestStoreProperties:
-    """The sharded store under random append/claim/release/compact mixes."""
+    """Every store engine under random append/claim/release/compact mixes.
+
+    Parametrized over the same engine set as the ``store_backend``
+    fixture (fresh stores are built per hypothesis example, which a
+    function-scoped fixture cannot provide).
+    """
 
     @staticmethod
     def _apply(store, model, op):
@@ -159,11 +164,14 @@ class TestStoreProperties:
         else:
             store.compact()
 
+    @pytest.mark.parametrize("engine", STORE_BACKENDS)
     @given(ops=_store_ops, n_shards=st.integers(1, 5))
     @slow_settings
-    def test_random_interleavings_preserve_last_record_wins(self, ops, n_shards):
+    def test_random_interleavings_preserve_last_record_wins(
+        self, engine, ops, n_shards
+    ):
         with tempfile.TemporaryDirectory() as tmp:
-            store = ShardedResultStore(tmp, n_shards=n_shards)
+            store = open_store_backend(engine, tmp, n_shards=n_shards)
             model = {}
             for op in ops:
                 self._apply(store, model, op)
@@ -173,9 +181,10 @@ class TestStoreProperties:
             store.compact()  # a final compact changes nothing observable
             assert {r["job_id"]: r for r in store.records()} == model
             # and a fresh reader of the same directory agrees
-            reread = ShardedResultStore(tmp)
+            reread = open_store_backend(engine, tmp, n_shards=n_shards)
             assert {r["job_id"]: r for r in reread.records()} == model
 
+    @pytest.mark.parametrize("target", ["sharded", "sqlite"])
     @given(
         records=st.lists(
             st.tuples(_job_ids, st.sampled_from(["done", "failed"]),
@@ -187,7 +196,7 @@ class TestStoreProperties:
     )
     @slow_settings
     def test_legacy_migration_is_lossless_and_idempotent(
-        self, records, n_shards, torn_tail
+        self, target, records, n_shards, torn_tail
     ):
         with tempfile.TemporaryDirectory() as tmp:
             legacy = ResultStore(Path(tmp) / "results.jsonl")
@@ -198,14 +207,19 @@ class TestStoreProperties:
                     fh.write('{"job_id": "zz", "stat')  # hard-kill artifact
             expected = {r["job_id"]: r for r in legacy.records()}
 
-            sharded = migrate_legacy_store(tmp, n_shards=n_shards)
-            assert {r["job_id"]: r for r in sharded.records()} == expected
+            if target == "sharded":
+                migrated = open_store(tmp, shards=n_shards)
+                assert isinstance(migrated, ShardedResultStore)
+            else:
+                migrated = open_store(tmp, engine="sqlite")
+            assert {r["job_id"]: r for r in migrated.records()} == expected
             assert not (Path(tmp) / "results.jsonl").exists()
 
             # idempotent: re-resolving (and re-migrating) changes nothing
             again = open_store(tmp)
-            assert isinstance(again, ShardedResultStore)
-            assert again.n_shards == n_shards
+            assert type(again) is type(migrated)
+            if target == "sharded":
+                assert again.n_shards == n_shards
             assert {r["job_id"]: r for r in again.records()} == expected
             again.compact()
             assert {r["job_id"]: r for r in again.records()} == expected
