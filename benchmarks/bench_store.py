@@ -23,6 +23,16 @@ baseline and exits non-zero when it regressed by more than
 ``--tolerance`` (the CI bench-regression gate).  Other engines are
 reported for context but not gated — their absolute numbers swing more
 with filesystem behaviour than with code changes.
+
+``--telemetry`` attaches an *enabled* metrics registry to every store
+(what a ``--telemetry`` campaign run does), so the loop also pays for
+the latency histograms.  ``--overhead-gate FRACTION`` measures both
+modes interleaved (best of ``--rounds`` each) on the gated engine and
+fails when enabling telemetry costs more than ``FRACTION`` of the
+disabled throughput — the CI guard keeping instrumentation
+cheap-by-default::
+
+    PYTHONPATH=src python benchmarks/bench_store.py --overhead-gate 0.05
 """
 
 from __future__ import annotations
@@ -39,6 +49,7 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.campaign import open_store  # noqa: E402 - path bootstrap above
+from repro.telemetry import Telemetry  # noqa: E402
 
 #: The engine whose throughput the regression gate checks.
 GATED_ENGINE = "sqlite"
@@ -73,11 +84,19 @@ def synthetic_record(job_id: str) -> dict:
     }
 
 
-def bench_engine(engine: str, n_jobs: int, batch: int, shards: int) -> dict:
-    """Time the claim+append loop for one engine; returns the measurement."""
+def bench_engine(engine: str, n_jobs: int, batch: int, shards: int,
+                 telemetry: bool = False) -> dict:
+    """Time the claim+append loop for one engine; returns the measurement.
+
+    With ``telemetry`` an enabled registry is attached to the store, so
+    every claim and append also feeds the ``repro_store_op_seconds``
+    histogram — the instrumented configuration the overhead gate prices.
+    """
     job_ids = [f"job-{i:08d}" for i in range(n_jobs)]
     with tempfile.TemporaryDirectory(prefix=f"bench-store-{engine}-") as tmp:
         store = make_store(engine, Path(tmp), shards)
+        if telemetry:
+            store.telemetry = Telemetry.create()
         n_claimed = 0
         t0 = time.perf_counter()
         for start in range(0, n_jobs, batch):
@@ -93,9 +112,39 @@ def bench_engine(engine: str, n_jobs: int, batch: int, shards: int) -> dict:
         "engine": engine,
         "n_jobs": n_jobs,
         "batch": batch,
+        "telemetry": bool(telemetry),
         "elapsed_s": elapsed,
         "claim_append_jobs_per_s": n_jobs / elapsed,
     }
+
+
+def overhead_gate(args) -> int:
+    """Price enabled telemetry on the gated engine; 0 = within budget.
+
+    Each round runs the disabled and enabled configurations back to
+    back and compares them *within* the round, so slow-disk or noisy-
+    neighbour drift cancels out of the ratio; the gate passes if the
+    best round kept at least ``1 - gate`` of its own disabled
+    throughput.  (Independent best-ofs would let one lucky disabled
+    round fail a genuinely-cheap instrumented path.)
+    """
+    rounds = []
+    for _ in range(args.rounds):
+        off = bench_engine(GATED_ENGINE, args.jobs, args.batch, args.shards,
+                           telemetry=False)["claim_append_jobs_per_s"]
+        on = bench_engine(GATED_ENGINE, args.jobs, args.batch, args.shards,
+                          telemetry=True)["claim_append_jobs_per_s"]
+        rounds.append((off, on))
+    off, on = max(rounds, key=lambda pair: pair[1] / pair[0])
+    overhead = 1.0 - on / off
+    verdict = "ok" if overhead <= args.overhead_gate else "TOO SLOW"
+    print(
+        f"telemetry-overhead [{GATED_ENGINE}]: off {off:,.0f} jobs/s, "
+        f"on {on:,.0f} jobs/s -> {overhead:+.1%} overhead in the best of "
+        f"{args.rounds} paired rounds (budget {args.overhead_gate:.0%}) "
+        f"-> {verdict}"
+    )
+    return 0 if verdict == "ok" else 1
 
 
 def check_regression(results: dict, baseline_path: Path, tolerance: float) -> int:
@@ -131,12 +180,30 @@ def main(argv=None) -> int:
                         help="baseline JSON to gate the sqlite engine against")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional throughput drop (default 0.30)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="attach an enabled metrics registry to every "
+                             "store (the instrumented configuration)")
+    parser.add_argument("--overhead-gate", type=float, default=None,
+                        metavar="FRACTION",
+                        help="measure telemetry on vs off interleaved on the "
+                             "gated engine; fail if enabling costs more than "
+                             "FRACTION of throughput (e.g. 0.05)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="interleaved rounds for --overhead-gate "
+                             "(default 3, best-of)")
     args = parser.parse_args(argv)
 
-    results = {"n_jobs": args.jobs, "batch": args.batch, "engines": {}}
-    print(f"claim+append throughput, {args.jobs} jobs, batches of {args.batch}:")
+    if args.overhead_gate is not None:
+        return overhead_gate(args)
+
+    results = {"n_jobs": args.jobs, "batch": args.batch,
+               "telemetry": args.telemetry, "engines": {}}
+    mode = " (telemetry on)" if args.telemetry else ""
+    print(f"claim+append throughput, {args.jobs} jobs, "
+          f"batches of {args.batch}{mode}:")
     for engine in args.engines:
-        measurement = bench_engine(engine, args.jobs, args.batch, args.shards)
+        measurement = bench_engine(engine, args.jobs, args.batch, args.shards,
+                                   telemetry=args.telemetry)
         results["engines"][engine] = measurement
         label = f"{engine} ({args.shards} shards)" if engine == "sharded" else engine
         print(

@@ -27,7 +27,10 @@ readable; :mod:`.progress` provides the live heartbeat, per-cell
 progress, and watch loops.
 
 CLI: ``python -m repro campaign
-run|status|watch|summary|compare|compact|migrate-store``.
+run|status|watch|metrics|summary|compare|compact|migrate-store``.
+Run with ``--telemetry`` (or ``$REPRO_TELEMETRY=1``) to record
+:mod:`repro.telemetry` metrics and a job-lifecycle trace alongside the
+results; ``campaign metrics`` reads them back.
 See ``docs/CAMPAIGNS.md`` for the end-to-end guide and
 ``docs/ARCHITECTURE.md`` for how this subsystem fits the rest.
 """
@@ -49,6 +52,7 @@ from repro.campaign.aggregate import (
 )
 from repro.campaign.execution import (
     JOB_AUDIT_ENV,
+    RUN_ID_ENV,
     execute_job,
     job_function,
     mw_job_executor,
@@ -57,9 +61,12 @@ from repro.campaign.execution import (
 from repro.campaign.progress import (
     CellProgress,
     ProgressSnapshot,
+    WorkerUtilization,
     cells_from_status,
     format_duration,
+    seed_rate,
     watch_campaign,
+    workers_from_trace,
 )
 from repro.campaign.runner import (
     DEFAULT_LEASE_TTL,
@@ -113,6 +120,7 @@ __all__ = [
     "ProgressSnapshot",
     "RESULTS_FILENAME",
     "RUNNER_BACKENDS",
+    "RUN_ID_ENV",
     "ResultStore",
     "SPEC_FILENAME",
     "STATUS_CLAIMED",
@@ -123,6 +131,7 @@ __all__ = [
     "SQLiteStoreBackend",
     "ShardedResultStore",
     "StoreBackend",
+    "WorkerUtilization",
     "canonical_json",
     "cells_from_status",
     "compare_labels",
@@ -138,7 +147,9 @@ __all__ = [
     "parse_store_spec",
     "read_manifest",
     "run_job",
+    "seed_rate",
     "shard_index",
     "summarize",
     "watch_campaign",
+    "workers_from_trace",
 ]

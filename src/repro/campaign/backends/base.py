@@ -125,11 +125,54 @@ class StoreBackend(abc.ABC):
 
     Engines also expose :attr:`engine` (the manifest identifier) and a
     ``path`` attribute or property naming their on-disk location.
+
+    Every engine additionally reports latency through the shared
+    :attr:`telemetry` context: implementations wrap their append /
+    claim / compact critical sections with :meth:`_timed`, which feeds
+    the per-engine ``repro_store_op_seconds`` histogram.  The default
+    telemetry resolves from ``$REPRO_TELEMETRY`` and is a no-op when
+    unset; the campaign runner assigns its own context so store metrics
+    land in the same registry (and ``telemetry.jsonl``) as runner spans.
     """
 
     #: Engine identifier recorded in ``store-manifest.json`` and shown by
     #: ``campaign status``; concrete engines override as appropriate.
     engine: str = "jsonl"
+
+    #: Label the engine's latency series carries in the metrics registry;
+    #: distinct from :attr:`engine` where several engines share a wire
+    #: format (the sharded store reports as ``"sharded"``, not ``"jsonl"``).
+    metrics_engine: str = "jsonl"
+
+    @property
+    def telemetry(self):
+        """The telemetry context store operations report through.
+
+        Lazily resolved from ``$REPRO_TELEMETRY`` on first use (the
+        shared no-op instance when unset); assignable, so a runner can
+        route store metrics into its own registry.
+        """
+        got = getattr(self, "_telemetry", None)
+        if got is None:
+            from repro.telemetry import Telemetry
+
+            got = Telemetry.from_env()
+            self._telemetry = got
+        return got
+
+    @telemetry.setter
+    def telemetry(self, value) -> None:
+        """Route this store's metrics through ``value``."""
+        self._telemetry = value
+
+    def _timed(self, op: str):
+        """Timer context observing ``repro_store_op_seconds{op=,engine=}``."""
+        return self.telemetry.timer(
+            "repro_store_op_seconds",
+            "Latency of store backend operations.",
+            op=op,
+            engine=self.metrics_engine,
+        )
 
     # -- writing -----------------------------------------------------------
 

@@ -131,6 +131,7 @@ class SQLiteStoreBackend(StoreBackend):
     """
 
     engine = "sqlite"
+    metrics_engine = "sqlite"
 
     def __init__(self, directory, busy_timeout: float = DEFAULT_BUSY_TIMEOUT) -> None:
         # Imported here, not at module top: sharding imports this module
@@ -233,7 +234,7 @@ class SQLiteStoreBackend(StoreBackend):
         """
         if "job_id" not in record or "status" not in record:
             raise ValueError("record needs 'job_id' and 'status' fields")
-        with self._txn() as conn:
+        with self._timed("append"), self._txn() as conn:
             self._upsert(conn, record)
 
     def record_many(self, records: Sequence[dict]) -> None:
@@ -250,7 +251,7 @@ class SQLiteStoreBackend(StoreBackend):
                 raise ValueError("record needs 'job_id' and 'status' fields")
         if not records:
             return
-        with self._txn() as conn:
+        with self._timed("append"), self._txn() as conn:
             for rec in records:
                 self._upsert(conn, rec)
 
@@ -273,7 +274,7 @@ class SQLiteStoreBackend(StoreBackend):
         now = time.time() if now is None else float(now)
         deadline = now + float(ttl)
         granted: List[str] = []
-        with self._txn() as conn:
+        with self._timed("claim"), self._txn() as conn:
             for jid in job_ids:
                 row = conn.execute(
                     "SELECT status FROM results WHERE job_id = ?", (jid,)
@@ -437,14 +438,17 @@ class SQLiteStoreBackend(StoreBackend):
         """
         now = time.time() if now is None else float(now)
         bytes_before = self._disk_bytes()
-        with self._txn() as conn:
-            conn.execute("DELETE FROM leases WHERE deadline <= ?", (now,))
-            (n_records,) = conn.execute("SELECT COUNT(*) FROM results").fetchone()
-        conn = self._conn()
-        conn.execute("VACUUM")
-        # VACUUM itself writes through the WAL; truncate it afterwards so
-        # the measured footprint is the real steady-state database size.
-        conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        with self._timed("compact"):
+            with self._txn() as conn:
+                conn.execute("DELETE FROM leases WHERE deadline <= ?", (now,))
+                (n_records,) = conn.execute(
+                    "SELECT COUNT(*) FROM results"
+                ).fetchone()
+            conn = self._conn()
+            conn.execute("VACUUM")
+            # VACUUM itself writes through the WAL; truncate it afterwards so
+            # the measured footprint is the real steady-state database size.
+            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
         return CompactionStats(
             n_records, n_records, bytes_before, self._disk_bytes()
         )

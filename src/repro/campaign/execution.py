@@ -28,28 +28,38 @@ from repro.core.termination import default_termination
 from repro.functions import get_function, random_vertices
 from repro.functions.suite import TestFunction
 from repro.noise import StochasticFunction
+from repro.telemetry import new_span_id
 
 #: Offset decoupling the noise stream from the initial-state stream.
 NOISE_SEED_OFFSET = 1_000_003
 
 #: Environment variable naming an execution audit log.  When set, every
-#: job execution appends its job id (one ``O_APPEND`` line, so entries
-#: from any number of runner processes interleave whole) to that file
-#: *before* running — the ground truth for "how many times was this job
-#: actually evaluated", which store records cannot answer (last-record-
-#: wins hides duplicates).  The chaos test suite and the CI chaos-smoke
-#: job assert exactly-once execution through this log.
+#: job execution appends one ``O_APPEND`` line (so entries from any
+#: number of runner processes interleave whole) to that file *before*
+#: running — the ground truth for "how many times was this job actually
+#: evaluated", which store records cannot answer (last-record-wins hides
+#: duplicates).  Each line is ``job_id run_id span_id``: the run id
+#: identifies the ``run()`` call that dispatched the execution (via
+#: ``$REPRO_RUN_ID``), the span id is fresh per execution attempt and
+#: also rides the store record and the telemetry trace's ``job`` event,
+#: so audit entries correlate with traces and exactly-once can be
+#: asserted *per span*.  The chaos test suite and the CI chaos-smoke job
+#: assert exactly-once execution through this log.
 JOB_AUDIT_ENV = "REPRO_JOB_AUDIT_LOG"
 
+#: Environment variable carrying the dispatching run's id into executing
+#: processes (the runner exports it; pool / mw workers inherit it).
+RUN_ID_ENV = "REPRO_RUN_ID"
 
-def _audit_execution(job_id: str) -> None:
-    """Append ``job_id`` to the ``$REPRO_JOB_AUDIT_LOG`` file, if set."""
+
+def _audit_execution(job_id: str, run_id: str, span_id: str) -> None:
+    """Append ``job_id run_id span_id`` to ``$REPRO_JOB_AUDIT_LOG``, if set."""
     path = os.environ.get(JOB_AUDIT_ENV)
     if not path:
         return
     fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
     try:
-        os.write(fd, (job_id + "\n").encode("utf-8"))
+        os.write(fd, f"{job_id} {run_id} {span_id}\n".encode("utf-8"))
     finally:
         os.close(fd)
 
@@ -106,7 +116,9 @@ def mw_job_executor(work: dict, context) -> dict:
 
 
 def _run_job_record(job: Job) -> dict:
-    _audit_execution(job.job_id)
+    run_id = os.environ.get(RUN_ID_ENV, "-")
+    span_id = new_span_id()
+    _audit_execution(job.job_id, run_id, span_id)
     t0 = time.perf_counter()
     try:
         result = execute_job(job)
@@ -118,6 +130,8 @@ def _run_job_record(job: Job) -> dict:
             "result": None,
             "error": f"{type(exc).__name__}: {exc}",
             "elapsed_s": time.perf_counter() - t0,
+            "run_id": run_id,
+            "span_id": span_id,
         }
     return {
         "job_id": job.job_id,
@@ -126,4 +140,6 @@ def _run_job_record(job: Job) -> dict:
         "result": result.to_dict(),
         "error": None,
         "elapsed_s": time.perf_counter() - t0,
+        "run_id": run_id,
+        "span_id": span_id,
     }

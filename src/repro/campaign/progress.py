@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterator, Optional, Tuple
 
 
@@ -85,6 +86,86 @@ class CellProgress:
 
 
 @dataclass(frozen=True)
+class WorkerUtilization:
+    """Per-rank utilization of one mw worker — the paper-style table row.
+
+    Sourced from the telemetry trace's latest ``workers`` event (the
+    runner folds the mw driver's dispatch/reply bookkeeping into one
+    event per run).  ``straggler`` flags a rank whose utilization fell
+    below half the pool median — the stalls the paper's worker-table
+    diagnosis is after.
+    """
+
+    rank: int
+    tasks: int            # replies received from this rank
+    busy_s: float         # accumulated dispatch-to-reply seconds
+    elapsed_s: float      # observation window (driver lifetime)
+    utilization: float    # busy_s / elapsed_s
+    alive: bool
+    straggler: bool = False
+
+    def to_dict(self) -> dict:
+        """Flat JSON shape for ``campaign watch --json`` consumers."""
+        return {
+            "rank": self.rank,
+            "tasks": self.tasks,
+            "busy_s": self.busy_s,
+            "elapsed_s": self.elapsed_s,
+            "utilization": self.utilization,
+            "alive": self.alive,
+            "straggler": self.straggler,
+        }
+
+    def line(self) -> str:
+        """One indented per-worker line for the ``watch --cells`` view."""
+        flags = "" if self.alive else " [dead]"
+        if self.straggler:
+            flags += " [straggler]"
+        return (
+            f"  worker {self.rank}: {self.tasks} tasks, "
+            f"busy {self.busy_s:.1f}s/{self.elapsed_s:.1f}s "
+            f"({self.utilization:.0%}){flags}"
+        )
+
+
+def workers_from_trace(directory) -> Tuple[WorkerUtilization, ...]:
+    """Worker-utilization rows from a campaign's telemetry trace.
+
+    Reads the latest ``workers`` event in ``<directory>/telemetry.jsonl``
+    (written by mw-backend runs with telemetry enabled) and flags
+    stragglers: with more than one worker, any rank whose utilization is
+    below half the pool median.  Returns ``()`` when there is no trace
+    or no mw run has reported yet.
+    """
+    from repro.telemetry import TELEMETRY_FILENAME, last_event
+
+    path = Path(directory) / TELEMETRY_FILENAME
+    if not path.exists():
+        return ()
+    event = last_event(path, "workers")
+    if event is None:
+        return ()
+    rows = sorted(event.get("workers") or [], key=lambda r: int(r.get("rank", 0)))
+    utils = sorted(float(r.get("utilization", 0.0)) for r in rows)
+    median = utils[len(utils) // 2] if utils else 0.0
+    return tuple(
+        WorkerUtilization(
+            rank=int(r.get("rank", 0)),
+            tasks=int(r.get("tasks", 0)),
+            busy_s=float(r.get("busy_s", 0.0)),
+            elapsed_s=float(r.get("elapsed_s", 0.0)),
+            utilization=float(r.get("utilization", 0.0)),
+            alive=bool(r.get("alive", False)),
+            straggler=(
+                len(rows) > 1
+                and float(r.get("utilization", 0.0)) < 0.5 * median
+            ),
+        )
+        for r in rows
+    )
+
+
+@dataclass(frozen=True)
 class ProgressSnapshot:
     """One observation of a campaign's completion state."""
 
@@ -96,6 +177,7 @@ class ProgressSnapshot:
     rate: float           # completions per second over the measurement window
     claimed: int = 0      # unfinished jobs under a live lease (watch only)
     cells: Tuple[CellProgress, ...] = ()  # per-cell detail (watch only)
+    workers: Tuple[WorkerUtilization, ...] = ()  # mw utilization (telemetry)
 
     @property
     def remaining(self) -> int:
@@ -129,6 +211,7 @@ class ProgressSnapshot:
             "rate": self.rate,
             "eta_s": self.eta_s,
             "cells": [cell.to_dict() for cell in self.cells],
+            "workers": [worker.to_dict() for worker in self.workers],
         }
 
     def line(self) -> str:
@@ -170,6 +253,59 @@ def cells_from_status(status: dict) -> Tuple[CellProgress, ...]:
     return tuple(rows)
 
 
+def _store_mtime_window(campaign) -> Optional[float]:
+    """Seconds between campaign creation and the store's last write.
+
+    The creation proxy is ``spec.json``'s mtime (written once, when the
+    campaign directory is initialised); the last-write proxy is the
+    newest mtime across the store's on-disk files — the single JSONL
+    file, every ``results*`` file of a sharded directory, or the SQLite
+    database plus its WAL.  ``None`` when the window cannot be measured
+    (in-memory store, store not yet written, or clock skew producing a
+    non-positive window).
+    """
+    try:
+        t_start = (Path(campaign.directory) / "spec.json").stat().st_mtime
+    except (OSError, AttributeError):
+        return None
+    store_path = getattr(campaign.store, "path", None)
+    if store_path is None:
+        return None
+    store_path = Path(store_path)
+    if store_path.is_dir():
+        candidates = list(store_path.glob("results*"))
+    else:
+        candidates = [store_path, store_path.with_name(store_path.name + "-wal")]
+    latest = None
+    for candidate in candidates:
+        try:
+            mtime = candidate.stat().st_mtime
+        except OSError:
+            continue
+        latest = mtime if latest is None else max(latest, mtime)
+    if latest is None:
+        return None
+    window = latest - t_start
+    return window if window > 0 else None
+
+
+def seed_rate(campaign, done: int) -> float:
+    """First-tick completion rate estimated from store file mtimes.
+
+    A watch loop's first observation has no measurement window of its
+    own, so estimate one from the store instead: ``done`` jobs landed
+    between campaign creation (``spec.json`` mtime) and the store's last
+    write.  Returns 0 when nothing is done yet or the window cannot be
+    measured — the pre-fix behaviour, never worse.
+    """
+    if done <= 0:
+        return 0.0
+    window = _store_mtime_window(campaign)
+    if not window:
+        return 0.0
+    return done / window
+
+
 def watch_campaign(
     campaign,
     interval: float = 2.0,
@@ -183,8 +319,11 @@ def watch_campaign(
     on a re-run, so waiting for them would hang) or after ``max_ticks``
     snapshots (``1`` gives the ``--once`` behaviour).  The per-tick rate is
     the completion delta between observations over the wall-time between
-    them; the first tick has no window, so its rate is reported as 0.
-    Each snapshot carries the per-cell breakdown and live-claim counts.
+    them; the first tick has no window of its own, so its rate is seeded
+    from store-file mtimes (:func:`seed_rate`) — ``campaign watch --once``
+    mid-drain reports a usable rate and ETA instead of ``?``.  Each
+    snapshot carries the per-cell breakdown, live-claim counts, and (when
+    a telemetry trace reports them) per-worker utilization rows.
 
     ``campaign`` is a :class:`~repro.campaign.runner.Campaign`; ``_sleep``
     and ``_clock`` are injectable for tests.
@@ -197,9 +336,12 @@ def watch_campaign(
         status = campaign.status()
         now = _clock()
         done = status["done"]
-        rate = 0.0
-        if prev_done is not None and now > prev_t:
+        if prev_done is None:
+            rate = seed_rate(campaign, done)
+        elif now > prev_t:
             rate = max(0.0, (done - prev_done) / (now - prev_t))
+        else:
+            rate = 0.0
         yield ProgressSnapshot(
             campaign=status["name"],
             n_total=status["n_jobs"],
@@ -209,6 +351,7 @@ def watch_campaign(
             rate=rate,
             claimed=status.get("claimed", 0),
             cells=cells_from_status(status),
+            workers=workers_from_trace(campaign.directory),
         )
         ticks += 1
         if max_ticks is not None and ticks >= max_ticks:

@@ -44,7 +44,7 @@ from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Set
 
 from repro.campaign.aggregate import CellSummary, PairedComparison, compare_labels, summarize
-from repro.campaign.execution import run_job
+from repro.campaign.execution import RUN_ID_ENV, run_job
 from repro.campaign.backends import parse_store_spec
 from repro.campaign.progress import ProgressSnapshot
 from repro.campaign.sharding import open_store
@@ -57,6 +57,7 @@ from repro.campaign.store import (
 )
 from repro.mw.transport import TRANSPORT_NAMES, is_tcp_spec
 from repro.parallel.backends import parallel_map
+from repro.telemetry import Telemetry
 
 SPEC_FILENAME = "spec.json"
 RESULTS_FILENAME = "results.jsonl"
@@ -237,6 +238,14 @@ class CampaignRunner:
     runner_id:
         Lease identity of this runner; defaults to
         :func:`default_runner_id` (``host:pid``).
+    telemetry:
+        The :class:`~repro.telemetry.Telemetry` context this run reports
+        through; defaults to :meth:`Telemetry.from_env` (live only when
+        ``$REPRO_TELEMETRY`` is set — the no-op otherwise).  When live,
+        the runner also routes the store's latency metrics through it,
+        exports the run id via ``$REPRO_RUN_ID`` so execution audit
+        lines correlate with trace events, and traces the claim /
+        evaluate / record lifecycle of every batch.
     """
 
     def __init__(
@@ -255,6 +264,7 @@ class CampaignRunner:
         lease: bool = True,
         lease_ttl: float = DEFAULT_LEASE_TTL,
         runner_id: Optional[str] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if backend not in RUNNER_BACKENDS:
             raise ValueError(
@@ -276,6 +286,11 @@ class CampaignRunner:
         self.lease = bool(lease)
         self.lease_ttl = float(lease_ttl)
         self.runner_id = runner_id or default_runner_id()
+        self.telemetry = telemetry if telemetry is not None else Telemetry.from_env()
+        if self.telemetry.enabled:
+            # One registry for the whole run: store latency histograms land
+            # next to runner spans, so `campaign metrics` sees both.
+            self.store.telemetry = self.telemetry
         if batch_size is None:
             if backend == "serial":
                 batch_size = 1  # record after every job: finest resume grain
@@ -333,9 +348,25 @@ class CampaignRunner:
                 )
             )
 
+        saved_run_env = os.environ.get(RUN_ID_ENV)
+        if self.telemetry.enabled:
+            # Executing processes (pool workers fork after this point) stamp
+            # this run's id into their audit lines and store records.
+            os.environ[RUN_ID_ENV] = self.telemetry.run_id
+            self.telemetry.event(
+                "run_start",
+                campaign=self.spec.name,
+                backend=self.backend,
+                n_total=n_total,
+                n_skipped=n_skipped,
+            )
         interrupted = False
         try:
             while True:
+                self.telemetry.counter(
+                    "repro_runner_passes_total",
+                    "Claim-and-execute passes over the grid.",
+                ).inc()
                 pending = self._pending_pass(jobs, executed)
                 if budget is not None:
                     pending = pending[:budget]
@@ -365,6 +396,22 @@ class CampaignRunner:
                     break
         except KeyboardInterrupt:
             interrupted = True
+        finally:
+            if self.telemetry.enabled:
+                if saved_run_env is None:
+                    os.environ.pop(RUN_ID_ENV, None)
+                else:
+                    os.environ[RUN_ID_ENV] = saved_run_env
+                self.telemetry.event(
+                    "run_end",
+                    done=counts["done"],
+                    failed=counts["failed"],
+                    shed=counts["shed"],
+                    leased=counts["leased"],
+                    elapsed_s=time.monotonic() - t0,
+                    interrupted=interrupted,
+                )
+                self.telemetry.write_metrics()
         return CampaignReport(
             n_total=n_total,
             n_skipped=n_skipped,
@@ -409,7 +456,8 @@ class CampaignRunner:
         peer (``leased``); both are dropped from this batch.
         """
         ids = [job.job_id for job in batch]
-        granted = set(self.store.claim(ids, self.runner_id, self.lease_ttl))
+        with self.telemetry.span("claim", n_jobs=len(ids)):
+            granted = set(self.store.claim(ids, self.runner_id, self.lease_ttl))
         if len(granted) != len(ids):
             done = self.store.completed_ids()
             for job in batch:
@@ -417,8 +465,16 @@ class CampaignRunner:
                     continue
                 if job.job_id in done:
                     counts["shed"] += 1
+                    self.telemetry.counter(
+                        "repro_runner_jobs_shed_total",
+                        "Jobs dropped because a peer completed them first.",
+                    ).inc()
                 else:
                     counts["leased"] += 1
+                    self.telemetry.counter(
+                        "repro_runner_jobs_leased_total",
+                        "Jobs skipped because a peer holds a live lease.",
+                    ).inc()
         return [job for job in batch if job.job_id in granted]
 
     def _release_quietly(self, job_ids: Sequence[str]) -> None:
@@ -434,12 +490,28 @@ class CampaignRunner:
         One ``record_many`` call, so the engine batches the whole append
         into a single critical section (one locked write / transaction).
         """
-        self.store.record_many(records)
+        with self.telemetry.span("record", n_jobs=len(records)):
+            self.store.record_many(records)
         for rec in records:
             if rec["status"] == STATUS_DONE:
                 counts["done"] += 1
             else:
                 counts["failed"] += 1
+            self.telemetry.counter(
+                "repro_runner_jobs_total",
+                "Jobs this runner executed, by outcome.",
+                status=rec["status"],
+            ).inc()
+            self.telemetry.histogram(
+                "repro_job_seconds", "Wall-clock duration of job executions.",
+            ).observe(float(rec.get("elapsed_s", 0.0)))
+            self.telemetry.event(
+                "job",
+                job_id=rec["job_id"],
+                span_id=rec.get("span_id", "-"),
+                status=rec["status"],
+                elapsed_s=float(rec.get("elapsed_s", 0.0)),
+            )
 
     def _run_batches(self, pending: List[Job], counts: dict, emit, executed: Set[str]) -> None:
         """serial / thread / process path: ``parallel_map`` per batch."""
@@ -458,13 +530,16 @@ class CampaignRunner:
                 if self.lease else None
             )
             try:
-                records = parallel_map(
-                    run_job,
-                    batch,
-                    backend=self.backend,
-                    max_workers=self.max_workers,
-                    chunksize=self.chunksize,
-                )
+                with self.telemetry.span(
+                    "evaluate", n_jobs=len(batch), backend=self.backend
+                ):
+                    records = parallel_map(
+                        run_job,
+                        batch,
+                        backend=self.backend,
+                        max_workers=self.max_workers,
+                        chunksize=self.chunksize,
+                    )
             except BaseException:
                 if heartbeat is not None:
                     heartbeat.stop()
@@ -512,6 +587,7 @@ class CampaignRunner:
             backend=self.mw_transport,
             max_retries=self.mw_max_retries,
             seed=0,
+            telemetry=self.telemetry,
         )
         with driver:
             for start in range(0, len(pending), self.batch_size):
@@ -529,14 +605,18 @@ class CampaignRunner:
                     if self.lease else None
                 )
                 try:
-                    tasks = [
-                        driver.submit(
-                            job.to_dict(),
-                            affinity=(i % n_workers) + 1 if self.mw_affinity else None,
-                        )
-                        for i, job in enumerate(batch)
-                    ]
-                    driver.wait_all()
+                    with self.telemetry.span(
+                        "evaluate", n_jobs=len(batch), backend="mw"
+                    ):
+                        tasks = [
+                            driver.submit(
+                                job.to_dict(),
+                                affinity=(i % n_workers) + 1
+                                if self.mw_affinity else None,
+                            )
+                            for i, job in enumerate(batch)
+                        ]
+                        driver.wait_all()
                 except BaseException:
                     if heartbeat is not None:
                         heartbeat.stop()
@@ -554,6 +634,10 @@ class CampaignRunner:
                 self._record_batch(records, counts)
                 executed.update(ids)
                 emit()
+            if self.telemetry.enabled:
+                # Folded per-rank utilization for the paper-style worker
+                # table (`campaign watch --cells` and OBSERVABILITY.md).
+                self.telemetry.event("workers", workers=driver.utilization())
 
     @staticmethod
     def _mw_failure_record(job: Job, task) -> dict:
@@ -644,8 +728,19 @@ class Campaign:
         lease_ttl: float = DEFAULT_LEASE_TTL,
         runner_id: Optional[str] = None,
         progress: Optional[ProgressCallback] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> CampaignReport:
-        """Run (or resume) the pending jobs; see :class:`CampaignRunner`."""
+        """Run (or resume) the pending jobs; see :class:`CampaignRunner`.
+
+        ``telemetry`` defaults to :meth:`Telemetry.from_env` anchored at
+        the campaign directory, so setting ``$REPRO_TELEMETRY`` (or the
+        CLI's ``--telemetry``) makes the run append its event trace to
+        ``<dir>/telemetry.jsonl`` with no further wiring.
+        """
+        if telemetry is None:
+            telemetry = Telemetry.from_env(
+                self.directory, runner=runner_id or default_runner_id()
+            )
         runner = CampaignRunner(
             self.spec,
             self.store,
@@ -660,6 +755,7 @@ class Campaign:
             lease=lease,
             lease_ttl=lease_ttl,
             runner_id=runner_id,
+            telemetry=telemetry,
         )
         return runner.run(max_jobs=max_jobs, progress=progress)
 

@@ -193,10 +193,11 @@ class ResultStore(StoreBackend):
         """Append one job record (must carry ``job_id`` and ``status``)."""
         if "job_id" not in record or "status" not in record:
             raise ValueError("record needs 'job_id' and 'status' fields")
-        if self.path is None:
-            self._memory.append(dict(record))
-            return
-        self._append_payload(json.dumps(record, sort_keys=True) + "\n")
+        with self._timed("append"):
+            if self.path is None:
+                self._memory.append(dict(record))
+                return
+            self._append_payload(json.dumps(record, sort_keys=True) + "\n")
 
     def record_many(self, records: Sequence[dict]) -> None:
         """Append a batch of records as one locked multi-line write.
@@ -213,12 +214,13 @@ class ResultStore(StoreBackend):
                 raise ValueError("record needs 'job_id' and 'status' fields")
         if not records:
             return
-        if self.path is None:
-            self._memory.extend(dict(r) for r in records)
-            return
-        self._append_payload(
-            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
-        )
+        with self._timed("append"):
+            if self.path is None:
+                self._memory.extend(dict(r) for r in records)
+                return
+            self._append_payload(
+                "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+            )
 
     # -- leases ------------------------------------------------------------
 
@@ -275,6 +277,17 @@ class ResultStore(StoreBackend):
         """
         now = time.time() if now is None else float(now)
         deadline = now + float(ttl)
+        with self._timed("claim"):
+            return self._claim_locked(job_ids, runner, now, deadline)
+
+    def _claim_locked(
+        self,
+        job_ids: Sequence[str],
+        runner: str,
+        now: float,
+        deadline: float,
+    ) -> List[str]:
+        """The :meth:`claim` body (split out so the timer wraps it whole)."""
         if self.path is None:
             by_id, leases = self._memory_state()
             granted = [
@@ -597,6 +610,11 @@ class ResultStore(StoreBackend):
         :class:`CompactionStats`.
         """
         now = time.time() if now is None else float(now)
+        with self._timed("compact"):
+            return self._compact_now(now)
+
+    def _compact_now(self, now: float) -> CompactionStats:
+        """The :meth:`compact` body (split out so the timer wraps it whole)."""
         if self.path is None:
             by_id, leases = self._memory_state()
             n_before = sum(

@@ -10,8 +10,9 @@ Subcommands:
 * ``optroot`` — inspect an $OPTROOT directory tree (systems, phases,
   processor count, property specs).
 * ``campaign`` — durable, parallel, resumable experiment sweeps
-  (``campaign run | status | watch | summary | compare | compact |
-  migrate-store``); see :mod:`repro.campaign` and ``docs/CAMPAIGNS.md``.
+  (``campaign run | status | watch | metrics | summary | compare |
+  compact | migrate-store``); see :mod:`repro.campaign` and
+  ``docs/CAMPAIGNS.md``.
   ``run --backend mw`` distributes jobs through the :mod:`repro.mw`
   master-worker layer, and several runner processes pointed at the same
   directory cooperatively drain one campaign — claim leases (on by
@@ -20,7 +21,10 @@ Subcommands:
   store engine (``--shards N`` is shorthand for ``jsonl:N``); ``campaign
   migrate-store`` converts an existing campaign between engines or shard
   counts.  With ``--transport tcp://host:port`` the master listens for
-  remote workers instead of spawning local ones.
+  remote workers instead of spawning local ones.  ``run --telemetry``
+  (or ``$REPRO_TELEMETRY=1``) records metrics and a job-lifecycle trace
+  to ``<dir>/telemetry.jsonl``; ``campaign metrics`` exports them as
+  Prometheus text or JSON (see ``docs/OBSERVABILITY.md``).
 * ``mw-worker`` — standalone TCP worker: connects to a master at
   ``tcp://host:port`` and serves tasks until the master shuts down.
   Start any number of these on any hosts that can reach the master; no
@@ -157,9 +161,16 @@ def _campaign_spec_from_args(args: argparse.Namespace):
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    import os
+
     from repro.campaign import DEFAULT_LEASE_TTL, SPEC_FILENAME, Campaign
+    from repro.telemetry import TELEMETRY_ENV
     from pathlib import Path
 
+    if args.telemetry:
+        # Through the environment rather than a parameter so pool / mw
+        # worker subprocesses inherit the decision too.
+        os.environ[TELEMETRY_ENV] = "1"
     spec = None
     if (Path(args.directory) / SPEC_FILENAME).exists():
         if args.spec is not None:
@@ -239,8 +250,51 @@ def _cmd_campaign_watch(args: argparse.Namespace) -> int:
             if args.cells:
                 for cell in snap.cells:
                     print(cell.line(), flush=True)
+                for worker in snap.workers:
+                    print(worker.line(), flush=True)
     except KeyboardInterrupt:
         return 130
+    return 0
+
+
+def _cmd_campaign_metrics(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.telemetry import (
+        TELEMETRY_FILENAME,
+        merge_snapshots,
+        read_trace,
+        render_prometheus,
+    )
+
+    campaign = _open_campaign(args.directory)
+    path = Path(campaign.directory) / TELEMETRY_FILENAME
+    if not path.exists():
+        print(
+            f"error: no {TELEMETRY_FILENAME} in {campaign.directory}; "
+            f"run the campaign with --telemetry (or $REPRO_TELEMETRY=1) first",
+            file=sys.stderr,
+        )
+        return 2
+    # Registries are process-local, so runners persist snapshots into the
+    # trace; keep the latest snapshot per (run, runner) and merge those.
+    latest = {}
+    for event in read_trace(path):
+        if event.get("event") == "metrics":
+            latest[(event.get("run_id"), event.get("runner"))] = event["metrics"]
+    if not latest:
+        print(
+            "error: the telemetry trace holds no metrics snapshots yet "
+            "(is a run still in flight?)",
+            file=sys.stderr,
+        )
+        return 2
+    merged = merge_snapshots(latest.values())
+    if args.json:
+        print(json.dumps(merged, indent=2, sort_keys=True))
+    else:
+        print(render_prometheus(merged), end="")
     return 0
 
 
@@ -522,6 +576,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "fallback; harmless with leases)")
     p_crun.add_argument("--progress", action="store_true",
                         help="print a heartbeat line after every recorded batch")
+    p_crun.add_argument("--telemetry", action="store_true",
+                        help="record metrics and a job-lifecycle trace into "
+                             "<dir>/telemetry.jsonl (same as $REPRO_TELEMETRY=1; "
+                             "read back with 'campaign metrics')")
     p_crun.set_defaults(func=_cmd_campaign_run)
 
     p_cstat = camp_sub.add_parser("status", help="job counts and per-cell progress")
@@ -543,6 +601,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="emit one JSON object per refresh instead of "
                                "the human one-liner (for dashboards)")
     p_cwatch.set_defaults(func=_cmd_campaign_watch)
+
+    p_cmetrics = camp_sub.add_parser(
+        "metrics",
+        help="merge the metrics snapshots from telemetry.jsonl and print "
+             "them in Prometheus text exposition format",
+    )
+    p_cmetrics.add_argument("directory")
+    p_cmetrics.add_argument("--json", action="store_true",
+                            help="emit the merged snapshot as JSON instead of "
+                                 "Prometheus text")
+    p_cmetrics.set_defaults(func=_cmd_campaign_metrics)
 
     p_ccompact = camp_sub.add_parser(
         "compact", help="rewrite the result store one-line-per-job (atomic)"

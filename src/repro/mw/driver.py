@@ -52,6 +52,7 @@ from repro.mw.transport import (
     make_transport,
 )
 from repro.mw.worker import Executor
+from repro.telemetry import Telemetry
 
 
 class MWDriver:
@@ -84,6 +85,12 @@ class MWDriver:
     transport_options:
         Extra keyword options for :func:`~repro.mw.transport.make_transport`
         (e.g. TCP heartbeat tuning).
+    telemetry:
+        The :class:`~repro.telemetry.Telemetry` context dispatches,
+        replies, requeues, and dead-worker events are counted in;
+        defaults to :meth:`Telemetry.from_env`.  It is handed to the
+        transport before ``start()`` so transport-level series (TCP
+        frame counts, heartbeat gaps) land in the same registry.
     """
 
     def __init__(
@@ -95,6 +102,7 @@ class MWDriver:
         seed: Optional[int] = None,
         transport: Optional[Transport] = None,
         transport_options: Optional[dict] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -107,6 +115,13 @@ class MWDriver:
         self._pending: deque[MWTask] = deque()
         self._running: Dict[int, MWTask] = {}
         self._shutdown = False
+        self.telemetry = telemetry if telemetry is not None else Telemetry.from_env()
+        # Per-rank utilization bookkeeping (always on — two dict writes per
+        # task): dispatch time, task tally, and accumulated busy seconds.
+        self._t0 = time.monotonic()
+        self._rank_tasks: Dict[int, int] = {}
+        self._rank_busy: Dict[int, float] = {}
+        self._dispatch_t: Dict[int, float] = {}
         seqs = np.random.SeedSequence(seed).spawn(n_workers)
         if transport is None:
             transport = make_transport(
@@ -117,6 +132,7 @@ class MWDriver:
                 **(transport_options or {}),
             )
         self.transport = transport
+        self.transport.telemetry = self.telemetry
         self.transport.start()
         live = self.transport.initially_live()
         self._alive = {rank: rank in live for rank in range(1, n_workers + 1)}
@@ -179,6 +195,11 @@ class MWDriver:
             self._idle.remove(rank)
             task.mark_running(rank)
             self._running[task.task_id] = task
+            self._dispatch_t[task.task_id] = time.monotonic()
+            self.telemetry.counter(
+                "repro_mw_tasks_dispatched_total",
+                "Task dispatches to workers (retries re-count).",
+            ).inc()
             message = Message(
                 tag=MSG_TASK,
                 sender=0,
@@ -209,29 +230,51 @@ class MWDriver:
             return  # stale reply (e.g. from a worker presumed dead)
         rank = task.worker
         self._running.pop(task.task_id, None)
+        t_sent = self._dispatch_t.pop(task.task_id, None)
+        if rank is not None:
+            busy = 0.0 if t_sent is None else time.monotonic() - t_sent
+            self._rank_tasks[rank] = self._rank_tasks.get(rank, 0) + 1
+            self._rank_busy[rank] = self._rank_busy.get(rank, 0.0) + busy
         if rank is not None and rank not in self._idle and self._alive.get(rank, False):
             self._idle.append(rank)
         if message.tag == MSG_RESULT:
+            self.telemetry.counter(
+                "repro_mw_replies_total", "Task replies from workers.",
+                outcome="result",
+            ).inc()
             task.mark_done(payload["result"])
             self.act_on_completed_task(task)
         else:
+            self.telemetry.counter(
+                "repro_mw_replies_total", "Task replies from workers.",
+                outcome="error",
+            ).inc()
             error = payload.get("error", "unknown error")
             if task.attempts > self.max_retries:
                 task.mark_failed(error)
             else:
                 task.mark_retry(error)
                 self._pending.append(task)
+                self.telemetry.counter(
+                    "repro_mw_requeues_total",
+                    "Tasks requeued after worker errors or deaths.",
+                ).inc()
 
     def _requeue_tasks_of(self, rank: int) -> None:
         """Return a dead worker's in-flight tasks to the queue (or fail them)."""
         for task in list(self._running.values()):
             if task.worker == rank:
                 self._running.pop(task.task_id, None)
+                self._dispatch_t.pop(task.task_id, None)
                 if task.attempts > self.max_retries:
                     task.mark_failed("worker died")
                 else:
                     task.mark_retry("worker died")
                     self._pending.append(task)
+                    self.telemetry.counter(
+                        "repro_mw_requeues_total",
+                        "Tasks requeued after worker errors or deaths.",
+                    ).inc()
 
     def _poll_transport(self) -> None:
         """Apply join/death events: liveness, idle pool, crash requeue."""
@@ -246,6 +289,10 @@ class MWDriver:
                 self._alive[rank] = False
                 if rank in self._idle:
                     self._idle.remove(rank)
+                self.telemetry.counter(
+                    "repro_mw_worker_deaths_total",
+                    "Workers declared dead (crash or heartbeat silence).",
+                ).inc()
                 self._requeue_tasks_of(rank)
 
     def _outstanding(self) -> int:
@@ -307,3 +354,30 @@ class MWDriver:
             "failed": states[TaskState.FAILED],
             "live_workers": sum(self._alive.values()),
         }
+
+    def utilization(self, elapsed_s: Optional[float] = None) -> List[dict]:
+        """Per-rank utilization rows — the paper-style worker table.
+
+        One row per rank: ``tasks`` completed (replies received),
+        ``busy_s`` accumulated dispatch-to-reply seconds, ``elapsed_s``
+        the observation window (driver lifetime unless given),
+        ``utilization`` their ratio, and ``alive``.  The campaign runner
+        folds these rows into the telemetry trace as a ``workers``
+        event; ``campaign watch --cells`` renders them with straggler
+        flags.
+        """
+        if elapsed_s is None:
+            elapsed_s = time.monotonic() - self._t0
+        elapsed_s = max(float(elapsed_s), 1e-9)
+        rows = []
+        for rank in range(1, self.n_workers + 1):
+            busy = self._rank_busy.get(rank, 0.0)
+            rows.append({
+                "rank": rank,
+                "tasks": self._rank_tasks.get(rank, 0),
+                "busy_s": busy,
+                "elapsed_s": elapsed_s,
+                "utilization": busy / elapsed_s,
+                "alive": bool(self._alive.get(rank, False)),
+            })
+        return rows

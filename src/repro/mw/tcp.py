@@ -64,6 +64,7 @@ from repro.mw.transport import (
     resolve_executor,
 )
 from repro.mw.worker import Executor, MWWorker
+from repro.telemetry.metrics import NULL_COUNTER, NULL_HISTOGRAM
 
 #: Protocol version carried in the hello/welcome handshake.
 PROTOCOL_VERSION = 1
@@ -235,11 +236,31 @@ class TcpMasterTransport(Transport):
         self._threads: List[threading.Thread] = []
         self._listener: Optional[socket.socket] = None
         self._closing = False
+        # Re-bound against the live telemetry context in start(); null here
+        # so a transport used without a driver still counts safely.
+        self._m_sent = NULL_COUNTER
+        self._m_received = NULL_COUNTER
+        self._m_heartbeat_gap = NULL_HISTOGRAM
 
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> None:
         """Bind the listener and start accepting workers in the background."""
+        # Metric handles are bound here, after the driver has assigned its
+        # telemetry context (Transport.telemetry is set post-construction).
+        self._m_sent = self.telemetry.counter(
+            "repro_mw_frames_total", "TCP frames by direction.",
+            direction="sent",
+        )
+        self._m_received = self.telemetry.counter(
+            "repro_mw_frames_total", "TCP frames by direction.",
+            direction="received",
+        )
+        self._m_heartbeat_gap = self.telemetry.histogram(
+            "repro_mw_heartbeat_gap_seconds",
+            "Observed silence between worker frames at each heartbeat "
+            "(RTT + scheduling delay proxy).",
+        )
         self._listener = socket.create_server(
             (self.host, self.port), backlog=self.n_workers + 2, reuse_port=False
         )
@@ -383,11 +404,17 @@ class TcpMasterTransport(Transport):
                 message = recv_frame(sock)
                 if message is None:
                     break
+                now = time.monotonic()
                 with self._lock:
                     if self._conns.get(rank) is not sock:
                         return  # superseded (e.g. presumed dead, rank reused)
-                    self._last_seen[rank] = time.monotonic()
+                    gap = now - self._last_seen.get(rank, now)
+                    self._last_seen[rank] = now
+                self._m_received.inc()
                 if message.tag == MSG_HEARTBEAT:
+                    # The silence a heartbeat ends approximates one worker
+                    # round trip plus scheduling delay — the RTT series.
+                    self._m_heartbeat_gap.observe(gap)
                     continue
                 self._replies.put(message)
         except (OSError, CodecError):
@@ -418,6 +445,7 @@ class TcpMasterTransport(Transport):
             return  # died between poll and send; poll() already reported it
         try:
             send_frame(sock, message)
+            self._m_sent.inc()
         except (OSError, CodecError):
             self._drop(rank, sock)
 

@@ -45,6 +45,7 @@ from repro.mw.messages import (
     encode_message,
 )
 from repro.mw.worker import Executor, MWWorker
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 #: Same-host transport names (a ``tcp://host:port`` URL is also accepted).
 TRANSPORT_NAMES = ("inproc", "threaded", "process")
@@ -74,6 +75,11 @@ class Transport:
     #: Workers may join (or rejoin) after ``start`` — the driver must not
     #: give up when no rank is currently live.
     dynamic: bool = False
+    #: Telemetry context transport-level metrics report through; the
+    #: driver assigns its own before calling ``start``, so implementations
+    #: should create metric handles in ``start``, not ``__init__``.
+    #: Defaults to the shared no-op instance.
+    telemetry: Telemetry = NULL_TELEMETRY
 
     def start(self) -> None:
         """Bring the transport up (bind sockets, spawn workers); no-op here."""

@@ -1,0 +1,276 @@
+"""Observability substrate for the campaign stack.
+
+``repro.telemetry`` bundles the two sinks the execution layers report
+through — a process-local metrics registry (:mod:`repro.telemetry.
+metrics`) and an append-only per-campaign event trace (:mod:`repro.
+telemetry.trace`) — behind one facade, :class:`Telemetry`.  The runner,
+the store backends, and the mw driver/transports all take a
+``Telemetry`` and never check whether it is live: a disabled instance
+(the default, via :data:`NULL_TELEMETRY`) hands out no-op instruments
+and skips the trace entirely, so instrumentation stays compiled into
+every hot path at near-zero cost (the bench-regression CI gate holds
+the store hot path to <5% overhead even when telemetry is *enabled*).
+
+Enable with the ``--telemetry`` CLI flag or ``$REPRO_TELEMETRY=1``.
+Exported output: ``<campaign>/telemetry.jsonl`` (trace events plus
+registry snapshots) and ``campaign metrics [--json]`` (Prometheus-text
+exposition merged across runners).  See ``docs/OBSERVABILITY.md`` for
+the metric catalogue and trace schema.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    render_prometheus,
+)
+from .trace import (
+    EVENT_SCHEMAS,
+    TELEMETRY_FILENAME,
+    TraceWriter,
+    last_event,
+    new_run_id,
+    new_span_id,
+    read_trace,
+    validate_trace,
+)
+
+#: Environment variable that switches telemetry on for a whole process
+#: tree (the CLI ``--telemetry`` flag sets it so worker subprocesses
+#: inherit the decision).
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+
+_FALSY = ("", "0", "false", "no", "off")
+
+
+def telemetry_enabled() -> bool:
+    """True when ``$REPRO_TELEMETRY`` is set to a truthy value."""
+    return os.environ.get(TELEMETRY_ENV, "").strip().lower() not in _FALSY
+
+
+class _NullTimer:
+    """Context manager that measures nothing (telemetry disabled)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class _Timer:
+    """Context manager observing its elapsed time into a histogram."""
+
+    __slots__ = ("_histogram", "_t0")
+
+    def __init__(self, histogram) -> None:
+        self._histogram = histogram
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._histogram.observe(time.perf_counter() - self._t0)
+        return False
+
+
+class _Span:
+    """Context manager emitting one folded ``span`` trace event on exit."""
+
+    __slots__ = ("_telemetry", "name", "span_id", "_attrs", "_t0", "_wall0")
+
+    def __init__(self, telemetry: "Telemetry", name: str, attrs: dict) -> None:
+        self._telemetry = telemetry
+        self.name = name
+        self.span_id = new_span_id()
+        self._attrs = attrs
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        self._wall0 = time.time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        duration = time.perf_counter() - self._t0
+        self._telemetry.event(
+            "span",
+            name=self.name,
+            span_id=self.span_id,
+            t_start=self._wall0,
+            duration_s=duration,
+            ok=exc_type is None,
+            **self._attrs,
+        )
+        self._telemetry.histogram(
+            "repro_span_seconds", "Duration of runner lifecycle spans.",
+            span=self.name,
+        ).observe(duration)
+        return False
+
+
+class _NullSpan:
+    """Span stand-in for disabled telemetry: stable ids, no I/O."""
+
+    name = ""
+    span_id = ""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """Facade over one metrics registry plus an optional trace writer.
+
+    Construct with :meth:`create` (explicitly enabled — the ``--telemetry``
+    path) or :meth:`from_env` (enabled only when ``$REPRO_TELEMETRY`` is
+    truthy; otherwise returns the shared :data:`NULL_TELEMETRY`).  Every
+    accessor degrades to a no-op on a disabled instance, so callers
+    instrument unconditionally.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        run_id: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceWriter] = None,
+    ) -> None:
+        self.enabled = bool(enabled)
+        self.run_id = run_id or (new_run_id() if enabled else "")
+        self.registry = registry or MetricsRegistry(enabled=self.enabled)
+        self.trace = trace
+
+    @classmethod
+    def create(
+        cls,
+        directory: Optional[Union[str, Path]] = None,
+        run_id: Optional[str] = None,
+        runner: str = "",
+    ) -> "Telemetry":
+        """An *enabled* telemetry context.
+
+        With ``directory``, trace events append to
+        ``directory/telemetry.jsonl``; without, only the in-process
+        registry is live (useful for benchmarks and unit tests).
+        """
+        run_id = run_id or new_run_id()
+        trace = None
+        if directory is not None:
+            trace = TraceWriter(
+                Path(directory) / TELEMETRY_FILENAME, run_id=run_id, runner=runner
+            )
+        return cls(enabled=True, run_id=run_id, trace=trace)
+
+    @classmethod
+    def from_env(
+        cls,
+        directory: Optional[Union[str, Path]] = None,
+        runner: str = "",
+    ) -> "Telemetry":
+        """:meth:`create` if ``$REPRO_TELEMETRY`` is truthy, else the null.
+
+        The returned null is the shared :data:`NULL_TELEMETRY` singleton,
+        so the disabled path allocates nothing.
+        """
+        if not telemetry_enabled():
+            return NULL_TELEMETRY
+        return cls.create(directory=directory, runner=runner)
+
+    def counter(self, name: str, help: str = "", **labels: str):
+        """Registry counter (a shared no-op when disabled)."""
+        return self.registry.counter(name, help, **labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str):
+        """Registry gauge (a shared no-op when disabled)."""
+        return self.registry.gauge(name, help, **labels)
+
+    def histogram(self, name: str, help: str = "", **labels: str):
+        """Registry histogram (a shared no-op when disabled)."""
+        return self.registry.histogram(name, help, **labels)
+
+    def timer(self, name: str, help: str = "", **labels: str):
+        """Context manager observing elapsed seconds into a histogram.
+
+        The disabled path returns a shared null context that never calls
+        the clock — this is the hot-path primitive the store backends
+        wrap their lock-holding sections with.
+        """
+        if not self.enabled:
+            return _NULL_TIMER
+        return _Timer(self.registry.histogram(name, help, **labels))
+
+    def span(self, name: str, **attrs):
+        """Context manager tracing one lifecycle phase.
+
+        On exit it writes a single folded ``span`` event (id, wall-clock
+        start, duration, ok flag, plus ``attrs``) and feeds the
+        ``repro_span_seconds`` histogram.  Disabled: a shared null.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, attrs)
+
+    def event(self, event: str, **fields) -> None:
+        """Append one trace event (no-op without an attached trace)."""
+        if self.trace is not None:
+            self.trace.write(event, **fields)
+
+    def write_metrics(self) -> None:
+        """Persist the current registry snapshot as a ``metrics`` event.
+
+        ``campaign metrics`` reads these back — the registry is process
+        local, so snapshots in the trace are the only cross-process view.
+        """
+        if self.trace is not None:
+            self.trace.write("metrics", metrics=self.registry.snapshot())
+
+    def close(self) -> None:
+        """Release the trace file descriptor, if any."""
+        if self.trace is not None:
+            self.trace.close()
+
+
+#: Shared disabled instance — the default telemetry of every layer.
+NULL_TELEMETRY = Telemetry(enabled=False)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EVENT_SCHEMAS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "TELEMETRY_ENV",
+    "TELEMETRY_FILENAME",
+    "Telemetry",
+    "TraceWriter",
+    "last_event",
+    "merge_snapshots",
+    "new_run_id",
+    "new_span_id",
+    "read_trace",
+    "render_prometheus",
+    "telemetry_enabled",
+    "validate_trace",
+]

@@ -1,0 +1,403 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+The registry half of :mod:`repro.telemetry` — zero dependencies, safe to
+call from any thread, and cheap enough to leave compiled into every hot
+path: a *disabled* registry hands out shared null instruments whose
+update methods are empty-bodied no-ops, so instrumentation costs one
+attribute lookup and one call when telemetry is off (the bench-regression
+gate in CI holds the store hot path to <5% overhead even when it is on).
+
+Metrics follow Prometheus conventions — ``snake_case`` names with a unit
+suffix, label sets identifying the sub-series (``engine="sqlite"``,
+``op="claim"``) — and :func:`render_prometheus` emits the standard text
+exposition format without requiring any Prometheus client library.
+Registries serialize to plain-JSON snapshots (:meth:`MetricsRegistry.
+snapshot`) that ride the ``telemetry.jsonl`` event trace; snapshots from
+several cooperating runner processes are combined by
+:func:`merge_snapshots` (counters and histograms sum, gauges last-wins),
+which is how ``campaign metrics`` reports a whole campaign from the
+per-runner dumps in its trace file.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket boundaries (seconds): spans store appends
+#: (sub-millisecond) through batch evaluations (minutes).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+
+def _label_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value (events, totals).
+
+    Thread-safe; increments may be fractional (busy-seconds accumulate
+    through a counter too).
+    """
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        return self._value
+
+
+class Gauge:
+    """Value that can go up and down (in-flight jobs, live workers)."""
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the gauge."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` (default 1) from the gauge."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return self._value
+
+
+class Histogram:
+    """Cumulative fixed-bucket histogram (latencies, durations).
+
+    ``buckets`` are upper bounds in ascending order; an implicit ``+Inf``
+    bucket catches the tail, so ``counts`` has ``len(buckets) + 1``
+    entries.  Bucket counts are cumulative at render time (Prometheus
+    ``le`` semantics) but stored per-bucket here.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        labels: Dict[str, str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.buckets = tuple(float(b) for b in buckets)
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError(f"histogram buckets must be ascending: {buckets}")
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return sum(self._counts)
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    @property
+    def counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) observation counts, ``+Inf`` last."""
+        return list(self._counts)
+
+
+class NullCounter:
+    """No-op counter handed out by a disabled registry."""
+
+    name = ""
+    labels: Dict[str, str] = {}
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Do nothing (telemetry disabled)."""
+
+
+class NullGauge:
+    """No-op gauge handed out by a disabled registry."""
+
+    name = ""
+    labels: Dict[str, str] = {}
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        """Do nothing (telemetry disabled)."""
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Do nothing (telemetry disabled)."""
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Do nothing (telemetry disabled)."""
+
+
+class NullHistogram:
+    """No-op histogram handed out by a disabled registry."""
+
+    name = ""
+    labels: Dict[str, str] = {}
+    buckets: Tuple[float, ...] = ()
+    count = 0
+    sum = 0.0
+    counts: List[int] = []
+
+    def observe(self, value: float) -> None:
+        """Do nothing (telemetry disabled)."""
+
+
+#: Shared null instruments — one instance each, returned for every
+#: metric of a disabled registry, so the disabled path allocates nothing.
+NULL_COUNTER = NullCounter()
+NULL_GAUGE = NullGauge()
+NULL_HISTOGRAM = NullHistogram()
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named, labelled instruments.
+
+    One registry per telemetry context (normally one per runner
+    process).  ``counter`` / ``gauge`` / ``histogram`` return the
+    instrument for a ``(name, labels)`` pair, creating it on first use;
+    a *disabled* registry returns the shared null instruments instead,
+    which is what makes instrumentation cheap-by-default.  Help strings
+    are kept per metric *name* (first writer wins) for the Prometheus
+    ``# HELP`` line.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, str, Tuple], object] = {}
+        self._help: Dict[str, str] = {}
+
+    def _get(self, kind: str, name: str, help: str, labels: dict, factory):
+        key = (kind, name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = factory()
+                self._metrics[key] = metric
+                if help and name not in self._help:
+                    self._help[name] = help
+            return metric
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        """The counter for ``(name, labels)``, created on first use."""
+        if not self.enabled:
+            return NULL_COUNTER
+        return self._get("counter", name, help, labels,
+                         lambda: Counter(name, labels))
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        """The gauge for ``(name, labels)``, created on first use."""
+        if not self.enabled:
+            return NULL_GAUGE
+        return self._get("gauge", name, help, labels,
+                         lambda: Gauge(name, labels))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        **labels: str,
+    ) -> Histogram:
+        """The histogram for ``(name, labels)``, created on first use."""
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        return self._get(
+            "histogram", name, help, labels,
+            lambda: Histogram(name, labels, buckets=buckets or DEFAULT_BUCKETS),
+        )
+
+    def snapshot(self) -> dict:
+        """Plain-JSON dump of every instrument (the ``metrics`` trace event).
+
+        Shape: ``{"counters": [...], "gauges": [...], "histograms":
+        [...]}`` where each entry carries ``name``, ``help``, ``labels``
+        and its values — the input format of :func:`merge_snapshots` and
+        :func:`render_prometheus`.
+        """
+        out: dict = {"counters": [], "gauges": [], "histograms": []}
+        with self._lock:
+            items = list(self._metrics.items())
+            helps = dict(self._help)
+        for (kind, name, _key), metric in sorted(items, key=lambda kv: kv[0]):
+            entry = {
+                "name": name,
+                "help": helps.get(name, ""),
+                "labels": dict(metric.labels),
+            }
+            if kind == "counter":
+                entry["value"] = metric.value
+                out["counters"].append(entry)
+            elif kind == "gauge":
+                entry["value"] = metric.value
+                out["gauges"].append(entry)
+            else:
+                entry["buckets"] = list(metric.buckets)
+                entry["counts"] = metric.counts
+                entry["sum"] = metric.sum
+                entry["count"] = metric.count
+                out["histograms"].append(entry)
+        return out
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Combine registry snapshots from several runners into one.
+
+    Counters and histograms with the same ``(name, labels)`` sum
+    (histograms must agree on bucket boundaries; mismatches raise
+    ``ValueError`` rather than silently mis-binning); gauges last-wins.
+    The result has the same shape as :meth:`MetricsRegistry.snapshot`,
+    so it renders through :func:`render_prometheus` directly.
+    """
+    counters: Dict[Tuple, dict] = {}
+    gauges: Dict[Tuple, dict] = {}
+    histograms: Dict[Tuple, dict] = {}
+    for snap in snapshots:
+        for entry in snap.get("counters", []):
+            key = (entry["name"], _label_key(entry.get("labels", {})))
+            if key in counters:
+                counters[key]["value"] += entry.get("value", 0.0)
+            else:
+                counters[key] = dict(entry)
+        for entry in snap.get("gauges", []):
+            key = (entry["name"], _label_key(entry.get("labels", {})))
+            gauges[key] = dict(entry)  # last snapshot wins
+        for entry in snap.get("histograms", []):
+            key = (entry["name"], _label_key(entry.get("labels", {})))
+            if key in histograms:
+                merged = histograms[key]
+                if list(merged["buckets"]) != list(entry["buckets"]):
+                    raise ValueError(
+                        f"histogram {entry['name']!r} bucket boundaries differ "
+                        f"across snapshots"
+                    )
+                merged["counts"] = [
+                    a + b for a, b in zip(merged["counts"], entry["counts"])
+                ]
+                merged["sum"] += entry.get("sum", 0.0)
+                merged["count"] += entry.get("count", 0)
+            else:
+                histograms[key] = {
+                    **entry,
+                    "counts": list(entry["counts"]),
+                }
+    return {
+        "counters": [counters[k] for k in sorted(counters)],
+        "gauges": [gauges[k] for k in sorted(gauges)],
+        "histograms": [histograms[k] for k in sorted(histograms)],
+    }
+
+
+def _format_value(value: float) -> str:
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{k}="{str(v)}"' for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    ``# HELP`` / ``# TYPE`` headers appear once per metric name;
+    histograms expand into cumulative ``_bucket{le=...}`` series plus
+    ``_sum`` and ``_count``, exactly as a Prometheus client library
+    would emit them.  The input is a :meth:`MetricsRegistry.snapshot`
+    (or a :func:`merge_snapshots` result).
+    """
+    lines: List[str] = []
+    seen_header = set()
+
+    def header(name: str, kind: str, help: str) -> None:
+        if name in seen_header:
+            return
+        seen_header.add(name)
+        if help:
+            lines.append(f"# HELP {name} {help}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for entry in snapshot.get("counters", []):
+        header(entry["name"], "counter", entry.get("help", ""))
+        lines.append(
+            f"{entry['name']}{_format_labels(entry.get('labels', {}))} "
+            f"{_format_value(entry['value'])}"
+        )
+    for entry in snapshot.get("gauges", []):
+        header(entry["name"], "gauge", entry.get("help", ""))
+        lines.append(
+            f"{entry['name']}{_format_labels(entry.get('labels', {}))} "
+            f"{_format_value(entry['value'])}"
+        )
+    for entry in snapshot.get("histograms", []):
+        name = entry["name"]
+        header(name, "histogram", entry.get("help", ""))
+        labels = entry.get("labels", {})
+        cumulative = 0
+        for bound, count in zip(entry["buckets"], entry["counts"]):
+            cumulative += count
+            lines.append(
+                f"{name}_bucket{_format_labels(labels, {'le': _format_value(bound)})} "
+                f"{cumulative}"
+            )
+        cumulative += entry["counts"][len(entry["buckets"])]
+        lines.append(
+            f"{name}_bucket{_format_labels(labels, {'le': '+Inf'})} {cumulative}"
+        )
+        lines.append(
+            f"{name}_sum{_format_labels(labels)} {_format_value(entry['sum'])}"
+        )
+        lines.append(
+            f"{name}_count{_format_labels(labels)} {entry['count']}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")

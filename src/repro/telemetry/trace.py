@@ -1,0 +1,166 @@
+"""Append-only event trace: the ``telemetry.jsonl`` file format.
+
+Each campaign directory gets one trace file that every cooperating
+runner appends to, using the result store's durability idiom — the
+record is serialized first, then written with a single ``os.write`` to
+an ``O_APPEND`` descriptor, so concurrent writers interleave whole lines
+and a SIGKILL can tear at most the final line.  The reader
+(:func:`read_trace`) tolerates exactly that: a torn trailing line is
+skipped, never raised.
+
+Event kinds and their required fields (checked by
+:func:`validate_trace`, which the CI ``telemetry-smoke`` job runs
+against a real campaign's trace):
+
+``run_start``
+    ``campaign``, ``backend``, ``n_total`` — a runner began draining.
+``run_end``
+    ``done``, ``failed``, ``elapsed_s`` — the same runner finished.
+``span``
+    ``name``, ``span_id``, ``t_start``, ``duration_s`` — one timed
+    phase (claim / evaluate / record), folded to a single line on exit.
+``job``
+    ``job_id``, ``span_id``, ``status``, ``elapsed_s`` — one job
+    execution; ``span_id`` matches the ``$REPRO_JOB_AUDIT_LOG`` entry
+    written by the executing process, which is what lets the chaos
+    suite correlate audit lines with trace events.
+``workers``
+    ``workers`` — per-rank utilization rows from the mw driver.
+``metrics``
+    ``metrics`` — a full registry snapshot
+    (:meth:`repro.telemetry.metrics.MetricsRegistry.snapshot`);
+    ``campaign metrics`` merges the latest snapshot per runner.
+
+All events additionally carry ``ts`` (wall-clock seconds), ``event``,
+``run_id``, and ``runner``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+#: Name of the per-campaign trace file inside the campaign directory.
+TELEMETRY_FILENAME = "telemetry.jsonl"
+
+#: Required fields per event kind, beyond the envelope (ts/event/run_id/runner).
+EVENT_SCHEMAS: Dict[str, tuple] = {
+    "run_start": ("campaign", "backend", "n_total"),
+    "run_end": ("done", "failed", "elapsed_s"),
+    "span": ("name", "span_id", "t_start", "duration_s"),
+    "job": ("job_id", "span_id", "status", "elapsed_s"),
+    "workers": ("workers",),
+    "metrics": ("metrics",),
+}
+
+
+def new_run_id() -> str:
+    """A fresh 12-hex-digit run identifier (one per ``run()`` call)."""
+    return uuid.uuid4().hex[:12]
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-digit span identifier (one per timed unit)."""
+    return uuid.uuid4().hex[:16]
+
+
+class TraceWriter:
+    """Append-only writer for one campaign's ``telemetry.jsonl``.
+
+    Safe for concurrent use by multiple runner processes: each event is
+    one ``O_APPEND`` write of one full line, the same atomicity contract
+    the JSONL result store relies on.  The descriptor is opened lazily
+    and kept for the writer's lifetime.
+    """
+
+    def __init__(self, path: Union[str, Path], run_id: str, runner: str = "") -> None:
+        self.path = Path(path)
+        self.run_id = run_id
+        self.runner = runner
+        self._fd: Optional[int] = None
+
+    def write(self, event: str, **fields) -> dict:
+        """Append one event line; returns the record written."""
+        record = {"ts": time.time(), "event": event,
+                  "run_id": self.run_id, "runner": self.runner}
+        record.update(fields)
+        payload = json.dumps(record, sort_keys=True) + "\n"
+        if self._fd is None:
+            self._fd = os.open(
+                str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        os.write(self._fd, payload.encode("utf-8"))
+        return record
+
+    def close(self) -> None:
+        """Release the file descriptor (further writes reopen it)."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def read_trace(path: Union[str, Path]) -> Iterator[dict]:
+    """Yield events from a trace file, skipping a torn final line.
+
+    A runner killed mid-write leaves at most one partial trailing line;
+    any other malformed line raises, because it indicates corruption
+    rather than an interrupted append.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    lines = path.read_text().splitlines()
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                return  # torn final line from a killed writer
+            raise
+
+
+def last_event(path: Union[str, Path], event: str) -> Optional[dict]:
+    """The most recent event of kind ``event``, or None."""
+    found = None
+    for record in read_trace(path):
+        if record.get("event") == event:
+            found = record
+    return found
+
+
+def validate_trace(path: Union[str, Path]) -> List[dict]:
+    """Check every event against :data:`EVENT_SCHEMAS`; return the events.
+
+    Raises ``ValueError`` naming the first offending line when an event
+    is missing its envelope fields, has an unknown kind, or lacks a
+    kind-specific required field.  Used by tests and the CI
+    ``telemetry-smoke`` job as the trace-schema gate.
+    """
+    events = []
+    for n, record in enumerate(read_trace(path), start=1):
+        for field in ("ts", "event", "run_id", "runner"):
+            if field not in record:
+                raise ValueError(f"{path}:{n}: event missing {field!r}: {record}")
+        kind = record["event"]
+        if kind not in EVENT_SCHEMAS:
+            raise ValueError(f"{path}:{n}: unknown event kind {kind!r}")
+        for field in EVENT_SCHEMAS[kind]:
+            if field not in record:
+                raise ValueError(
+                    f"{path}:{n}: {kind!r} event missing {field!r}: {record}"
+                )
+        events.append(record)
+    return events

@@ -32,7 +32,7 @@ else:
 
 
 @pytest.fixture(params=STORE_BACKENDS)
-def store_backend(request, tmp_path):
+def store_backend(request, tmp_path, monkeypatch):
     """Factory of store instances, parametrized over every engine.
 
     Each call opens a *fresh instance* over the same substrate (one
@@ -41,7 +41,12 @@ def store_backend(request, tmp_path):
     assertions: ``.engine`` (fixture param), ``.shards`` (expected
     ``n_shards`` of the opened store), and ``.cli_store_spec`` (the
     ``--store`` argument creating this layout from the CLI).
+
+    Telemetry is switched on for every parametrization so the whole
+    store/chaos matrix also exercises the instrumented code paths.
     """
+    monkeypatch.setenv("REPRO_TELEMETRY", "1")
+
     def make():
         return open_store_backend(request.param, tmp_path / "backend-store")
 

@@ -56,12 +56,25 @@ def fast_spec(n_seeds=25, **overrides) -> CampaignSpec:
     return CampaignSpec(**kwargs)
 
 
-def audit_ids(path) -> list:
-    """Job ids in execution order from an audit log (empty if never written)."""
+def audit_entries(path) -> list:
+    """``(job_id, run_id, span_id)`` tuples in execution order.
+
+    Empty if the log was never written.  Each line is written whole under
+    ``O_APPEND``, so entries from concurrent runners never interleave.
+    """
     path = Path(path)
     if not path.exists():
         return []
-    return path.read_text().split()
+    return [
+        tuple(line.split())
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+def audit_ids(path) -> list:
+    """Job ids in execution order from an audit log (empty if never written)."""
+    return [entry[0] for entry in audit_entries(path)]
 
 
 def synthetic_run_job(job) -> dict:
@@ -194,6 +207,25 @@ class TestRunnerProcessChaos:
         assert campaign.store.engine == (
             "sqlite" if store_backend.engine == "sqlite" else "jsonl"
         )
+        # exactly-once holds per *span* too: every execution attempt minted
+        # a distinct span id, and each job appears under exactly one of them
+        entries = audit_entries(audit)
+        spans = [span_id for _, _, span_id in entries]
+        assert len(set(spans)) == len(spans)
+        # the store_backend fixture enables telemetry, so the audit log
+        # must correlate with the runners' job-lifecycle trace: every
+        # recorded job event names a span the audit log witnessed
+        from repro.telemetry import TELEMETRY_FILENAME, read_trace, validate_trace
+
+        trace_path = directory / TELEMETRY_FILENAME
+        validate_trace(trace_path)
+        events = list(read_trace(trace_path))
+        job_events = [e for e in events if e["event"] == "job"]
+        assert {e["job_id"] for e in job_events} == set(expected)
+        assert {e["span_id"] for e in job_events} <= set(spans)
+        assert {run_id for _, run_id, _ in entries} == {
+            e["run_id"] for e in events if e["event"] == "run_start"
+        }
 
     def test_killed_runner_leases_reclaimed_exactly_once(self, tmp_path, store_backend):
         """SIGKILL a runner mid-batch: its leases stay live until the TTL

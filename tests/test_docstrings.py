@@ -34,6 +34,9 @@ MODULES = [
     "repro.mw.tcp",
     "repro.mw.transport",
     "repro.mw.worker",
+    "repro.telemetry",
+    "repro.telemetry.metrics",
+    "repro.telemetry.trace",
 ]
 
 

@@ -1,0 +1,284 @@
+"""Unit tests for the :mod:`repro.telemetry` substrate.
+
+Covers the three layers on their own terms: the metrics registry
+(instruments, snapshots, merging, Prometheus rendering), the event trace
+(durability contract, schema validation, torn-line tolerance), and the
+:class:`~repro.telemetry.Telemetry` facade (enabled/disabled dispatch,
+spans, timers, environment gating).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    NULL_TELEMETRY,
+    TELEMETRY_ENV,
+    TELEMETRY_FILENAME,
+    MetricsRegistry,
+    Telemetry,
+    TraceWriter,
+    last_event,
+    merge_snapshots,
+    new_run_id,
+    new_span_id,
+    read_trace,
+    render_prometheus,
+    telemetry_enabled,
+    validate_trace,
+)
+from repro.telemetry.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Histogram,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs_total", "Jobs.", status="done")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_identity_per_label_set(self):
+        reg = MetricsRegistry()
+        a = reg.counter("jobs_total", status="done")
+        b = reg.counter("jobs_total", status="failed")
+        assert a is reg.counter("jobs_total", status="done")
+        assert a is not b
+
+    def test_gauge_set_inc_dec(self):
+        g = MetricsRegistry().gauge("inflight")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value == 4.0
+
+    def test_histogram_bucketing(self):
+        h = Histogram("lat", {}, buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert h.counts == [1, 2, 1]  # <=0.1, <=1.0, +Inf
+        assert h.count == 4
+        assert h.sum == pytest.approx(6.05)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", {}, buckets=(1.0, 0.1))
+
+    def test_default_buckets_are_ascending(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_disabled_registry_hands_out_shared_nulls(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a") is NULL_COUNTER
+        assert reg.gauge("b") is NULL_GAUGE
+        assert reg.histogram("c") is NULL_HISTOGRAM
+        # the null instruments swallow updates without state
+        NULL_COUNTER.inc()
+        NULL_GAUGE.set(9)
+        NULL_HISTOGRAM.observe(1.0)
+        assert reg.snapshot() == {"counters": [], "gauges": [], "histograms": []}
+
+
+class TestSnapshotMergeRender:
+    def make_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", "Jobs.", status="done").inc(3)
+        reg.gauge("inflight", "In flight.").set(2)
+        reg.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0),
+                      op="claim").observe(0.05)
+        return reg.snapshot()
+
+    def test_snapshot_is_plain_json(self):
+        snap = self.make_snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_merge_sums_counters_and_histograms(self):
+        a, b = self.make_snapshot(), self.make_snapshot()
+        merged = merge_snapshots([a, b])
+        assert merged["counters"][0]["value"] == 6
+        hist = merged["histograms"][0]
+        assert hist["count"] == 2 and hist["counts"] == [2, 0, 0]
+
+    def test_merge_gauges_last_wins(self):
+        a, b = self.make_snapshot(), self.make_snapshot()
+        b["gauges"][0]["value"] = 7
+        assert merge_snapshots([a, b])["gauges"][0]["value"] == 7
+
+    def test_merge_rejects_bucket_mismatch(self):
+        a, b = self.make_snapshot(), self.make_snapshot()
+        b["histograms"][0]["buckets"] = [0.5, 2.0]
+        with pytest.raises(ValueError, match="bucket boundaries"):
+            merge_snapshots([a, b])
+
+    def test_render_prometheus_shape(self):
+        text = render_prometheus(self.make_snapshot())
+        assert "# HELP jobs_total Jobs." in text
+        assert "# TYPE jobs_total counter" in text
+        assert 'jobs_total{status="done"} 3' in text
+        assert "# TYPE inflight gauge" in text
+        assert 'lat_seconds_bucket{le="0.1",op="claim"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf",op="claim"} 1' in text
+        assert 'lat_seconds_count{op="claim"} 1' in text
+        assert text.endswith("\n")
+
+    def test_render_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        text = render_prometheus(reg.snapshot())
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+
+    def test_render_empty_snapshot(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+
+class TestTrace:
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / TELEMETRY_FILENAME
+        writer = TraceWriter(path, run_id="r1", runner="host-1")
+        writer.write("run_start", campaign="c", backend="serial", n_total=4)
+        writer.write("run_end", done=4, failed=0, elapsed_s=0.1)
+        writer.close()
+        events = list(read_trace(path))
+        assert [e["event"] for e in events] == ["run_start", "run_end"]
+        assert all(e["run_id"] == "r1" and e["runner"] == "host-1"
+                   for e in events)
+        assert validate_trace(path) == events
+
+    def test_reader_tolerates_torn_final_line(self, tmp_path):
+        path = tmp_path / TELEMETRY_FILENAME
+        TraceWriter(path, run_id="r1").write("workers", workers=[])
+        with open(path, "a") as fh:
+            fh.write('{"ts": 1.0, "event": "ru')  # killed mid-write
+        assert [e["event"] for e in read_trace(path)] == ["workers"]
+
+    def test_reader_raises_on_interior_corruption(self, tmp_path):
+        path = tmp_path / TELEMETRY_FILENAME
+        path.write_text('not json\n{"ts": 1.0}\n')
+        with pytest.raises(json.JSONDecodeError):
+            list(read_trace(path))
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert list(read_trace(tmp_path / "absent.jsonl")) == []
+
+    def test_last_event_picks_the_latest(self, tmp_path):
+        path = tmp_path / TELEMETRY_FILENAME
+        writer = TraceWriter(path, run_id="r1")
+        writer.write("workers", workers=[{"rank": 1}])
+        writer.write("workers", workers=[{"rank": 2}])
+        assert last_event(path, "workers")["workers"] == [{"rank": 2}]
+        assert last_event(path, "run_start") is None
+
+    def test_validate_rejects_unknown_kind(self, tmp_path):
+        path = tmp_path / TELEMETRY_FILENAME
+        TraceWriter(path, run_id="r1").write("nonsense")
+        with pytest.raises(ValueError, match="unknown event kind"):
+            validate_trace(path)
+
+    def test_validate_rejects_missing_required_field(self, tmp_path):
+        path = tmp_path / TELEMETRY_FILENAME
+        TraceWriter(path, run_id="r1").write("run_start", campaign="c")
+        with pytest.raises(ValueError, match="missing 'backend'"):
+            validate_trace(path)
+
+    def test_ids_are_fresh_and_sized(self):
+        assert new_run_id() != new_run_id()
+        assert len(new_run_id()) == 12
+        assert len(new_span_id()) == 16
+
+
+class TestFacade:
+    def test_env_gating(self, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV, raising=False)
+        assert not telemetry_enabled()
+        assert Telemetry.from_env() is NULL_TELEMETRY
+        for falsy in ("", "0", "false", "no", "off", "OFF"):
+            monkeypatch.setenv(TELEMETRY_ENV, falsy)
+            assert not telemetry_enabled()
+        monkeypatch.setenv(TELEMETRY_ENV, "1")
+        assert telemetry_enabled()
+        assert Telemetry.from_env().enabled
+
+    def test_disabled_facade_is_inert(self, tmp_path):
+        t = NULL_TELEMETRY
+        t.counter("c").inc()
+        with t.timer("t"):
+            pass
+        with t.span("claim", n_jobs=3) as span:
+            assert span.span_id == ""
+        t.event("run_start", campaign="c")
+        t.write_metrics()
+        assert t.registry.snapshot() == {
+            "counters": [], "gauges": [], "histograms": [],
+        }
+        assert not (tmp_path / TELEMETRY_FILENAME).exists()
+
+    def test_timer_observes_into_histogram(self):
+        t = Telemetry.create()
+        with t.timer("op_seconds", op="claim"):
+            pass
+        hist = t.registry.histogram("op_seconds", op="claim")
+        assert hist.count == 1
+
+    def test_span_writes_event_and_histogram(self, tmp_path):
+        t = Telemetry.create(tmp_path, runner="r")
+        with t.span("claim", n_jobs=5) as span:
+            assert len(span.span_id) == 16
+        t.close()
+        events = validate_trace(tmp_path / TELEMETRY_FILENAME)
+        assert len(events) == 1
+        event = events[0]
+        assert event["event"] == "span" and event["name"] == "claim"
+        assert event["span_id"] == span.span_id
+        assert event["n_jobs"] == 5 and event["ok"] is True
+        assert t.registry.histogram("repro_span_seconds", span="claim").count == 1
+
+    def test_span_records_failure(self, tmp_path):
+        t = Telemetry.create(tmp_path)
+        with pytest.raises(RuntimeError):
+            with t.span("evaluate"):
+                raise RuntimeError("boom")
+        t.close()
+        assert last_event(tmp_path / TELEMETRY_FILENAME, "span")["ok"] is False
+
+    def test_write_metrics_persists_snapshot(self, tmp_path):
+        t = Telemetry.create(tmp_path)
+        t.counter("jobs_total").inc(4)
+        t.write_metrics()
+        t.close()
+        event = last_event(tmp_path / TELEMETRY_FILENAME, "metrics")
+        assert event["metrics"]["counters"][0]["value"] == 4
+
+    def test_create_without_directory_has_no_trace(self):
+        t = Telemetry.create()
+        t.event("run_start", campaign="c")  # no-op, no trace attached
+        assert t.trace is None and t.enabled
+
+    def test_concurrent_writers_interleave_whole_lines(self, tmp_path):
+        path = tmp_path / TELEMETRY_FILENAME
+        writers = [TraceWriter(path, run_id=f"r{i}") for i in range(4)]
+        for _ in range(25):
+            for w in writers:
+                w.write("workers", workers=[])
+        for w in writers:
+            w.close()
+        assert len(validate_trace(path)) == 100
+
+    def test_facade_run_id_rides_every_event(self, tmp_path):
+        t = Telemetry.create(tmp_path, run_id="abc123abc123")
+        t.event("run_start", campaign="c", backend="serial", n_total=1)
+        with t.span("claim"):
+            pass
+        t.close()
+        assert {e["run_id"] for e in read_trace(tmp_path / TELEMETRY_FILENAME)} \
+            == {"abc123abc123"}
