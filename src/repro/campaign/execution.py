@@ -10,6 +10,14 @@ The seed discipline is part of the job's identity: the same job produces
 bitwise-identical results on any backend, in any execution order, which is
 what lets an interrupted-and-resumed campaign reproduce an uninterrupted
 run exactly.
+
+Async mode (``campaign run --async``) drops the work unit from a whole job
+to a single ask/tell proposal: :func:`proposal_work` serializes one
+deterministic surface evaluation, :func:`mw_eval_executor` answers it on a
+worker, and the master merges noise at tell time.  The chaos seams
+(``$REPRO_EVAL_SLOW``, ``$REPRO_EVAL_DROP_ONCE``) and the ``slow_*``
+executor variants exist so tests and CI can inject stragglers and lost
+evaluations at that granularity.
 """
 
 from __future__ import annotations
@@ -69,8 +77,15 @@ def job_function(job: Job) -> TestFunction:
     return get_function(job.function, job.dim)
 
 
-def execute_job(job: Job, record_trace: bool = False) -> OptimizationResult:
-    """Run one job's optimizer to termination (deterministic in the job)."""
+def build_job_optimizer(job: Job, record_trace: bool = False):
+    """Construct (but do not run) the optimizer a job describes.
+
+    The seed discipline lives here: initial simplex from ``job.seed``, noise
+    from the decoupled ``job.seed + NOISE_SEED_OFFSET`` stream.  ``execute_job``
+    runs the returned optimizer to termination; the async campaign driver
+    instead drives it through the ask/tell seam, farming each proposal out as
+    its own mw task.
+    """
     f = job_function(job)
     init_rng = np.random.default_rng(job.seed)
     vertices = random_vertices(job.dim, low=job.low, high=job.high, rng=init_rng)
@@ -79,7 +94,7 @@ def execute_job(job: Job, record_trace: bool = False) -> OptimizationResult:
     termination = default_termination(
         tau=job.tau, walltime=job.walltime, max_steps=job.max_steps
     )
-    opt = make_optimizer(
+    return make_optimizer(
         job.algorithm,
         func,
         vertices,
@@ -87,7 +102,11 @@ def execute_job(job: Job, record_trace: bool = False) -> OptimizationResult:
         record_trace=record_trace,
         **job.options,
     )
-    return opt.run()
+
+
+def execute_job(job: Job, record_trace: bool = False) -> OptimizationResult:
+    """Run one job's optimizer to termination (deterministic in the job)."""
+    return build_job_optimizer(job, record_trace=record_trace).run()
 
 
 def run_job(job: Job) -> dict:
@@ -143,3 +162,109 @@ def _run_job_record(job: Job) -> dict:
         "run_id": run_id,
         "span_id": span_id,
     }
+
+
+# -- proposal-granular execution (async mode) ---------------------------------
+
+#: Chaos seam: ``"rank:seconds"`` — the worker with that rank sleeps the
+#: given seconds before answering each evaluation.  Models a straggler
+#: node; the async chaos suite uses it to show that one slow worker no
+#: longer stalls every other job at an iteration barrier.
+EVAL_SLOW_ENV = "REPRO_EVAL_SLOW"
+
+#: Chaos seam: ``"markerpath:pattern"`` — the first evaluation whose audit
+#: key (``job_id/proposal_id``) contains ``pattern`` raises instead of
+#: answering, exactly once globally (the marker file is created with
+#: ``O_CREAT | O_EXCL``, so concurrent workers race for a single drop).
+#: Models a lost work unit; the mw layer's retry machinery must requeue it.
+EVAL_DROP_ONCE_ENV = "REPRO_EVAL_DROP_ONCE"
+
+
+def proposal_work(job: Job, proposal) -> dict:
+    """Wire payload for one ask/tell proposal (plain JSON for the mw codec).
+
+    Ships only what the worker needs to compute the *deterministic* surface
+    value: the function name, dimension and the proposal's theta.  No noise
+    state crosses the wire — noise is applied master-side at merge time
+    (:meth:`~repro.noise.stochastic.StochasticFunction.merge_external`), which
+    is what keeps the job's rng stream independent of reply order.
+    """
+    return {
+        "kind": "eval",
+        "job_id": job.job_id,
+        "proposal_id": proposal.id,
+        "function": job.function,
+        "dim": job.dim,
+        "theta": [float(x) for x in np.asarray(proposal.theta, dtype=float)],
+        "dt": float(proposal.dt),
+        "label": proposal.label,
+    }
+
+
+def mw_eval_executor(work: dict, context) -> dict:
+    """MW executor adapter for one proposal evaluation (async mode).
+
+    Audits the attempt (key ``job_id/proposal_id``, fresh span id) *before*
+    the chaos seams fire, so a dropped evaluation still leaves its audit
+    line — that is how the chaos suite counts "requeued exactly once":
+    exactly two audit lines with distinct spans for the dropped proposal,
+    one line for every other.  Module-level so process/tcp workers can
+    import it by reference (``mw-worker --executor``).
+    """
+    job_id = work["job_id"]
+    proposal_id = work["proposal_id"]
+    key = f"{job_id}/{proposal_id}"
+    run_id = os.environ.get(RUN_ID_ENV, "-")
+    span_id = new_span_id()
+    _audit_execution(key, run_id, span_id)
+
+    drop_spec = os.environ.get(EVAL_DROP_ONCE_ENV)
+    if drop_spec:
+        marker, _, pattern = drop_spec.rpartition(":")
+        if marker and pattern and pattern in key:
+            try:
+                os.close(os.open(marker, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644))
+            except FileExistsError:
+                pass  # someone already took the one drop
+            else:
+                raise RuntimeError(f"chaos: dropped evaluation {key}")
+
+    slow_spec = os.environ.get(EVAL_SLOW_ENV)
+    if slow_spec:
+        rank_s, _, seconds_s = slow_spec.partition(":")
+        if rank_s and seconds_s and int(rank_s) == getattr(context, "rank", -1):
+            time.sleep(float(seconds_s))
+
+    f = get_function(work["function"], int(work["dim"]))
+    value = float(f(np.asarray(work["theta"], dtype=float)))
+    return {"proposal_id": proposal_id, "job_id": job_id, "value": value, "span_id": span_id}
+
+
+def slow_mw_job_executor(work: dict, context) -> dict:
+    """``mw_job_executor`` on a worker whose *evaluations* run slow.
+
+    Emulates the same straggler as :func:`slow_mw_eval_executor` at job
+    granularity: after running the job it sleeps ``$REPRO_EVAL_SLOW_S``
+    seconds **per underlying function call** the job performed, exactly
+    the extra time a per-evaluation slowdown would have cost inline.
+    Handed to a single worker via ``mw-worker --executor`` in the
+    *barriered* leg of the CI async-smoke job: every batch then waits out
+    the straggler's whole job, while the async leg only ever waits on one
+    of its evaluations at a time.
+    """
+    record = mw_job_executor(work, context)
+    per_eval = float(os.environ.get("REPRO_EVAL_SLOW_S", "1.0"))
+    calls = int((record.get("result") or {}).get("n_underlying_calls", 1))
+    time.sleep(per_eval * max(1, calls))
+    return record
+
+
+def slow_mw_eval_executor(work: dict, context) -> dict:
+    """``mw_eval_executor`` plus a per-evaluation sleep of ``$REPRO_EVAL_SLOW_S``.
+
+    The async-leg straggler of the CI async-smoke job: the slow worker holds
+    one proposal at a time while the fast workers keep the other jobs moving,
+    so the async wall clock stays near the fast workers' throughput.
+    """
+    time.sleep(float(os.environ.get("REPRO_EVAL_SLOW_S", "1.0")))
+    return mw_eval_executor(work, context)

@@ -103,6 +103,7 @@ class WorkerUtilization:
     utilization: float    # busy_s / elapsed_s
     alive: bool
     straggler: bool = False
+    inflight: int = 0     # tasks dispatched but unanswered at observation
 
     def to_dict(self) -> dict:
         """Flat JSON shape for ``campaign watch --json`` consumers."""
@@ -114,6 +115,7 @@ class WorkerUtilization:
             "utilization": self.utilization,
             "alive": self.alive,
             "straggler": self.straggler,
+            "inflight": self.inflight,
         }
 
     def line(self) -> str:
@@ -121,8 +123,9 @@ class WorkerUtilization:
         flags = "" if self.alive else " [dead]"
         if self.straggler:
             flags += " [straggler]"
+        depth = f", {self.inflight} in flight" if self.inflight else ""
         return (
-            f"  worker {self.rank}: {self.tasks} tasks, "
+            f"  worker {self.rank}: {self.tasks} tasks{depth}, "
             f"busy {self.busy_s:.1f}s/{self.elapsed_s:.1f}s "
             f"({self.utilization:.0%}){flags}"
         )
@@ -160,6 +163,7 @@ def workers_from_trace(directory) -> Tuple[WorkerUtilization, ...]:
                 len(rows) > 1
                 and float(r.get("utilization", 0.0)) < 0.5 * median
             ),
+            inflight=int(r.get("inflight", 0)),
         )
         for r in rows
     )

@@ -40,6 +40,7 @@ import socket
 import threading
 import time
 from dataclasses import dataclass
+from functools import partial
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Set
 
@@ -211,6 +212,19 @@ class CampaignRunner:
     mw_max_retries:
         Requeues per task after worker errors or crashes before the job
         is recorded as failed.
+    async_mode:
+        mw backend only: drive every claimed job through its ask/tell
+        seam concurrently instead of running whole jobs on single
+        workers.  Each proposal is its own mw task, so a straggler
+        worker delays one evaluation, not an iteration barrier — see
+        :mod:`repro.core.async_driver` and docs/CAMPAIGNS.md.  Results
+        are recorded per job the moment it terminates.  Note async
+        results are *not* bitwise identical to barriered runs of the
+        same job: scheduling depth adds speculative refinements.
+    max_inflight:
+        Async mode: cap on simultaneously outstanding evaluations
+        across all jobs (default ``2 * workers`` — enough to keep every
+        worker busy while replies are in transit).
     refresh_pending:
         Legacy-mode only (``lease=False``): re-read the store before each
         batch (after the first) and shed jobs a cooperating runner has
@@ -259,6 +273,8 @@ class CampaignRunner:
         mw_transport: str = "process",
         mw_affinity: bool = False,
         mw_max_retries: int = 2,
+        async_mode: bool = False,
+        max_inflight: Optional[int] = None,
         refresh_pending: bool = True,
         stagger: bool = False,
         lease: bool = True,
@@ -273,6 +289,13 @@ class CampaignRunner:
         validate_mw_transport(mw_transport)
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
+        if async_mode and backend != "mw":
+            raise ValueError(
+                f"async mode drives evaluations through the mw layer; "
+                f"backend must be 'mw', got {backend!r}"
+            )
+        if max_inflight is not None and int(max_inflight) < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         self.spec = spec
         self.store = store
         self.backend = backend
@@ -281,6 +304,8 @@ class CampaignRunner:
         self.mw_transport = mw_transport
         self.mw_affinity = bool(mw_affinity)
         self.mw_max_retries = int(mw_max_retries)
+        self.async_mode = bool(async_mode)
+        self.max_inflight = None if max_inflight is None else int(max_inflight)
         self.refresh_pending = bool(refresh_pending)
         self.stagger = bool(stagger)
         self.lease = bool(lease)
@@ -382,7 +407,9 @@ class CampaignRunner:
                     break
                 counts["leased"] = 0  # re-observed every pass, not accumulated
                 n_before = counts["done"] + counts["failed"]
-                if self.backend == "mw":
+                if self.backend == "mw" and self.async_mode:
+                    self._run_async(pending, counts, emit, executed)
+                elif self.backend == "mw":
                     self._run_mw(pending, counts, emit, executed)
                 else:
                     self._run_batches(pending, counts, emit, executed)
@@ -639,6 +666,124 @@ class CampaignRunner:
                 # table (`campaign watch --cells` and OBSERVABILITY.md).
                 self.telemetry.event("workers", workers=driver.utilization())
 
+    def _run_async(self, pending: List[Job], counts: dict, emit, executed: Set[str]) -> None:
+        """mw async path: all claimed jobs share the worker pool, no barriers.
+
+        Every job is opened through its ask/tell seam and each proposal is
+        submitted as its own mw task (:func:`~repro.campaign.execution.
+        mw_eval_executor`); :class:`~repro.core.async_driver.AsyncEvalDriver`
+        keeps up to ``max_inflight`` evaluations outstanding across all jobs
+        and tells replies back as they arrive, in any order.  A job is
+        recorded the moment it terminates, so resume granularity in async
+        mode is a single job regardless of ``batch_size``.  Evaluations lost
+        to dead or erroring workers are requeued by the mw layer exactly as
+        in the barriered path; a task failed beyond ``mw_max_retries`` fails
+        only its own job.
+        """
+        if not pending:
+            return
+        from repro.campaign.execution import (
+            build_job_optimizer,
+            mw_eval_executor,
+            proposal_work,
+        )
+        from repro.campaign.spec import _is_plain_json
+        from repro.core.async_driver import AsyncEvalDriver, EvalSource
+        from repro.mw.driver import MWDriver
+        from repro.telemetry import new_span_id
+
+        for job in pending:
+            if not _is_plain_json(job.options):
+                raise ValueError(
+                    f"job {job.label!r} has non-JSON options {job.options!r}; "
+                    f"the mw backend serializes work as plain JSON"
+                )
+
+        n_workers = self.max_workers or os.cpu_count() or 2
+        n_workers = max(1, n_workers)
+        max_inflight = self.max_inflight or 2 * n_workers
+        driver = MWDriver(
+            mw_eval_executor,
+            n_workers=n_workers,
+            backend=self.mw_transport,
+            max_retries=self.mw_max_retries,
+            seed=0,
+            telemetry=self.telemetry,
+        )
+
+        def workers_event() -> None:
+            if self.telemetry.enabled:
+                self.telemetry.event("workers", workers=driver.utilization())
+
+        run_id = os.environ.get(RUN_ID_ENV, "-")
+        with driver:
+            async_driver = AsyncEvalDriver(
+                driver,
+                max_inflight=max_inflight,
+                telemetry=self.telemetry,
+                heartbeat=workers_event if self.telemetry.enabled else None,
+            )
+            for start in range(0, len(pending), self.batch_size):
+                batch = pending[start : start + self.batch_size]
+                if self.lease:
+                    batch = self._claim_batch(batch, counts)
+                elif start:
+                    batch = self._fresh_batch(batch, counts)
+                if not batch:
+                    emit()
+                    continue
+                ids = [job.job_id for job in batch]
+                job_by_id = {job.job_id: job for job in batch}
+                t_started = {job.job_id: time.perf_counter() for job in batch}
+                span_by_id = {job.job_id: new_span_id() for job in batch}
+                recorded: Set[str] = set()
+                sources = [
+                    EvalSource(
+                        key=job.job_id,
+                        opt=build_job_optimizer(job),
+                        make_work=partial(proposal_work, job),
+                    )
+                    for job in batch
+                ]
+
+                def on_finished(src, result, error) -> None:
+                    job = job_by_id[src.key]
+                    record = {
+                        "job_id": job.job_id,
+                        "status": STATUS_DONE if error is None else STATUS_FAILED,
+                        "job": job.to_dict(),
+                        "result": None if result is None else result.to_dict(),
+                        "error": error,
+                        "elapsed_s": time.perf_counter() - t_started[src.key],
+                        "run_id": run_id,
+                        "span_id": span_by_id[src.key],
+                    }
+                    self._record_batch([record], counts)
+                    recorded.add(src.key)
+                    executed.add(src.key)
+                    emit()
+
+                heartbeat = (
+                    _LeaseHeartbeat(self.store, ids, self.runner_id, self.lease_ttl)
+                    if self.lease else None
+                )
+                try:
+                    with self.telemetry.span(
+                        "evaluate", n_jobs=len(batch), backend="mw-async"
+                    ):
+                        async_driver.run(sources, on_finished)
+                except BaseException:
+                    if heartbeat is not None:
+                        heartbeat.stop()
+                        heartbeat = None
+                    if self.lease:
+                        self._release_quietly([i for i in ids if i not in recorded])
+                    raise
+                finally:
+                    if heartbeat is not None:
+                        heartbeat.stop()
+            workers_event()
+
     @staticmethod
     def _mw_failure_record(job: Job, task) -> dict:
         """Store record for a task the driver gave up on (retries exhausted)."""
@@ -723,6 +868,8 @@ class Campaign:
         mw_transport: str = "process",
         mw_affinity: bool = False,
         mw_max_retries: int = 2,
+        async_mode: bool = False,
+        max_inflight: Optional[int] = None,
         stagger: bool = False,
         lease: bool = True,
         lease_ttl: float = DEFAULT_LEASE_TTL,
@@ -751,6 +898,8 @@ class Campaign:
             mw_transport=mw_transport,
             mw_affinity=mw_affinity,
             mw_max_retries=mw_max_retries,
+            async_mode=async_mode,
+            max_inflight=max_inflight,
             stagger=stagger,
             lease=lease,
             lease_ttl=lease_ttl,

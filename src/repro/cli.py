@@ -189,7 +189,14 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     if args.progress:
         def progress_cb(snap):
             print(snap.line(), flush=True)
-    if args.backend == "mw":
+    backend = args.backend
+    if backend is None:
+        backend = "mw" if args.async_mode else "serial"
+    if args.async_mode and backend != "mw":
+        print("error: --async schedules through the mw driver; "
+              "drop --backend or pass --backend mw", file=sys.stderr)
+        return 2
+    if backend == "mw":
         from repro.campaign.runner import validate_mw_transport
 
         try:
@@ -198,13 +205,15 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     report = campaign.run(
-        backend=args.backend,
+        backend=backend,
         max_workers=args.max_workers,
         chunksize=args.chunksize,
         batch_size=args.batch_size,
         max_jobs=args.max_jobs,
         mw_transport=args.mw_transport,
         mw_affinity=args.mw_affinity,
+        async_mode=args.async_mode,
+        max_inflight=args.max_inflight,
         stagger=args.stagger,
         lease=args.lease,
         lease_ttl=(DEFAULT_LEASE_TTL if args.lease_ttl is None
@@ -213,7 +222,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     )
     print(f"campaign  : {campaign.spec.name}")
     print(f"directory : {campaign.directory}")
-    print(f"backend   : {args.backend}")
+    print(f"backend   : {backend}" + (" (async)" if args.async_mode else ""))
     print(f"report    : {report}")
     if report.interrupted or report.n_remaining > 0:
         print("resume    : re-run the same command to finish the remaining jobs")
@@ -534,9 +543,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_crun.add_argument("--tau", type=float, default=1e-3)
     p_crun.add_argument("--walltime", type=float, default=3e4)
     p_crun.add_argument("--max-steps", type=int, default=600)
-    p_crun.add_argument("--backend", default="serial",
+    p_crun.add_argument("--backend", default=None,
                         choices=["serial", "thread", "process", "mw"],
-                        help="mw dispatches jobs through the master-worker driver")
+                        help="mw dispatches jobs through the master-worker "
+                             "driver (default: serial, or mw with --async)")
+    p_crun.add_argument("--async", dest="async_mode", action="store_true",
+                        help="barrier-free mw scheduling: every job's ask/tell "
+                             "proposals share the worker pool, replies are "
+                             "told back in arrival order, and a straggler "
+                             "worker delays one evaluation instead of an "
+                             "iteration (implies --backend mw; see "
+                             "docs/CAMPAIGNS.md)")
+    p_crun.add_argument("--max-inflight", type=int, default=None, metavar="N",
+                        help="async mode: cap on simultaneously outstanding "
+                             "evaluations across all jobs (default 2x workers)")
     p_crun.add_argument("--max-workers", type=int, default=None)
     p_crun.add_argument("--chunksize", type=int, default=1,
                         help="jobs per IPC message on the process backend")

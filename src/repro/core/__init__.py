@@ -14,7 +14,14 @@ Anderson  :class:`~repro.core.anderson.AndersonSimplex` eq. 2.4 comparator
 """
 
 from repro.core.anderson import AndersonSimplex, AndersonStructureSearch
-from repro.core.base import SimplexOptimizer
+from repro.core.base import (
+    TELL_APPLIED,
+    TELL_DUPLICATE,
+    TELL_EXTRA,
+    TELL_STALE,
+    Proposal,
+    SimplexOptimizer,
+)
 from repro.core.checkpoint import resume, save_checkpoint, snapshot
 from repro.core.comparisons import ComparisonStats, ConditionSet, Decision, compare
 from repro.core.driver import ALGORITHMS, make_optimizer, optimize
@@ -62,8 +69,13 @@ __all__ = [
     "PCMN",
     "PCMaxNoise",
     "PointComparison",
+    "Proposal",
     "Simplex",
     "SimplexOptimizer",
+    "TELL_APPLIED",
+    "TELL_DUPLICATE",
+    "TELL_EXTRA",
+    "TELL_STALE",
     "StepRecord",
     "TerminationCriterion",
     "ToleranceTermination",

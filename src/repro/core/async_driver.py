@@ -1,0 +1,232 @@
+"""Asynchronous evaluation driver: many ask/tell sources, one worker pool.
+
+The barriered campaign path runs each job start-to-finish on one worker and
+waits for whole batches (``MWDriver.wait_all``).  This module kills that
+barrier: every optimizer is opened through its ask/tell seam
+(:mod:`repro.core.base`), each proposal becomes its own mw task, and a single
+scheduling loop keeps up to ``max_inflight`` evaluations in flight *across
+all jobs at once*.  While one job's round waits on a straggler, the other
+jobs' proposals keep the remaining workers busy — a slow node degrades
+throughput by one worker instead of stalling every job at an iteration
+barrier.
+
+The loop is three beats, repeated until every source is finalized:
+
+``top_up``
+    Round-robin over unfinished sources, asking each for proposals while
+    in-flight capacity remains, and submitting them to the mw driver.
+``pump``
+    One :meth:`~repro.mw.driver.MWDriver.pump` beat — poll worker events,
+    dispatch queued tasks, drain available replies.  Lost workers are
+    handled below this layer: the mw driver requeues their tasks, so a
+    dropped evaluation simply arrives late.
+``harvest``
+    Tell every completed task's value back to its source.  Tells can arrive
+    in any order and after the source finished (counted in
+    ``repro_stale_tells_total``); a task that *failed* (exhausted mw
+    retries) fails its source — the engine is closed and the error reported.
+
+Telemetry: the ``repro_inflight_evals`` gauge tracks scheduling depth and
+``repro_stale_tells_total`` counts tells that arrived too late to matter.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+
+@dataclass
+class EvalSource:
+    """One optimization driven through its ask/tell seam.
+
+    Parameters
+    ----------
+    key:
+        Stable identifier (the campaign job id) used in callbacks and logs.
+    opt:
+        An optimizer exposing the full ask/tell seam — ``ask(max_proposals)``,
+        ``tell(id, value)``, ``finished``, ``result()`` and ``close()``
+        (every :class:`~repro.core.base.SimplexOptimizer`; note
+        :class:`~repro.core.pso.NoisyPSO` speaks ask/tell but has no
+        termination criterion, so it is driven by :meth:`NoisyPSO.run`, not
+        by this driver).
+    make_work:
+        Maps a :class:`~repro.core.base.Proposal` to the wire payload for the
+        mw task (normally :func:`~repro.campaign.execution.proposal_work`).
+    """
+
+    key: str
+    opt: Any
+    make_work: Callable[[Any], Any]
+    # internals, managed by the driver
+    inflight: int = field(default=0, repr=False)
+    failed_error: Optional[str] = field(default=None, repr=False)
+    finalized: bool = field(default=False, repr=False)
+    # some sources (NoisyPSO) re-return still-pending proposals from ask();
+    # the driver dedupes on id so nothing is ever submitted twice
+    submitted_ids: set = field(default_factory=set, repr=False)
+
+
+class AsyncEvalDriver:
+    """Drive many :class:`EvalSource`\\ s over one :class:`~repro.mw.driver.MWDriver`.
+
+    Parameters
+    ----------
+    mw:
+        The mw driver whose workers answer proposals.  Its executor must
+        understand the payloads ``make_work`` produces (the campaign uses
+        :func:`~repro.campaign.execution.mw_eval_executor`).
+    max_inflight:
+        Cap on simultaneously outstanding evaluations across all sources.
+    poll_timeout:
+        Real seconds each :meth:`~repro.mw.driver.MWDriver.pump` beat may
+        block waiting for a reply.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; defaults to the no-op.
+    heartbeat:
+        Optional zero-argument callable invoked roughly every
+        ``heartbeat_interval`` seconds from the scheduling loop (the campaign
+        runner uses it to emit ``workers`` telemetry events for
+        ``watch --cells``).
+    """
+
+    def __init__(
+        self,
+        mw,
+        max_inflight: int = 8,
+        poll_timeout: float = 0.05,
+        telemetry: Optional[Telemetry] = None,
+        heartbeat: Optional[Callable[[], None]] = None,
+        heartbeat_interval: float = 2.0,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.mw = mw
+        self.max_inflight = int(max_inflight)
+        self.poll_timeout = float(poll_timeout)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.heartbeat = heartbeat
+        self.heartbeat_interval = float(heartbeat_interval)
+        self._task_map: Dict[int, tuple] = {}  # task_id -> (source, proposal)
+        self.n_submitted = 0
+        self.n_told = 0
+        self.n_stale = 0
+
+    # -- scheduling loop -----------------------------------------------------
+
+    def run(
+        self,
+        sources: List[EvalSource],
+        on_finished: Callable[[EvalSource, Any, Optional[str]], None],
+    ) -> Dict[str, int]:
+        """Drive every source to completion; returns scheduling stats.
+
+        ``on_finished(source, result, error)`` fires exactly once per source:
+        with the :class:`~repro.core.state.OptimizationResult` and
+        ``error=None`` on success, or ``result=None`` and the error string if
+        an evaluation failed after the mw layer's retries.
+        """
+        gauge = self.telemetry.gauge(
+            "repro_inflight_evals", "proposal evaluations currently in flight"
+        )
+        stale_counter = self.telemetry.counter(
+            "repro_stale_tells_total",
+            "tells that arrived after their proposal no longer mattered",
+        )
+        last_beat = time.monotonic()
+        try:
+            while True:
+                live = [s for s in sources if not s.finalized]
+                if not live and not self._task_map:
+                    break
+                self._top_up(live)
+                gauge.set(len(self._task_map))
+                self.mw.pump(self.poll_timeout)
+                self._harvest(stale_counter)
+                gauge.set(len(self._task_map))
+                for src in live:
+                    self._maybe_finalize(src, on_finished)
+                if self.heartbeat is not None:
+                    now = time.monotonic()
+                    if now - last_beat >= self.heartbeat_interval:
+                        last_beat = now
+                        self.heartbeat()
+        finally:
+            gauge.set(0.0)
+        return {
+            "submitted": self.n_submitted,
+            "told": self.n_told,
+            "stale": self.n_stale,
+        }
+
+    def _top_up(self, live: List[EvalSource]) -> None:
+        """Ask sources round-robin for proposals until in-flight is full."""
+        budget = self.max_inflight - len(self._task_map)
+        for src in live:
+            if budget <= 0:
+                break
+            if src.failed_error is not None or src.opt.finished:
+                continue
+            proposals = src.opt.ask(budget)
+            for proposal in proposals:
+                if proposal.id in src.submitted_ids:
+                    continue
+                src.submitted_ids.add(proposal.id)
+                task = self.mw.submit(src.make_work(proposal))
+                self._task_map[task.task_id] = (src, proposal)
+                src.inflight += 1
+                self.n_submitted += 1
+                budget -= 1
+
+    def _harvest(self, stale_counter) -> None:
+        """Tell every settled task's value back to its source."""
+        settled = [
+            tid for tid, _ in self._task_map.items()
+            if self.mw.tasks[tid].done or self.mw.tasks[tid].failed
+        ]
+        for tid in settled:
+            src, proposal = self._task_map.pop(tid)
+            src.inflight -= 1
+            task = self.mw.tasks[tid]
+            if task.failed:
+                # The mw layer already retried (dead workers, transient
+                # errors); a task that still failed poisons only its source.
+                if src.failed_error is None:
+                    src.failed_error = f"evaluation {proposal.id} failed: {task.error}"
+                    close = getattr(src.opt, "close", None)
+                    if close is not None:
+                        close(reason=src.failed_error)
+                continue
+            value = task.result["value"]
+            try:
+                status = src.opt.tell(proposal.id, value)
+            except KeyError:
+                status = "stale"
+            self.n_told += 1
+            if status in ("stale", "duplicate"):
+                self.n_stale += 1
+                stale_counter.inc()
+
+    def _maybe_finalize(
+        self,
+        src: EvalSource,
+        on_finished: Callable[[EvalSource, Any, Optional[str]], None],
+    ) -> None:
+        """Fire ``on_finished`` once a source has failed or produced a result."""
+        if src.finalized:
+            return
+        if src.failed_error is not None:
+            src.finalized = True
+            on_finished(src, None, src.failed_error)
+        elif src.opt.finished:
+            src.finalized = True
+            try:
+                result = src.opt.result()
+            except Exception as exc:  # noqa: BLE001 - a crashed run fails its job only
+                on_finished(src, None, f"{type(exc).__name__}: {exc}")
+            else:
+                on_finished(src, result, None)

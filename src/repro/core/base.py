@@ -6,12 +6,31 @@ PC+MN, Anderson) only implements :meth:`_decide_step` plus its own sampling
 gates.  The optimizers never see the underlying deterministic surface — all
 decisions go through noisy :class:`~repro.noise.evaluation.VertexEvaluation`
 estimates, exactly as the paper's master only sees what workers report.
+
+Ask/tell seam
+-------------
+Every optimizer also exposes the evaluation traffic itself: :meth:`ask`
+returns pending :class:`Proposal` objects (stable ids, theta, requested
+sampling time) and :meth:`tell` feeds the deterministic surface values back
+— in any order.  Under the hood the sequential step loop
+(:meth:`_run_inline`, unchanged algorithm code) runs on a private engine
+thread whose :class:`~repro.noise.stochastic.SamplingPool` sampling requests
+are published as proposal *rounds*; the noise model is applied master-side
+at merge time, in pool order, once a round completes
+(:meth:`~repro.noise.stochastic.StochasticFunction.merge_external`), so the
+trajectory is bitwise identical to the legacy blocking path no matter how
+tells interleave.  :meth:`run` is re-expressed as ``ask → evaluate → tell``
+on top of this seam; the asynchronous campaign driver
+(:mod:`repro.core.async_driver`) drives many optimizers' seams through one
+MW worker pool with no per-iteration barrier.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -30,6 +49,274 @@ class _StopOptimization(Exception):
     def __init__(self, reason: str) -> None:
         super().__init__(reason)
         self.reason = reason
+
+
+#: :meth:`SimplexOptimizer.tell` outcomes.
+TELL_APPLIED = "applied"      # a required round slot accepted the value
+TELL_EXTRA = "extra"          # a speculative refinement, merged at the next round boundary
+TELL_STALE = "stale"          # the proposal's vertex (or the whole run) is gone
+TELL_DUPLICATE = "duplicate"  # this id was already told; value ignored
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """One pending evaluation request from :meth:`SimplexOptimizer.ask`.
+
+    The holder should compute the *deterministic* surface value ``f(theta)``
+    — averaged over ``dt`` virtual seconds of simulation in a real
+    deployment — and feed it back via ``tell(id, value)``.  Ids are stable
+    (minted once, in deterministic order) and never reused within a run.
+    """
+
+    id: str           #: stable identifier, unique within one optimizer run
+    theta: np.ndarray  #: point to evaluate (a private copy)
+    label: str        #: vertex label ("ref", "v0", ...; "refine:<label>" for speculative work)
+    dt: float         #: virtual seconds of sampling requested
+
+
+class _RoundSlot:
+    """Mutable state of one outstanding proposal (engine-internal)."""
+
+    __slots__ = ("id", "ev", "dt", "value", "told")
+
+    def __init__(self, proposal_id: str, ev: VertexEvaluation, dt: float) -> None:
+        self.id = proposal_id
+        self.ev = ev
+        self.dt = float(dt)
+        self.value: Optional[float] = None
+        self.told = False
+
+
+class _AskTellEngine:
+    """Control inversion for :class:`SimplexOptimizer`'s sequential step loop.
+
+    The optimizer's unchanged :meth:`SimplexOptimizer._run_inline` loop runs
+    on a daemon thread; the pool's ``sample_hook`` publishes each sampling
+    request as a *round* of :class:`Proposal` objects and blocks until every
+    one has been told.  Determinism contract: values are merged (and noise
+    drawn) in pool order only after the whole round is told, so the
+    trajectory does not depend on tell order — and with no speculative
+    refinements it is bitwise identical to the legacy blocking run.
+
+    Speculative refinements (minted by ``ask(n)`` when the round alone
+    cannot fill ``n`` slots) add extra sampling blocks to still-active
+    vertices; they are merged at the next round boundary on the engine
+    thread and never advance the virtual clock — idle MW workers keep
+    sampling, exactly the paper's deployment model.  Tells for vertices
+    that were discarded in the meantime are rejected as stale and counted.
+    """
+
+    _RUNNING = "running"  # engine thread is computing between rounds
+    _BLOCKED = "blocked"  # engine thread waits for the current round's tells
+    _DONE = "done"        # result (or error) is available
+
+    def __init__(self, optimizer: "SimplexOptimizer") -> None:
+        self._opt = optimizer
+        self._lock = threading.Lock()
+        self._step_wake = threading.Condition(self._lock)
+        self._caller_wake = threading.Condition(self._lock)
+        self._state = self._RUNNING
+        self._round: Dict[str, _RoundSlot] = {}
+        self._extras: Dict[str, _RoundSlot] = {}
+        self._told_extras: List[_RoundSlot] = []
+        self._fresh: List[Proposal] = []
+        self._resolved: set = set()
+        self._counter = 0
+        self._result: Optional[OptimizationResult] = None
+        self._error: Optional[BaseException] = None
+        self._abort = False
+        self._abort_reason = "closed"
+        self.n_stale_tells = 0
+        self.n_duplicate_tells = 0
+        pool = optimizer.pool
+        self._hooked = hasattr(pool, "sample_hook")
+        if self._hooked:
+            pool.sample_hook = self._sample_round
+        self._thread = threading.Thread(
+            target=self._main, name=f"asktell-{optimizer.name}", daemon=True
+        )
+        self._thread.start()
+
+    # -- engine thread -----------------------------------------------------
+
+    def _main(self) -> None:
+        try:
+            result = self._opt._run_inline()
+            with self._lock:
+                self._result = result
+        except BaseException as exc:  # noqa: BLE001 - surfaced to callers
+            with self._lock:
+                self._error = exc
+        finally:
+            with self._lock:
+                if self._hooked:
+                    self._opt.pool.sample_hook = None
+                self._state = self._DONE
+                self._caller_wake.notify_all()
+
+    def _sample_round(self, evs: List[VertexEvaluation], dt: float) -> List[float]:
+        """Pool hook: publish one proposal round, block until fully told."""
+        with self._lock:
+            self._merge_told_extras_locked()
+            if self._abort:
+                raise _StopOptimization(self._abort_reason)
+            slots = []
+            for ev in evs:
+                proposal_id = self._mint_locked()
+                slot = _RoundSlot(proposal_id, ev, dt)
+                self._round[proposal_id] = slot
+                self._fresh.append(
+                    Proposal(
+                        id=proposal_id,
+                        theta=np.array(ev.theta, copy=True),
+                        label=ev.label,
+                        dt=float(dt),
+                    )
+                )
+                slots.append(slot)
+            self._state = self._BLOCKED
+            self._caller_wake.notify_all()
+            while not all(s.told for s in slots):
+                if self._abort:
+                    self._state = self._RUNNING
+                    raise _StopOptimization(self._abort_reason)
+                self._step_wake.wait()
+            self._state = self._RUNNING
+            for slot in slots:
+                del self._round[slot.id]
+            self._merge_told_extras_locked()
+            return [s.value for s in slots]
+
+    def _merge_told_extras_locked(self) -> None:
+        """Fold accepted refinement values in (engine thread, lock held).
+
+        Applied only at round boundaries so refinement merges never race
+        the step computation; within a batch they apply in mint order so a
+        fixed set of arrivals yields one deterministic stream.
+        """
+        if not self._told_extras:
+            return
+        batch = sorted(self._told_extras, key=lambda s: s.id)
+        self._told_extras.clear()
+        for slot in batch:
+            if slot.ev in self._opt.pool:
+                self._opt.func.merge_external(slot.ev, slot.dt, slot.value)
+            else:
+                self.n_stale_tells += 1
+
+    def _mint_locked(self) -> str:
+        self._counter += 1
+        return f"p{self._counter:06d}"
+
+    def _raise_error_locked(self) -> None:
+        if self._error is not None:
+            raise self._error
+
+    # -- caller side -------------------------------------------------------
+
+    def ask(self, max_proposals: Optional[int] = None) -> List[Proposal]:
+        """Pending proposals; blocks only while the engine computes a step."""
+        with self._lock:
+            while True:
+                self._raise_error_locked()
+                if self._fresh or self._state == self._DONE:
+                    break
+                if self._state == self._BLOCKED and any(
+                    not slot.told for slot in self._round.values()
+                ):
+                    break  # the caller holds the outstanding round; nothing new yet
+                self._caller_wake.wait()
+            if max_proposals is None:
+                out, self._fresh = self._fresh, []
+            else:
+                out = self._fresh[:max_proposals]
+                del self._fresh[: len(out)]
+                if self._state == self._BLOCKED and len(out) < max_proposals:
+                    out.extend(self._mint_refinements_locked(max_proposals - len(out)))
+            return out
+
+    def _mint_refinements_locked(self, n: int) -> List[Proposal]:
+        """Speculative refinement proposals: keep idle workers sampling.
+
+        At most one outstanding refinement per active vertex, most
+        uncertain (largest standard error) vertices first.  Non-concurrent
+        pools (the DET baseline) read each point exactly once by
+        definition, so no refinements are minted for them.
+        """
+        pool = self._opt.pool
+        if not getattr(pool, "concurrent", True):
+            return []
+        busy = {id(slot.ev) for slot in self._extras.values()}
+        candidates = [ev for ev in pool.active if id(ev) not in busy]
+        candidates.sort(key=lambda ev: -ev.sem)
+        out = []
+        for ev in candidates[:n]:
+            proposal_id = self._mint_locked()
+            slot = _RoundSlot(proposal_id, ev, pool.warmup)
+            self._extras[proposal_id] = slot
+            out.append(
+                Proposal(
+                    id=proposal_id,
+                    theta=np.array(ev.theta, copy=True),
+                    label=f"refine:{ev.label}",
+                    dt=float(pool.warmup),
+                )
+            )
+        return out
+
+    def tell(self, proposal_id: str, value: float) -> str:
+        """Resolve one proposal; returns a ``TELL_*`` status string."""
+        with self._lock:
+            if proposal_id in self._resolved:
+                self.n_duplicate_tells += 1
+                return TELL_DUPLICATE
+            slot = self._round.get(proposal_id)
+            extra = self._extras.get(proposal_id) if slot is None else None
+            if slot is None and extra is None:
+                raise KeyError(f"unknown proposal id {proposal_id!r}")
+            self._resolved.add(proposal_id)
+            if self._state == self._DONE or self._abort:
+                self.n_stale_tells += 1
+                return TELL_STALE
+            if slot is not None:
+                slot.value = float(value)
+                slot.told = True
+                self._step_wake.notify_all()
+                return TELL_APPLIED
+            del self._extras[proposal_id]
+            extra.value = float(value)
+            extra.told = True
+            self._told_extras.append(extra)
+            return TELL_EXTRA
+
+    @property
+    def finished(self) -> bool:
+        """True once the step loop has produced a result (or an error)."""
+        with self._lock:
+            return self._state == self._DONE
+
+    def result(self) -> OptimizationResult:
+        """Block until the run completes; re-raises engine-side errors."""
+        with self._lock:
+            while self._state != self._DONE:
+                self._caller_wake.wait()
+            self._raise_error_locked()
+            return self._result
+
+    def close(self, reason: str = "closed") -> None:
+        """Abort the step loop at its next sampling request; idempotent.
+
+        The engine finishes with a normal :class:`OptimizationResult`
+        whose ``reason`` is the given string (the same path a mid-step
+        termination takes); unresolved proposals become stale.
+        """
+        with self._lock:
+            if self._state == self._DONE:
+                return
+            self._abort = True
+            self._abort_reason = reason
+            self._step_wake.notify_all()
+        self._thread.join(timeout=10.0)
 
 
 class SimplexOptimizer:
@@ -107,6 +394,7 @@ class SimplexOptimizer:
         self._step_wait = 0.0
         self._step_resamples = 0
         self._stop_reason: Optional[str] = None
+        self._asktell: Optional[_AskTellEngine] = None
 
     # -- time -----------------------------------------------------------------
 
@@ -117,7 +405,37 @@ class SimplexOptimizer:
     # -- run loop ---------------------------------------------------------------
 
     def run(self) -> OptimizationResult:
-        """Iterate simplex steps until a termination criterion fires."""
+        """Iterate simplex steps until a termination criterion fires.
+
+        Re-expressed over the ask/tell seam: the step loop runs on the
+        engine thread while this caller plays the worker pool, computing
+        ``f(theta)`` for every proposal and telling the value straight
+        back.  The parity suite (``tests/test_core_asktell.py``) asserts
+        this is trajectory-identical to the sequential reference loop
+        :meth:`_run_inline` for every algorithm.
+        """
+        engine = self._engine()
+        try:
+            while True:
+                proposals = engine.ask()
+                if not proposals:
+                    break
+                for proposal in proposals:
+                    engine.tell(
+                        proposal.id, float(self.func.f(np.asarray(proposal.theta)))
+                    )
+        except BaseException:
+            engine.close(reason="error")
+            raise
+        return engine.result()
+
+    def _run_inline(self) -> OptimizationResult:
+        """The sequential reference loop (runs on the ask/tell engine thread).
+
+        This is the pre-seam ``run()`` body, byte for byte: the parity
+        suite drives it directly (no engine, pool sampling stays local) as
+        the ground truth the ask/tell re-expression must reproduce.
+        """
         reason = self.termination.check(self)
         while reason is None:
             self._step_wait = 0.0
@@ -163,6 +481,64 @@ class SimplexOptimizer:
             total_sampling_time=self.func.total_sampling_time,
             forced_decisions=self.stats.forced,
         )
+
+    # -- ask/tell interface ------------------------------------------------------
+
+    def _engine(self) -> _AskTellEngine:
+        """The lazily started ask/tell engine for this run."""
+        if self._asktell is None:
+            self._asktell = _AskTellEngine(self)
+        return self._asktell
+
+    def ask(self, max_proposals: Optional[int] = None) -> List[Proposal]:
+        """Pending evaluation :class:`Proposal` objects (stable, unique ids).
+
+        With ``max_proposals=None`` returns exactly the proposals the step
+        loop is blocked on (one *round*; empty once the run has finished or
+        while the caller already holds the round).  With an integer, also
+        tops the batch up with speculative refinement proposals on active
+        vertices — how an asynchronous driver keeps ``max_inflight``
+        evaluations in flight when a round alone is too small.  Note the
+        initial simplex is sampled synchronously at construction; ask/tell
+        covers everything from the first step on.
+        """
+        return self._engine().ask(max_proposals)
+
+    def tell(self, proposal_id: str, value: float) -> str:
+        """Feed back the deterministic surface value for one proposal.
+
+        Tells may arrive in any order; the noise model is applied at merge
+        time in pool order, so the trajectory is independent of arrival
+        order.  Returns one of :data:`TELL_APPLIED`, :data:`TELL_EXTRA`,
+        :data:`TELL_STALE` (vertex retired / run over — value dropped,
+        counted in :attr:`n_stale_tells`), or :data:`TELL_DUPLICATE`
+        (already told — rejected cleanly).  Unknown ids raise ``KeyError``.
+        """
+        return self._engine().tell(proposal_id, value)
+
+    @property
+    def finished(self) -> bool:
+        """True once the ask/tell run has produced a result."""
+        return self._asktell is not None and self._asktell.finished
+
+    def result(self) -> OptimizationResult:
+        """The finished run's result (blocks on in-flight step computation)."""
+        return self._engine().result()
+
+    def close(self, reason: str = "closed") -> None:
+        """Stop an ask/tell run early; outstanding proposals become stale."""
+        if self._asktell is not None:
+            self._asktell.close(reason=reason)
+
+    @property
+    def n_stale_tells(self) -> int:
+        """Tells rejected because their vertex (or the run) was retired."""
+        return 0 if self._asktell is None else self._asktell.n_stale_tells
+
+    @property
+    def n_duplicate_tells(self) -> int:
+        """Tells rejected because the proposal id was already resolved."""
+        return 0 if self._asktell is None else self._asktell.n_duplicate_tells
 
     # -- the algorithm-specific part ---------------------------------------------
 

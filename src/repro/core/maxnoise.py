@@ -12,6 +12,13 @@ sampling); late in the optimization the vertices cluster and the gate forces
 long sampling so that moves are made on reliable estimates.  ``k`` only
 controls the speed of convergence, not the outcome — a small value in 1..5 is
 appropriate (§3.2).
+
+Through the ask/tell seam (:mod:`repro.core.base`) every unsatisfied gate
+check becomes one proposal round: with ``wait_target="all"`` the round holds
+a proposal per active vertex (the whole simplex refines in parallel, the MW
+deployment model); with ``"noisiest"`` it is a single-proposal round.  The
+geometric ``wait_growth`` schedule is what keeps the number of rounds — and
+hence ask/tell round-trips — logarithmic in the required sampling time.
 """
 
 from __future__ import annotations

@@ -7,6 +7,13 @@ fails).  On a noisy objective DET reads each point once with a fixed sampling
 budget and never revisits it — this is precisely the behaviour the stochastic
 variants fix, and the reason DET "can terminate inappropriately at a solution
 very far from the true optimum" (§1.2).
+
+Through the ask/tell seam (:mod:`repro.core.base`) each one-shot evaluation
+is a single-proposal round: the non-concurrent pool activates one trial
+point at a time, so DET's asks arrive one proposal deep.  The engine mints
+no speculative refinements for non-concurrent pools — extra sampling would
+silently upgrade DET's fixed-budget reads into MN-style refinement and
+change the trajectory.
 """
 
 from __future__ import annotations

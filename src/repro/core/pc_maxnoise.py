@@ -7,6 +7,12 @@ PC width fixed at k = 1).  The stricter conditions slow each step down but
 the steps that are taken are more reliable — the paper measures the same
 final accuracy as PC with roughly 5x fewer simplex steps (178 vs 900 at
 sigma0 = 1000, §3.3).
+
+Under the ask/tell seam (:mod:`repro.core.base`) the two gates interleave as
+alternating proposal rounds: first the MN wait refines all active vertices
+(one round per unsatisfied eq. 2.3 check), then the PC comparison sites add
+their own rounds.  Nothing here overrides the seam — both gates funnel every
+sample through :meth:`SamplingPool.advance`, which is the interception point.
 """
 
 from __future__ import annotations

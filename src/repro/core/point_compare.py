@@ -18,6 +18,12 @@ Which sites carry error bars is configurable via
 :class:`~repro.core.comparisons.ConditionSet` — the ablation axis of
 Figs. 3.8-3.17.  A site without error bars decides on plain means and never
 triggers resampling.
+
+Through the ask/tell seam (:mod:`repro.core.base`) each resampling wait at a
+comparison site is one proposal round over the currently active vertices —
+the trial point under comparison samples alongside the simplex, so a round
+may carry up to ``dim + 2`` proposals.  Comparison decisions themselves read
+only merged estimates and never cross the seam.
 """
 
 from __future__ import annotations

@@ -12,15 +12,28 @@ usual ``sigma0/sqrt(t)`` error; the personal/global bests use a
 confidence-interval update rule so noise does not corrupt the incumbent),
 followed by an MN or PC local stage seeded with a simplex around the swarm's
 best point.
+
+Like the simplex family, :class:`NoisyPSO` speaks ask/tell — but natively,
+with no engine thread: one swarm generation is one batch of proposals
+(:meth:`NoisyPSO.ask` moves the swarm and mints a proposal per particle,
+:meth:`NoisyPSO.tell` collects surface values in any order, and the last
+tell of a generation merges noise and updates the incumbents in particle
+order so the result is identical to the legacy interleaved loop).
+:meth:`NoisyPSO.step` is re-expressed on top of that seam.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.core.base import (
+    TELL_APPLIED,
+    TELL_DUPLICATE,
+    Proposal,
+)
 from repro.core.driver import make_optimizer
 from repro.core.state import OptimizationResult
 from repro.core.termination import default_termination
@@ -100,13 +113,63 @@ class NoisyPSO:
         self.gbest_val = float(self.best_val[g])
         self.gbest_sem = float(self.best_sem[g])
         self.n_iterations = 0
+        # ask/tell generation state (see module docstring)
+        self._pending: Dict[str, int] = {}
+        self._proposals: List[Proposal] = []
+        self._gen_values: Dict[int, float] = {}
+        self._resolved: set = set()
+        self._counter = 0
+        self.n_duplicate_tells = 0
+        self.n_stale_tells = 0
 
     def _confidently_below(self, val: float, sem: float, inc_val: float, inc_sem: float) -> bool:
         """PC-style incumbent update: k-sigma intervals must separate."""
         return val + self.k * sem < inc_val - self.k * inc_sem
 
-    def step(self) -> None:
-        """One swarm iteration: move, evaluate, update incumbents."""
+    # -- ask/tell seam --------------------------------------------------------
+
+    def ask(self, max_proposals: Optional[int] = None) -> List[Proposal]:
+        """Return pending proposals, advancing the swarm if none are out.
+
+        A generation is minted lazily: when no proposals are outstanding the
+        swarm moves (velocity/position update, drawing ``r1``/``r2`` from the
+        swarm rng exactly as the legacy loop did) and one proposal per
+        particle is returned.  While a generation is in flight, ``ask``
+        re-returns the still-untold proposals — PSO is generation-batched, so
+        there is nothing speculative to mint beyond the batch.
+        """
+        if not self._pending:
+            self._advance_swarm()
+        out = list(self._proposals)
+        if max_proposals is not None:
+            out = out[: max(0, int(max_proposals))]
+        return out
+
+    def tell(self, proposal_id: str, value: float) -> str:
+        """Feed back the deterministic surface value for one proposal.
+
+        Accepts tells in any order.  The last tell of a generation triggers
+        the merge: noise is applied from the objective's generator in
+        particle order (so the stream is independent of arrival order) and
+        the personal/global incumbents update in particle order, matching the
+        legacy interleaved loop bit for bit.  Returns a ``TELL_*`` status;
+        unknown ids raise ``KeyError``.
+        """
+        if proposal_id in self._resolved:
+            self.n_duplicate_tells += 1
+            return TELL_DUPLICATE
+        if proposal_id not in self._pending:
+            raise KeyError(f"unknown proposal id {proposal_id!r}")
+        i = self._pending.pop(proposal_id)
+        self._resolved.add(proposal_id)
+        self._gen_values[i] = float(value)
+        self._proposals = [p for p in self._proposals if p.id != proposal_id]
+        if not self._pending:
+            self._finish_iteration()
+        return TELL_APPLIED
+
+    def _advance_swarm(self) -> None:
+        """Move the swarm and mint one proposal per particle."""
         n = self.pos.shape[0]
         r1 = self.rng.random((n, self.dim))
         r2 = self.rng.random((n, self.dim))
@@ -116,8 +179,27 @@ class NoisyPSO:
             + self.social * r2 * (self.gbest_pos[None, :] - self.pos)
         )
         self.pos = np.clip(self.pos + self.vel, self.low, self.high)
+        self._gen_values = {}
+        self._proposals: List[Proposal] = []
         for i in range(n):
-            ev = self.func.evaluate(self.pos[i], self.eval_time)
+            pid = f"pso{self._counter:06d}"
+            self._counter += 1
+            self._pending[pid] = i
+            self._proposals.append(
+                Proposal(
+                    id=pid,
+                    theta=self.pos[i].copy(),
+                    label=f"pso:{self.n_iterations}:{i}",
+                    dt=self.eval_time,
+                )
+            )
+
+    def _finish_iteration(self) -> None:
+        """Merge a completed generation and update the incumbents."""
+        n = self.pos.shape[0]
+        for i in range(n):
+            ev = self.func.start(self.pos[i])
+            self.func.merge_external(ev, self.eval_time, self._gen_values[i])
             if self._confidently_below(
                 ev.estimate, ev.sem, self.best_val[i], self.best_sem[i]
             ):
@@ -130,7 +212,15 @@ class NoisyPSO:
                 self.gbest_val = ev.estimate
                 self.gbest_sem = ev.sem
                 self.gbest_pos = self.pos[i].copy()
+        self._gen_values = {}
         self.n_iterations += 1
+
+    def step(self) -> None:
+        """One swarm iteration, re-expressed over the ask/tell seam:
+        ask the full generation, answer every proposal from the underlying
+        surface, and let the final tell merge and update incumbents."""
+        for proposal in self.ask():
+            self.tell(proposal.id, float(self.func.f(np.asarray(proposal.theta))))
 
     def run(self, n_iterations: int = 30) -> np.ndarray:
         """Run the swarm; returns the global-best position."""

@@ -16,6 +16,14 @@ The *contraction level* ``l`` tracks the size of the simplex as a power of two
 of its initial size (§2.2): contraction increments ``l``, expansion decrements
 it, reflection leaves it unchanged and a collapse adds ``d``.  The Anderson
 criterion (eq. 2.4) keys its noise threshold off ``l``.
+
+This module sits *below* the ask/tell seam and deliberately does not route
+through it: the transformations are pure geometry over already-merged
+estimates — they read vertex positions and values but never sample, so there
+is no evaluation traffic here to intercept.  All sampling triggered by a
+transformation (activating the trial point, gate waits) flows through
+:class:`~repro.noise.stochastic.SamplingPool`, which is the seam's single
+interception point.
 """
 
 from __future__ import annotations
@@ -103,9 +111,11 @@ class Simplex:
         return ordered[0], ordered[-2], ordered[-1]
 
     def best(self) -> VertexEvaluation:
+        """Vertex with the lowest current estimate."""
         return min(self.vertices, key=lambda ev: ev.estimate)
 
     def worst(self) -> VertexEvaluation:
+        """Vertex with the highest current estimate."""
         return max(self.vertices, key=lambda ev: ev.estimate)
 
     def estimates(self) -> np.ndarray:

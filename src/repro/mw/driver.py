@@ -330,6 +330,31 @@ class MWDriver:
                 self._handle_reply(reply)
         return sorted(self.tasks.values(), key=lambda t: t.task_id)
 
+    def pump(self, timeout: float = 0.05) -> int:
+        """One scheduling beat: poll events, dispatch, drain available replies.
+
+        The non-barriered counterpart of :meth:`wait_all` for callers that
+        keep their own event loop (the async campaign driver): progress is
+        made if possible, but the call returns after at most ``timeout``
+        real seconds whether or not any task completed.  Returns the number
+        of tasks still outstanding, so ``while driver.pump(): ...`` drains
+        the queue — though the point is to interleave ``submit`` calls
+        between beats instead of waiting for it to hit zero.
+        """
+        self._poll_transport()
+        if not self.transport.dynamic and not any(self._alive.values()):
+            for task in list(self._pending):
+                task.mark_failed("no live workers")
+            self._pending.clear()
+            return self._outstanding()
+        self._dispatch()
+        if not self.transport.synchronous:
+            reply = self.transport.recv(timeout=max(0.0, float(timeout)))
+            if reply is not None:
+                self._handle_reply(reply)
+                self._drain_buffered_replies()
+        return self._outstanding()
+
     # -- teardown ------------------------------------------------------------------
 
     def shutdown(self) -> None:
@@ -361,14 +386,20 @@ class MWDriver:
         One row per rank: ``tasks`` completed (replies received),
         ``busy_s`` accumulated dispatch-to-reply seconds, ``elapsed_s``
         the observation window (driver lifetime unless given),
-        ``utilization`` their ratio, and ``alive``.  The campaign runner
-        folds these rows into the telemetry trace as a ``workers``
-        event; ``campaign watch --cells`` renders them with straggler
-        flags.
+        ``utilization`` their ratio, ``alive``, and ``inflight`` — the
+        number of tasks currently dispatched to the rank but unanswered
+        (always 0 or 1 under barriered scheduling; the async driver keeps
+        it at 1 per live rank when saturated).  The campaign runner folds
+        these rows into the telemetry trace as a ``workers`` event;
+        ``campaign watch --cells`` renders them with straggler flags.
         """
         if elapsed_s is None:
             elapsed_s = time.monotonic() - self._t0
         elapsed_s = max(float(elapsed_s), 1e-9)
+        inflight: Dict[int, int] = {}
+        for task in self._running.values():
+            if task.worker is not None:
+                inflight[task.worker] = inflight.get(task.worker, 0) + 1
         rows = []
         for rank in range(1, self.n_workers + 1):
             busy = self._rank_busy.get(rank, 0.0)
@@ -379,5 +410,6 @@ class MWDriver:
                 "elapsed_s": elapsed_s,
                 "utilization": busy / elapsed_s,
                 "alive": bool(self._alive.get(rank, False)),
+                "inflight": inflight.get(rank, 0),
             })
         return rows

@@ -121,7 +121,26 @@ class StochasticFunction:
         dt = float(dt)
         if not (dt > 0.0):
             raise ValueError(f"dt must be > 0, got {dt!r}")
-        fval = float(self.f(ev.theta))
+        return self.merge_external(ev, dt, float(self.f(ev.theta)))
+
+    def merge_external(self, ev: VertexEvaluation, dt: float, fval: float) -> VertexEvaluation:
+        """Merge an externally computed surface value as one sampling block.
+
+        The master-side half of the ask/tell seam: a worker reports the
+        deterministic surface value ``fval = f(theta)`` for a proposal and
+        the noise model is applied *here*, at merge time, from this
+        function's own generator.  Because ``f`` itself never consumes this
+        generator, a block merged through this method is bitwise identical
+        to one sampled locally by :meth:`extend` — and as long as a round's
+        merges happen in pool order, the noise stream is independent of the
+        order in which workers replied.  Counts toward
+        ``n_underlying_calls`` / ``total_sampling_time`` exactly like a
+        local extension (the call happened, just elsewhere).
+        """
+        dt = float(dt)
+        if not (dt > 0.0):
+            raise ValueError(f"dt must be > 0, got {dt!r}")
+        fval = float(fval)
         self.n_underlying_calls += 1
         self.total_sampling_time += dt
         s0 = self.sigma0_at(ev.theta)
@@ -183,6 +202,15 @@ class SamplingPool:
         self.concurrent = bool(concurrent)
         self.active: List[VertexEvaluation] = []
         self.n_activations = 0
+        #: Optional sampling interceptor ``hook(evs, dt) -> [fval, ...]``.
+        #: When set (by the ask/tell engine in :mod:`repro.core.base`),
+        #: every sampling request is published as a round of proposals and
+        #: the returned deterministic surface values are merged through
+        #: :meth:`StochasticFunction.merge_external` in pool order.  ``None``
+        #: (the default) samples locally via :meth:`StochasticFunction.extend`.
+        self.sample_hook: Optional[
+            Callable[[List[VertexEvaluation], float], List[float]]
+        ] = None
 
     @property
     def clock(self) -> VirtualClock:
@@ -205,7 +233,7 @@ class SamplingPool:
         if self.concurrent:
             self.advance(self.warmup)
         else:
-            self.func.extend(ev, self.warmup)
+            self._sample([ev], self.warmup)
             self.clock.advance(self.warmup)
         return ev
 
@@ -240,9 +268,25 @@ class SamplingPool:
             for ev in extend:
                 if ev not in self.active:
                     raise ValueError("target evaluation is not active in this pool")
-        for ev in extend:
-            self.func.extend(ev, dt)
+        self._sample(extend, dt)
         return self.clock.advance(dt)
+
+    def _sample(self, evs, dt: float) -> None:
+        """Extend ``evs`` by ``dt``: locally, or through the ask/tell hook.
+
+        Every sampling request of the pool funnels through here, which is
+        what lets the ask/tell engine intercept *all* evaluation traffic by
+        setting :attr:`sample_hook` — one hook call is one proposal round.
+        """
+        if not evs:
+            return
+        if self.sample_hook is None:
+            for ev in evs:
+                self.func.extend(ev, dt)
+            return
+        values = self.sample_hook(list(evs), float(dt))
+        for ev, fval in zip(evs, values):
+            self.func.merge_external(ev, dt, fval)
 
     def __len__(self) -> int:
         return len(self.active)

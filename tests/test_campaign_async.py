@@ -1,0 +1,250 @@
+"""Straggler / loss chaos tests for the async campaign path.
+
+The barriered mw path waits for whole batches; the async path
+(:meth:`CampaignRunner._run_async` over
+:class:`~repro.core.async_driver.AsyncEvalDriver`) farms individual ask/tell
+proposals to the worker pool.  These tests inject faults at that proposal
+granularity through the execution chaos seams:
+
+* ``$REPRO_EVAL_SLOW`` ("rank:seconds") makes one worker a straggler — the
+  campaign must keep progressing on the other workers and finish far below
+  the all-serialized bound.
+* ``$REPRO_EVAL_DROP_ONCE`` ("markerpath:pattern") makes one evaluation die
+  exactly once — the mw layer must requeue it exactly once (asserted
+  through the PR-6 span-id audit log: the dropped proposal shows exactly
+  two audit lines with distinct span ids, every other exactly one) and the
+  campaign still converges.
+"""
+
+import os
+import time
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import Campaign, CampaignSpec, JOB_AUDIT_ENV
+from repro.campaign.execution import (
+    EVAL_DROP_ONCE_ENV,
+    EVAL_SLOW_ENV,
+    build_job_optimizer,
+    mw_eval_executor,
+    proposal_work,
+)
+from repro.core.async_driver import AsyncEvalDriver, EvalSource
+from repro.mw.driver import MWDriver
+
+
+def async_spec(n_seeds=4, **overrides) -> CampaignSpec:
+    """A small grid of cheap MN jobs, every one needing many evaluations."""
+    kwargs = dict(
+        name="async-chaos",
+        algorithms=["MN"],
+        functions=["sphere"],
+        dims=[2],
+        sigma0s=[1.0],
+        seeds=list(range(n_seeds)),
+        tau=0.05,
+        walltime=1e5,
+        max_steps=15,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+def audit_key_counts(path) -> Counter:
+    """``{audit_key: n_lines}`` from an audit log (proposal keys included)."""
+    path = Path(path)
+    if not path.exists():
+        return Counter()
+    return Counter(
+        line.split()[0] for line in path.read_text().splitlines() if line.strip()
+    )
+
+
+def audit_spans_for(path, key) -> list:
+    """Span ids recorded for one audit key, in execution order."""
+    return [
+        line.split()[2]
+        for line in Path(path).read_text().splitlines()
+        if line.strip() and line.split()[0] == key
+    ]
+
+
+class TestAsyncCampaign:
+    def test_async_campaign_completes_and_records(self, tmp_path):
+        spec = async_spec(n_seeds=4)
+        campaign = Campaign(tmp_path / "camp", spec=spec)
+        report = campaign.run(
+            backend="mw",
+            mw_transport="threaded",
+            async_mode=True,
+            max_workers=3,
+            max_inflight=6,
+        )
+        assert report.n_done == 4
+        assert report.n_failed == 0
+        status = campaign.status()
+        assert status["done"] == 4
+
+    def test_async_resumes_where_it_stopped(self, tmp_path):
+        spec = async_spec(n_seeds=4)
+        campaign = Campaign(tmp_path / "camp", spec=spec)
+        first = campaign.run(
+            backend="mw",
+            mw_transport="threaded",
+            async_mode=True,
+            max_workers=2,
+            max_jobs=2,
+        )
+        assert first.n_done == 2
+        second = campaign.run(
+            backend="mw",
+            mw_transport="threaded",
+            async_mode=True,
+            max_workers=2,
+        )
+        assert second.n_skipped == 2
+        assert second.n_done == 2
+        assert campaign.status()["done"] == 4
+
+    def test_async_requires_mw_backend(self, tmp_path):
+        from repro.campaign import CampaignRunner, open_store
+
+        with pytest.raises(ValueError, match="mw"):
+            CampaignRunner(
+                async_spec(), open_store(tmp_path), backend="serial", async_mode=True
+            )
+
+
+class TestStragglerChaos:
+    def test_straggler_worker_does_not_stall_the_campaign(
+        self, tmp_path, monkeypatch
+    ):
+        """One slow worker (0.25 s per evaluation) must not serialize the
+        run: the other two workers keep every other job moving, so the
+        wall clock stays far below the straggler-serialized bound."""
+        sleep_s = 0.25
+        monkeypatch.setenv(EVAL_SLOW_ENV, f"1:{sleep_s}")
+        spec = async_spec(n_seeds=6)
+        n_evals_lower_bound = 6 * 15  # jobs x max_steps, ignoring waits
+        campaign = Campaign(tmp_path / "camp", spec=spec)
+        t0 = time.monotonic()
+        report = campaign.run(
+            backend="mw",
+            mw_transport="threaded",
+            async_mode=True,
+            max_workers=3,
+            max_inflight=6,
+        )
+        elapsed = time.monotonic() - t0
+        assert report.n_done == 6
+        assert report.n_failed == 0
+        # if every evaluation had queued behind the straggler the run would
+        # take >= n_evals * sleep; async must beat that by a wide margin
+        assert elapsed < 0.5 * n_evals_lower_bound * sleep_s, (
+            f"straggler serialized the campaign: {elapsed:.1f}s"
+        )
+
+    def test_straggler_sees_nonzero_inflight_in_workers_event(
+        self, tmp_path, monkeypatch
+    ):
+        """`watch --cells` depth: utilization rows carry the in-flight count."""
+        from repro.campaign.progress import workers_from_trace
+        from repro.telemetry import TELEMETRY_ENV
+
+        monkeypatch.setenv(TELEMETRY_ENV, "1")
+        directory = tmp_path / "camp"
+        campaign = Campaign(directory, spec=async_spec(n_seeds=4))
+        report = campaign.run(
+            backend="mw",
+            mw_transport="threaded",
+            async_mode=True,
+            max_workers=2,
+            max_inflight=4,
+        )
+        assert report.n_done == 4
+        rows = workers_from_trace(directory)
+        assert rows, "no workers event in the telemetry trace"
+        for row in rows:
+            assert hasattr(row, "inflight")
+            assert row.inflight >= 0
+            assert "tasks" in row.line()
+
+
+class TestLossChaos:
+    def test_dropped_evaluation_requeued_exactly_once(self, tmp_path, monkeypatch):
+        """Kill one evaluation; the mw retry layer requeues it exactly once.
+
+        Counted through the audit log (PR-6 span machinery): the dropped
+        proposal's key carries exactly two lines with distinct span ids —
+        the killed attempt plus its single requeue — and every other
+        proposal exactly one.
+        """
+        audit = tmp_path / "audit.log"
+        marker = tmp_path / "dropped.marker"
+        monkeypatch.setenv(JOB_AUDIT_ENV, str(audit))
+        # every proposal id p000004 across jobs matches; the marker file
+        # guarantees only the first matching evaluation dies
+        monkeypatch.setenv(EVAL_DROP_ONCE_ENV, f"{marker}:/p000004")
+        spec = async_spec(n_seeds=3)
+        campaign = Campaign(tmp_path / "camp", spec=spec)
+        report = campaign.run(
+            backend="mw",
+            mw_transport="threaded",
+            async_mode=True,
+            max_workers=3,
+            max_inflight=6,
+        )
+        assert report.n_done == 3
+        assert report.n_failed == 0
+        assert marker.exists(), "the drop chaos never fired"
+
+        counts = audit_key_counts(audit)
+        assert counts, "no audit lines written"
+        doubled = {k: n for k, n in counts.items() if n == 2}
+        assert len(doubled) == 1, f"expected exactly one requeued proposal: {doubled}"
+        (requeued_key,) = doubled
+        assert "/p000004" in requeued_key
+        spans = audit_spans_for(audit, requeued_key)
+        assert len(spans) == 2 and spans[0] != spans[1], (
+            "requeue must be a distinct execution attempt (fresh span id)"
+        )
+        assert all(n == 1 for k, n in counts.items() if k != requeued_key), (
+            "some other evaluation ran more than once"
+        )
+
+    def test_evaluation_failed_beyond_retries_fails_only_its_job(self, tmp_path):
+        """A poisoned evaluation (fails every attempt) fails its own job;
+        the other jobs complete untouched."""
+        spec = async_spec(n_seeds=3)
+        jobs = spec.expand()
+        poisoned = jobs[0].job_id
+
+        def executor(work, context):
+            if work["job_id"] == poisoned:
+                raise RuntimeError("poisoned evaluation")
+            return mw_eval_executor(work, context)
+
+        driver = MWDriver(executor, n_workers=2, backend="threaded", max_retries=1)
+        outcomes = {}
+        sources = [
+            EvalSource(
+                key=job.job_id,
+                opt=build_job_optimizer(job),
+                make_work=(lambda j: lambda p: proposal_work(j, p))(job),
+            )
+            for job in jobs
+        ]
+        try:
+            AsyncEvalDriver(driver, max_inflight=4).run(
+                sources, lambda s, r, e: outcomes.__setitem__(s.key, (r, e))
+            )
+        finally:
+            driver.shutdown()
+        assert outcomes[poisoned][0] is None
+        assert "poisoned" in outcomes[poisoned][1]
+        for job in jobs[1:]:
+            result, error = outcomes[job.job_id]
+            assert error is None
+            assert result.n_steps > 0

@@ -80,3 +80,58 @@ class TestPsoPolish:
         )
         assert result.algorithm == "PSO+MN"
         assert result.best_true < 1.0
+
+
+class TestPsoAskTell:
+    """step() routes through the native ask/tell seam (generation-batched)."""
+
+    def mk_pair(self, seed=20):
+        def one():
+            func = noisy(Sphere(2), sigma0=0.5, seed=seed)
+            return NoisyPSO(func, bounds=(-3.0, 3.0), dim=2, n_particles=6, rng=seed + 1)
+
+        return one(), one()
+
+    def test_out_of_order_tells_match_step(self):
+        """Reversed-order tells reproduce the step() trajectory exactly —
+        noise merges in particle order regardless of arrival order."""
+        a, b = self.mk_pair()
+        for _ in range(8):
+            a.step()
+            for p in reversed(b.ask()):
+                b.tell(p.id, float(b.func.f(np.asarray(p.theta))))
+        np.testing.assert_array_equal(a.gbest_pos, b.gbest_pos)
+        np.testing.assert_array_equal(a.best_val, b.best_val)
+        assert a.gbest_val == b.gbest_val
+        assert a.n_iterations == b.n_iterations
+
+    def test_ask_is_generation_batched_and_stable(self):
+        func = noisy(Sphere(2), sigma0=0.5, seed=22)
+        swarm = NoisyPSO(func, bounds=(-3.0, 3.0), dim=2, n_particles=5, rng=23)
+        first = swarm.ask()
+        assert len(first) == 5
+        # re-asking mid-generation returns the still-untold proposals, no new mints
+        again = swarm.ask()
+        assert [p.id for p in again] == [p.id for p in first]
+        swarm.tell(first[0].id, 1.0)
+        assert len(swarm.ask()) == 4
+
+    def test_duplicate_and_unknown_tells(self):
+        func = noisy(Sphere(2), sigma0=0.5, seed=24)
+        swarm = NoisyPSO(func, bounds=(-3.0, 3.0), dim=2, n_particles=4, rng=25)
+        proposals = swarm.ask()
+        assert swarm.tell(proposals[0].id, 0.5) == "applied"
+        assert swarm.tell(proposals[0].id, 9.9) == "duplicate"
+        assert swarm.n_duplicate_tells == 1
+        with pytest.raises(KeyError):
+            swarm.tell("nope", 0.0)
+
+    def test_last_tell_finishes_the_iteration(self):
+        func = noisy(Sphere(2), sigma0=0.5, seed=26)
+        swarm = NoisyPSO(func, bounds=(-3.0, 3.0), dim=2, n_particles=4, rng=27)
+        proposals = swarm.ask()
+        for p in proposals[:-1]:
+            swarm.tell(p.id, float(func.f(np.asarray(p.theta))))
+            assert swarm.n_iterations == 0
+        swarm.tell(proposals[-1].id, float(func.f(np.asarray(proposals[-1].theta))))
+        assert swarm.n_iterations == 1

@@ -25,6 +25,10 @@ MODULES = [
     "repro.campaign.sharding",
     "repro.campaign.spec",
     "repro.campaign.store",
+    "repro.core.async_driver",
+    "repro.core.base",
+    "repro.core.pso",
+    "repro.core.simplex",
     "repro.parallel",
     "repro.parallel.backends",
     "repro.mw.codec",
