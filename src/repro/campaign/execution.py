@@ -201,6 +201,105 @@ def proposal_work(job: Job, proposal) -> dict:
     }
 
 
+def batch_proposal_work(pairs) -> dict:
+    """Wire payload for a batched frame of proposals (``--eval-batch q``).
+
+    ``pairs`` is a list of ``(job, proposal)`` tuples that must all share
+    one function name and dimension — the unit a single vectorized
+    ``TestFunction.batch`` call can evaluate.  The payload is *columnar*
+    (one ``(q, d)`` theta array, parallel id lists) rather than a list of
+    per-proposal dicts: the ndarray crosses the codec as one raw-bytes
+    tag, so frame encoding cost stays flat in ``q`` instead of growing a
+    struct call per field.  Column order is the frame order: the executor
+    returns ``values`` aligned with it, and the async driver's tell
+    fan-in splits them back to per-proposal ids.
+
+    Only what the worker consumes crosses the wire: ids (for the audit and
+    drop-once chaos seams) and thetas.  Per-proposal ``dt``/``label`` stay
+    master-side in the driver's task map — they are merge-time inputs, not
+    evaluation inputs.
+    """
+    first_job = pairs[0][0]
+    for job, _ in pairs:
+        if job.function != first_job.function or job.dim != first_job.dim:
+            raise ValueError(
+                f"batch frame mixes objectives: {job.function}:{job.dim} "
+                f"vs {first_job.function}:{first_job.dim}"
+            )
+    return {
+        "kind": "eval_batch",
+        "function": first_job.function,
+        "dim": first_job.dim,
+        "job_ids": [job.job_id for job, _ in pairs],
+        "proposal_ids": [proposal.id for _, proposal in pairs],
+        "thetas": np.ascontiguousarray(
+            [np.asarray(p.theta, dtype=float) for _, p in pairs], dtype=float
+        ),
+    }
+
+
+def _mw_eval_batch(work: dict, context) -> dict:
+    """Evaluate one ``eval_batch`` frame: per-item audit, one vectorized call.
+
+    Chaos semantics hold *per batch*: every member is audited (fresh span
+    each) before the seams fire, and a drop-once hit on any member raises
+    for the whole frame — the mw layer requeues it, so each member of a
+    dropped frame shows exactly two audit lines with distinct spans.  The
+    straggler sleep scales by the item count, costing what ``q`` scalar
+    evaluations would have.
+
+    The reply carries ``span_ids``/``keys`` only while the audit seam is
+    active — on the hot path the reply is just the values vector, so the
+    per-frame codec cost stays flat in ``q`` in both directions.
+    """
+    audited = bool(os.environ.get(JOB_AUDIT_ENV))
+    keys = [
+        f"{job_id}/{proposal_id}"
+        for job_id, proposal_id in zip(work["job_ids"], work["proposal_ids"])
+    ]
+    span_ids = []
+    if audited:
+        run_id = os.environ.get(RUN_ID_ENV, "-")
+        for key in keys:
+            span_id = new_span_id()
+            _audit_execution(key, run_id, span_id)
+            span_ids.append(span_id)
+
+    drop_spec = os.environ.get(EVAL_DROP_ONCE_ENV)
+    if drop_spec:
+        marker, _, pattern = drop_spec.rpartition(":")
+        if marker and pattern:
+            for key in keys:
+                if pattern not in key:
+                    continue
+                try:
+                    os.close(
+                        os.open(marker, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+                    )
+                except FileExistsError:
+                    pass  # someone already took the one drop
+                else:
+                    raise RuntimeError(f"chaos: dropped evaluation {key}")
+
+    slow_spec = os.environ.get(EVAL_SLOW_ENV)
+    if slow_spec:
+        rank_s, _, seconds_s = slow_spec.partition(":")
+        if rank_s and seconds_s and int(rank_s) == getattr(context, "rank", -1):
+            time.sleep(float(seconds_s) * len(keys))
+
+    f = get_function(work["function"], int(work["dim"]))
+    thetas = np.ascontiguousarray(work["thetas"], dtype=float)
+    values = f.batch(thetas)
+    reply = {
+        "kind": "eval_batch",
+        "values": [float(v) for v in values],
+    }
+    if audited:
+        reply["span_ids"] = span_ids
+        reply["keys"] = keys
+    return reply
+
+
 def mw_eval_executor(work: dict, context) -> dict:
     """MW executor adapter for one proposal evaluation (async mode).
 
@@ -208,9 +307,13 @@ def mw_eval_executor(work: dict, context) -> dict:
     the chaos seams fire, so a dropped evaluation still leaves its audit
     line — that is how the chaos suite counts "requeued exactly once":
     exactly two audit lines with distinct spans for the dropped proposal,
-    one line for every other.  Module-level so process/tcp workers can
-    import it by reference (``mw-worker --executor``).
+    one line for every other.  A payload of ``kind == "eval_batch"``
+    (built by :func:`batch_proposal_work`) dispatches to the vectorized
+    batch kernel instead.  Module-level so process/tcp workers can import
+    it by reference (``mw-worker --executor``).
     """
+    if work.get("kind") == "eval_batch":
+        return _mw_eval_batch(work, context)
     job_id = work["job_id"]
     proposal_id = work["proposal_id"]
     key = f"{job_id}/{proposal_id}"
@@ -264,7 +367,10 @@ def slow_mw_eval_executor(work: dict, context) -> dict:
 
     The async-leg straggler of the CI async-smoke job: the slow worker holds
     one proposal at a time while the fast workers keep the other jobs moving,
-    so the async wall clock stays near the fast workers' throughput.
+    so the async wall clock stays near the fast workers' throughput.  For a
+    batched frame the sleep scales by the item count — the time ``q``
+    scalar evaluations would have cost.
     """
-    time.sleep(float(os.environ.get("REPRO_EVAL_SLOW_S", "1.0")))
+    n = len(work["job_ids"]) if work.get("kind") == "eval_batch" else 1
+    time.sleep(float(os.environ.get("REPRO_EVAL_SLOW_S", "1.0")) * n)
     return mw_eval_executor(work, context)

@@ -97,19 +97,23 @@ class WorkerUtilization:
     """
 
     rank: int
-    tasks: int            # replies received from this rank
+    tasks: int            # replies received from this rank (frames)
     busy_s: float         # accumulated dispatch-to-reply seconds
     elapsed_s: float      # observation window (driver lifetime)
     utilization: float    # busy_s / elapsed_s
     alive: bool
     straggler: bool = False
-    inflight: int = 0     # tasks dispatched but unanswered at observation
+    inflight: int = 0     # evaluations dispatched but unanswered (a batch
+                          # frame counts its q, so depth is honest under
+                          # --eval-batch)
+    evals: int = 0        # evaluations completed (>= tasks under batching)
 
     def to_dict(self) -> dict:
         """Flat JSON shape for ``campaign watch --json`` consumers."""
         return {
             "rank": self.rank,
             "tasks": self.tasks,
+            "evals": self.evals,
             "busy_s": self.busy_s,
             "elapsed_s": self.elapsed_s,
             "utilization": self.utilization,
@@ -124,8 +128,14 @@ class WorkerUtilization:
         if self.straggler:
             flags += " [straggler]"
         depth = f", {self.inflight} in flight" if self.inflight else ""
+        # Under --eval-batch a frame carries several evaluations; show
+        # both counts when they diverge so the table stays comparable
+        # across batch sizes.
+        work = f"{self.tasks} tasks"
+        if self.evals > self.tasks:
+            work += f" ({self.evals} evals)"
         return (
-            f"  worker {self.rank}: {self.tasks} tasks{depth}, "
+            f"  worker {self.rank}: {work}{depth}, "
             f"busy {self.busy_s:.1f}s/{self.elapsed_s:.1f}s "
             f"({self.utilization:.0%}){flags}"
         )
@@ -164,6 +174,7 @@ def workers_from_trace(directory) -> Tuple[WorkerUtilization, ...]:
                 and float(r.get("utilization", 0.0)) < 0.5 * median
             ),
             inflight=int(r.get("inflight", 0)),
+            evals=int(r.get("evals", r.get("tasks", 0))),
         )
         for r in rows
     )

@@ -223,8 +223,24 @@ class CampaignRunner:
         same job: scheduling depth adds speculative refinements.
     max_inflight:
         Async mode: cap on simultaneously outstanding evaluations
-        across all jobs (default ``2 * workers`` — enough to keep every
-        worker busy while replies are in transit).
+        across all jobs (default ``2 * workers``, raised to
+        ``2 * eval_batch`` under batching — enough to keep every worker
+        busy while replies are in transit, and to let batch frames
+        fill).
+    eval_batch:
+        Async mode: proposals per mw frame (``--eval-batch q``).  At the
+        default 1 every proposal is its own task; at ``q > 1`` proposals
+        sharing an objective (``function:dim``) ride one frame and the
+        worker evaluates them in a single vectorized ``batch()`` call —
+        amortizing codec/transport/scheduling overhead that dominates
+        for cheap objectives.  See docs/CAMPAIGNS.md.
+    flush_interval:
+        Async mode: upper bound (seconds) on how long a finished job's
+        record may sit in the coalescing buffer before a
+        ``record_many`` flush.  Records flush immediately once
+        ``batch_size`` accumulate; the interval bounds the tail.  The
+        sync paths already flush one ``record_many`` per batch, so the
+        knob only exists for async mode.
     refresh_pending:
         Legacy-mode only (``lease=False``): re-read the store before each
         batch (after the first) and shed jobs a cooperating runner has
@@ -275,6 +291,8 @@ class CampaignRunner:
         mw_max_retries: int = 2,
         async_mode: bool = False,
         max_inflight: Optional[int] = None,
+        eval_batch: int = 1,
+        flush_interval: float = 2.0,
         refresh_pending: bool = True,
         stagger: bool = False,
         lease: bool = True,
@@ -296,6 +314,14 @@ class CampaignRunner:
             )
         if max_inflight is not None and int(max_inflight) < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if int(eval_batch) < 1:
+            raise ValueError(f"eval_batch must be >= 1, got {eval_batch}")
+        if int(eval_batch) > 1 and not async_mode:
+            raise ValueError("eval_batch > 1 requires async mode (--async)")
+        if flush_interval <= 0:
+            raise ValueError(
+                f"flush_interval must be positive, got {flush_interval}"
+            )
         self.spec = spec
         self.store = store
         self.backend = backend
@@ -306,6 +332,8 @@ class CampaignRunner:
         self.mw_max_retries = int(mw_max_retries)
         self.async_mode = bool(async_mode)
         self.max_inflight = None if max_inflight is None else int(max_inflight)
+        self.eval_batch = int(eval_batch)
+        self.flush_interval = float(flush_interval)
         self.refresh_pending = bool(refresh_pending)
         self.stagger = bool(stagger)
         self.lease = bool(lease)
@@ -671,18 +699,24 @@ class CampaignRunner:
 
         Every job is opened through its ask/tell seam and each proposal is
         submitted as its own mw task (:func:`~repro.campaign.execution.
-        mw_eval_executor`); :class:`~repro.core.async_driver.AsyncEvalDriver`
-        keeps up to ``max_inflight`` evaluations outstanding across all jobs
-        and tells replies back as they arrive, in any order.  A job is
-        recorded the moment it terminates, so resume granularity in async
-        mode is a single job regardless of ``batch_size``.  Evaluations lost
-        to dead or erroring workers are requeued by the mw layer exactly as
-        in the barriered path; a task failed beyond ``mw_max_retries`` fails
-        only its own job.
+        mw_eval_executor`) — or, under ``eval_batch > 1``, rides a batched
+        frame with other proposals of the same objective
+        (:func:`~repro.campaign.execution.batch_proposal_work`);
+        :class:`~repro.core.async_driver.AsyncEvalDriver` keeps up to
+        ``max_inflight`` evaluations outstanding across all jobs and tells
+        replies back as they arrive, in any order.  Finished jobs coalesce
+        into a record buffer flushed as one ``record_many`` when
+        ``batch_size`` records accumulate or ``flush_interval`` seconds
+        pass — so resume granularity in async mode is a *flush*, bounded
+        in time, regardless of ``batch_size``.  Evaluations lost to dead
+        or erroring workers are requeued by the mw layer exactly as in the
+        barriered path; a task failed beyond ``mw_max_retries`` fails only
+        its own job (every job aboard, for a batched frame).
         """
         if not pending:
             return
         from repro.campaign.execution import (
+            batch_proposal_work,
             build_job_optimizer,
             mw_eval_executor,
             proposal_work,
@@ -701,7 +735,7 @@ class CampaignRunner:
 
         n_workers = self.max_workers or os.cpu_count() or 2
         n_workers = max(1, n_workers)
-        max_inflight = self.max_inflight or 2 * n_workers
+        max_inflight = self.max_inflight or max(2 * n_workers, 2 * self.eval_batch)
         driver = MWDriver(
             mw_eval_executor,
             n_workers=n_workers,
@@ -711,9 +745,25 @@ class CampaignRunner:
             telemetry=self.telemetry,
         )
 
+        # The batch-frame builder and flush check outlive any single batch
+        # of jobs (the AsyncEvalDriver is constructed once), so both
+        # resolve through per-batch state rebound below.
+        job_lookup: dict = {}
+        flush_check: List[Optional[Callable[[], None]]] = [None]
+
+        def make_batch_work(items):
+            return batch_proposal_work(
+                [(job_lookup[src.key], proposal) for src, proposal in items]
+            )
+
         def workers_event() -> None:
             if self.telemetry.enabled:
                 self.telemetry.event("workers", workers=driver.utilization())
+
+        def heartbeat_fn() -> None:
+            workers_event()
+            if flush_check[0] is not None:
+                flush_check[0]()
 
         run_id = os.environ.get(RUN_ID_ENV, "-")
         with driver:
@@ -721,7 +771,10 @@ class CampaignRunner:
                 driver,
                 max_inflight=max_inflight,
                 telemetry=self.telemetry,
-                heartbeat=workers_event if self.telemetry.enabled else None,
+                heartbeat=heartbeat_fn,
+                heartbeat_interval=min(self.flush_interval, 2.0),
+                eval_batch=self.eval_batch,
+                make_batch_work=make_batch_work,
             )
             for start in range(0, len(pending), self.batch_size):
                 batch = pending[start : start + self.batch_size]
@@ -734,21 +787,42 @@ class CampaignRunner:
                     continue
                 ids = [job.job_id for job in batch]
                 job_by_id = {job.job_id: job for job in batch}
+                job_lookup.clear()
+                job_lookup.update(job_by_id)
                 t_started = {job.job_id: time.perf_counter() for job in batch}
                 span_by_id = {job.job_id: new_span_id() for job in batch}
                 recorded: Set[str] = set()
+                record_buf: List[dict] = []
+                last_flush = [time.monotonic()]
                 sources = [
                     EvalSource(
                         key=job.job_id,
                         opt=build_job_optimizer(job),
                         make_work=partial(proposal_work, job),
+                        batch_key=f"{job.function}:{job.dim}",
                     )
                     for job in batch
                 ]
 
+                def flush_records() -> None:
+                    last_flush[0] = time.monotonic()
+                    if not record_buf:
+                        return
+                    flushed = record_buf[:]
+                    record_buf.clear()
+                    self._record_batch(flushed, counts)
+                    for rec in flushed:
+                        recorded.add(rec["job_id"])
+                        executed.add(rec["job_id"])
+                    emit()
+
+                def check_flush() -> None:
+                    if time.monotonic() - last_flush[0] >= self.flush_interval:
+                        flush_records()
+
                 def on_finished(src, result, error) -> None:
                     job = job_by_id[src.key]
-                    record = {
+                    record_buf.append({
                         "job_id": job.job_id,
                         "status": STATUS_DONE if error is None else STATUS_FAILED,
                         "job": job.to_dict(),
@@ -757,12 +831,11 @@ class CampaignRunner:
                         "elapsed_s": time.perf_counter() - t_started[src.key],
                         "run_id": run_id,
                         "span_id": span_by_id[src.key],
-                    }
-                    self._record_batch([record], counts)
-                    recorded.add(src.key)
-                    executed.add(src.key)
-                    emit()
+                    })
+                    if len(record_buf) >= self.batch_size:
+                        flush_records()
 
+                flush_check[0] = check_flush
                 heartbeat = (
                     _LeaseHeartbeat(self.store, ids, self.runner_id, self.lease_ttl)
                     if self.lease else None
@@ -772,14 +845,22 @@ class CampaignRunner:
                         "evaluate", n_jobs=len(batch), backend="mw-async"
                     ):
                         async_driver.run(sources, on_finished)
+                    flush_records()
                 except BaseException:
                     if heartbeat is not None:
                         heartbeat.stop()
                         heartbeat = None
+                    # Finished-but-unflushed jobs are real results: record
+                    # them if at all possible before releasing the rest.
+                    try:
+                        flush_records()
+                    except OSError:  # pragma: no cover - store gone mid-teardown
+                        pass
                     if self.lease:
                         self._release_quietly([i for i in ids if i not in recorded])
                     raise
                 finally:
+                    flush_check[0] = None
                     if heartbeat is not None:
                         heartbeat.stop()
             workers_event()
@@ -870,6 +951,8 @@ class Campaign:
         mw_max_retries: int = 2,
         async_mode: bool = False,
         max_inflight: Optional[int] = None,
+        eval_batch: int = 1,
+        flush_interval: float = 2.0,
         stagger: bool = False,
         lease: bool = True,
         lease_ttl: float = DEFAULT_LEASE_TTL,
@@ -900,6 +983,8 @@ class Campaign:
             mw_max_retries=mw_max_retries,
             async_mode=async_mode,
             max_inflight=max_inflight,
+            eval_batch=eval_batch,
+            flush_interval=flush_interval,
             stagger=stagger,
             lease=lease,
             lease_ttl=lease_ttl,

@@ -196,6 +196,10 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         print("error: --async schedules through the mw driver; "
               "drop --backend or pass --backend mw", file=sys.stderr)
         return 2
+    if args.eval_batch > 1 and not args.async_mode:
+        print("error: --eval-batch batches ask/tell proposals, which only "
+              "exist under --async", file=sys.stderr)
+        return 2
     if backend == "mw":
         from repro.campaign.runner import validate_mw_transport
 
@@ -214,6 +218,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         mw_affinity=args.mw_affinity,
         async_mode=args.async_mode,
         max_inflight=args.max_inflight,
+        eval_batch=args.eval_batch,
+        flush_interval=args.flush_interval,
         stagger=args.stagger,
         lease=args.lease,
         lease_ttl=(DEFAULT_LEASE_TTL if args.lease_ttl is None
@@ -556,7 +562,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "docs/CAMPAIGNS.md)")
     p_crun.add_argument("--max-inflight", type=int, default=None, metavar="N",
                         help="async mode: cap on simultaneously outstanding "
-                             "evaluations across all jobs (default 2x workers)")
+                             "evaluations across all jobs (default 2x workers, "
+                             "or 2x --eval-batch if larger)")
+    p_crun.add_argument("--eval-batch", type=int, default=1, metavar="Q",
+                        help="async mode: proposals per mw frame; same-objective "
+                             "proposals ride one frame and the worker evaluates "
+                             "them in a single vectorized call, amortizing "
+                             "codec/transport overhead on cheap objectives "
+                             "(default 1: one task per proposal)")
+    p_crun.add_argument("--flush-interval", type=float, default=2.0, metavar="S",
+                        help="async mode: max seconds a finished job's record "
+                             "may wait in the coalescing buffer before a "
+                             "record_many flush (default 2.0)")
     p_crun.add_argument("--max-workers", type=int, default=None)
     p_crun.add_argument("--chunksize", type=int, default=1,
                         help="jobs per IPC message on the process backend")

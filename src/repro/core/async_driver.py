@@ -3,9 +3,10 @@
 The barriered campaign path runs each job start-to-finish on one worker and
 waits for whole batches (``MWDriver.wait_all``).  This module kills that
 barrier: every optimizer is opened through its ask/tell seam
-(:mod:`repro.core.base`), each proposal becomes its own mw task, and a single
-scheduling loop keeps up to ``max_inflight`` evaluations in flight *across
-all jobs at once*.  While one job's round waits on a straggler, the other
+(:mod:`repro.core.base`), each proposal becomes its own mw task (or rides a
+batched frame of up to ``eval_batch`` proposals), and a single scheduling
+loop keeps up to ``max_inflight`` evaluations in flight *across all jobs at
+once*.  While one job's round waits on a straggler, the other
 jobs' proposals keep the remaining workers busy — a slow node degrades
 throughput by one worker instead of stalling every job at an iteration
 barrier.
@@ -57,11 +58,18 @@ class EvalSource:
     make_work:
         Maps a :class:`~repro.core.base.Proposal` to the wire payload for the
         mw task (normally :func:`~repro.campaign.execution.proposal_work`).
+    batch_key:
+        Coalescing group for batched evaluation (``eval_batch > 1``):
+        proposals from sources sharing a ``batch_key`` may ride the same
+        batch frame, so the runner keys it by ``function:dim`` — the unit
+        one vectorized ``batch()`` call can evaluate.  ``None`` (default)
+        batches only within this source.
     """
 
     key: str
     opt: Any
     make_work: Callable[[Any], Any]
+    batch_key: Optional[str] = None
     # internals, managed by the driver
     inflight: int = field(default=0, repr=False)
     failed_error: Optional[str] = field(default=None, repr=False)
@@ -92,6 +100,20 @@ class AsyncEvalDriver:
         ``heartbeat_interval`` seconds from the scheduling loop (the campaign
         runner uses it to emit ``workers`` telemetry events for
         ``watch --cells``).
+    eval_batch:
+        Proposals per mw frame (``--eval-batch q``).  At the default 1
+        every proposal is its own task, exactly as before.  At ``q > 1``
+        proposals are grouped by :attr:`EvalSource.batch_key` and shipped
+        ``q`` to a frame via ``make_batch_work``; the worker evaluates
+        them in one vectorized call and the tell fan-in splits the values
+        back to per-proposal ids.  Partial groups are flushed every
+        scheduling beat — a proposal withheld across beats would deadlock
+        its engine's round waiting for a tell that never comes.
+    make_batch_work:
+        Maps a list of ``(source, proposal)`` pairs (all sharing a
+        ``batch_key``) to the batch frame payload (the campaign uses
+        :func:`~repro.campaign.execution.batch_proposal_work`).  Required
+        when ``eval_batch > 1``.
     """
 
     def __init__(
@@ -102,19 +124,33 @@ class AsyncEvalDriver:
         telemetry: Optional[Telemetry] = None,
         heartbeat: Optional[Callable[[], None]] = None,
         heartbeat_interval: float = 2.0,
+        eval_batch: int = 1,
+        make_batch_work: Optional[Callable[[List[tuple]], Any]] = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if eval_batch < 1:
+            raise ValueError(f"eval_batch must be >= 1, got {eval_batch}")
+        if eval_batch > 1 and make_batch_work is None:
+            raise ValueError("eval_batch > 1 requires make_batch_work")
         self.mw = mw
         self.max_inflight = int(max_inflight)
         self.poll_timeout = float(poll_timeout)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.heartbeat = heartbeat
         self.heartbeat_interval = float(heartbeat_interval)
-        self._task_map: Dict[int, tuple] = {}  # task_id -> (source, proposal)
+        self.eval_batch = int(eval_batch)
+        self.make_batch_work = make_batch_work
+        # task_id -> [(source, proposal), ...] in frame order (len 1 unless batched)
+        self._task_map: Dict[int, List[tuple]] = {}
         self.n_submitted = 0
+        self.n_frames = 0
         self.n_told = 0
         self.n_stale = 0
+
+    def _inflight_evals(self) -> int:
+        """Outstanding proposal evaluations (a batch frame counts its size)."""
+        return sum(len(items) for items in self._task_map.values())
 
     # -- scheduling loop -----------------------------------------------------
 
@@ -144,10 +180,10 @@ class AsyncEvalDriver:
                 if not live and not self._task_map:
                     break
                 self._top_up(live)
-                gauge.set(len(self._task_map))
+                gauge.set(self._inflight_evals())
                 self.mw.pump(self.poll_timeout)
                 self._harvest(stale_counter)
-                gauge.set(len(self._task_map))
+                gauge.set(self._inflight_evals())
                 for src in live:
                     self._maybe_finalize(src, on_finished)
                 if self.heartbeat is not None:
@@ -159,13 +195,21 @@ class AsyncEvalDriver:
             gauge.set(0.0)
         return {
             "submitted": self.n_submitted,
+            "frames": self.n_frames,
             "told": self.n_told,
             "stale": self.n_stale,
         }
 
     def _top_up(self, live: List[EvalSource]) -> None:
-        """Ask sources round-robin for proposals until in-flight is full."""
-        budget = self.max_inflight - len(self._task_map)
+        """Ask sources round-robin for proposals until in-flight is full.
+
+        With ``eval_batch > 1``, proposals accumulate in per-``batch_key``
+        buckets that ship as one frame when full; whatever remains after
+        the round-robin is flushed immediately as partial frames (never
+        held for a later beat — see the class docstring).
+        """
+        budget = self.max_inflight - self._inflight_evals()
+        buckets: Dict[str, List[tuple]] = {}
         for src in live:
             if budget <= 0:
                 break
@@ -176,40 +220,93 @@ class AsyncEvalDriver:
                 if proposal.id in src.submitted_ids:
                     continue
                 src.submitted_ids.add(proposal.id)
-                task = self.mw.submit(src.make_work(proposal))
-                self._task_map[task.task_id] = (src, proposal)
-                src.inflight += 1
-                self.n_submitted += 1
                 budget -= 1
+                if self.eval_batch == 1:
+                    self._submit([(src, proposal)])
+                    continue
+                key = src.batch_key if src.batch_key is not None else src.key
+                bucket = buckets.setdefault(key, [])
+                bucket.append((src, proposal))
+                if len(bucket) >= self.eval_batch:
+                    self._submit(buckets.pop(key))
+        for items in buckets.values():
+            self._submit(items)
+
+    def _submit(self, items: List[tuple]) -> None:
+        """Ship one frame: a lone proposal as the classic single-eval task,
+        two or more as a batch task weighted at ``len(items)`` evaluations."""
+        if len(items) == 1:
+            src, proposal = items[0]
+            task = self.mw.submit(src.make_work(proposal))
+        else:
+            task = self.mw.submit(
+                self.make_batch_work(items), n_evals=len(items)
+            )
+        self._task_map[task.task_id] = items
+        for src, _ in items:
+            src.inflight += 1
+        self.n_submitted += len(items)
+        self.n_frames += 1
 
     def _harvest(self, stale_counter) -> None:
-        """Tell every settled task's value back to its source."""
+        """Tell every settled frame's values back to their sources."""
         settled = [
             tid for tid, _ in self._task_map.items()
             if self.mw.tasks[tid].done or self.mw.tasks[tid].failed
         ]
         for tid in settled:
-            src, proposal = self._task_map.pop(tid)
-            src.inflight -= 1
+            items = self._task_map.pop(tid)
+            for src, _ in items:
+                src.inflight -= 1
             task = self.mw.tasks[tid]
             if task.failed:
                 # The mw layer already retried (dead workers, transient
-                # errors); a task that still failed poisons only its source.
-                if src.failed_error is None:
-                    src.failed_error = f"evaluation {proposal.id} failed: {task.error}"
-                    close = getattr(src.opt, "close", None)
-                    if close is not None:
-                        close(reason=src.failed_error)
+                # errors); a frame that still failed poisons every source
+                # with a proposal aboard — and only those.
+                for src, proposal in items:
+                    if src.failed_error is None:
+                        src.failed_error = (
+                            f"evaluation {proposal.id} failed: {task.error}"
+                        )
+                        close = getattr(src.opt, "close", None)
+                        if close is not None:
+                            close(reason=src.failed_error)
                 continue
-            value = task.result["value"]
-            try:
-                status = src.opt.tell(proposal.id, value)
-            except KeyError:
-                status = "stale"
-            self.n_told += 1
-            if status in ("stale", "duplicate"):
-                self.n_stale += 1
-                stale_counter.inc()
+            if len(items) == 1:
+                values = [task.result["value"]]
+            else:
+                values = task.result["values"]
+                if len(values) != len(items):
+                    raise RuntimeError(
+                        f"batch task {tid} returned {len(values)} values "
+                        f"for {len(items)} proposals"
+                    )
+            # Group the frame's results by source so each optimizer takes
+            # one batched tell (one lock acquisition) instead of one per
+            # proposal — the master-side half of what makes --eval-batch
+            # amortize.  Item order within a source is preserved.
+            grouped: Dict[int, tuple] = {}
+            for (src, proposal), value in zip(items, values):
+                entry = grouped.get(id(src))
+                if entry is None:
+                    entry = grouped[id(src)] = (src, [])
+                entry[1].append((proposal.id, value))
+            for src, pairs in grouped.values():
+                tell_many = getattr(src.opt, "tell_many", None)
+                if tell_many is not None:
+                    statuses = tell_many(pairs)
+                else:
+                    statuses = []
+                    for proposal_id, value in pairs:
+                        try:
+                            statuses.append(src.opt.tell(proposal_id, value))
+                        except KeyError:
+                            statuses.append("stale")
+                for status in statuses:
+                    self.n_told += 1
+                    if status in ("stale", "duplicate"):
+                        self.n_stale += 1
+                        stale_counter.inc()
 
     def _maybe_finalize(
         self,

@@ -267,27 +267,54 @@ class _AskTellEngine:
     def tell(self, proposal_id: str, value: float) -> str:
         """Resolve one proposal; returns a ``TELL_*`` status string."""
         with self._lock:
-            if proposal_id in self._resolved:
-                self.n_duplicate_tells += 1
-                return TELL_DUPLICATE
-            slot = self._round.get(proposal_id)
-            extra = self._extras.get(proposal_id) if slot is None else None
-            if slot is None and extra is None:
+            status = self._tell_locked(proposal_id, value)
+            if status is None:
                 raise KeyError(f"unknown proposal id {proposal_id!r}")
-            self._resolved.add(proposal_id)
-            if self._state == self._DONE or self._abort:
-                self.n_stale_tells += 1
-                return TELL_STALE
-            if slot is not None:
-                slot.value = float(value)
-                slot.told = True
-                self._step_wake.notify_all()
-                return TELL_APPLIED
-            del self._extras[proposal_id]
-            extra.value = float(value)
-            extra.told = True
-            self._told_extras.append(extra)
-            return TELL_EXTRA
+            return status
+
+    def tell_many(self, items) -> List[str]:
+        """Resolve a batch of ``(proposal_id, value)`` pairs under one lock.
+
+        The batched-evaluation fan-in: a frame of ``q`` results costs one
+        lock acquisition and one engine wake-up instead of ``q`` of each,
+        which is what keeps the master's per-evaluation cost flat as
+        ``--eval-batch`` grows.  Statuses come back in item order with the
+        same semantics as :meth:`tell`, except unknown ids map to
+        :data:`TELL_STALE` instead of raising — a batch fan-in cannot
+        abandon the rest of the frame over one retired id (engine-side
+        stale counters are untouched for those, matching the driver's
+        ``KeyError`` handling for single tells).
+        """
+        statuses = []
+        with self._lock:
+            for proposal_id, value in items:
+                status = self._tell_locked(proposal_id, value)
+                statuses.append(TELL_STALE if status is None else status)
+        return statuses
+
+    def _tell_locked(self, proposal_id: str, value: float) -> Optional[str]:
+        """One tell, lock held; ``None`` flags an unknown proposal id."""
+        if proposal_id in self._resolved:
+            self.n_duplicate_tells += 1
+            return TELL_DUPLICATE
+        slot = self._round.get(proposal_id)
+        extra = self._extras.get(proposal_id) if slot is None else None
+        if slot is None and extra is None:
+            return None
+        self._resolved.add(proposal_id)
+        if self._state == self._DONE or self._abort:
+            self.n_stale_tells += 1
+            return TELL_STALE
+        if slot is not None:
+            slot.value = float(value)
+            slot.told = True
+            self._step_wake.notify_all()
+            return TELL_APPLIED
+        del self._extras[proposal_id]
+        extra.value = float(value)
+        extra.told = True
+        self._told_extras.append(extra)
+        return TELL_EXTRA
 
     @property
     def finished(self) -> bool:
@@ -515,6 +542,15 @@ class SimplexOptimizer:
         (already told — rejected cleanly).  Unknown ids raise ``KeyError``.
         """
         return self._engine().tell(proposal_id, value)
+
+    def tell_many(self, items) -> List[str]:
+        """Feed back a frame of ``(proposal_id, value)`` pairs at once.
+
+        One lock acquisition and one engine wake-up for the whole batch —
+        the fan-in half of ``--eval-batch``.  Statuses come back in item
+        order; unknown ids map to :data:`TELL_STALE` instead of raising.
+        """
+        return self._engine().tell_many(items)
 
     @property
     def finished(self) -> bool:

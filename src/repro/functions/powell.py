@@ -41,7 +41,7 @@ class Powell(TestFunction):
         )
 
     def batch(self, thetas) -> np.ndarray:
-        thetas = np.asarray(thetas, dtype=float)
+        thetas = self._as_batch(thetas)
         x = thetas.reshape(thetas.shape[0], -1, 4)
         x1, x2, x3, x4 = x[..., 0], x[..., 1], x[..., 2], x[..., 3]
         return np.sum(

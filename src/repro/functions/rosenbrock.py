@@ -35,7 +35,7 @@ class Rosenbrock(TestFunction):
         )
 
     def batch(self, thetas) -> np.ndarray:
-        thetas = np.asarray(thetas, dtype=float)
+        thetas = self._as_batch(thetas)
         head = thetas[:, :-1]
         tail = thetas[:, 1:]
         return np.sum((1.0 - head) ** 2, axis=1) + 100.0 * np.sum(

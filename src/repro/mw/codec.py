@@ -26,6 +26,7 @@ _TAG_LIST = b"l"
 _TAG_TUPLE = b"t"
 _TAG_DICT = b"d"
 _TAG_ARRAY = b"a"
+_TAG_FLOAT_LIST = b"L"
 
 _U32 = struct.Struct("<I")
 _I64 = struct.Struct("<q")
@@ -116,6 +117,17 @@ def _pack_into(obj: Any, out: bytearray) -> None:
         out += _U32.pack(len(obj))
         out += bytes(obj)
     elif isinstance(obj, list):
+        # Fast path for the wire's hottest shape — theta vectors and
+        # batched value lists are homogeneous floats, and packing them
+        # one struct call at a time dominated task-frame encoding.  The
+        # dedicated tag packs the whole list in a single struct call and
+        # round-trips to the identical ``list[float]`` (bitwise: IEEE
+        # doubles pass through struct untouched).
+        if obj and all(type(item) is float for item in obj):
+            out += _TAG_FLOAT_LIST
+            out += _U32.pack(len(obj))
+            out += struct.pack(f"<{len(obj)}d", *obj)
+            return
         out += _TAG_LIST
         out += _U32.pack(len(obj))
         for item in obj:
@@ -198,6 +210,11 @@ def _unpack_from(data: bytes, offset: int) -> Tuple[Any, int]:
         (length,) = _U32.unpack_from(data, offset)
         offset += 4
         return _take(data, offset, length), offset + length
+    if tag == _TAG_FLOAT_LIST:
+        (count,) = _U32.unpack_from(data, offset)
+        offset += 4
+        values = struct.unpack_from(f"<{count}d", data, offset)
+        return list(values), offset + 8 * count
     if tag in (_TAG_LIST, _TAG_TUPLE):
         (count,) = _U32.unpack_from(data, offset)
         offset += 4

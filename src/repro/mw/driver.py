@@ -120,6 +120,7 @@ class MWDriver:
         # task): dispatch time, task tally, and accumulated busy seconds.
         self._t0 = time.monotonic()
         self._rank_tasks: Dict[int, int] = {}
+        self._rank_evals: Dict[int, int] = {}
         self._rank_busy: Dict[int, float] = {}
         self._dispatch_t: Dict[int, float] = {}
         seqs = np.random.SeedSequence(seed).spawn(n_workers)
@@ -153,15 +154,21 @@ class MWDriver:
 
     # -- submission ---------------------------------------------------------------
 
-    def submit(self, work: Any, affinity: Optional[int] = None) -> MWTask:
-        """Queue one unit of work; returns its :class:`MWTask` handle."""
+    def submit(self, work: Any, affinity: Optional[int] = None,
+               n_evals: int = 1) -> MWTask:
+        """Queue one unit of work; returns its :class:`MWTask` handle.
+
+        ``n_evals`` is the task's evaluation weight — a batched frame
+        carrying ``q`` proposals submits with ``n_evals=q`` so the
+        inflight/utilization accounting counts evaluations, not frames.
+        """
         if self._shutdown:
             raise RuntimeError("driver has been shut down")
         if affinity is not None and not (1 <= affinity <= self.n_workers):
             raise ValueError(
                 f"affinity must be a worker rank in 1..{self.n_workers}, got {affinity}"
             )
-        task = MWTask(work, affinity=affinity)
+        task = MWTask(work, affinity=affinity, n_evals=n_evals)
         self.tasks[task.task_id] = task
         self._pending.append(task)
         return task
@@ -234,6 +241,7 @@ class MWDriver:
         if rank is not None:
             busy = 0.0 if t_sent is None else time.monotonic() - t_sent
             self._rank_tasks[rank] = self._rank_tasks.get(rank, 0) + 1
+            self._rank_evals[rank] = self._rank_evals.get(rank, 0) + task.n_evals
             self._rank_busy[rank] = self._rank_busy.get(rank, 0.0) + busy
         if rank is not None and rank not in self._idle and self._alive.get(rank, False):
             self._idle.append(rank)
@@ -298,6 +306,12 @@ class MWDriver:
     def _outstanding(self) -> int:
         return len(self._pending) + len(self._running)
 
+    def _outstanding_evals(self) -> int:
+        """Evaluation-weighted outstanding work (batch frames count ``q``)."""
+        return sum(t.n_evals for t in self._pending) + sum(
+            t.n_evals for t in self._running.values()
+        )
+
     def wait_all(self, timeout: Optional[float] = None) -> List[MWTask]:
         """Drive scheduling until every submitted task is DONE or FAILED.
 
@@ -337,23 +351,26 @@ class MWDriver:
         keep their own event loop (the async campaign driver): progress is
         made if possible, but the call returns after at most ``timeout``
         real seconds whether or not any task completed.  Returns the number
-        of tasks still outstanding, so ``while driver.pump(): ...`` drains
-        the queue — though the point is to interleave ``submit`` calls
-        between beats instead of waiting for it to hit zero.
+        of *evaluations* still outstanding — a batched frame counts its
+        ``n_evals``, not 1, so the number means the same thing at every
+        ``--eval-batch`` — and ``while driver.pump(): ...`` still drains
+        the queue (zero evaluations iff zero tasks).  The point, though,
+        is to interleave ``submit`` calls between beats instead of
+        waiting for it to hit zero.
         """
         self._poll_transport()
         if not self.transport.dynamic and not any(self._alive.values()):
             for task in list(self._pending):
                 task.mark_failed("no live workers")
             self._pending.clear()
-            return self._outstanding()
+            return self._outstanding_evals()
         self._dispatch()
         if not self.transport.synchronous:
             reply = self.transport.recv(timeout=max(0.0, float(timeout)))
             if reply is not None:
                 self._handle_reply(reply)
                 self._drain_buffered_replies()
-        return self._outstanding()
+        return self._outstanding_evals()
 
     # -- teardown ------------------------------------------------------------------
 
@@ -386,12 +403,14 @@ class MWDriver:
         One row per rank: ``tasks`` completed (replies received),
         ``busy_s`` accumulated dispatch-to-reply seconds, ``elapsed_s``
         the observation window (driver lifetime unless given),
-        ``utilization`` their ratio, ``alive``, and ``inflight`` — the
-        number of tasks currently dispatched to the rank but unanswered
-        (always 0 or 1 under barriered scheduling; the async driver keeps
-        it at 1 per live rank when saturated).  The campaign runner folds
-        these rows into the telemetry trace as a ``workers`` event;
-        ``campaign watch --cells`` renders them with straggler flags.
+        ``utilization`` their ratio, ``alive``, ``inflight`` — the
+        number of *evaluations* currently dispatched to the rank but
+        unanswered (a batched ``--eval-batch q`` frame counts ``q``, so
+        ``watch --cells`` shows real work, not frame counts) — and
+        ``evals``, the evaluation-weighted completion count alongside the
+        frame-level ``tasks``.  The campaign runner folds these rows into
+        the telemetry trace as a ``workers`` event; ``campaign watch
+        --cells`` renders them with straggler flags.
         """
         if elapsed_s is None:
             elapsed_s = time.monotonic() - self._t0
@@ -399,13 +418,14 @@ class MWDriver:
         inflight: Dict[int, int] = {}
         for task in self._running.values():
             if task.worker is not None:
-                inflight[task.worker] = inflight.get(task.worker, 0) + 1
+                inflight[task.worker] = inflight.get(task.worker, 0) + task.n_evals
         rows = []
         for rank in range(1, self.n_workers + 1):
             busy = self._rank_busy.get(rank, 0.0)
             rows.append({
                 "rank": rank,
                 "tasks": self._rank_tasks.get(rank, 0),
+                "evals": self._rank_evals.get(rank, 0),
                 "busy_s": busy,
                 "elapsed_s": elapsed_s,
                 "utilization": busy / elapsed_s,

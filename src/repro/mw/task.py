@@ -34,15 +34,25 @@ class MWTask:
     affinity:
         Preferred worker rank (the paper binds each simplex vertex to a
         dedicated worker); ``None`` lets the driver pick any idle worker.
+    n_evals:
+        How many function evaluations this task represents (a batched
+        ``--eval-batch`` frame carries ``q``; default 1).  Pure
+        accounting weight: the driver's inflight gauges and utilization
+        rows count evaluations, not frames, so ``watch --cells`` stays
+        honest under batching.
     """
 
     __slots__ = ("task_id", "work", "affinity", "state", "result", "error",
-                 "worker", "attempts")
+                 "worker", "attempts", "n_evals")
 
-    def __init__(self, work: Any, affinity: Optional[int] = None) -> None:
+    def __init__(self, work: Any, affinity: Optional[int] = None,
+                 n_evals: int = 1) -> None:
+        if n_evals < 1:
+            raise ValueError(f"n_evals must be >= 1, got {n_evals}")
         self.task_id = next(_task_ids)
         self.work = work
         self.affinity = affinity
+        self.n_evals = int(n_evals)
         self.state = TaskState.PENDING
         self.result: Any = None
         self.error: Optional[str] = None

@@ -29,7 +29,7 @@ running until the master says stop.
 from __future__ import annotations
 
 import math
-from typing import Callable, List, Optional, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -164,6 +164,108 @@ class StochasticFunction:
         ev = self.start(theta, label=label)
         return self.extend(ev, time)
 
+    # -- batched sampling kernel ----------------------------------------------
+
+    def _noise_scales(self, evs: Sequence[VertexEvaluation], dt: float) -> np.ndarray:
+        """Per-evaluation noise standard deviations for one ``dt`` block.
+
+        ``average`` mode draws block noise at ``sigma0/sqrt(dt)``;
+        ``resample`` mode draws a fresh value at ``sigma0/sqrt(t + dt)``.
+        """
+        s0 = np.array([self.sigma0_at(ev.theta) for ev in evs], dtype=float)
+        if self.mode == "average":
+            return s0 / math.sqrt(dt)
+        t_new = np.array([ev.time for ev in evs], dtype=float) + dt
+        return s0 / np.sqrt(t_new)
+
+    def merge_external_batch(
+        self,
+        evs: Sequence[VertexEvaluation],
+        dt: float,
+        fvals: Sequence[float],
+    ) -> None:
+        """Merge one sampling block into *each* of ``evs`` — vectorized.
+
+        Batch counterpart of :meth:`merge_external`: all per-point noise is
+        drawn in a **single** rng call over the non-zero noise scales.  The
+        generator consumes exactly the same stream as the scalar loop
+        ``for ev, v in zip(evs, fvals): merge_external(ev, dt, v)`` — numpy
+        draws a batch of normals element by element off the same bit
+        stream, and points with ``sigma0 == 0`` never touch the generator
+        on either path — so the merged evaluations are **bitwise
+        identical** (the rng-stream parity suite pins this).  This is what
+        lets every batching layer above (pool advance, ``--eval-batch``
+        frames) amortize Python/rng overhead without perturbing a single
+        trajectory.
+        """
+        dt = float(dt)
+        if not (dt > 0.0):
+            raise ValueError(f"dt must be > 0, got {dt!r}")
+        evs = list(evs)
+        if len(evs) != len(fvals):
+            raise ValueError(
+                f"got {len(fvals)} values for {len(evs)} evaluations"
+            )
+        if not evs:
+            return
+        values = np.asarray(fvals, dtype=float)
+        scales = self._noise_scales(evs, dt)
+        noisy = values.copy()
+        drawn = scales > 0.0
+        if drawn.any():
+            # one generator call for the whole batch; zero-sigma entries
+            # are excluded exactly as the scalar path skips their draw
+            noisy[drawn] += self.rng.normal(0.0, scales[drawn])
+        self.n_underlying_calls += len(evs)
+        self.total_sampling_time += dt * len(evs)
+        if self.mode == "average":
+            for ev, sample in zip(evs, noisy):
+                ev.merge_block(dt, sample)
+        else:  # resample
+            for ev, g in zip(evs, noisy):
+                ev.replace(ev.time + dt, g)
+
+    def extend_many(self, evs: Sequence[VertexEvaluation], dt: float) -> None:
+        """Sample every evaluation in ``evs`` for ``dt`` more seconds — batched.
+
+        The pool-level batched advance: the underlying surface is evaluated
+        through its vectorized :meth:`~repro.functions.suite.TestFunction.batch`
+        kernel when it has one (one numpy call for the whole stack instead
+        of ``len(evs)`` Python calls) and the noise for all points is drawn
+        in one rng call via :meth:`merge_external_batch`.  Bitwise identical
+        to ``for ev in evs: extend(ev, dt)`` — ``f`` is deterministic and
+        never consumes this generator, so hoisting its calls ahead of the
+        noise draws cannot reorder the stream.
+        """
+        evs = list(evs)
+        if not evs:
+            return
+        batch = getattr(self.f, "batch", None)
+        if batch is not None and len(evs) > 1:
+            fvals = np.asarray(
+                batch(np.array([ev.theta for ev in evs], dtype=float)), dtype=float
+            )
+        else:
+            fvals = np.array([float(self.f(ev.theta)) for ev in evs], dtype=float)
+        self.merge_external_batch(evs, dt, fvals)
+
+    def batch_evaluate(
+        self, thetas, time: float, labels: Optional[Sequence[str]] = None
+    ) -> List[VertexEvaluation]:
+        """Start and sample an evaluation at every row of ``thetas`` — batched.
+
+        Convenience mirror of :meth:`evaluate` for a ``(n, d)`` stack: one
+        vectorized surface call, one rng call for all the noise.
+        """
+        thetas = np.asarray(thetas, dtype=float)
+        if thetas.ndim != 2:
+            raise ValueError(f"thetas must be (n, d), got shape {thetas.shape}")
+        if labels is None:
+            labels = [""] * thetas.shape[0]
+        evs = [self.start(t, label=lbl) for t, lbl in zip(thetas, labels)]
+        self.extend_many(evs, time)
+        return evs
+
 
 class SamplingPool:
     """Set of concurrently-sampling evaluations sharing a virtual clock.
@@ -277,16 +379,18 @@ class SamplingPool:
         Every sampling request of the pool funnels through here, which is
         what lets the ask/tell engine intercept *all* evaluation traffic by
         setting :attr:`sample_hook` — one hook call is one proposal round.
+        Both paths run the batched sampling kernel (vectorized surface
+        call where available, one rng draw for the whole round), which is
+        bitwise identical to the historical per-evaluation loop — see
+        :meth:`StochasticFunction.merge_external_batch`.
         """
         if not evs:
             return
         if self.sample_hook is None:
-            for ev in evs:
-                self.func.extend(ev, dt)
+            self.func.extend_many(list(evs), dt)
             return
         values = self.sample_hook(list(evs), float(dt))
-        for ev, fval in zip(evs, values):
-            self.func.merge_external(ev, dt, fval)
+        self.func.merge_external_batch(list(evs), dt, values)
 
     def __len__(self) -> int:
         return len(self.active)

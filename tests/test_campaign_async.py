@@ -248,3 +248,99 @@ class TestLossChaos:
             result, error = outcomes[job.job_id]
             assert error is None
             assert result.n_steps > 0
+
+
+class TestBatchedEvaluation:
+    """--eval-batch q: frames of q proposals, chaos and stores preserved."""
+
+    @staticmethod
+    def _run(tmp_path, name, eval_batch, algorithms=("DET",), n_seeds=4):
+        spec = async_spec(n_seeds=n_seeds, algorithms=list(algorithms))
+        campaign = Campaign(tmp_path / name, spec=spec)
+        report = campaign.run(
+            backend="mw",
+            mw_transport="threaded",
+            async_mode=True,
+            max_workers=3,
+            max_inflight=8,
+            eval_batch=eval_batch,
+        )
+        assert report.n_failed == 0
+        return {
+            r["job_id"]: r["result"] for r in campaign.store.completed()
+        }
+
+    def test_batched_store_bitwise_equals_unbatched(self, tmp_path):
+        """batch=8 and batch=1 runs land bitwise-identical results.
+
+        DET mints no speculative refinements, so the async trajectory is
+        deterministic — any divergence would be the batching path
+        changing values or rng order.
+        """
+        single = self._run(tmp_path, "q1", eval_batch=1)
+        batched = self._run(tmp_path, "q8", eval_batch=8)
+        assert len(single) == 4
+        assert batched == single
+
+    def test_batched_campaign_all_algorithms(self, tmp_path):
+        """Every algorithm family completes under batched frames."""
+        results = self._run(
+            tmp_path, "all", eval_batch=4,
+            algorithms=["DET", "MN", "PC", "PC+MN", "ANDERSON"], n_seeds=1,
+        )
+        assert len(results) == 5
+
+    def test_batched_drop_once_requeues_whole_frame(self, tmp_path, monkeypatch):
+        """Drop-once under batching kills and requeues an entire frame.
+
+        Every member of the dropped frame shows exactly two audit lines
+        with distinct span ids (killed attempt + the one requeue); every
+        other evaluation exactly one — exactly-once semantics hold per
+        batch.
+        """
+        audit = tmp_path / "audit.log"
+        marker = tmp_path / "dropped.marker"
+        monkeypatch.setenv(JOB_AUDIT_ENV, str(audit))
+        monkeypatch.setenv(EVAL_DROP_ONCE_ENV, f"{marker}:/p000004")
+        spec = async_spec(n_seeds=3)
+        campaign = Campaign(tmp_path / "camp", spec=spec)
+        report = campaign.run(
+            backend="mw",
+            mw_transport="threaded",
+            async_mode=True,
+            max_workers=3,
+            max_inflight=8,
+            eval_batch=4,
+        )
+        assert report.n_done == 3
+        assert report.n_failed == 0
+        assert marker.exists(), "the drop chaos never fired"
+
+        counts = audit_key_counts(audit)
+        doubled = {k: n for k, n in counts.items() if n == 2}
+        # the whole frame carrying the matching key was requeued: between
+        # 1 and eval_batch members, the matching key among them
+        assert 1 <= len(doubled) <= 4, doubled
+        assert any("/p000004" in k for k in doubled), doubled
+        assert set(counts.values()) <= {1, 2}, "an evaluation ran 3+ times"
+        for key in doubled:
+            spans = audit_spans_for(audit, key)
+            assert len(spans) == 2 and spans[0] != spans[1]
+
+    def test_eval_batch_requires_async_mode(self, tmp_path):
+        campaign = Campaign(tmp_path / "camp", spec=async_spec(n_seeds=1))
+        with pytest.raises(ValueError, match="async"):
+            campaign.run(backend="mw", mw_transport="threaded", eval_batch=4)
+
+    def test_eval_batch_and_flush_interval_validated(self, tmp_path):
+        campaign = Campaign(tmp_path / "camp", spec=async_spec(n_seeds=1))
+        with pytest.raises(ValueError):
+            campaign.run(
+                backend="mw", mw_transport="threaded",
+                async_mode=True, eval_batch=0,
+            )
+        with pytest.raises(ValueError):
+            campaign.run(
+                backend="mw", mw_transport="threaded",
+                async_mode=True, flush_interval=0.0,
+            )

@@ -122,6 +122,34 @@ class TestRunParity:
         assert opt.n_stale_tells == 0
         assert opt.n_duplicate_tells == 0
 
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_batched_tell_many_reproduces_trajectory(self, algorithm):
+        """Whole-round tell_many frames == the sequential reference.
+
+        The --eval-batch fan-in: a frame of results lands through one
+        batched tell (one lock acquisition, one engine wake-up) with the
+        surface values computed by the vectorized batch kernel, and the
+        trajectory must stay bitwise identical to the inline loop.
+        """
+        reference = build(algorithm)._run_inline()
+        opt = build(algorithm)
+        surface = opt.func.f
+        while True:
+            proposals = opt.ask()
+            if not proposals:
+                break
+            thetas = np.ascontiguousarray(
+                [np.asarray(p.theta, dtype=float) for p in proposals]
+            )
+            values = surface.batch(thetas)
+            statuses = opt.tell_many(
+                [(p.id, float(v)) for p, v in zip(proposals, values)]
+            )
+            assert statuses == [TELL_APPLIED] * len(proposals)
+        assert_results_identical(reference, opt.result())
+        assert opt.n_stale_tells == 0
+        assert opt.n_duplicate_tells == 0
+
     def test_proposal_ids_are_stable_and_unique(self):
         opt = build("MN", max_steps=10)
         surface = opt.func.f
@@ -176,6 +204,40 @@ class TestTellSemantics:
         opt.close()
         assert opt.finished
         assert opt.result().reason == "closed"
+
+
+class TestTellManySemantics:
+    """Batch fan-in edge cases: per-item statuses under one lock."""
+
+    def test_unknown_id_maps_to_stale_without_raising(self):
+        opt = build("MN", max_steps=5)
+        surface = opt.func.f
+        proposals = opt.ask()
+        items = [(p.id, float(surface(np.asarray(p.theta)))) for p in proposals]
+        statuses = opt.tell_many([("p999999", 1.0)] + items)
+        assert statuses[0] == TELL_STALE
+        assert statuses[1:] == [TELL_APPLIED] * len(proposals)
+        # unknown ids mirror the driver-side KeyError handling: counted
+        # by the caller, not by the engine
+        assert opt.n_stale_tells == 0
+        opt.close()
+
+    def test_duplicate_within_one_batch_rejected(self):
+        opt = build("MN", max_steps=5)
+        surface = opt.func.f
+        proposals = opt.ask()
+        p = proposals[0]
+        value = float(surface(np.asarray(p.theta)))
+        statuses = opt.tell_many([(p.id, value), (p.id, value)])
+        assert statuses == [TELL_APPLIED, TELL_DUPLICATE]
+        assert opt.n_duplicate_tells == 1
+        opt.close()
+
+    def test_empty_batch_is_a_noop(self):
+        opt = build("MN", max_steps=5)
+        opt.ask()
+        assert opt.tell_many([]) == []
+        opt.close()
 
 
 class TestRefinements:

@@ -186,3 +186,51 @@ class TestInitialStates:
     def test_initial_simplex_rejects_matrix_input(self):
         with pytest.raises(ValueError):
             initial_simplex([[0.0], [1.0]])
+
+
+class TestBatchSuiteParity:
+    """Suite-wide batch contract: one vectorized call == the scalar loop.
+
+    Bitwise, not approximate: the batched evaluation path (--eval-batch,
+    the pool's batched sampling kernel) must yield the exact doubles the
+    scalar path would, or batched and unbatched campaign stores diverge.
+    """
+
+    SUITE = ("rosenbrock", "powell", "sphere", "quadratic", "rastrigin")
+
+    @pytest.mark.parametrize("dim", (4, 16))
+    @pytest.mark.parametrize("name", SUITE)
+    def test_batch_bitwise_equals_scalar_loop(self, name, dim):
+        f = get_function(name, dim)
+        rng = np.random.default_rng(1000 * dim + len(name))
+        thetas = np.ascontiguousarray(rng.uniform(-5.0, 5.0, size=(33, dim)))
+        got = f.batch(thetas)
+        expected = np.array([f(t) for t in thetas])
+        assert got.shape == (33,)
+        assert got.dtype == np.float64
+        np.testing.assert_array_equal(got, expected)
+
+    def test_generic_fallback_matches_scalar_loop(self):
+        """A value()-only subclass gets a correct (looping) batch for free."""
+        from repro.functions.suite import TestFunction as Base
+
+        class Tilted(Base):
+            name = "tilted"
+
+            def value(self, theta):
+                return float(np.sum(np.abs(theta)) + theta[0])
+
+            def minimizer(self):
+                return np.zeros(self.dim)
+
+        f = Tilted(3)
+        rng = np.random.default_rng(7)
+        thetas = rng.uniform(-1.0, 1.0, size=(9, 3))
+        np.testing.assert_array_equal(f.batch(thetas), [f(t) for t in thetas])
+
+    def test_batch_rejects_wrong_shape(self):
+        f = get_function("sphere", 3)
+        with pytest.raises(ValueError):
+            f.batch(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            f.batch(np.zeros(3))

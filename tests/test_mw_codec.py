@@ -145,3 +145,45 @@ class TestFraming:
         frame = encode_frame(payload)
         assert len(payload) < MAX_FRAME_BYTES
         assert decode_frame_length(frame[:4], MAX_FRAME_BYTES) == len(payload)
+
+
+class TestFloatListFastPath:
+    """The homogeneous float-list tag: one struct call, bitwise round-trip."""
+
+    def test_uses_dedicated_tag(self):
+        assert pack([1.0, 2.0])[0:1] == b"L"
+
+    def test_bitwise_roundtrip_with_specials(self):
+        import math
+
+        values = [0.1, -2.5e300, float("nan"), float("-inf"), -0.0, 5e-324]
+        out = unpack(pack(values))
+        assert isinstance(out, list) and len(out) == len(values)
+        for a, b in zip(values, out):
+            if math.isnan(a):
+                assert math.isnan(b)
+            else:
+                assert a == b and math.copysign(1.0, a) == math.copysign(1.0, b)
+
+    def test_mixed_list_falls_back_to_generic_tag(self):
+        payload = [1.0, 2]
+        assert pack(payload)[0:1] == b"l"
+        assert unpack(pack(payload)) == payload
+
+    def test_bool_is_not_a_float(self):
+        payload = [1.0, True]
+        assert pack(payload)[0:1] == b"l"
+        assert unpack(pack(payload)) == payload
+
+    def test_empty_list_uses_generic_tag(self):
+        assert pack([])[0:1] == b"l"
+        assert unpack(pack([])) == []
+
+    def test_truncated_float_list_rejected(self):
+        data = pack([1.0, 2.0, 3.0])
+        with pytest.raises(CodecError):
+            unpack(data[:-4])
+
+    def test_large_list_roundtrip(self):
+        values = [float(i) * 0.1 for i in range(10_000)]
+        assert unpack(pack(values)) == values

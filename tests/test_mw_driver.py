@@ -247,3 +247,40 @@ class TestProcessFailureInjection:
             s = driver.stats()
             assert s["done"] == 6
             assert s["live_workers"] == 1
+
+
+class TestBatchAccounting:
+    """Eval-weighted accounting: a batched frame counts its n_evals."""
+
+    def test_n_evals_validated(self):
+        with pytest.raises(ValueError):
+            Task({"x": 1}, n_evals=0)
+        assert Task({"x": 1}).n_evals == 1
+        assert Task({"x": 1}, n_evals=7).n_evals == 7
+
+    def test_pump_returns_outstanding_evals_not_frames(self):
+        with MWDriver(slow_square, n_workers=1, backend="threaded", seed=0) as driver:
+            driver.submit(2, n_evals=5)
+            driver.submit(3)
+            # both frames still in flight: 5 + 1 evaluations outstanding
+            assert driver.pump(timeout=0.0) == 6
+            driver.wait_all(timeout=30)
+            assert driver.pump(timeout=0.0) == 0
+
+    def test_utilization_rows_weight_evals(self):
+        with MWDriver(square, n_workers=2, backend="threaded", seed=0) as driver:
+            driver.submit(2, n_evals=4)
+            driver.submit(3, n_evals=2)
+            driver.wait_all(timeout=30)
+            rows = driver.utilization()
+            assert sum(r["tasks"] for r in rows) == 2
+            assert sum(r["evals"] for r in rows) == 6
+            assert all(r["inflight"] == 0 for r in rows)
+
+    def test_inflight_gauge_counts_evals(self):
+        with MWDriver(slow_square, n_workers=1, backend="threaded", seed=0) as driver:
+            driver.submit(2, n_evals=8)
+            driver.pump(timeout=0.0)  # dispatch the frame
+            rows = driver.utilization()
+            assert sum(r["inflight"] for r in rows) == 8
+            driver.wait_all(timeout=30)

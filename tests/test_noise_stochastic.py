@@ -195,3 +195,96 @@ class TestSamplingPoolNonConcurrent:
         pool = SamplingPool(f1, warmup=2.0)
         pool.activate([0.0])
         assert clock.now == pytest.approx(2.0)
+
+
+class TestBatchedSamplingParity:
+    """Batched kernels consume the identical rng stream as scalar loops.
+
+    This is the invariant the whole batched-evaluation path rests on: one
+    generator call over a frame's noise scales must leave the evaluations
+    *and* the generator bitwise where the historical per-evaluation loop
+    would have left them.
+    """
+
+    @staticmethod
+    def _thetas(n=7, seed=3):
+        return np.random.default_rng(seed).uniform(-2.0, 2.0, size=(n, 2))
+
+    @pytest.mark.parametrize("mode", ["average", "resample"])
+    def test_extend_many_bitwise_matches_scalar_loop(self, mode):
+        batched = make(sigma0=1.5, mode=mode, seed=9)
+        scalar = make(sigma0=1.5, mode=mode, seed=9)
+        evs_b = [batched.start(t) for t in self._thetas()]
+        evs_s = [scalar.start(t) for t in self._thetas()]
+        for dt in (1.0, 2.5, 0.25):
+            batched.extend_many(evs_b, dt)
+            for ev in evs_s:
+                scalar.extend(ev, dt)
+        for eb, es in zip(evs_b, evs_s):
+            assert eb.time == es.time
+            assert eb.estimate == es.estimate
+            assert eb.sem == es.sem
+        assert batched.rng.bit_generator.state == scalar.rng.bit_generator.state
+        assert batched.n_underlying_calls == scalar.n_underlying_calls
+        assert batched.total_sampling_time == scalar.total_sampling_time
+
+    @pytest.mark.parametrize("mode", ["average", "resample"])
+    def test_merge_external_batch_matches_scalar_merges(self, mode):
+        batched = make(sigma0=0.7, mode=mode, seed=21)
+        scalar = make(sigma0=0.7, mode=mode, seed=21)
+        thetas = self._thetas(n=5, seed=11)
+        fvals = [float(Sphere(2)(t)) for t in thetas]
+        evs_b = [batched.start(t) for t in thetas]
+        evs_s = [scalar.start(t) for t in thetas]
+        batched.merge_external_batch(evs_b, 1.5, fvals)
+        for ev, v in zip(evs_s, fvals):
+            scalar.merge_external(ev, 1.5, v)
+        for eb, es in zip(evs_b, evs_s):
+            assert eb.estimate == es.estimate
+            assert eb.time == es.time
+        assert batched.rng.bit_generator.state == scalar.rng.bit_generator.state
+
+    def test_zero_sigma_entries_never_touch_the_generator(self):
+        """Mixed frame: noiseless points are exact and draw nothing,
+        exactly as the scalar path skips their rng call."""
+        sigma0 = lambda th: 0.0 if th[0] < 0 else 1.0  # noqa: E731
+        batched = make(sigma0=sigma0, seed=5)
+        scalar = make(sigma0=sigma0, seed=5)
+        thetas = np.array([[-1.0, 0.5], [1.0, 0.5], [-2.0, 0.0], [2.0, 0.0]])
+        evs_b = [batched.start(t) for t in thetas]
+        evs_s = [scalar.start(t) for t in thetas]
+        batched.extend_many(evs_b, 2.0)
+        for ev in evs_s:
+            scalar.extend(ev, 2.0)
+        for eb, es, t in zip(evs_b, evs_s, thetas):
+            assert eb.estimate == es.estimate
+            if t[0] < 0:  # noiseless: the exact surface value
+                assert eb.estimate == float(Sphere(2)(t))
+        assert batched.rng.bit_generator.state == scalar.rng.bit_generator.state
+
+    def test_batch_evaluate_matches_scalar_evaluates(self):
+        batched = make(sigma0=1.0, seed=13)
+        scalar = make(sigma0=1.0, seed=13)
+        thetas = self._thetas(n=4, seed=17)
+        evs_b = batched.batch_evaluate(thetas, time=1.0, labels=list("abcd"))
+        evs_s = [scalar.evaluate(t, time=1.0, label=lbl)
+                 for t, lbl in zip(thetas, list("abcd"))]
+        for eb, es in zip(evs_b, evs_s):
+            assert eb.estimate == es.estimate
+            assert eb.label == es.label
+        assert batched.rng.bit_generator.state == scalar.rng.bit_generator.state
+
+    def test_extend_many_empty_is_a_noop(self):
+        func = make(seed=1)
+        before = func.rng.bit_generator.state
+        func.extend_many([], 1.0)
+        assert func.rng.bit_generator.state == before
+        assert func.n_underlying_calls == 0
+
+    def test_merge_external_batch_validates(self):
+        func = make(seed=1)
+        ev = func.start([0.0, 0.0])
+        with pytest.raises(ValueError):
+            func.merge_external_batch([ev], 0.0, [1.0])
+        with pytest.raises(ValueError):
+            func.merge_external_batch([ev], 1.0, [1.0, 2.0])
