@@ -2,7 +2,8 @@
 
 Simulates the hot path of a lease-coordinated campaign runner — claim a
 batch of job ids, then append one result record per claimed job — for
-each store engine (single-file JSONL, sharded JSONL, SQLite) at
+each store engine (single-file JSONL, sharded JSONL, SQLite, and the
+``store://`` network engine over a real localhost socket) at
 campaign-realistic volume (10k jobs by default), and reports jobs/s.
 
 This is the number the ROADMAP's scaling work steers by: it is what
@@ -20,9 +21,13 @@ Usage::
 ``--json`` writes the measurements for the CI artifact; ``--check``
 compares the SQLite engine's claim+append throughput against a committed
 baseline and exits non-zero when it regressed by more than
-``--tolerance`` (the CI bench-regression gate).  Other engines are
-reported for context but not gated — their absolute numbers swing more
-with filesystem behaviour than with code changes.
+``--tolerance`` (the CI bench-regression gate).  When the run measures
+both ``sqlite`` and ``netstore``, ``--check`` also enforces the network
+engine's *relative* budget: one framed round trip per batch must keep
+it within ``--netstore-factor`` (default 2x) of the same-run local
+SQLite throughput — a ratio, so machine speed cancels out.  Other
+engines are reported for context but not gated — their absolute numbers
+swing more with filesystem behaviour than with code changes.
 
 ``--telemetry`` attaches an *enabled* metrics registry to every store
 (what a ``--telemetry`` campaign run does), so the loop also pays for
@@ -68,6 +73,17 @@ def make_store(engine: str, directory: Path, shards: int):
         return open_store(directory, shards=shards)
     if engine == "sqlite":
         return open_store(directory, engine="sqlite")
+    if engine == "netstore":
+        # A real localhost socket in front of the gated engine: what the
+        # measurement prices is exactly the wire protocol's overhead.
+        from repro.campaign.backends import NetworkStoreBackend, StoreServer
+
+        backing = open_store(directory / "served", engine="sqlite")
+        server = StoreServer(backing)
+        server.start()
+        store = NetworkStoreBackend(server.address)
+        store._bench_cleanup = lambda: (server.close(), backing.close())
+        return store
     raise ValueError(f"unknown engine {engine!r}")
 
 
@@ -108,6 +124,10 @@ def bench_engine(engine: str, n_jobs: int, batch: int, shards: int,
         elapsed = time.perf_counter() - t0
         assert n_claimed == n_jobs, (n_claimed, n_jobs)
         assert len(store.completed_ids()) == n_jobs
+        cleanup = getattr(store, "_bench_cleanup", None)
+        if cleanup is not None:
+            store.close()
+            cleanup()
     return {
         "engine": engine,
         "n_jobs": n_jobs,
@@ -162,6 +182,29 @@ def check_regression(results: dict, baseline_path: Path, tolerance: float) -> in
     return 0 if current >= floor else 1
 
 
+def check_netstore_factor(results: dict, factor: float) -> int:
+    """Gate the network engine relative to same-run local SQLite.
+
+    A ratio within one run, not an absolute baseline: the two engines
+    share the machine, the backing database, and the batch size, so
+    what's left is the cost of one framed round trip per batch.  0 =
+    pass (or nothing to compare), 1 = the wire costs too much.
+    """
+    engines = results["engines"]
+    if "netstore" not in engines or GATED_ENGINE not in engines:
+        return 0
+    net = engines["netstore"]["claim_append_jobs_per_s"]
+    local = engines[GATED_ENGINE]["claim_append_jobs_per_s"]
+    floor = local / factor
+    verdict = "ok" if net >= floor else "TOO SLOW"
+    print(
+        f"netstore-factor: {net:,.0f} jobs/s vs local {GATED_ENGINE} "
+        f"{local:,.0f} (floor {floor:,.0f} at {factor:g}x budget) "
+        f"-> {verdict}"
+    )
+    return 0 if net >= floor else 1
+
+
 def main(argv=None) -> int:
     """Run the benchmark; see the module docstring for the modes."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -172,14 +215,19 @@ def main(argv=None) -> int:
     parser.add_argument("--shards", type=int, default=8,
                         help="shard count for the sharded engine (default 8)")
     parser.add_argument("--engines", nargs="+",
-                        default=["jsonl", "sharded", "sqlite"],
-                        choices=["jsonl", "sharded", "sqlite"])
+                        default=["jsonl", "sharded", "sqlite", "netstore"],
+                        choices=["jsonl", "sharded", "sqlite", "netstore"])
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the measurements as JSON")
     parser.add_argument("--check", default=None, metavar="BASELINE",
                         help="baseline JSON to gate the sqlite engine against")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional throughput drop (default 0.30)")
+    parser.add_argument("--netstore-factor", type=float, default=2.0,
+                        metavar="FACTOR",
+                        help="with --check, require the netstore engine to "
+                             "stay within FACTOR x of same-run local sqlite "
+                             "(default 2.0)")
     parser.add_argument("--telemetry", action="store_true",
                         help="attach an enabled metrics registry to every "
                              "store (the instrumented configuration)")
@@ -219,7 +267,8 @@ def main(argv=None) -> int:
             print(f"--check requires the {GATED_ENGINE} engine to be benchmarked",
                   file=sys.stderr)
             return 2
-        return check_regression(results, Path(args.check), args.tolerance)
+        rc = check_regression(results, Path(args.check), args.tolerance)
+        return rc or check_netstore_factor(results, args.netstore_factor)
     return 0
 
 

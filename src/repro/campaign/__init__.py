@@ -20,14 +20,17 @@ store itself is a pluggable **engine** behind the
 :func:`open_store`) so multi-million-job campaigns don't serialize every
 append through one lock, or a transactional **SQLite** database
 (:class:`SQLiteStoreBackend`, ``--store sqlite``) that coordinates
-through the database instead of filesystem locks.
+through the database instead of filesystem locks — or a **network**
+store (:class:`NetworkStoreBackend`, ``--store store://host:port``)
+speaking framed TCP to a ``campaign store-serve`` process
+(:class:`StoreServer`), so runners need no shared filesystem at all.
 :func:`migrate_store` converts a campaign between engines or shard
 counts losslessly; :meth:`ResultStore.compact` keeps long-lived stores
 readable; :mod:`.progress` provides the live heartbeat, per-cell
 progress, and watch loops.
 
 CLI: ``python -m repro campaign
-run|status|watch|metrics|summary|compare|compact|migrate-store``.
+run|status|watch|metrics|summary|compare|compact|migrate-store|store-serve``.
 Run with ``--telemetry`` (or ``$REPRO_TELEMETRY=1``) to record
 :mod:`repro.telemetry` metrics and a job-lifecycle trace alongside the
 results; ``campaign metrics`` reads them back.
@@ -38,9 +41,13 @@ See ``docs/CAMPAIGNS.md`` for the end-to-end guide and
 from repro.campaign.backends import (
     ENGINE_JSONL,
     ENGINE_SQLITE,
+    ENGINE_STORE,
     STORE_ENGINES,
+    NetworkStoreBackend,
+    NetworkStoreError,
     SQLiteStoreBackend,
     StoreBackend,
+    StoreServer,
     parse_store_spec,
 )
 from repro.campaign.aggregate import (
@@ -111,11 +118,14 @@ __all__ = [
     "DEFAULT_LEASE_TTL",
     "ENGINE_JSONL",
     "ENGINE_SQLITE",
+    "ENGINE_STORE",
     "JOB_AUDIT_ENV",
     "Job",
     "Lease",
     "MANIFEST_FILENAME",
     "MW_TRANSPORTS",
+    "NetworkStoreBackend",
+    "NetworkStoreError",
     "PairedComparison",
     "ProgressSnapshot",
     "RESULTS_FILENAME",
@@ -131,6 +141,7 @@ __all__ = [
     "SQLiteStoreBackend",
     "ShardedResultStore",
     "StoreBackend",
+    "StoreServer",
     "WorkerUtilization",
     "canonical_json",
     "cells_from_status",

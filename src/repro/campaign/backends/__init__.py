@@ -9,14 +9,19 @@ package owns that seam plus the engines that implement it:
   :class:`~repro.campaign.sharding.ShardedResultStore` over
   ``results-<k>.jsonl`` shards), coordinated by ``flock``;
 * ``sqlite`` — :class:`~repro.campaign.backends.sqlite.SQLiteStoreBackend`,
-  one WAL-mode database coordinated by transactions.
+  one WAL-mode database coordinated by transactions;
+* ``store://host:port`` —
+  :class:`~repro.campaign.backends.netstore.NetworkStoreBackend`, a
+  framed-TCP client of a ``campaign store-serve`` process
+  (:class:`~repro.campaign.backends.netstore.StoreServer`), for runners
+  with *no shared filesystem* at all.
 
 A campaign directory's engine is pinned by the ``engine`` field of its
 ``store-manifest.json`` and resolved by
 :func:`~repro.campaign.sharding.open_store`; users select one with
-``campaign run --store jsonl|jsonl:N|sqlite`` (parsed by
-:func:`parse_store_spec`) and convert between engines with ``campaign
-migrate-store`` (:func:`~repro.campaign.sharding.migrate_store`).
+``campaign run --store jsonl|jsonl:N|sqlite|store://host:port`` (parsed
+by :func:`parse_store_spec`) and convert between local engines with
+``campaign migrate-store`` (:func:`~repro.campaign.sharding.migrate_store`).
 """
 
 from repro.campaign.backends.base import (
@@ -29,26 +34,41 @@ from repro.campaign.backends.base import (
     Lease,
     StoreBackend,
 )
+from repro.campaign.backends.netstore import (
+    ENGINE_STORE,
+    NetworkStoreBackend,
+    NetworkStoreError,
+    StoreServer,
+    is_store_url,
+    open_network_store,
+    parse_store_url,
+)
 from repro.campaign.backends.sqlite import DB_FILENAME, SQLiteStoreBackend
 
 #: The JSONL engine family (single file or sharded).
 ENGINE_JSONL = "jsonl"
 #: The SQLite engine.
 ENGINE_SQLITE = "sqlite"
-#: Every engine a store manifest (or ``--store``) may name.
-STORE_ENGINES = (ENGINE_JSONL, ENGINE_SQLITE)
+#: Every engine a store manifest (or ``--store``) may name
+#: (``ENGINE_STORE`` appears in specs as a full ``store://host:port`` URL).
+STORE_ENGINES = (ENGINE_JSONL, ENGINE_SQLITE, ENGINE_STORE)
 
 
 def parse_store_spec(spec):
     """Parse a ``--store`` engine spec into ``(engine, shards)``.
 
     Accepted forms: ``"jsonl"`` (single file), ``"jsonl:N"`` (N JSONL
-    shards), ``"sqlite"``; ``None`` passes through as ``(None, None)``
-    (auto-detect / default).  Raises ``ValueError`` on anything else, so
-    a typo'd CLI flag fails before any store is touched.
+    shards), ``"sqlite"``, ``"store://host:port"`` (the network engine —
+    returned whole as the engine value, since the address is part of the
+    selection); ``None`` passes through as ``(None, None)`` (auto-detect
+    / default).  Raises ``ValueError`` on anything else, so a typo'd CLI
+    flag fails before any store is touched.
     """
     if spec is None:
         return None, None
+    if is_store_url(spec):
+        parse_store_url(spec)  # validate host:port up front
+        return str(spec), None
     name, sep, arg = str(spec).partition(":")
     if name == ENGINE_SQLITE:
         if sep:
@@ -70,7 +90,8 @@ def parse_store_spec(spec):
         return ENGINE_JSONL, shards
     raise ValueError(
         f"unknown store engine {spec!r}; expected one of "
-        f"{STORE_ENGINES} (jsonl optionally as jsonl:N)"
+        f"{STORE_ENGINES} (jsonl optionally as jsonl:N, "
+        f"store as store://host:port)"
     )
 
 
@@ -78,6 +99,7 @@ __all__ = [
     "DB_FILENAME",
     "ENGINE_JSONL",
     "ENGINE_SQLITE",
+    "ENGINE_STORE",
     "LEASE_STATUSES",
     "STATUS_CLAIMED",
     "STATUS_DONE",
@@ -86,7 +108,13 @@ __all__ = [
     "STORE_ENGINES",
     "CompactionStats",
     "Lease",
+    "NetworkStoreBackend",
+    "NetworkStoreError",
     "SQLiteStoreBackend",
     "StoreBackend",
+    "StoreServer",
+    "is_store_url",
+    "open_network_store",
     "parse_store_spec",
+    "parse_store_url",
 ]

@@ -1,0 +1,756 @@
+"""A network result-store engine: ``store://host:port``.
+
+Every other engine coordinates runners through a *shared filesystem*
+(``flock`` on JSONL, a SQLite file) — which is exactly the coupling the
+paper's MW architecture removes: results flow through a long-lived
+manager process, not a mount.  This module completes that picture for
+the store the way :mod:`repro.mw.tcp` completed it for task dispatch:
+
+* :class:`StoreServer` wraps any local
+  :class:`~repro.campaign.backends.base.StoreBackend` (``campaign
+  store-serve`` defaults to the SQLite engine) behind a framed TCP
+  listener built from the same machinery as the mw transport —
+  length-prefixed frames (:func:`repro.mw.codec.encode_frame`), one
+  reader thread per connection, keepalive + Nagle-off on every socket.
+  Frame payloads are JSON, not the typed TLV codec: store records are
+  JSON-serializable by construction (that is how every engine persists
+  them), and the C JSON encoder keeps the wire overhead on a
+  100-record batch to a fraction of what the Python TLV walker costs —
+  which is what holds ``store://`` throughput within its 2x budget of
+  the local engine it fronts.
+* :class:`NetworkStoreBackend` is the client: a full ``StoreBackend``
+  implementation that speaks request/response frames over one socket,
+  registered as the ``store://host:port`` engine, so ``campaign run
+  --store store://…`` and every CLI subcommand work unchanged with no
+  shared filesystem between runner and store.
+
+Wire-level design points:
+
+* **One frame per batch.**  A batch claim, renew, release, or
+  ``record_many`` is a single request frame and a single response frame
+  — the store's one-critical-section-per-batch discipline extends to
+  one round trip per batch, which is what keeps ``store://`` throughput
+  within a small factor of the local engine it fronts.
+* **Piggybacked renewal.**  A ``record_many`` frame carries the ids of
+  the leases its runner still holds; the server renews them in the same
+  request, so the result-append hot path doubles as a heartbeat and the
+  renewal thread has one fewer round trip to race against.
+* **Incremental reads.**  ``records`` requests carry the client's last
+  mutation stamp; a stamp-capable backend
+  (:meth:`~repro.campaign.backends.sqlite.SQLiteStoreBackend.records_since`)
+  returns only newer rows, which the client folds into an id-keyed
+  cache — polling a million-row store from ``campaign watch`` costs the
+  delta, not the table.  Backends without stamps fall back to full
+  reads, flagged so the client replaces instead of folds.
+* **Reconnect with resume.**  A broken connection (server restart,
+  transient partition) is not fatal: the client redials with the shared
+  exponential-backoff helper (:func:`repro.mw.tcp.dial_with_backoff`),
+  re-handshakes, *re-asserts the leases it held* via a claim (its own
+  or expired leases re-grant; completed jobs are skipped), resets its
+  read cache, and retries the failed request once.  Every request is
+  idempotent — claims re-grant to their holder, appends upsert, renew
+  and release are set operations — so the retry is safe even when the
+  original frame was applied before the connection died.
+
+Errors the server reports (e.g. a malformed record) are re-raised
+client-side by kind — ``ValueError`` stays ``ValueError`` — while
+transport failures surface as :class:`NetworkStoreError`, an ``OSError``
+subclass, so every existing ``except OSError`` retry path (the lease
+heartbeat, quiet release on interrupt) treats a dead store server like
+a transient filesystem hiccup.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import socket
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.campaign.backends.base import (
+    CompactionStats,
+    Lease,
+    StoreBackend,
+)
+from repro.mw.codec import (
+    CodecError,
+    FRAME_HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    decode_frame_length,
+    encode_frame,
+)
+from repro.mw.tcp import (
+    _disable_nagle,
+    _enable_keepalive,
+    dial_with_backoff,
+    recv_exact,
+)
+
+#: The engine identifier ``store-manifest.json`` records for a campaign
+#: directory whose results live behind a ``store://`` server.
+ENGINE_STORE = "store"
+
+#: URL scheme selecting the network engine in ``--store`` specs.
+STORE_URL_PREFIX = "store://"
+
+#: Protocol version carried in the hello handshake; a mismatch is
+#: refused up front instead of failing on some later frame.
+STORE_PROTOCOL_VERSION = 1
+
+
+class NetworkStoreError(OSError):
+    """A store request failed at the transport or protocol level.
+
+    An ``OSError`` on purpose: the campaign layer already treats store
+    ``OSError`` as "transient, retry or shrug" (heartbeat skips a beat,
+    interrupt-path release is best-effort), and a briefly unreachable
+    store server deserves exactly that handling.
+    """
+
+
+def is_store_url(spec: Any) -> bool:
+    """Whether ``spec`` is a ``store://host:port`` engine spec."""
+    return isinstance(spec, str) and spec.startswith(STORE_URL_PREFIX)
+
+
+def parse_store_url(url: str) -> Tuple[str, int]:
+    """Split ``store://host:port`` into ``(host, port)``.
+
+    Port 0 is accepted (a server may listen ephemerally); clients
+    reject it separately since they need a concrete peer.
+    """
+    if not is_store_url(url):
+        raise ValueError(f"expected a store://host:port URL, got {url!r}")
+    rest = url[len(STORE_URL_PREFIX):]
+    host, sep, port_s = rest.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected a store://host:port URL, got {url!r}")
+    try:
+        port = int(port_s)
+    except ValueError:
+        raise ValueError(f"invalid port {port_s!r} in {url!r}") from None
+    if not (0 <= port <= 65535):
+        raise ValueError(f"port out of range in {url!r}")
+    return host, port
+
+
+def _parse_listen(spec: str) -> Tuple[str, int]:
+    """Parse a server ``--listen`` spec: ``host:port`` or a store:// URL."""
+    if is_store_url(spec):
+        return parse_store_url(spec)
+    return parse_store_url(STORE_URL_PREFIX + spec)
+
+
+def _send_obj(sock: socket.socket, obj: dict) -> None:
+    """Write one length-prefixed JSON request/response dict."""
+    sock.sendall(encode_frame(json.dumps(obj, separators=(",", ":")).encode()))
+
+
+def _recv_obj(sock: socket.socket, allow_eof: bool = False) -> Optional[dict]:
+    """Read one length-prefixed JSON dict; ``None`` on clean EOF between frames."""
+    header = recv_exact(sock, FRAME_HEADER_BYTES, allow_eof=allow_eof)
+    if header is None:
+        return None
+    length = decode_frame_length(header, MAX_FRAME_BYTES)
+    payload = recv_exact(sock, length)
+    try:
+        obj = json.loads(payload)
+    except ValueError:
+        raise CodecError("store frame payload is not valid JSON") from None
+    if not isinstance(obj, dict):
+        raise CodecError(f"expected a dict frame, got {type(obj).__name__}")
+    return obj
+
+
+# -- server ----------------------------------------------------------------
+
+
+class StoreServer:
+    """Serve one local :class:`StoreBackend` to ``store://`` clients.
+
+    The listener pattern mirrors :class:`repro.mw.tcp.TcpMasterTransport`:
+    a background accept loop polling with a short timeout (closing a
+    listener does not wake ``accept`` on Linux), one daemon thread per
+    connection, keepalive so vanished peers surface instead of leaking
+    sockets.  Requests are dispatched under one server-side lock — every
+    engine batches its critical sections anyway (``flock`` per append,
+    ``BEGIN IMMEDIATE`` per claim), so serializing sub-millisecond
+    operations costs little and buys every backend, stamped or not, a
+    consistent view across concurrent clients.
+
+    The server does not own the backend: callers (the CLI, the test
+    fixture) close what they opened.
+
+    Parameters
+    ----------
+    backend:
+        Any local store engine to serve; ``campaign store-serve``
+        defaults to SQLite.
+    listen:
+        ``host:port`` to bind (port 0 picks an ephemeral port; read the
+        result from :attr:`address` after :meth:`start`).
+    """
+
+    def __init__(self, backend: StoreBackend, listen: str = "127.0.0.1:0") -> None:
+        self._backend = backend
+        self.host, self.port = _parse_listen(listen)
+        self._listener: Optional[socket.socket] = None
+        self._lock = threading.Lock()          # connection registry + closing flag
+        self._dispatch_lock = threading.Lock()  # serializes backend access
+        self._conns: Set[socket.socket] = set()
+        self._threads: List[threading.Thread] = []
+        self._closing = False
+        self._closed = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the listener and start accepting clients in the background."""
+        self._listener = socket.create_server(
+            (self.host, self.port), backlog=16, reuse_port=False
+        )
+        self._listener.settimeout(0.25)
+        self.port = self._listener.getsockname()[1]
+        t = threading.Thread(
+            target=self._accept_loop, daemon=True, name="store-serve-accept"
+        )
+        t.start()
+        self._threads.append(t)
+
+    @property
+    def address(self) -> str:
+        """The bound ``store://host:port`` (port resolved after ``start``)."""
+        return f"{STORE_URL_PREFIX}{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`close` is called (the CLI foreground mode).
+
+        Polls rather than waiting untimed: an untimed ``Event.wait`` in
+        the main thread parks in a futex where SIGINT is never serviced,
+        and Ctrl-C is exactly how ``campaign store-serve`` stops.
+        """
+        if self._listener is None:
+            self.start()
+        while not self._closed.wait(0.5):
+            pass
+
+    def close(self) -> None:
+        """Stop accepting, drop every connection, join threads; idempotent.
+
+        The served backend is *not* closed — the opener owns it.
+        """
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            conns = list(self._conns)
+            self._conns.clear()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for sock in conns:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for t in self._threads:
+            t.join(timeout=5.0)
+        self._closed.set()
+
+    # -- connection plumbing -----------------------------------------------
+
+    def _accept_loop(self) -> None:
+        """Accept clients until the listener closes."""
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                with self._lock:
+                    if self._closing:
+                        return
+                continue
+            except OSError:
+                return  # listener closed
+            with self._lock:
+                if self._closing:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                    return
+                self._conns.add(sock)
+                t = threading.Thread(
+                    target=self._serve_conn, args=(sock,),
+                    daemon=True, name="store-serve-conn",
+                )
+                self._threads.append(t)
+            t.start()
+
+    def _serve_conn(self, sock: socket.socket) -> None:
+        """Request/response loop for one client until EOF or error."""
+        _enable_keepalive(sock)
+        _disable_nagle(sock)
+        greeted = False
+        try:
+            while True:
+                request = _recv_obj(sock, allow_eof=True)
+                if request is None:
+                    break
+                if not greeted:
+                    if request.get("op") != "hello":
+                        _send_obj(sock, {
+                            "ok": False, "kind": "ProtocolError",
+                            "error": "first frame must be a hello",
+                        })
+                        break
+                    greeted = True
+                _send_obj(sock, self._dispatch(request))
+        except (OSError, CodecError):
+            pass  # client gone or stream corrupt; nothing to answer
+        finally:
+            with self._lock:
+                self._conns.discard(sock)
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self, request: dict) -> dict:
+        """Apply one request to the backend; never raises.
+
+        Application errors travel back as ``{"ok": False, "kind", "error"}``
+        so the client can re-raise them by kind; only transport failures
+        tear the connection down.
+        """
+        op = str(request.get("op"))
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            return {"ok": False, "kind": "ProtocolError",
+                    "error": f"unknown op {op!r}"}
+        try:
+            with self._dispatch_lock:
+                result = handler(request)
+        except Exception as exc:  # noqa: BLE001 - boundary: errors become frames
+            return {"ok": False, "kind": type(exc).__name__, "error": str(exc)}
+        result["ok"] = True
+        return result
+
+    def _op_hello(self, request: dict) -> dict:
+        version = request.get("version")
+        if version != STORE_PROTOCOL_VERSION:
+            raise ValueError(
+                f"unsupported store protocol version {version!r} "
+                f"(server speaks {STORE_PROTOCOL_VERSION})"
+            )
+        return {"version": STORE_PROTOCOL_VERSION,
+                "engine": self._backend.engine}
+
+    def _op_claim(self, request: dict) -> dict:
+        granted = self._backend.claim(
+            request["job_ids"], request["runner"], request["ttl"],
+            now=request.get("now"),
+        )
+        return {"granted": list(granted)}
+
+    def _op_renew(self, request: dict) -> dict:
+        held = self._backend.renew(
+            request["job_ids"], request["runner"], request["ttl"],
+            now=request.get("now"),
+        )
+        return {"held": list(held)}
+
+    def _op_release(self, request: dict) -> dict:
+        self._backend.release(request["job_ids"], request["runner"])
+        return {}
+
+    def _op_record_many(self, request: dict) -> dict:
+        self._backend.record_many(request["records"])
+        renewed: List[str] = []
+        renew = request.get("renew")
+        if renew:
+            renewed = list(self._backend.renew(
+                renew["job_ids"], renew["runner"], renew["ttl"]
+            ))
+        return {"renewed": renewed}
+
+    def _op_records(self, request: dict) -> dict:
+        since = int(request.get("since") or 0)
+        records_since = getattr(self._backend, "records_since", None)
+        if records_since is not None:
+            stamp, rows = records_since(since)
+            return {"full": False, "stamp": stamp, "records": rows}
+        return {"full": True, "stamp": 0, "records": self._backend.records()}
+
+    def _op_completed_ids(self, request: dict) -> dict:
+        return {"ids": sorted(self._backend.completed_ids())}
+
+    def _op_counts(self, request: dict) -> dict:
+        return {"counts": dict(self._backend.counts())}
+
+    def _op_leases(self, request: dict) -> dict:
+        leases = self._backend.leases(now=request.get("now"))
+        return {"leases": [
+            [lease.job_id, lease.runner, lease.deadline]
+            for lease in leases.values()
+        ]}
+
+    def _op_compact(self, request: dict) -> dict:
+        stats = self._backend.compact(now=request.get("now"))
+        return {"stats": [stats.n_records_before, stats.n_records_after,
+                          stats.bytes_before, stats.bytes_after]}
+
+    def _op_len(self, request: dict) -> dict:
+        return {"n": len(self._backend)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StoreServer {self.address} backend={self._backend!r}>"
+
+
+# -- client ----------------------------------------------------------------
+
+
+class NetworkStoreBackend(StoreBackend):
+    """The :class:`StoreBackend` contract over a ``store://`` connection.
+
+    One socket, one request in flight at a time (an internal lock makes
+    the instance safe to share between the runner thread and its lease
+    heartbeat).  Separate instances — like the fresh stores each
+    cooperating runner process opens — get their own connections.
+
+    Parameters
+    ----------
+    url:
+        The server's ``store://host:port``.
+    connect_timeout:
+        Seconds to keep dialing the *initial* connection (with
+        exponential backoff), so runners may start before the server.
+    reconnect_timeout:
+        Seconds to keep redialing after an established connection
+        breaks — the partition budget within which a server restart is
+        invisible to the campaign (beyond one resumed handshake).
+    """
+
+    engine = ENGINE_STORE
+    metrics_engine = "netstore"
+
+    def __init__(
+        self,
+        url: str,
+        connect_timeout: float = 30.0,
+        reconnect_timeout: float = 30.0,
+    ) -> None:
+        self.host, self.port = parse_store_url(url)
+        if self.port == 0:
+            raise ValueError(f"a store client needs an explicit port, got {url!r}")
+        self.url = url
+        self.connect_timeout = float(connect_timeout)
+        self.reconnect_timeout = float(reconnect_timeout)
+        self._lock = threading.RLock()
+        self._sock: Optional[socket.socket] = None
+        self._ever_connected = False
+        # Incremental-read cache, mirroring the SQLite engine's: id-keyed
+        # records in first-appearance order + the last mutation stamp.
+        self._by_id: Dict[str, dict] = {}
+        self._stamp = 0
+        # Leases this client believes it holds — the resume set re-asserted
+        # after a reconnect, and the piggyback set renewed on every append.
+        self._held: Dict[str, None] = {}
+        self._held_runner: Optional[str] = None
+        self._held_ttl: float = 0.0
+
+    @property
+    def path(self) -> str:
+        """The server URL (display / identification; nothing is local)."""
+        return self.url
+
+    # -- connection management ---------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        """Dial and handshake; on reconnect, resume held leases."""
+        timeout = (self.reconnect_timeout if self._ever_connected
+                   else self.connect_timeout)
+        sock = dial_with_backoff(self.host, self.port, timeout)
+        sock.settimeout(max(timeout, 30.0))
+        _enable_keepalive(sock)
+        _disable_nagle(sock)
+        try:
+            reply = self._roundtrip(sock, {
+                "op": "hello", "version": STORE_PROTOCOL_VERSION,
+            })
+            if self._ever_connected:
+                # Resume: re-assert the leases we held when the connection
+                # died.  claim() re-grants a runner's own or expired leases
+                # and skips jobs completed meanwhile — exactly the repair a
+                # briefly-partitioned runner needs; ids a peer validly
+                # reclaimed in the gap are dropped from the held set.
+                if self._held and self._held_runner is not None:
+                    granted = self._roundtrip(sock, {
+                        "op": "claim", "job_ids": list(self._held),
+                        "runner": self._held_runner, "ttl": self._held_ttl,
+                        "now": None,
+                    })["granted"]
+                    self._held = dict.fromkeys(granted)
+                # The new server may front different (or rewound) data;
+                # drop the read cache rather than trust a foreign stamp.
+                self._by_id = {}
+                self._stamp = 0
+        except (OSError, CodecError):
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise
+        self._ever_connected = True
+        self._sock = sock
+        return sock
+
+    def _roundtrip(self, sock: socket.socket, request: dict) -> dict:
+        """One raw request/response exchange; raises on any failure."""
+        _send_obj(sock, request)
+        reply = _recv_obj(sock)
+        if reply is None:
+            raise CodecError("store server closed the connection mid-request")
+        if not reply.get("ok"):
+            kind = reply.get("kind")
+            error = str(reply.get("error"))
+            if kind == "ValueError":
+                raise ValueError(error)
+            raise NetworkStoreError(f"store server rejected {request.get('op')!r}: "
+                                    f"{kind}: {error}")
+        return reply
+
+    def _drop_sock(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _call(self, op: str, _request_fn=None, **fields: Any) -> dict:
+        """Send one request, reconnecting (with resume) and retrying once.
+
+        Safe because every op is idempotent: a frame that was applied
+        just before the connection died produces the same state when
+        replayed after the resume handshake.  The frame is built *after*
+        the connection is established — ``_request_fn`` lets ops whose
+        fields depend on reconnect-reset client state (the ``records``
+        mutation stamp) contribute fresh values to the retried frame.
+        """
+        with self._lock:
+            last_error: Optional[Exception] = None
+            for attempt in range(2):
+                try:
+                    sock = self._sock if self._sock is not None else self._connect()
+                    request = dict(fields, op=op)
+                    if _request_fn is not None:
+                        request.update(_request_fn())
+                    return self._roundtrip(sock, request)
+                # CodecError subclasses ValueError, so the transport clause
+                # must come first; a bare ValueError is an application error
+                # relayed by the server — the connection is fine, propagate.
+                except (OSError, CodecError) as exc:
+                    self._drop_sock()
+                    last_error = exc
+            raise NetworkStoreError(
+                f"store request {op!r} to {self.url} failed after reconnect: "
+                f"{last_error}"
+            ) from last_error
+
+    def close(self) -> None:
+        """Drop the connection; the next call would reconnect."""
+        with self._lock:
+            self._drop_sock()
+
+    # -- writing -----------------------------------------------------------
+
+    @staticmethod
+    def _validate(records: Sequence[dict]) -> List[dict]:
+        records = list(records)
+        for rec in records:
+            if "job_id" not in rec or "status" not in rec:
+                raise ValueError("record needs 'job_id' and 'status' fields")
+        return records
+
+    def record(self, record: dict) -> None:
+        """Append one record (a one-element :meth:`record_many` frame)."""
+        self.record_many([record])
+
+    def record_many(self, records: Sequence[dict]) -> None:
+        """Append a batch in one frame, piggybacking lease renewal.
+
+        Validation happens client-side too, so a malformed record fails
+        before it crosses the wire.  The frame renews whatever leases
+        this client still holds beyond the batch being fulfilled — on
+        the append hot path the store hears from the runner constantly,
+        shrinking the window a slow heartbeat leaves open.
+        """
+        records = self._validate(records)
+        if not records:
+            return
+        with self._lock:
+            renew = None
+            recorded = {rec["job_id"] for rec in records}
+            keep = [jid for jid in self._held if jid not in recorded]
+            if keep and self._held_runner is not None:
+                renew = {"job_ids": keep, "runner": self._held_runner,
+                         "ttl": self._held_ttl}
+            with self._timed("append"):
+                self._call("record_many", records=records, renew=renew)
+            for jid in recorded:
+                self._held.pop(jid, None)
+
+    # -- leases ------------------------------------------------------------
+
+    def claim(
+        self,
+        job_ids: Sequence[str],
+        runner: str,
+        ttl: float,
+        now: Optional[float] = None,
+    ) -> List[str]:
+        """Claim a batch in one frame; see :meth:`StoreBackend.claim`."""
+        with self._lock:
+            with self._timed("claim"):
+                reply = self._call(
+                    "claim", job_ids=list(job_ids), runner=runner,
+                    ttl=float(ttl), now=now,
+                )
+            granted = list(reply["granted"])
+            if runner != self._held_runner:
+                # One client serves one runner identity at a time; a new
+                # identity supersedes the old resume set.
+                self._held = {}
+                self._held_runner = runner
+            self._held_ttl = float(ttl)
+            self._held.update(dict.fromkeys(granted))
+            return granted
+
+    def renew(
+        self,
+        job_ids: Sequence[str],
+        runner: str,
+        ttl: float,
+        now: Optional[float] = None,
+    ) -> List[str]:
+        """Renew a batch in one frame; see :meth:`StoreBackend.renew`."""
+        with self._lock:
+            reply = self._call(
+                "renew", job_ids=list(job_ids), runner=runner,
+                ttl=float(ttl), now=now,
+            )
+            held = list(reply["held"])
+            if runner == self._held_runner:
+                self._held_ttl = float(ttl)
+                for jid in job_ids:
+                    if jid not in held:
+                        self._held.pop(jid, None)  # lost to a peer or fulfilled
+            return held
+
+    def release(self, job_ids: Sequence[str], runner: str) -> None:
+        """Release claims in one frame; see :meth:`StoreBackend.release`."""
+        with self._lock:
+            self._call("release", job_ids=list(job_ids), runner=runner)
+            for jid in job_ids:
+                self._held.pop(jid, None)
+
+    def leases(self, now: Optional[float] = None) -> Dict[str, Lease]:
+        """Live leases by job id, fetched in one frame."""
+        reply = self._call("leases", now=now)
+        return {
+            jid: Lease(jid, runner, deadline)
+            for jid, runner, deadline in reply["leases"]
+        }
+
+    # -- reading -----------------------------------------------------------
+
+    def records(self) -> List[dict]:
+        """All records in first-appearance order, fetched incrementally.
+
+        The request carries the last mutation stamp; a stamp-capable
+        server returns only newer rows, folded into the local id-keyed
+        cache exactly as the SQLite engine folds its own reads.  A
+        ``full`` response (stampless backing engine) replaces the cache.
+        """
+        with self._lock:
+            reply = self._call(
+                "records", _request_fn=lambda: {"since": self._stamp}
+            )
+            rows = reply["records"]
+            if reply.get("full"):
+                self._by_id = {rec["job_id"]: rec for rec in rows}
+                self._stamp = 0
+            else:
+                for rec in rows:
+                    self._by_id[rec["job_id"]] = rec
+                self._stamp = int(reply["stamp"])
+            return [copy.deepcopy(r) for r in self._by_id.values()]
+
+    def completed_ids(self) -> Set[str]:
+        """Ids of done jobs, computed server-side (no record shipping)."""
+        return set(self._call("completed_ids")["ids"])
+
+    def counts(self) -> Dict[str, int]:
+        """Status tallies, computed server-side."""
+        return dict(self._call("counts")["counts"])
+
+    # -- maintenance -------------------------------------------------------
+
+    def compact(self, now: Optional[float] = None) -> CompactionStats:
+        """Ask the server to compact its backing store."""
+        with self._timed("compact"):
+            reply = self._call("compact", now=now)
+        return CompactionStats(*(int(v) for v in reply["stats"]))
+
+    def __len__(self) -> int:
+        return int(self._call("len")["n"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NetworkStoreBackend {self.url}>"
+
+
+def open_network_store(url: str, directory=None, **client_options: Any) -> NetworkStoreBackend:
+    """Open a ``store://`` client, pinning ``directory``'s manifest to it.
+
+    The registry hook behind :func:`repro.campaign.sharding.open_store`:
+    when a campaign directory is given, its ``store-manifest.json`` is
+    created (or validated) with ``engine: "store"`` and the server URL,
+    so re-opening the directory *without* ``--store`` reconnects to the
+    same server — the network engine keeps the same auto-detect contract
+    as the local ones.  A directory already pinned to a local engine is
+    refused (the data lives there, not behind a server); a directory
+    pinned to a *different* server URL is re-pinned, since a restarted
+    server legitimately moves ports.
+    """
+    host, port = parse_store_url(url)
+    if directory is not None:
+        # Function-level import: sharding imports this package at module
+        # scope, so the manifest helpers must resolve lazily.
+        from repro.campaign.sharding import (
+            MANIFEST_FILENAME,
+            _write_manifest_file,
+            read_manifest,
+        )
+        from pathlib import Path
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = read_manifest(directory)
+        if manifest is None or manifest.get("url") != url:
+            if manifest is not None and manifest["engine"] != ENGINE_STORE:
+                raise ValueError(
+                    f"store at {directory} uses the {manifest['engine']!r} "
+                    f"engine; cannot reopen it as {ENGINE_STORE!r} — serve "
+                    f"it with 'campaign store-serve', or use "
+                    f"'campaign migrate-store' to convert"
+                )
+            _write_manifest_file(
+                directory / MANIFEST_FILENAME,
+                {"version": 1, "engine": ENGINE_STORE, "url": url},
+            )
+    return NetworkStoreBackend(url, **client_options)

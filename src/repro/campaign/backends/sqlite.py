@@ -55,7 +55,7 @@ import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.campaign.backends.base import (
     STATUS_DONE,
@@ -150,6 +150,11 @@ class SQLiteStoreBackend(StoreBackend):
         self._by_id: Dict[str, dict] = {}
         self._mut = 0
         self._cache_lock = threading.Lock()
+        # Every connection this process has opened (worker threads, the
+        # lease heartbeat), keyed to the pid that opened it so close()
+        # never touches a forked parent's handles through inherited state.
+        self._conns_lock = threading.Lock()
+        self._conns: Dict[sqlite3.Connection, int] = {}
         # executescript commits as it goes; IF NOT EXISTS makes concurrent
         # creators converge without an explicit transaction.
         self._conn().executescript(_SCHEMA)
@@ -170,11 +175,17 @@ class SQLiteStoreBackend(StoreBackend):
                 self._db_path,
                 timeout=self._busy_timeout,
                 isolation_level=None,  # autocommit; we issue BEGIN explicitly
+                # Usage stays strictly per-thread (thread-local keying);
+                # relaxing the check only lets close() reach connections
+                # other threads opened.
+                check_same_thread=False,
             )
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
             self._local.conn = conn
             self._local.pid = os.getpid()
+            with self._conns_lock:
+                self._conns[conn] = os.getpid()
         return conn
 
     @contextmanager
@@ -192,11 +203,26 @@ class SQLiteStoreBackend(StoreBackend):
         conn.execute("COMMIT")
 
     def close(self) -> None:
-        """Close this thread's connection (other threads' close on GC)."""
-        conn = getattr(self._local, "conn", None)
-        if conn is not None:
-            conn.close()
-            self._local.conn = None
+        """Close every connection this process opened, whatever the thread.
+
+        Worker and heartbeat threads each open their own connection
+        through :meth:`_conn`; closing only the calling thread's would
+        leak the rest (and their WAL read marks) until process exit.
+        Callers must quiesce those threads first — the runner joins its
+        heartbeat before teardown — since a closed connection raises on
+        use.  Connections a forked parent opened are skipped (the child
+        inherits the tracking dict, not usable handles).
+        """
+        with self._conns_lock:
+            mine = [c for c, pid in self._conns.items() if pid == os.getpid()]
+            for conn in mine:
+                del self._conns[conn]
+        for conn in mine:
+            try:
+                conn.close()
+            except sqlite3.Error:  # pragma: no cover - already-closed race
+                pass
+        self._local.conn = None
 
     @property
     def path(self) -> Path:
@@ -369,6 +395,28 @@ class SQLiteStoreBackend(StoreBackend):
                 if mut > self._mut:
                     self._mut = mut
             return [copy.deepcopy(r) for r in self._by_id.values()]
+
+    def records_since(self, since: int) -> "Tuple[int, List[dict]]":
+        """Rows mutated after stamp ``since``, plus the new high stamp.
+
+        The raw half of the mutation-stamp protocol :meth:`records` is
+        built on, exposed so *remote* readers (the ``store://`` server)
+        can ship a caller only the delta: rows whose ``mut`` exceeds
+        ``since``, in ``seq`` (first-appearance) order, and the highest
+        stamp seen — the caller folds them into its own id-keyed cache
+        and passes the stamp back next time.  ``since=0`` is a full read.
+        """
+        stamp = int(since)
+        out: List[dict] = []
+        rows = self._conn().execute(
+            "SELECT mut, payload FROM results WHERE mut > ? ORDER BY seq",
+            (stamp,),
+        ).fetchall()
+        for mut, payload in rows:
+            out.append(json.loads(payload))
+            if mut > stamp:
+                stamp = mut
+        return stamp, out
 
     def completed_ids(self) -> Set[str]:
         """Ids of successfully finished jobs, straight off the status index."""

@@ -35,6 +35,7 @@ single ``results.jsonl``, the sharded ``results-<k>.jsonl`` layout (see
 
 from __future__ import annotations
 
+import logging
 import os
 import socket
 import threading
@@ -77,6 +78,8 @@ MW_TRANSPORTS = TRANSPORT_NAMES
 DEFAULT_LEASE_TTL = 60.0
 
 ProgressCallback = Callable[[ProgressSnapshot], None]
+
+_log = logging.getLogger(__name__)
 
 
 def default_runner_id() -> str:
@@ -143,30 +146,63 @@ class _LeaseHeartbeat:
     holds* (:meth:`ResultStore.renew` checks ownership under the store
     lock, so a lease a peer legitimately reclaimed after a stall is not
     clobbered) and it is joined before the batch's results are recorded,
-    so the store is never touched from two threads at once.  A renewal
-    that fails (transient filesystem error) is skipped, not fatal: the
-    next beat retries, and in the worst case the lease expires and a peer
-    duplicates the batch — wasteful, never wrong.
+    so the store is never touched from two threads at once.  The sleep
+    between beats *deducts the renew round trip* — against a slow or
+    remote store a fixed ``ttl/3`` sleep on top of renew latency would
+    stretch the true beat period toward the ttl and let leases lapse
+    mid-batch.  A renewal that fails is retried once immediately; a beat
+    that fails both attempts is skipped, not fatal — the next beat
+    retries, and in the worst case the lease expires and a peer
+    duplicates the batch (wasteful, never wrong) — but it is *surfaced*,
+    through the ``repro_lease_renew_failures_total`` counter and a
+    warning log, so a store that is quietly unreachable does not look
+    healthy.
     """
 
-    def __init__(self, store, job_ids: Sequence[str], runner: str, ttl: float) -> None:
+    def __init__(self, store, job_ids: Sequence[str], runner: str, ttl: float,
+                 telemetry=None) -> None:
         self._store = store
         self._job_ids = list(job_ids)
         self._runner = runner
         self._ttl = float(ttl)
+        if telemetry is None:
+            telemetry = Telemetry.from_env()
+        self._failures = telemetry.counter(
+            "repro_lease_renew_failures_total",
+            "Lease heartbeat renewals that failed even after one retry.",
+        )
+        self.n_failures = 0
         self._stop = threading.Event()
         self._thread = threading.Thread(
             target=self._loop, name="lease-heartbeat", daemon=True
         )
         self._thread.start()
 
+    def _renew_once(self) -> None:
+        self._store.renew(self._job_ids, self._runner, self._ttl)
+
     def _loop(self) -> None:
         interval = max(self._ttl / 3.0, 0.05)
-        while not self._stop.wait(interval):
+        delay = interval
+        while not self._stop.wait(delay):
+            started = time.monotonic()
             try:
-                self._store.renew(self._job_ids, self._runner, self._ttl)
-            except OSError:  # pragma: no cover - transient fs hiccup
-                continue
+                self._renew_once()
+            except OSError:
+                try:
+                    self._renew_once()  # retry once: most store errors are blips
+                except OSError as exc:
+                    self.n_failures += 1
+                    self._failures.inc()
+                    _log.warning(
+                        "lease renewal for %d job(s) failed twice "
+                        "(%d failed beats so far; lease ttl %.0fs): %s",
+                        len(self._job_ids), self.n_failures, self._ttl, exc,
+                    )
+            # Deduct the time renewing took so beats stay ~ttl/3 apart
+            # wall-clock; floor keeps a pathologically slow store from
+            # turning the loop into a busy spin.
+            delay = max(interval - (time.monotonic() - started), 0.05)
 
     def stop(self) -> None:
         """Stop renewing and wait for the thread (store is ours again)."""
@@ -581,7 +617,8 @@ class CampaignRunner:
                 continue
             ids = [job.job_id for job in batch]
             heartbeat = (
-                _LeaseHeartbeat(self.store, ids, self.runner_id, self.lease_ttl)
+                _LeaseHeartbeat(self.store, ids, self.runner_id, self.lease_ttl,
+                                telemetry=self.telemetry)
                 if self.lease else None
             )
             try:
@@ -656,7 +693,8 @@ class CampaignRunner:
                     continue
                 ids = [job.job_id for job in batch]
                 heartbeat = (
-                    _LeaseHeartbeat(self.store, ids, self.runner_id, self.lease_ttl)
+                    _LeaseHeartbeat(self.store, ids, self.runner_id, self.lease_ttl,
+                                telemetry=self.telemetry)
                     if self.lease else None
                 )
                 try:
@@ -837,7 +875,8 @@ class CampaignRunner:
 
                 flush_check[0] = check_flush
                 heartbeat = (
-                    _LeaseHeartbeat(self.store, ids, self.runner_id, self.lease_ttl)
+                    _LeaseHeartbeat(self.store, ids, self.runner_id, self.lease_ttl,
+                                telemetry=self.telemetry)
                     if self.lease else None
                 )
                 try:

@@ -43,7 +43,10 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.campaign.backends import (
     ENGINE_JSONL,
     ENGINE_SQLITE,
+    ENGINE_STORE,
     SQLiteStoreBackend,
+    is_store_url,
+    open_network_store,
 )
 from repro.campaign.backends.base import StoreBackend
 from repro.campaign.store import CompactionStats, Lease, ResultStore
@@ -380,12 +383,17 @@ def open_store(directory, shards: Optional[int] = None,
 
     The single resolution point used by the campaign façade and the CLI:
 
+    * an ``engine`` that is a ``store://host:port`` URL opens the
+      network client (:func:`~repro.campaign.backends.netstore.
+      open_network_store`), pinning the directory's manifest to the
+      server so later opens reconnect without the URL;
     * a ``store-manifest.json`` wins — its ``engine`` field picks the
       implementation (``sqlite`` → :class:`SQLiteStoreBackend`,
-      ``jsonl`` → :class:`ShardedResultStore`), and an interrupted
-      migration's leftover legacy file is folded in first.  Passing a
-      *different* explicit ``engine`` is an error pointing at
-      ``campaign migrate-store``.
+      ``jsonl`` → :class:`ShardedResultStore`, ``store`` → the network
+      client at the manifest's URL), and an interrupted migration's
+      leftover legacy file is folded in first.  Passing a *different*
+      explicit ``engine`` is an error pointing at ``campaign
+      migrate-store``.
     * otherwise, ``engine="sqlite"`` creates the SQLite store —
       migrating a legacy ``results.jsonl`` in place if one exists;
     * otherwise, ``shards=N`` requests the sharded JSONL layout — a
@@ -397,8 +405,27 @@ def open_store(directory, shards: Optional[int] = None,
     engines expose the same interface.
     """
     directory = Path(directory)
+    if engine is not None and is_store_url(engine):
+        if shards is not None:
+            raise ValueError(
+                f"the store:// engine has no shard count (got shards={shards}); "
+                f"sharding is the server's business"
+            )
+        return open_network_store(engine, directory=directory)
     manifest = read_manifest(directory)
     existing_engine = None if manifest is None else manifest["engine"]
+    if existing_engine == ENGINE_STORE:
+        if engine is not None:
+            raise ValueError(
+                f"store at {directory} already uses the {ENGINE_STORE!r} "
+                f"engine (server {manifest.get('url')!r}); cannot open it "
+                f"as {engine!r} — use 'campaign migrate-store' to convert"
+            )
+        if shards is not None:
+            raise ValueError(
+                f"the store:// engine has no shard count (got shards={shards})"
+            )
+        return open_network_store(manifest["url"], directory=directory)
     if engine is None and shards is not None:
         engine = ENGINE_JSONL  # a shard count implies the jsonl engine
     if engine is not None and existing_engine is not None and engine != existing_engine:

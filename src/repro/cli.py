@@ -11,14 +11,16 @@ Subcommands:
   processor count, property specs).
 * ``campaign`` — durable, parallel, resumable experiment sweeps
   (``campaign run | status | watch | metrics | summary | compare |
-  compact | migrate-store``); see :mod:`repro.campaign` and
-  ``docs/CAMPAIGNS.md``.
+  compact | migrate-store | store-serve``); see :mod:`repro.campaign`
+  and ``docs/CAMPAIGNS.md``.
   ``run --backend mw`` distributes jobs through the :mod:`repro.mw`
   master-worker layer, and several runner processes pointed at the same
   directory cooperatively drain one campaign — claim leases (on by
   default; ``--lease-ttl``, ``--no-lease``) guarantee exactly one runner
-  executes each job.  ``--store jsonl|jsonl:N|sqlite`` picks the result
-  store engine (``--shards N`` is shorthand for ``jsonl:N``); ``campaign
+  executes each job.  ``--store jsonl|jsonl:N|sqlite|store://host:port``
+  picks the result store engine (``--shards N`` is shorthand for
+  ``jsonl:N``; ``store://`` talks to a ``campaign store-serve`` process
+  over TCP, so runners need no shared filesystem); ``campaign
   migrate-store`` converts an existing campaign between engines or shard
   counts.  With ``--transport tcp://host:port`` the master listens for
   remote workers instead of spawning local ones.  ``run --telemetry``
@@ -350,6 +352,72 @@ def _cmd_mw_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign_store_serve(args: argparse.Namespace) -> int:
+    from repro.campaign.backends import (
+        ENGINE_SQLITE,
+        ENGINE_STORE,
+        StoreServer,
+        is_store_url,
+        parse_store_spec,
+    )
+    from repro.campaign.sharding import open_store, read_manifest
+
+    try:
+        engine, shards = parse_store_spec(args.store)
+        if engine is not None and is_store_url(engine):
+            raise ValueError(
+                "store-serve serves a *local* store; --store must be a "
+                "local engine (jsonl, jsonl:N, sqlite), not a store:// URL"
+            )
+        manifest = read_manifest(args.directory)
+        if manifest is not None and manifest.get("engine") == ENGINE_STORE:
+            raise ValueError(
+                f"{args.directory} is a store:// *client* directory "
+                f"(server {manifest.get('url')!r}); point store-serve at "
+                f"the directory that holds the data"
+            )
+        if engine is None and shards is None and manifest is None:
+            engine = ENGINE_SQLITE  # fresh directories default to sqlite
+        backend = open_store(args.directory, shards=shards, engine=engine)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = StoreServer(backend, listen=args.listen)
+    try:
+        server.start()
+    except OSError as exc:
+        print(f"error: cannot listen on {args.listen}: {exc}", file=sys.stderr)
+        backend.close()
+        return 2
+    # Parsed by scripts and tests (ephemeral --listen ports), so the
+    # address line goes first and is flushed immediately.
+    print(f"serving {args.directory} ({backend.engine}) at {server.address}",
+          flush=True)
+    print("press Ctrl-C to stop", flush=True)
+    # Install our own INT/TERM handlers: a server backgrounded with `&`
+    # from a non-interactive shell (the CI pattern) inherits SIGINT as
+    # ignored, and SIGTERM is how process managers stop services — both
+    # must shut the listener down cleanly, not leak it.
+    import signal
+
+    def _stop(signum, frame):
+        raise KeyboardInterrupt
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, _stop)
+        except (ValueError, OSError):  # pragma: no cover - exotic platforms
+            pass
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        backend.close()
+    return 0
+
+
 def _cmd_campaign_compact(args: argparse.Namespace) -> int:
     campaign = _open_campaign(args.directory)
     stats = campaign.compact()
@@ -590,9 +658,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="pin jobs round-robin to mw worker ranks")
     p_crun.add_argument("--store", default=None, metavar="ENGINE",
                         help="result store engine: jsonl (single file, the "
-                             "default), jsonl:N (N sharded files), or sqlite "
-                             "(one transactional WAL database); existing "
-                             "stores auto-detect from store-manifest.json")
+                             "default), jsonl:N (N sharded files), sqlite "
+                             "(one transactional WAL database), or "
+                             "store://host:port (a 'campaign store-serve' "
+                             "process — no shared filesystem needed); "
+                             "existing stores auto-detect from "
+                             "store-manifest.json")
     p_crun.add_argument("--shards", type=int, default=None, metavar="N",
                         help="shorthand for --store jsonl:N — shard the "
                              "result store into N results-<k>.jsonl files "
@@ -667,6 +738,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmig.add_argument("--store", required=True, metavar="ENGINE",
                         help="destination engine: jsonl | jsonl:N | sqlite")
     p_cmig.set_defaults(func=_cmd_campaign_migrate_store)
+
+    p_cserve = camp_sub.add_parser(
+        "store-serve",
+        help="serve a local result store over TCP for store:// runners "
+             "(no shared filesystem needed; Ctrl-C to stop)",
+    )
+    p_cserve.add_argument("directory",
+                          help="directory holding (or to hold) the store")
+    p_cserve.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                          help="address to listen on (port 0 picks a free "
+                               "port; the bound address is printed on "
+                               "startup; default %(default)s)")
+    p_cserve.add_argument("--store", default=None, metavar="ENGINE",
+                          help="backing engine for a *fresh* directory: "
+                               "jsonl | jsonl:N | sqlite (default sqlite); "
+                               "existing stores auto-detect from "
+                               "store-manifest.json")
+    p_cserve.set_defaults(func=_cmd_campaign_store_serve)
 
     p_csum = camp_sub.add_parser("summary", help="per-cell aggregate table")
     p_csum.add_argument("directory")

@@ -31,6 +31,7 @@ CLI as ``python -m repro mw-worker tcp://host:port``.
 from __future__ import annotations
 
 import queue
+import random
 import socket
 import threading
 import time
@@ -92,6 +93,41 @@ def parse_tcp_url(url: str) -> Tuple[str, int]:
     if not (0 <= port <= 65535):
         raise ValueError(f"port out of range in {url!r}")
     return host, port
+
+
+def dial_with_backoff(
+    host: str,
+    port: int,
+    timeout: float,
+    attempt_timeout: float = 5.0,
+    base_delay: float = 0.05,
+    max_delay: float = 2.0,
+) -> socket.socket:
+    """Dial ``(host, port)``, retrying with exponential backoff until ``timeout``.
+
+    The shared dial loop of every client in the package (mw workers, the
+    network store client): each failed attempt doubles the sleep from
+    ``base_delay`` up to ``max_delay``, jittered by a random factor in
+    ``[0.5, 1.0]`` so a fleet of workers restarting together does not
+    reconnect in lockstep.  When the deadline passes, the raised
+    ``OSError`` names the peer and carries the *last* underlying error —
+    a refused port, an unresolvable host, and an unreachable network all
+    read differently instead of vanishing into a bare timeout.
+    """
+    deadline = time.monotonic() + float(timeout)
+    delay = float(base_delay)
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=attempt_timeout)
+        except OSError as exc:
+            now = time.monotonic()
+            if now >= deadline:
+                raise OSError(
+                    f"could not connect to {host}:{port} within "
+                    f"{float(timeout):g}s (last error: {exc})"
+                ) from exc
+            time.sleep(min(delay, deadline - now) * random.uniform(0.5, 1.0))
+            delay = min(delay * 2.0, float(max_delay))
 
 
 def recv_exact(sock: socket.socket, n: int, allow_eof: bool = False) -> Optional[bytes]:
@@ -537,20 +573,12 @@ class TcpWorkerEndpoint:
         self._stop_heartbeat = threading.Event()
 
     def _connect(self) -> socket.socket:
-        """Dial the master, retrying until ``connect_timeout`` elapses."""
-        deadline = time.monotonic() + self.connect_timeout
-        while True:
-            try:
-                sock = socket.create_connection((self.host, self.port), timeout=5.0)
-            except OSError:
-                if time.monotonic() >= deadline:
-                    raise
-                time.sleep(0.2)
-                continue
-            # a bounded timeout for the handshake only; the task loop resets
-            # it to blocking (idle gaps between tasks can be arbitrarily long)
-            sock.settimeout(max(self.connect_timeout, 30.0))
-            return sock
+        """Dial the master, backing off until ``connect_timeout`` elapses."""
+        sock = dial_with_backoff(self.host, self.port, self.connect_timeout)
+        # a bounded timeout for the handshake only; the task loop resets
+        # it to blocking (idle gaps between tasks can be arbitrarily long)
+        sock.settimeout(max(self.connect_timeout, 30.0))
+        return sock
 
     def _send(self, sock: socket.socket, message: Message) -> None:
         """Serialized frame write (heartbeat thread and task loop share it)."""

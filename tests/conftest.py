@@ -31,7 +31,7 @@ else:
         hyp_settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 
 
-@pytest.fixture(params=STORE_BACKENDS)
+@pytest.fixture(params=STORE_BACKENDS + ("netstore",))
 def store_backend(request, tmp_path, monkeypatch):
     """Factory of store instances, parametrized over every engine.
 
@@ -42,10 +42,41 @@ def store_backend(request, tmp_path, monkeypatch):
     ``n_shards`` of the opened store), and ``.cli_store_spec`` (the
     ``--store`` argument creating this layout from the CLI).
 
+    The ``netstore`` parametrization spins up a real in-process
+    :class:`~repro.campaign.backends.netstore.StoreServer` over a sqlite
+    backend, so every store and chaos test also runs over an actual
+    TCP socket; ``make()`` then returns network clients of it.
+
     Telemetry is switched on for every parametrization so the whole
     store/chaos matrix also exercises the instrumented code paths.
     """
     monkeypatch.setenv("REPRO_TELEMETRY", "1")
+
+    if request.param == "netstore":
+        from repro.campaign.backends import NetworkStoreBackend, StoreServer
+        from repro.campaign.backends.sqlite import SQLiteStoreBackend
+
+        served = SQLiteStoreBackend(tmp_path / "served-store")
+        server = StoreServer(served, listen="127.0.0.1:0")
+        server.start()
+        clients = []
+
+        def make():
+            client = NetworkStoreBackend(server.address)
+            clients.append(client)
+            return client
+
+        def teardown():
+            for client in clients:
+                client.close()
+            server.close()
+            served.close()
+
+        request.addfinalizer(teardown)
+        make.engine = "netstore"
+        make.shards = 1
+        make.cli_store_spec = server.address
+        return make
 
     def make():
         return open_store_backend(request.param, tmp_path / "backend-store")

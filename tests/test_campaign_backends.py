@@ -83,7 +83,10 @@ class TestContract:
         assert parse_store_spec("jsonl") == ("jsonl", None)
         assert parse_store_spec("jsonl:8") == ("jsonl", 8)
         assert parse_store_spec("sqlite") == ("sqlite", None)
-        for bad in ("sqlite:4", "jsonl:x", "jsonl:0", "parquet"):
+        # store:// specs come back whole — the address is the selection
+        assert parse_store_spec("store://db.host:9090") == ("store://db.host:9090", None)
+        for bad in ("sqlite:4", "jsonl:x", "jsonl:0", "parquet",
+                    "store://nohost", "store://h:notaport", "store://h:99999"):
             with pytest.raises(ValueError):
                 parse_store_spec(bad)
 

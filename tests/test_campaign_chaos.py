@@ -204,9 +204,9 @@ class TestRunnerProcessChaos:
         campaign = Campaign(directory)
         assert campaign.store.completed_ids() == set(expected)
         assert getattr(campaign.store, "n_shards", 1) == store_backend.shards
-        assert campaign.store.engine == (
-            "sqlite" if store_backend.engine == "sqlite" else "jsonl"
-        )
+        assert campaign.store.engine == {
+            "sqlite": "sqlite", "netstore": "store",
+        }.get(store_backend.engine, "jsonl")
         # exactly-once holds per *span* too: every execution attempt minted
         # a distinct span id, and each job appears under exactly one of them
         entries = audit_entries(audit)

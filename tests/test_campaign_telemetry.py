@@ -127,7 +127,7 @@ class TestMetricsCoverage:
                                 telemetry=telemetry)
         runner.run()
         engine = {"jsonl": "jsonl", "sharded": "sharded",
-                  "sqlite": "sqlite"}[store_backend.engine]
+                  "sqlite": "sqlite", "netstore": "netstore"}[store_backend.engine]
         hists = {
             (h["labels"].get("op"), h["labels"].get("engine"))
             for h in telemetry.registry.snapshot()["histograms"]
