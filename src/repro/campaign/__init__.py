@@ -29,8 +29,14 @@ counts losslessly; :meth:`ResultStore.compact` keeps long-lived stores
 readable; :mod:`.progress` provides the live heartbeat, per-cell
 progress, and watch loops.
 
+Many campaigns can also share **one** worker fleet: ``campaign serve``
+(:class:`MultiCampaignMaster`, :mod:`.scheduler`) drains any number of
+campaign directories through a single master, sharing dispatch slots by
+deficit-weighted round-robin and placing each tenant's jobs only on
+workers whose capability vectors cover the tenant's constraints.
+
 CLI: ``python -m repro campaign
-run|status|watch|metrics|summary|compare|compact|migrate-store|store-serve``.
+run|serve|status|watch|metrics|summary|compare|compact|migrate-store|store-serve``.
 Run with ``--telemetry`` (or ``$REPRO_TELEMETRY=1``) to record
 :mod:`repro.telemetry` metrics and a job-lifecycle trace alongside the
 results; ``campaign metrics`` reads them back.
@@ -86,6 +92,12 @@ from repro.campaign.runner import (
     CampaignRunner,
     default_runner_id,
 )
+from repro.campaign.scheduler import (
+    CampaignScheduler,
+    MultiCampaignMaster,
+    TenantQueue,
+    serve_status,
+)
 from repro.campaign.sharding import (
     MANIFEST_FILENAME,
     ShardedResultStore,
@@ -111,6 +123,7 @@ __all__ = [
     "Campaign",
     "CampaignReport",
     "CampaignRunner",
+    "CampaignScheduler",
     "CampaignSpec",
     "CellProgress",
     "CellSummary",
@@ -124,6 +137,7 @@ __all__ = [
     "Lease",
     "MANIFEST_FILENAME",
     "MW_TRANSPORTS",
+    "MultiCampaignMaster",
     "NetworkStoreBackend",
     "NetworkStoreError",
     "PairedComparison",
@@ -142,6 +156,7 @@ __all__ = [
     "ShardedResultStore",
     "StoreBackend",
     "StoreServer",
+    "TenantQueue",
     "WorkerUtilization",
     "canonical_json",
     "cells_from_status",
@@ -159,6 +174,7 @@ __all__ = [
     "read_manifest",
     "run_job",
     "seed_rate",
+    "serve_status",
     "shard_index",
     "summarize",
     "watch_campaign",

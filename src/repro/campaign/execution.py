@@ -46,13 +46,19 @@ NOISE_SEED_OFFSET = 1_000_003
 #: number of runner processes interleave whole) to that file *before*
 #: running — the ground truth for "how many times was this job actually
 #: evaluated", which store records cannot answer (last-record-wins hides
-#: duplicates).  Each line is ``job_id run_id span_id``: the run id
-#: identifies the ``run()`` call that dispatched the execution (via
+#: duplicates).  Each line is ``job_id run_id span_id worker``: the run
+#: id identifies the ``run()`` call that dispatched the execution (via
 #: ``$REPRO_RUN_ID``), the span id is fresh per execution attempt and
 #: also rides the store record and the telemetry trace's ``job`` event,
 #: so audit entries correlate with traces and exactly-once can be
-#: asserted *per span*.  The chaos test suite and the CI chaos-smoke job
-#: assert exactly-once execution through this log.
+#: asserted *per span*.  The trailing ``worker`` token is placement
+#: evidence — ``rank:cap1,cap2`` (or just ``rank``, or ``-`` when no
+#: worker context exists, e.g. the serial backend) — which is how the CI
+#: scheduler-smoke job proves constrained jobs only ran on
+#: capability-matching workers.  Fields are whitespace-free, so
+#: ``line.split()`` indexes 0–2 parse identically to the three-field
+#: format older logs used.  The chaos test suite and the CI chaos-smoke
+#: job assert exactly-once execution through this log.
 JOB_AUDIT_ENV = "REPRO_JOB_AUDIT_LOG"
 
 #: Environment variable carrying the dispatching run's id into executing
@@ -60,14 +66,28 @@ JOB_AUDIT_ENV = "REPRO_JOB_AUDIT_LOG"
 RUN_ID_ENV = "REPRO_RUN_ID"
 
 
-def _audit_execution(job_id: str, run_id: str, span_id: str) -> None:
-    """Append ``job_id run_id span_id`` to ``$REPRO_JOB_AUDIT_LOG``, if set."""
+def worker_token(context) -> str:
+    """Whitespace-free placement token for a worker context, ``"-"`` if none.
+
+    ``rank:cap1,cap2`` when the worker declared capabilities, bare
+    ``rank`` when it declared none — the audit log's fourth field.
+    """
+    rank = getattr(context, "rank", None)
+    if rank is None:
+        return "-"
+    caps = sorted(getattr(context, "caps", None) or ())
+    return f"{rank}:{','.join(caps)}" if caps else str(rank)
+
+
+def _audit_execution(job_id: str, run_id: str, span_id: str,
+                     worker: str = "-") -> None:
+    """Append ``job_id run_id span_id worker`` to ``$REPRO_JOB_AUDIT_LOG``, if set."""
     path = os.environ.get(JOB_AUDIT_ENV)
     if not path:
         return
     fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
     try:
-        os.write(fd, f"{job_id} {run_id} {span_id}\n".encode("utf-8"))
+        os.write(fd, f"{job_id} {run_id} {span_id} {worker}\n".encode("utf-8"))
     finally:
         os.close(fd)
 
@@ -124,20 +144,22 @@ def mw_job_executor(work: dict, context) -> dict:
 
     ``work`` is a :meth:`Job.to_dict` payload (plain JSON, so it rides the
     mw codec across the ``process`` transport) and ``context`` is the
-    worker's :class:`~repro.mw.worker.WorkerContext` — unused, because a
-    job's result is a deterministic function of the job alone, which is
-    what makes cooperative multi-runner draining safe: whichever runner
-    (or host) executes a job appends the identical record.
+    worker's :class:`~repro.mw.worker.WorkerContext` — the job's *result*
+    is a deterministic function of the job alone (which is what makes
+    cooperative multi-runner draining safe: whichever runner or host
+    executes a job appends the identical record), but the context's rank
+    and capability vector are stamped on the audit line and record as
+    placement evidence.
 
     Module-level so process-transport workers can import it by reference.
     """
-    return _run_job_record(Job.from_dict(work))
+    return _run_job_record(Job.from_dict(work), worker=worker_token(context))
 
 
-def _run_job_record(job: Job) -> dict:
+def _run_job_record(job: Job, worker: str = "-") -> dict:
     run_id = os.environ.get(RUN_ID_ENV, "-")
     span_id = new_span_id()
-    _audit_execution(job.job_id, run_id, span_id)
+    _audit_execution(job.job_id, run_id, span_id, worker)
     t0 = time.perf_counter()
     try:
         result = execute_job(job)
@@ -151,6 +173,7 @@ def _run_job_record(job: Job) -> dict:
             "elapsed_s": time.perf_counter() - t0,
             "run_id": run_id,
             "span_id": span_id,
+            "worker": worker,
         }
     return {
         "job_id": job.job_id,
@@ -161,6 +184,7 @@ def _run_job_record(job: Job) -> dict:
         "elapsed_s": time.perf_counter() - t0,
         "run_id": run_id,
         "span_id": span_id,
+        "worker": worker,
     }
 
 
@@ -260,9 +284,10 @@ def _mw_eval_batch(work: dict, context) -> dict:
     span_ids = []
     if audited:
         run_id = os.environ.get(RUN_ID_ENV, "-")
+        worker = worker_token(context)
         for key in keys:
             span_id = new_span_id()
-            _audit_execution(key, run_id, span_id)
+            _audit_execution(key, run_id, span_id, worker)
             span_ids.append(span_id)
 
     drop_spec = os.environ.get(EVAL_DROP_ONCE_ENV)
@@ -319,7 +344,7 @@ def mw_eval_executor(work: dict, context) -> dict:
     key = f"{job_id}/{proposal_id}"
     run_id = os.environ.get(RUN_ID_ENV, "-")
     span_id = new_span_id()
-    _audit_execution(key, run_id, span_id)
+    _audit_execution(key, run_id, span_id, worker_token(context))
 
     drop_spec = os.environ.get(EVAL_DROP_ONCE_ENV)
     if drop_spec:

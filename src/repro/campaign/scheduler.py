@@ -1,0 +1,692 @@
+"""Multi-tenant campaign scheduling: one master, many campaigns, one fleet.
+
+The paper's MW layer multiplexes one master over many heterogeneous
+workers; a production service goes one step further and multiplexes many
+*campaigns* (tenants) over one worker fleet.  This module supplies both
+halves of that step:
+
+* :class:`CampaignScheduler` — the pure dispatch policy, in the style of
+  the megha/pigeon_sim scheduler: each tenant owns a **two-level queue**
+  (high priority drains before low, FIFO within a band) and dispatch
+  slots are shared by **deficit-weighted round-robin** — every slot, each
+  dispatchable tenant earns credit proportional to its configured weight
+  and the tenant with the largest accumulated deficit spends one unit.
+  Over any window the slot share of a backlogged tenant converges to
+  ``weight / total_weight`` and no non-empty queue waits more than
+  ``O(total_weight / weight)`` slots (bounded starvation).  Per-tenant
+  **inflight caps** and capability placement (``can_place``) are modelled
+  as ineligibility: a capped or unplaceable tenant earns no credit, so it
+  neither starves others nor banks an unfair burst for later.
+* :class:`MultiCampaignMaster` — the long-lived serve loop behind
+  ``python -m repro campaign serve DIR1 DIR2 …``: one
+  :class:`~repro.mw.driver.MWDriver` over one transport drains every
+  tenant's pending jobs concurrently.  Jobs are claimed from each
+  tenant's store under the usual leases (heartbeat-renewed, so a killed
+  master's jobs requeue), queued by priority band, dispatched through the
+  scheduler whenever the driver's non-blocking :meth:`~repro.mw.driver.
+  MWDriver.pump` beat (the PR-7 async seam) frees worker slots, and
+  recorded to each tenant's own store the moment they complete — no
+  barriers between tenants or batches.
+
+Placement is constraint-checked twice: the scheduler only offers a job
+when an idle worker's capability vector covers it, and the driver's
+:meth:`~repro.mw.driver.MWDriver._pick_worker` enforces the same rule at
+dispatch (constraints are hard; affinity fallbacks are counted in
+``repro_sched_fallbacks_total``).  All scheduler decisions surface as
+``repro_sched_*`` series; ``campaign serve --status`` renders the
+per-tenant view.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.campaign.runner import (
+    DEFAULT_LEASE_TTL,
+    CampaignReport,
+    CampaignRunner,
+    _LeaseHeartbeat,
+    Campaign,
+    default_runner_id,
+    validate_mw_transport,
+)
+from repro.campaign.execution import RUN_ID_ENV
+from repro.campaign.spec import PRIORITIES, Job
+from repro.telemetry import Telemetry
+
+__all__ = [
+    "CampaignScheduler",
+    "MultiCampaignMaster",
+    "TenantQueue",
+    "serve_status",
+]
+
+
+@dataclass
+class TenantQueue:
+    """One tenant's scheduling state inside a :class:`CampaignScheduler`.
+
+    ``deficit`` is the tenant's deficit-round-robin credit balance:
+    incremented by its weight share each slot it is dispatchable,
+    decremented by one when it wins the slot.  ``high`` and ``low`` are
+    the two FIFO priority bands; ``inflight`` counts dispatched items not
+    yet marked complete (compared against ``max_inflight``).
+    """
+
+    name: str
+    weight: float = 1.0
+    max_inflight: Optional[int] = None
+    high: Deque[Any] = field(default_factory=deque)
+    low: Deque[Any] = field(default_factory=deque)
+    deficit: float = 0.0
+    inflight: int = 0
+    dispatched: int = 0
+
+    def depth(self) -> int:
+        """Queued (not yet dispatched) items across both bands."""
+        return len(self.high) + len(self.low)
+
+    def peek(self) -> Optional[Any]:
+        """The next item this tenant would dispatch (high band first)."""
+        if self.high:
+            return self.high[0]
+        if self.low:
+            return self.low[0]
+        return None
+
+    def pop(self) -> Any:
+        """Remove and return the next item (high band first; FIFO within)."""
+        return self.high.popleft() if self.high else self.low.popleft()
+
+    def under_cap(self) -> bool:
+        """Whether the tenant may dispatch another item right now."""
+        return self.max_inflight is None or self.inflight < self.max_inflight
+
+
+class CampaignScheduler:
+    """Deficit-weighted round-robin over per-tenant two-level queues.
+
+    The policy core of ``campaign serve``, kept free of stores, drivers
+    and sockets so its fairness properties are directly testable: items
+    are opaque, tenants are names, and the only external input is the
+    caller's ``can_place`` predicate (an idle worker whose capability
+    vector covers the item exists *right now*).
+
+    Fairness contract, for tenants that stay dispatchable (non-empty
+    queue, under their inflight cap, placeable):
+
+    * **proportional share** — over ``S`` consecutive slots a tenant of
+      weight ``w`` wins ``S * w / W ± O(n_tenants)`` of them, where ``W``
+      is the dispatchable tenants' total weight;
+    * **bounded starvation** — the gap between a tenant's consecutive
+      wins never exceeds ``ceil(W / w) + n_tenants`` slots;
+    * **per-tenant FIFO** — within a priority band, items dispatch in
+      arrival order, and the high band fully precedes the low band.
+
+    Parameters
+    ----------
+    telemetry:
+        Metrics context for the ``repro_sched_*`` series; defaults to
+        :meth:`Telemetry.from_env`.
+    """
+
+    def __init__(self, telemetry: Optional[Telemetry] = None) -> None:
+        self.tenants: Dict[str, TenantQueue] = {}
+        self.telemetry = telemetry if telemetry is not None else Telemetry.from_env()
+
+    # -- tenant management -------------------------------------------------
+
+    def add_tenant(self, name: str, weight: float = 1.0,
+                   max_inflight: Optional[int] = None) -> TenantQueue:
+        """Register a tenant; returns its :class:`TenantQueue`.
+
+        ``weight`` sets the tenant's share of dispatch slots relative to
+        the other dispatchable tenants; ``max_inflight`` caps how many of
+        its items may be dispatched-but-incomplete at once.
+        """
+        if name in self.tenants:
+            raise ValueError(f"tenant {name!r} already registered")
+        if not (float(weight) > 0):
+            raise ValueError(f"weight must be > 0, got {weight}")
+        if max_inflight is not None and int(max_inflight) < 1:
+            raise ValueError(f"max_inflight must be >= 1 or None, got {max_inflight}")
+        tenant = TenantQueue(name=name, weight=float(weight),
+                             max_inflight=max_inflight)
+        self.tenants[name] = tenant
+        return tenant
+
+    def enqueue(self, name: str, item: Any, priority: str = "low") -> None:
+        """Queue one item for a tenant in the given priority band."""
+        if priority not in PRIORITIES:
+            raise ValueError(f"priority must be one of {PRIORITIES}, got {priority!r}")
+        tenant = self.tenants[name]
+        (tenant.high if priority == "high" else tenant.low).append(item)
+        self.telemetry.gauge(
+            "repro_sched_queue_depth", "Queued (undispatched) jobs per tenant.",
+            tenant=name,
+        ).set(tenant.depth())
+
+    def depth(self, name: str) -> int:
+        """Queued items for one tenant (both bands)."""
+        return self.tenants[name].depth()
+
+    def queued(self) -> int:
+        """Queued items across every tenant."""
+        return sum(t.depth() for t in self.tenants.values())
+
+    def inflight(self) -> int:
+        """Dispatched-but-incomplete items across every tenant."""
+        return sum(t.inflight for t in self.tenants.values())
+
+    # -- the slot auction --------------------------------------------------
+
+    def select(
+        self, can_place: Optional[Callable[[Any], bool]] = None
+    ) -> Optional[Tuple[str, Any]]:
+        """Fill one dispatch slot; returns ``(tenant, item)`` or ``None``.
+
+        A tenant competes for the slot iff it has queued work, is under
+        its inflight cap, and its head item passes ``can_place`` (default:
+        everything places).  Competitors each earn ``weight / W`` credit,
+        the highest-deficit competitor (registration order breaks ties)
+        pops its head item and pays one unit.  Tenants blocked by their
+        cap or by placement earn nothing — policy is explicit: they are
+        counted in ``repro_sched_blocked_total`` instead of silently
+        skipped.
+
+        ``None`` means no tenant can use the slot (all empty, capped, or
+        unplaceable); callers stop offering slots until something changes
+        (a completion, a worker join, new work).
+        """
+        competitors: List[TenantQueue] = []
+        for tenant in self.tenants.values():
+            if not tenant.depth():
+                continue
+            if not tenant.under_cap():
+                self.telemetry.counter(
+                    "repro_sched_blocked_total",
+                    "Dispatch slots a tenant with queued work could not take.",
+                    tenant=tenant.name, reason="inflight_cap",
+                ).inc()
+                continue
+            if can_place is not None and not can_place(tenant.peek()):
+                self.telemetry.counter(
+                    "repro_sched_blocked_total",
+                    "Dispatch slots a tenant with queued work could not take.",
+                    tenant=tenant.name, reason="no_capable_worker",
+                ).inc()
+                continue
+            competitors.append(tenant)
+        if not competitors:
+            return None
+        total_weight = sum(t.weight for t in competitors)
+        for tenant in competitors:
+            tenant.deficit += tenant.weight / total_weight
+        winner = max(competitors, key=lambda t: t.deficit)
+        winner.deficit -= 1.0
+        item = winner.pop()
+        winner.inflight += 1
+        winner.dispatched += 1
+        self.telemetry.counter(
+            "repro_sched_dispatch_total", "Dispatch slots won, per tenant.",
+            tenant=winner.name,
+        ).inc()
+        self.telemetry.gauge(
+            "repro_sched_queue_depth", "Queued (undispatched) jobs per tenant.",
+            tenant=winner.name,
+        ).set(winner.depth())
+        return winner.name, item
+
+    def mark_complete(self, name: str) -> None:
+        """Record one dispatched item of a tenant as finished (frees cap)."""
+        tenant = self.tenants[name]
+        if tenant.inflight <= 0:
+            raise ValueError(f"tenant {name!r} has no inflight items")
+        tenant.inflight -= 1
+
+    def stats(self) -> List[dict]:
+        """Per-tenant scheduling rows (queue depths, deficit, dispatch tally)."""
+        return [
+            {
+                "tenant": t.name,
+                "weight": t.weight,
+                "high": len(t.high),
+                "low": len(t.low),
+                "inflight": t.inflight,
+                "max_inflight": t.max_inflight,
+                "dispatched": t.dispatched,
+                "deficit": t.deficit,
+            }
+            for t in self.tenants.values()
+        ]
+
+
+class _ServeLeaseHeartbeat(_LeaseHeartbeat):
+    """A lease heartbeat over a *changing* id set (one per served tenant).
+
+    The runner's heartbeat renews a fixed batch; a serve loop claims and
+    records continuously, so this variant re-reads the tenant's live
+    claimed-id snapshot each beat.  An empty snapshot beats for free.
+    """
+
+    def __init__(self, store, ids_fn: Callable[[], List[str]], runner: str,
+                 ttl: float, telemetry=None) -> None:
+        self._ids_fn = ids_fn
+        super().__init__(store, [], runner, ttl, telemetry=telemetry)
+
+    def _renew_once(self) -> None:
+        ids = self._ids_fn()
+        if ids:
+            self._store.renew(ids, self._runner, self._ttl)
+
+
+class _Tenant:
+    """Runtime state of one campaign being served (master-internal)."""
+
+    def __init__(self, campaign: Campaign, runner: CampaignRunner,
+                 weight: float, max_inflight: Optional[int]) -> None:
+        self.campaign = campaign
+        self.runner = runner
+        self.name = campaign.spec.name
+        self.weight = weight
+        self.max_inflight = max_inflight
+        self.counts = {"done": 0, "failed": 0, "shed": 0, "leased": 0}
+        self.backlog: Deque[Job] = deque()
+        self.n_total = 0
+        self.n_skipped = 0
+        self.claimed: Set[str] = set()
+        self.lock = threading.Lock()
+        self.heartbeat: Optional[_ServeLeaseHeartbeat] = None
+
+    def claimed_ids(self) -> List[str]:
+        """Snapshot of ids claimed but not yet recorded (heartbeat input)."""
+        with self.lock:
+            return list(self.claimed)
+
+    def add_claimed(self, ids: Sequence[str]) -> None:
+        """Track freshly granted claims."""
+        with self.lock:
+            self.claimed.update(ids)
+
+    def drop_claimed(self, ids: Sequence[str]) -> None:
+        """Stop tracking ids that were recorded or released."""
+        with self.lock:
+            self.claimed.difference_update(ids)
+
+    def report(self, interrupted: bool = False) -> CampaignReport:
+        """This tenant's :class:`CampaignReport` for the serve call."""
+        return CampaignReport(
+            n_total=self.n_total,
+            n_skipped=self.n_skipped,
+            n_run=self.counts["done"] + self.counts["failed"],
+            n_done=self.counts["done"],
+            n_failed=self.counts["failed"],
+            n_shed=self.counts["shed"],
+            n_leased=self.counts["leased"],
+            interrupted=interrupted,
+        )
+
+
+class MultiCampaignMaster:
+    """One long-lived master draining many campaign directories.
+
+    Builds one :class:`~repro.mw.driver.MWDriver` on ``transport`` and
+    serves every directory's pending jobs through a
+    :class:`CampaignScheduler`: claims ride each tenant's own store
+    leases (heartbeat-renewed; a killed master's claims expire and
+    requeue), placement honours each job's constraint vector against the
+    workers' declared capability vectors, and completed records append to
+    the tenant's own store as they arrive.
+
+    Parameters
+    ----------
+    directories:
+        Campaign directories (each with ``spec.json``); tenant names —
+        the spec names — must be unique across them.
+    transport:
+        mw transport spec for the shared fleet: ``process`` (default),
+        ``threaded``, ``inproc``, or a ``tcp://host:port`` listen URL
+        (heterogeneous ``mw-worker --caps`` workers connect there).
+    max_workers:
+        Worker rank slots (default: CPU count).
+    weights / quotas:
+        Per-tenant overrides (``{name: weight}`` / ``{name:
+        max_inflight}``) of the specs' ``weight`` / ``max_inflight``
+        scheduling fields.
+    worker_caps:
+        ``{rank: [capability, …]}`` for the same-host transports (TCP
+        workers declare their own caps in the hello handshake).
+    batch_size:
+        Jobs claimed per top-up, per tenant — the lease granularity.
+    lease / lease_ttl / runner_id / mw_max_retries / telemetry:
+        As in :class:`~repro.campaign.runner.CampaignRunner`.
+    """
+
+    def __init__(
+        self,
+        directories: Sequence[Any],
+        transport: str = "process",
+        max_workers: Optional[int] = None,
+        weights: Optional[Mapping[str, float]] = None,
+        quotas: Optional[Mapping[str, int]] = None,
+        worker_caps: Optional[Mapping[int, Sequence[str]]] = None,
+        batch_size: int = 8,
+        lease: bool = True,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        mw_max_retries: int = 2,
+        runner_id: Optional[str] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if not directories:
+            raise ValueError("campaign serve needs at least one directory")
+        validate_mw_transport(transport)
+        self.transport = transport
+        self.max_workers = max_workers
+        self.worker_caps = dict(worker_caps or {})
+        self.batch_size = max(1, int(batch_size))
+        self.lease = bool(lease)
+        self.lease_ttl = float(lease_ttl)
+        self.mw_max_retries = int(mw_max_retries)
+        self.runner_id = runner_id or default_runner_id()
+        if telemetry is None:
+            telemetry = Telemetry.from_env(
+                Path(directories[0]), runner=self.runner_id
+            )
+        self.telemetry = telemetry
+        weights = dict(weights or {})
+        quotas = dict(quotas or {})
+        self.tenants: Dict[str, _Tenant] = {}
+        for directory in directories:
+            campaign = Campaign(directory)
+            name = campaign.spec.name
+            if name in self.tenants:
+                raise ValueError(
+                    f"duplicate tenant name {name!r} (in {directory}); "
+                    f"spec names must be unique under one serve master"
+                )
+            runner = CampaignRunner(
+                campaign.spec, campaign.store,
+                lease=self.lease, lease_ttl=self.lease_ttl,
+                runner_id=self.runner_id, telemetry=self.telemetry,
+            )
+            self.tenants[name] = _Tenant(
+                campaign, runner,
+                weight=float(weights.get(name, campaign.spec.weight)),
+                max_inflight=quotas.get(name, campaign.spec.max_inflight),
+            )
+        unknown = (set(weights) | set(quotas)) - set(self.tenants)
+        if unknown:
+            raise ValueError(
+                f"--weight/--quota name(s) {sorted(unknown)} match no tenant; "
+                f"tenants: {sorted(self.tenants)}"
+            )
+        self.scheduler = CampaignScheduler(telemetry=self.telemetry)
+        for tenant in self.tenants.values():
+            self.scheduler.add_tenant(tenant.name, weight=tenant.weight,
+                                      max_inflight=tenant.max_inflight)
+        self.driver = None  # built in serve()
+        self._inflight: Dict[int, Tuple[_Tenant, Job, Any]] = {}
+
+    # -- serve loop --------------------------------------------------------
+
+    def _build_driver(self):
+        """Construct the shared MW driver for the fleet."""
+        import os as _os
+
+        from repro.campaign.execution import mw_job_executor
+        from repro.mw.driver import MWDriver
+
+        n_workers = self.max_workers or _os.cpu_count() or 2
+        options: Dict[str, Any] = {}
+        if self.worker_caps and self.transport in ("inproc", "threaded", "process"):
+            options["worker_caps"] = self.worker_caps
+        return MWDriver(
+            mw_job_executor,
+            n_workers=max(1, int(n_workers)),
+            backend=self.transport,
+            max_retries=self.mw_max_retries,
+            seed=0,
+            transport_options=options or None,
+            telemetry=self.telemetry,
+        )
+
+    def _load_backlogs(self) -> None:
+        """Expand each tenant's grid and drop what its store already holds."""
+        for tenant in self.tenants.values():
+            jobs = tenant.campaign.jobs()
+            done = tenant.campaign.store.completed_ids()
+            tenant.n_total = len(jobs)
+            pending = [job for job in jobs if job.job_id not in done]
+            tenant.n_skipped = tenant.n_total - len(pending)
+            tenant.backlog.extend(pending)
+
+    def _top_up(self, tenant: _Tenant) -> None:
+        """Claim another batch into the tenant's queue when it runs low."""
+        while tenant.backlog and self.scheduler.depth(tenant.name) < self.batch_size:
+            batch = [
+                tenant.backlog.popleft()
+                for _ in range(min(self.batch_size, len(tenant.backlog)))
+            ]
+            if self.lease:
+                batch = tenant.runner._claim_batch(batch, tenant.counts)
+            if not batch:
+                continue
+            tenant.add_claimed([job.job_id for job in batch])
+            for job in batch:
+                self.scheduler.enqueue(tenant.name, job, priority=job.priority)
+
+    def _idle_caps(self) -> List[frozenset]:
+        """Capability vectors of the driver's currently idle live ranks."""
+        driver = self.driver
+        return [
+            driver.worker_caps(rank)
+            for rank in driver._idle
+            if driver._alive.get(rank, False)
+        ]
+
+    def _fill_slots(self) -> int:
+        """Offer free worker slots to the scheduler; submit what it grants."""
+        submitted = 0
+        avail = self._idle_caps()
+        # On a static fleet a job no *live* worker can ever satisfy must
+        # not queue forever: pass it through to the driver, whose
+        # unmatchable-constraint check fails it with a clear error.  On a
+        # dynamic (tcp) fleet it waits — a capable worker may yet join.
+        static = not self.driver.transport.dynamic
+        live_caps = [
+            self.driver.worker_caps(rank)
+            for rank, alive in self.driver._alive.items() if alive
+        ] if static else []
+
+        def can_place(job: Job) -> bool:
+            need = frozenset(job.constraints)
+            if any(need <= caps for caps in avail):
+                return True
+            return static and not any(need <= caps for caps in live_caps)
+
+        while True:
+            selected = self.scheduler.select(can_place)
+            if selected is None:
+                break
+            name, job = selected
+            # Mirror the driver's choice (fewest-caps eligible worker) so
+            # the local availability bookkeeping tracks what dispatch will
+            # actually consume.
+            need = frozenset(job.constraints)
+            matching = [caps for caps in avail if need <= caps]
+            if matching:
+                avail.remove(min(matching, key=len))
+            task = self.driver.submit(job.to_dict(), constraints=job.constraints)
+            self._inflight[task.task_id] = (self.tenants[name], job, task)
+            submitted += 1
+        return submitted
+
+    def _harvest(self) -> int:
+        """Record finished tasks to their tenants' stores; free their slots."""
+        finished = [
+            (task_id, tenant, job, task)
+            for task_id, (tenant, job, task) in self._inflight.items()
+            if task.done or task.failed
+        ]
+        per_tenant: Dict[str, List[dict]] = {}
+        for task_id, tenant, job, task in finished:
+            del self._inflight[task_id]
+            record = (
+                task.result if task.done
+                else CampaignRunner._mw_failure_record(job, task)
+            )
+            per_tenant.setdefault(tenant.name, []).append(record)
+            self.scheduler.mark_complete(tenant.name)
+        for name, records in per_tenant.items():
+            tenant = self.tenants[name]
+            tenant.runner._record_batch(records, tenant.counts)
+            tenant.drop_claimed([r["job_id"] for r in records])
+        return len(finished)
+
+    def _drained(self) -> bool:
+        """Whether every tenant's backlog, queue, and inflight set is empty."""
+        return (
+            not self._inflight
+            and self.scheduler.queued() == 0
+            and all(not t.backlog for t in self.tenants.values())
+        )
+
+    def serve(self, poll_interval: float = 0.05,
+              timeout: Optional[float] = None,
+              on_start: Optional[Callable[[Any], None]] = None,
+              ) -> Dict[str, CampaignReport]:
+        """Drain every tenant; returns ``{tenant: CampaignReport}``.
+
+        Runs until all tenants' pending jobs are recorded (or shed /
+        leased to peers), pumping the driver between top-ups so tenants'
+        jobs interleave without barriers.  ``timeout`` bounds the whole
+        serve in real seconds (``TimeoutError``) — on a TCP transport the
+        master otherwise waits indefinitely for capable workers.
+        ``on_start`` is called with the driver once the transport is live
+        (the CLI prints the bound tcp address from it).  On any exit
+        (including interrupt) heartbeats stop and unfulfilled claims are
+        released, so peers can pick the jobs up immediately.
+        """
+        deadline = None if timeout is None else time.monotonic() + float(timeout)
+        t0 = time.monotonic()
+        self._load_backlogs()
+        saved_run_env = os.environ.get(RUN_ID_ENV)
+        if self.telemetry.enabled:
+            # Executing processes stamp this serve's run id into their
+            # audit lines and store records, same as a single-runner run.
+            os.environ[RUN_ID_ENV] = self.telemetry.run_id
+            self.telemetry.event(
+                "run_start",
+                campaign=",".join(self.tenants),
+                backend=self.transport,
+                n_total=sum(t.n_total for t in self.tenants.values()),
+                n_skipped=sum(t.n_skipped for t in self.tenants.values()),
+            )
+        self.driver = self._build_driver()
+        if on_start is not None:
+            on_start(self.driver)
+        if self.lease:
+            for tenant in self.tenants.values():
+                tenant.heartbeat = _ServeLeaseHeartbeat(
+                    tenant.campaign.store, tenant.claimed_ids, self.runner_id,
+                    self.lease_ttl, telemetry=self.telemetry,
+                )
+        interrupted = False
+        try:
+            with self.telemetry.span(
+                "serve", tenants=len(self.tenants), transport=self.transport
+            ):
+                while not self._drained():
+                    for tenant in self.tenants.values():
+                        self._top_up(tenant)
+                    self._fill_slots()
+                    self.driver.pump(poll_interval)
+                    self._harvest()
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise TimeoutError(
+                            f"serve timed out with {len(self._inflight)} "
+                            f"task(s) inflight and "
+                            f"{self.scheduler.queued()} queued"
+                        )
+                if self.telemetry.enabled:
+                    self.telemetry.event("workers", workers=self.driver.utilization())
+        except BaseException:
+            interrupted = True
+            raise
+        finally:
+            for tenant in self.tenants.values():
+                if tenant.heartbeat is not None:
+                    tenant.heartbeat.stop()
+                    tenant.heartbeat = None
+                leftover = tenant.claimed_ids()
+                if leftover:
+                    tenant.runner._release_quietly(leftover)
+                    tenant.drop_claimed(leftover)
+            self.driver.shutdown()
+            if self.telemetry.enabled:
+                if saved_run_env is None:
+                    os.environ.pop(RUN_ID_ENV, None)
+                else:
+                    os.environ[RUN_ID_ENV] = saved_run_env
+                self.telemetry.event(
+                    "run_end",
+                    done=sum(t.counts["done"] for t in self.tenants.values()),
+                    failed=sum(t.counts["failed"] for t in self.tenants.values()),
+                    shed=sum(t.counts["shed"] for t in self.tenants.values()),
+                    leased=sum(t.counts["leased"] for t in self.tenants.values()),
+                    elapsed_s=time.monotonic() - t0,
+                    interrupted=interrupted,
+                )
+                self.telemetry.write_metrics()
+        return {
+            name: tenant.report(interrupted=interrupted)
+            for name, tenant in self.tenants.items()
+        }
+
+    def status(self) -> List[dict]:
+        """Per-tenant scheduling + store status rows (the ``--status`` view)."""
+        sched = {row["tenant"]: row for row in self.scheduler.stats()}
+        rows = []
+        for name, tenant in self.tenants.items():
+            row = tenant.campaign.status()
+            row.pop("cells", None)
+            row.update(
+                weight=tenant.weight,
+                max_inflight=tenant.max_inflight,
+                priority=tenant.campaign.spec.priority,
+                constraints=list(tenant.campaign.spec.constraints),
+            )
+            row.update({
+                k: v for k, v in sched.get(name, {}).items()
+                if k in ("high", "low", "inflight", "dispatched")
+            })
+            rows.append(row)
+        return rows
+
+
+def serve_status(directories: Sequence[Any]) -> List[dict]:
+    """One-shot ``campaign serve --status`` rows, without starting a master.
+
+    Reads each directory's spec and store and reports the same columns a
+    running master would: job progress plus the scheduling policy fields
+    (weight, priority, constraints, inflight cap).
+    """
+    rows = []
+    for directory in directories:
+        campaign = Campaign(directory)
+        row = campaign.status()
+        row.pop("cells", None)
+        row.update(
+            weight=float(campaign.spec.weight),
+            max_inflight=campaign.spec.max_inflight,
+            priority=campaign.spec.priority,
+            constraints=list(campaign.spec.constraints),
+        )
+        rows.append(row)
+    return rows

@@ -34,6 +34,15 @@ from repro.core.state import plain_json
 #: :attr:`Job.cell` and the SQLite store's cell index.
 CELL_FIELDS = ("label", "algorithm", "function", "dim", "sigma0")
 
+#: Scheduling-policy fields of a spec (and the job-level subset) — pure
+#: execution placement, deliberately excluded from job identity and from
+#: :meth:`CampaignSpec.same_grid`: changing where or how urgently a
+#: campaign runs must not orphan the results it already produced.
+SCHEDULING_FIELDS = ("constraints", "priority", "weight", "max_inflight")
+
+#: Valid values of the ``priority`` scheduling field (two-level queue).
+PRIORITIES = ("high", "low")
+
 #: Fields that define a job's identity (hashed into the job id).
 _IDENTITY_FIELDS = (
     "label",
@@ -136,6 +145,12 @@ class Job:
     ``options`` may hold rich objects (e.g. ``ConditionSet``) when the
     campaign is built programmatically; JSON spec files are restricted to
     plain JSON options.
+
+    ``constraints`` and ``priority`` are scheduling policy inherited from
+    the spec: the capability names a worker must declare to run this job,
+    and which of the two per-tenant queue bands it enters.  Neither is
+    part of the job's identity — moving a campaign to different workers
+    must not change its job ids.
     """
 
     campaign: str
@@ -152,6 +167,17 @@ class Job:
     low: float = -5.0
     high: float = 5.0
     options: Dict[str, Any] = field(default_factory=dict)
+    constraints: Sequence[str] = ()
+    priority: str = "low"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "constraints", tuple(sorted(str(c) for c in self.constraints))
+        )
+        if self.priority not in PRIORITIES:
+            raise ValueError(
+                f"priority must be one of {PRIORITIES}, got {self.priority!r}"
+            )
 
     @functools.cached_property
     def job_id(self) -> str:
@@ -176,6 +202,10 @@ class Job:
         d = {name: _canonical(getattr(self, name)) for name in _IDENTITY_FIELDS}
         d["campaign"] = self.campaign
         d["job_id"] = self.job_id
+        if self.constraints:
+            d["constraints"] = list(self.constraints)
+        if self.priority != "low":
+            d["priority"] = self.priority
         return d
 
     @classmethod
@@ -183,6 +213,8 @@ class Job:
         """Rebuild a job from :meth:`to_dict` output (extra keys ignored)."""
         kwargs = {name: data[name] for name in _IDENTITY_FIELDS if name in data}
         kwargs["options"] = dict(kwargs.get("options", {}))
+        kwargs["constraints"] = tuple(data.get("constraints", ()))
+        kwargs["priority"] = data.get("priority", "low")
         return cls(campaign=data.get("campaign", ""), **kwargs)
 
 
@@ -195,6 +227,15 @@ class CampaignSpec:
     deterministically from ``base_seed`` via ``numpy.random.SeedSequence``
     when only ``n_seeds`` is given — independent, reproducible streams
     regardless of execution order or backend.
+
+    The :data:`SCHEDULING_FIELDS` — ``constraints`` (capability names a
+    worker must declare to run this campaign's jobs), ``priority``
+    (``"high"``/``"low"`` queue band), ``weight`` (this tenant's share of
+    dispatch slots under ``campaign serve``), and ``max_inflight`` (a
+    per-tenant cap on concurrently dispatched jobs, ``None`` = unlimited)
+    — are execution policy: they persist in ``spec.json`` but are excluded
+    from job identity and :meth:`same_grid`, so editing them never orphans
+    existing results.
     """
 
     name: str
@@ -212,6 +253,10 @@ class CampaignSpec:
     low: float = -5.0
     high: float = 5.0
     overrides: Sequence[Mapping] = ()
+    constraints: Sequence[str] = ()
+    priority: str = "low"
+    weight: float = 1.0
+    max_inflight: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.algorithms = [AlgorithmVariant.from_any(a) for a in self.algorithms]
@@ -222,6 +267,17 @@ class CampaignSpec:
             raise ValueError(f"algorithm variant labels must be unique, got {labels}")
         if self.seeds is None and self.n_seeds < 1:
             raise ValueError(f"n_seeds must be >= 1, got {self.n_seeds}")
+        self.constraints = tuple(sorted(str(c) for c in self.constraints))
+        if self.priority not in PRIORITIES:
+            raise ValueError(
+                f"priority must be one of {PRIORITIES}, got {self.priority!r}"
+            )
+        if not (float(self.weight) > 0):
+            raise ValueError(f"weight must be > 0, got {self.weight}")
+        if self.max_inflight is not None and int(self.max_inflight) < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1 or None, got {self.max_inflight}"
+            )
 
     # -- seeds ------------------------------------------------------------
 
@@ -256,6 +312,8 @@ class CampaignSpec:
                 low=float(self.low),
                 high=float(self.high),
                 options=dict(variant.options),
+                constraints=self.constraints,
+                priority=self.priority,
             )
             jobs.append(self._apply_overrides(job))
         return jobs
@@ -291,6 +349,10 @@ class CampaignSpec:
             "low": float(self.low),
             "high": float(self.high),
             "overrides": [_canonical(r) for r in self.overrides],
+            "constraints": list(self.constraints),
+            "priority": self.priority,
+            "weight": float(self.weight),
+            "max_inflight": None if self.max_inflight is None else int(self.max_inflight),
         }
 
     @classmethod
@@ -333,5 +395,16 @@ class CampaignSpec:
         return cls.from_dict(json.loads(Path(path).read_text()))
 
     def same_grid(self, other: "CampaignSpec") -> bool:
-        """Whether two specs expand to the identical job set."""
-        return canonical_json(self.to_dict()) == canonical_json(other.to_dict())
+        """Whether two specs expand to the identical job set.
+
+        Scheduling-policy fields (:data:`SCHEDULING_FIELDS`) are ignored:
+        re-prioritizing or re-constraining a campaign leaves its grid —
+        and therefore its resumability — intact.
+        """
+        def grid(spec: "CampaignSpec") -> dict:
+            d = spec.to_dict()
+            for name in SCHEDULING_FIELDS:
+                d.pop(name, None)
+            return d
+
+        return canonical_json(grid(self)) == canonical_json(grid(other))

@@ -10,9 +10,9 @@ Subcommands:
 * ``optroot`` — inspect an $OPTROOT directory tree (systems, phases,
   processor count, property specs).
 * ``campaign`` — durable, parallel, resumable experiment sweeps
-  (``campaign run | status | watch | metrics | summary | compare |
-  compact | migrate-store | store-serve``); see :mod:`repro.campaign`
-  and ``docs/CAMPAIGNS.md``.
+  (``campaign run | serve | status | watch | metrics | summary |
+  compare | compact | migrate-store | store-serve``); see
+  :mod:`repro.campaign` and ``docs/CAMPAIGNS.md``.
   ``run --backend mw`` distributes jobs through the :mod:`repro.mw`
   master-worker layer, and several runner processes pointed at the same
   directory cooperatively drain one campaign — claim leases (on by
@@ -27,10 +27,17 @@ Subcommands:
   (or ``$REPRO_TELEMETRY=1``) records metrics and a job-lifecycle trace
   to ``<dir>/telemetry.jsonl``; ``campaign metrics`` exports them as
   Prometheus text or JSON (see ``docs/OBSERVABILITY.md``).
+  ``campaign serve DIR1 DIR2 …`` drains many campaigns (tenants)
+  through one long-lived master and one worker fleet: dispatch slots
+  are shared by deficit-weighted round-robin (``--weight``,
+  ``--quota``) and each tenant's constraint vector only places on
+  workers whose declared capabilities cover it (``--worker-caps`` for
+  local transports, ``mw-worker --caps`` over tcp).
 * ``mw-worker`` — standalone TCP worker: connects to a master at
   ``tcp://host:port`` and serves tasks until the master shuts down.
   Start any number of these on any hosts that can reach the master; no
-  shared filesystem is needed.
+  shared filesystem is needed.  ``--caps md,fast`` declares the
+  capability vector the worker advertises in its hello handshake.
 """
 
 from __future__ import annotations
@@ -248,6 +255,95 @@ def _open_campaign(directory):
         raise SystemExit(2)
 
 
+def _parse_name_value(pairs, flag, cast):
+    """``NAME=VALUE`` repeatable-flag pairs -> {name: cast(value)}."""
+    out = {}
+    for pair in pairs or []:
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise ValueError(f"{flag} expects NAME=VALUE, got {pair!r}")
+        out[name] = cast(value)
+    return out
+
+
+def _cmd_campaign_serve(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.campaign import DEFAULT_LEASE_TTL, MultiCampaignMaster, serve_status
+    from repro.telemetry import TELEMETRY_ENV
+
+    if args.status:
+        try:
+            rows = serve_status(args.directories)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for row in rows:
+            if args.json:
+                print(json.dumps(row), flush=True)
+            else:
+                cons = ",".join(row["constraints"]) or "-"
+                quota = row["max_inflight"] if row["max_inflight"] else "-"
+                print(f"{row['name']:<20} {row['done']:>6}/{row['n_jobs']:<6} "
+                      f"done  {row['pending']:>5} pending  "
+                      f"w={row['weight']:g} prio={row['priority']} "
+                      f"caps={cons} quota={quota}")
+        return 0
+    if args.telemetry:
+        # Through the environment so mw worker subprocesses inherit it.
+        os.environ[TELEMETRY_ENV] = "1"
+    try:
+        weights = _parse_name_value(args.weight, "--weight", float)
+        quotas = _parse_name_value(args.quota, "--quota", int)
+        worker_caps = {}
+        for pair in args.worker_caps or []:
+            rank, sep, caps = pair.partition("=")
+            if not sep or not rank.isdigit():
+                raise ValueError(
+                    f"--worker-caps expects RANK=cap1,cap2, got {pair!r}"
+                )
+            worker_caps[int(rank)] = [c for c in caps.split(",") if c.strip()]
+        master = MultiCampaignMaster(
+            args.directories,
+            transport=args.transport,
+            max_workers=args.max_workers,
+            weights=weights,
+            quotas=quotas,
+            worker_caps=worker_caps,
+            batch_size=args.batch_size,
+            lease=args.lease,
+            lease_ttl=(DEFAULT_LEASE_TTL if args.lease_ttl is None
+                       else args.lease_ttl),
+            mw_max_retries=args.mw_max_retries,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"serving {len(master.tenants)} campaign(s) on {args.transport}: "
+          f"{', '.join(sorted(master.tenants))}", flush=True)
+    interrupted = False
+    try:
+        # Parsed by scripts and tests (ephemeral tcp ports), so the bound
+        # address line is printed as soon as the transport is listening.
+        def on_start(driver):
+            address = getattr(driver.transport, "address", None)
+            if address:
+                print(f"listening at {address}", flush=True)
+
+        reports = master.serve(timeout=args.timeout, on_start=on_start)
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        interrupted = True
+        reports = {name: t.report(interrupted=True)
+                   for name, t in master.tenants.items()}
+    for name in sorted(reports):
+        print(f"{name:<20} : {reports[name]}")
+    return 130 if interrupted else 0
+
+
 def _cmd_campaign_watch(args: argparse.Namespace) -> int:
     import json
 
@@ -328,9 +424,11 @@ def _cmd_mw_worker(args: argparse.Namespace) -> int:
             print(f"error: cannot resolve executor {args.executor!r}: {exc}",
                   file=sys.stderr)
             return 2
+    caps = [c.strip() for c in (args.caps or "").split(",") if c.strip()]
     try:
         stats = run_worker(
-            args.url, executor=executor, connect_timeout=args.connect_timeout
+            args.url, executor=executor, connect_timeout=args.connect_timeout,
+            caps=caps,
         )
     except KeyboardInterrupt:
         return 130
@@ -587,6 +685,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="seconds to keep retrying the initial "
                                "connection (workers may start before the "
                                "master)")
+    p_worker.add_argument("--caps", default="", metavar="CAP[,CAP...]",
+                          help="capability vector this worker declares in its "
+                               "hello (e.g. 'md,fast'); constraint-pinned "
+                               "jobs only dispatch to workers whose caps "
+                               "cover them")
     p_worker.set_defaults(func=_cmd_mw_worker)
 
     p_camp = sub.add_parser(
@@ -689,6 +792,60 @@ def build_parser() -> argparse.ArgumentParser:
                              "<dir>/telemetry.jsonl (same as $REPRO_TELEMETRY=1; "
                              "read back with 'campaign metrics')")
     p_crun.set_defaults(func=_cmd_campaign_run)
+
+    p_cmulti = camp_sub.add_parser(
+        "serve",
+        help="drain many campaign directories through one shared worker "
+             "fleet (multi-tenant scheduling; see docs/CAMPAIGNS.md)",
+    )
+    p_cmulti.add_argument("directories", nargs="+", metavar="DIRECTORY",
+                          help="campaign directories (each spec.json names "
+                               "one tenant; names must be unique)")
+    p_cmulti.add_argument("--transport", default="process", metavar="TRANSPORT",
+                          help="shared fleet transport: inproc | threaded | "
+                               "process, or tcp://host:port to listen for "
+                               "remote 'mw-worker [--caps ...]' processes")
+    p_cmulti.add_argument("--max-workers", type=int, default=None,
+                          help="worker rank slots (default: CPU count)")
+    p_cmulti.add_argument("--weight", action="append", metavar="NAME=W",
+                          help="override a tenant's dispatch-slot weight "
+                               "(repeatable; default: the spec's weight)")
+    p_cmulti.add_argument("--quota", action="append", metavar="NAME=N",
+                          help="override a tenant's max inflight jobs "
+                               "(repeatable; default: the spec's "
+                               "max_inflight)")
+    p_cmulti.add_argument("--worker-caps", action="append",
+                          metavar="RANK=CAP[,CAP...]",
+                          help="declare capability vectors for same-host "
+                               "transports, e.g. --worker-caps 1=md,fast "
+                               "(repeatable; tcp workers declare their own "
+                               "via 'mw-worker --caps')")
+    p_cmulti.add_argument("--batch-size", type=int, default=8,
+                          help="jobs claimed per top-up per tenant (lease "
+                               "granularity; default 8)")
+    p_cmulti.add_argument("--no-lease", dest="lease", action="store_false",
+                          help="disable claim leases (single-master setups "
+                               "only; peers may duplicate work)")
+    p_cmulti.add_argument("--lease-ttl", type=float, default=None,
+                          metavar="SECONDS",
+                          help="seconds a claim survives without renewal "
+                               "(default 60)")
+    p_cmulti.add_argument("--mw-max-retries", type=int, default=2,
+                          help="dispatch retries before a task is failed")
+    p_cmulti.add_argument("--timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="bound the whole serve in wall-clock seconds "
+                               "(on tcp the master otherwise waits for "
+                               "capable workers indefinitely)")
+    p_cmulti.add_argument("--telemetry", action="store_true",
+                          help="record repro_sched_* metrics and the job "
+                               "trace (same as $REPRO_TELEMETRY=1)")
+    p_cmulti.add_argument("--status", action="store_true",
+                          help="print one status row per tenant (progress + "
+                               "scheduling policy) and exit without serving")
+    p_cmulti.add_argument("--json", action="store_true",
+                          help="with --status: one JSON object per line")
+    p_cmulti.set_defaults(func=_cmd_campaign_serve)
 
     p_cstat = camp_sub.add_parser("status", help="job counts and per-cell progress")
     p_cstat.add_argument("directory")

@@ -37,9 +37,10 @@ inherit the crash-requeue and affinity semantics above.
 
 from __future__ import annotations
 
+import logging
 import time
 from collections import deque
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional
 
 import numpy as np
 
@@ -53,6 +54,8 @@ from repro.mw.transport import (
 )
 from repro.mw.worker import Executor
 from repro.telemetry import Telemetry
+
+_log = logging.getLogger(__name__)
 
 
 class MWDriver:
@@ -155,12 +158,19 @@ class MWDriver:
     # -- submission ---------------------------------------------------------------
 
     def submit(self, work: Any, affinity: Optional[int] = None,
-               n_evals: int = 1) -> MWTask:
+               n_evals: int = 1,
+               constraints: Optional[Iterable[str]] = None) -> MWTask:
         """Queue one unit of work; returns its :class:`MWTask` handle.
 
         ``n_evals`` is the task's evaluation weight — a batched frame
         carrying ``q`` proposals submits with ``n_evals=q`` so the
         inflight/utilization accounting counts evaluations, not frames.
+
+        ``constraints`` is a capability constraint vector: the task is
+        dispatched only to workers whose declared capability set covers
+        it (hard requirement — the task waits for a capable worker on a
+        dynamic transport, and fails if a static transport has none).
+        ``affinity`` stays a soft preference within the eligible set.
         """
         if self._shutdown:
             raise RuntimeError("driver has been shut down")
@@ -168,7 +178,8 @@ class MWDriver:
             raise ValueError(
                 f"affinity must be a worker rank in 1..{self.n_workers}, got {affinity}"
             )
-        task = MWTask(work, affinity=affinity, n_evals=n_evals)
+        task = MWTask(work, affinity=affinity, n_evals=n_evals,
+                      constraints=constraints or ())
         self.tasks[task.task_id] = task
         self._pending.append(task)
         return task
@@ -180,25 +191,70 @@ class MWDriver:
 
     # -- scheduling core ------------------------------------------------------------
 
+    def worker_caps(self, rank: int) -> FrozenSet[str]:
+        """Capability vector worker ``rank`` declared (empty if none)."""
+        return self.transport.worker_caps(rank)
+
+    def _eligible(self, task: MWTask, rank: int) -> bool:
+        """Whether ``rank`` can run ``task`` (caps cover its constraints)."""
+        if not task.constraints:
+            return True
+        return task.constraints <= self.transport.worker_caps(rank)
+
     def _pick_worker(self, task: MWTask) -> Optional[int]:
-        """Choose an idle worker, honouring affinity when possible."""
+        """Choose an idle eligible worker, honouring affinity when possible.
+
+        Constraints are hard: only workers whose capability vector covers
+        the task's constraint vector are considered.  Among the eligible,
+        the *fewest-capability* worker wins (first-come order breaks
+        ties), so unconstrained tasks don't burn the rare capable ranks
+        that constrained tasks behind them will need.  Affinity is soft:
+        the preferred rank wins when idle and eligible; when the preferred
+        rank is *dead*, falling back to another worker is logged and
+        counted in ``repro_sched_fallbacks_total`` — a silent fallback
+        used to hide exactly the placement drift operators care about.
+        """
         live_idle = [r for r in self._idle if self._alive[r]]
-        if not live_idle:
+        eligible = [r for r in live_idle if self._eligible(task, r)]
+        if not eligible:
             return None
-        if task.affinity is not None and task.affinity in live_idle:
-            return task.affinity
-        return live_idle[0]
+        pick = min(eligible, key=lambda r: len(self.transport.worker_caps(r)))
+        if task.affinity is not None:
+            if task.affinity in eligible:
+                return task.affinity
+            if not self._alive.get(task.affinity, False):
+                _log.warning(
+                    "task %d prefers worker %d, which is dead; "
+                    "falling back to worker %d",
+                    task.task_id, task.affinity, pick,
+                )
+                self.telemetry.counter(
+                    "repro_sched_fallbacks_total",
+                    "Tasks dispatched off their preferred (affinity) rank "
+                    "because it was dead.",
+                ).inc()
+        return pick
+
+    def _live_idle_count(self) -> int:
+        return sum(1 for r in self._idle if self._alive[r])
 
     def _dispatch(self) -> bool:
-        """Send as many pending tasks as there are idle workers."""
+        """Send as many pending tasks as there are idle eligible workers.
+
+        A constrained task with no idle eligible worker is deferred
+        without blocking the tasks behind it (no head-of-line blocking);
+        the loop stops only when every idle worker is taken.
+        """
         sent = False
         deferred: deque[MWTask] = deque()
         while self._pending:
+            if not self._live_idle_count():
+                break
             task = self._pending.popleft()
             rank = self._pick_worker(task)
             if rank is None:
                 deferred.append(task)
-                break
+                continue
             self._idle.remove(rank)
             task.mark_running(rank)
             self._running[task.task_id] = task
@@ -303,6 +359,30 @@ class MWDriver:
                 ).inc()
                 self._requeue_tasks_of(rank)
 
+    def _fail_unmatchable(self) -> None:
+        """On a static transport, fail pending tasks no live worker can run.
+
+        Dynamic transports (TCP) may still grow a capable worker, so
+        there a constrained task waits; a static pool that lacks the
+        capability can never satisfy it and hanging would be a bug.
+        """
+        if self.transport.dynamic:
+            return
+        survivors: deque[MWTask] = deque()
+        for task in self._pending:
+            if task.constraints and not any(
+                self._alive.get(r, False)
+                and task.constraints <= self.transport.worker_caps(r)
+                for r in range(1, self.n_workers + 1)
+            ):
+                task.mark_failed(
+                    "no live worker satisfies constraints "
+                    f"{sorted(task.constraints)}"
+                )
+            else:
+                survivors.append(task)
+        self._pending = survivors
+
     def _outstanding(self) -> int:
         return len(self._pending) + len(self._running)
 
@@ -323,6 +403,7 @@ class MWDriver:
         deadline = None if timeout is None else time.monotonic() + timeout
         while self._outstanding():
             self._poll_transport()
+            self._fail_unmatchable()
             if not self.transport.dynamic and not any(self._alive.values()):
                 for task in list(self._pending):
                     task.mark_failed("no live workers")
@@ -359,6 +440,7 @@ class MWDriver:
         waiting for it to hit zero.
         """
         self._poll_transport()
+        self._fail_unmatchable()
         if not self.transport.dynamic and not any(self._alive.values()):
             for task in list(self._pending):
                 task.mark_failed("no live workers")
@@ -431,5 +513,6 @@ class MWDriver:
                 "utilization": busy / elapsed_s,
                 "alive": bool(self._alive.get(rank, False)),
                 "inflight": inflight.get(rank, 0),
+                "caps": sorted(self.transport.worker_caps(rank)),
             })
         return rows

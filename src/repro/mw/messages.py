@@ -20,9 +20,10 @@ MSG_RESULT = "result"
 MSG_ERROR = "error"
 MSG_SHUTDOWN = "shutdown"
 # Session-control tags used by connection-oriented transports (repro.mw.tcp):
-# a joining worker introduces itself (hello), the master assigns it a rank,
-# seed stream and executor spec (welcome), and the worker proves liveness
-# between tasks (heartbeat).
+# a joining worker introduces itself (hello: protocol version + optional
+# "caps" capability vector), the master assigns it a rank, seed stream and
+# executor spec (welcome), and the worker proves liveness between tasks
+# (heartbeat).
 MSG_HELLO = "hello"
 MSG_WELCOME = "welcome"
 MSG_HEARTBEAT = "heartbeat"

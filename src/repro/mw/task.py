@@ -34,6 +34,16 @@ class MWTask:
     affinity:
         Preferred worker rank (the paper binds each simplex vertex to a
         dedicated worker); ``None`` lets the driver pick any idle worker.
+        Affinity is *soft*: if the preferred rank is busy or dead the
+        driver falls back to another eligible worker (and counts the
+        fallback).
+    constraints:
+        Capability constraint vector — an iterable of capability names
+        (e.g. ``("md",)``).  The driver dispatches the task only to
+        workers whose declared capability set is a superset of these
+        constraints.  Constraints are *hard*: a task with no eligible
+        live worker waits (dynamic transports may still grow one) or
+        fails rather than running on a mismatched worker.
     n_evals:
         How many function evaluations this task represents (a batched
         ``--eval-batch`` frame carries ``q``; default 1).  Pure
@@ -42,16 +52,17 @@ class MWTask:
         honest under batching.
     """
 
-    __slots__ = ("task_id", "work", "affinity", "state", "result", "error",
-                 "worker", "attempts", "n_evals")
+    __slots__ = ("task_id", "work", "affinity", "constraints", "state",
+                 "result", "error", "worker", "attempts", "n_evals")
 
     def __init__(self, work: Any, affinity: Optional[int] = None,
-                 n_evals: int = 1) -> None:
+                 n_evals: int = 1, constraints: Any = ()) -> None:
         if n_evals < 1:
             raise ValueError(f"n_evals must be >= 1, got {n_evals}")
         self.task_id = next(_task_ids)
         self.work = work
         self.affinity = affinity
+        self.constraints = frozenset(str(c) for c in (constraints or ()))
         self.n_evals = int(n_evals)
         self.state = TaskState.PENDING
         self.result: Any = None

@@ -11,11 +11,13 @@ processors* — with a small framed protocol over plain sockets:
   and accepts workers whenever they show up — *late joiners* are welcome,
   which is how a campaign master on one host is served by workers
   launched minutes later on others;
-* a joining worker sends ``hello``; the master answers ``welcome`` with
-  the worker's assigned rank, its spawned seed stream (entropy +
-  spawn key, so per-rank RNG streams are identical to the same-host
-  transports), the executor's importable ``module:attr`` wire spec, and
-  the heartbeat interval;
+* a joining worker sends ``hello`` (protocol version plus an optional
+  ``caps`` capability vector, e.g. ``["md", "fast"]``, that the driver
+  matches against task constraint vectors); the master answers
+  ``welcome`` with the worker's assigned rank, its spawned seed stream
+  (entropy + spawn key, so per-rank RNG streams are identical to the
+  same-host transports), the executor's importable ``module:attr`` wire
+  spec, and the heartbeat interval;
 * workers heartbeat between tasks; a silent or disconnected worker is
   reported dead through :meth:`TcpMasterTransport.poll`, which feeds the
   driver's existing crash-requeue path, and its rank becomes free so a
@@ -35,7 +37,7 @@ import random
 import socket
 import threading
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -59,9 +61,11 @@ from repro.mw.messages import (
 from repro.mw.transport import (
     EVENT_DIED,
     EVENT_JOINED,
+    NO_CAPS,
     Transport,
     TransportEvent,
     executor_wire_spec,
+    normalize_caps,
     resolve_executor,
 )
 from repro.mw.worker import Executor, MWWorker
@@ -283,6 +287,7 @@ class TcpMasterTransport(Transport):
         self._replies: queue.Queue = queue.Queue()
         self._lock = threading.Lock()
         self._conns: Dict[int, socket.socket] = {}
+        self._caps: Dict[int, FrozenSet[str]] = {}
         self._last_seen: Dict[int, float] = {}
         self._events: List[TransportEvent] = []
         self._threads: List[threading.Thread] = []
@@ -400,6 +405,9 @@ class TcpMasterTransport(Transport):
             send_frame(sock, Message(tag=MSG_SHUTDOWN, sender=0,
                                      payload={"reason": "protocol version mismatch"}))
             raise ValueError(f"unsupported protocol version {version!r}")
+        # Capability vector: an optional, additive hello field — workers
+        # predating it simply declare no capabilities.
+        caps = normalize_caps((hello.payload or {}).get("caps"))
         with self._lock:
             if self._closing:
                 raise ValueError("transport is closing")
@@ -409,6 +417,7 @@ class TcpMasterTransport(Transport):
             else:
                 rank = free[0]
                 self._conns[rank] = sock
+                self._caps[rank] = caps
                 self._last_seen[rank] = time.monotonic()
         if rank is None:
             send_frame(sock, Message(tag=MSG_SHUTDOWN, sender=0,
@@ -480,6 +489,7 @@ class TcpMasterTransport(Transport):
             if self._conns.get(rank) is not sock:
                 return
             del self._conns[rank]
+            self._caps.pop(rank, None)
             self._last_seen.pop(rank, None)
             if report and not self._closing:
                 self._events.append((EVENT_DIED, rank))
@@ -525,11 +535,17 @@ class TcpMasterTransport(Transport):
             events, self._events = self._events, []
         return events
 
+    def worker_caps(self, rank: int) -> FrozenSet[str]:
+        """Caps rank ``rank`` declared in its hello (empty if unknown/dead)."""
+        with self._lock:
+            return self._caps.get(rank, NO_CAPS)
+
     def stats(self) -> dict:
-        """Connection counts for monitoring: connected ranks and slots."""
+        """Connection counts for monitoring: connected ranks, caps, slots."""
         with self._lock:
             return {
                 "connected": sorted(self._conns),
+                "caps": {r: sorted(c) for r, c in self._caps.items() if c},
                 "n_workers": self.n_workers,
                 "address": self.address,
             }
@@ -555,6 +571,10 @@ class TcpWorkerEndpoint:
         ``python -m repro mw-worker``.
     connect_timeout:
         Seconds to keep retrying the initial connection.
+    caps:
+        Capability names this worker advertises in its hello (e.g.
+        ``["md", "fast"]``); the master only dispatches tasks whose
+        constraint vector these cover.
     """
 
     def __init__(
@@ -562,11 +582,13 @@ class TcpWorkerEndpoint:
         url: str,
         executor: Optional[Executor] = None,
         connect_timeout: float = 30.0,
+        caps: Optional[Iterable[str]] = None,
     ) -> None:
         self.host, self.port = parse_tcp_url(url)
         if self.port == 0:
             raise ValueError(f"worker needs an explicit master port, got {url!r}")
         self.executor = executor
+        self.caps = normalize_caps(caps)
         self.connect_timeout = float(connect_timeout)
         self.rank: Optional[int] = None
         self._send_lock = threading.Lock()
@@ -613,8 +635,10 @@ class TcpWorkerEndpoint:
 
     def _serve(self, sock: socket.socket) -> dict:
         """The handshake + task loop on an established connection."""
-        self._send(sock, Message(tag=MSG_HELLO, sender=0,
-                                 payload={"version": PROTOCOL_VERSION}))
+        hello_payload = {"version": PROTOCOL_VERSION}
+        if self.caps:
+            hello_payload["caps"] = sorted(self.caps)
+        self._send(sock, Message(tag=MSG_HELLO, sender=0, payload=hello_payload))
         welcome = recv_frame(sock)
         if welcome is None:
             raise CodecError("master closed the connection before welcome")
@@ -633,7 +657,8 @@ class TcpWorkerEndpoint:
                     "with an explicit --executor module:attr"
                 )
             executor = resolve_executor(payload["executor"])
-        worker = MWWorker(self.rank, executor, _seed_from_payload(payload["seed"]))
+        worker = MWWorker(self.rank, executor, _seed_from_payload(payload["seed"]),
+                          caps=self.caps)
         # blocking from here (idle waits have no bound), with kernel
         # keepalive so a master that vanishes without FIN/RST still
         # unblocks the loop instead of orphaning the worker process
@@ -673,11 +698,15 @@ def run_worker(
     url: str,
     executor: Optional[Executor] = None,
     connect_timeout: float = 30.0,
+    caps: Optional[Iterable[str]] = None,
 ) -> dict:
     """Run one standalone TCP worker to completion; returns its stats.
 
     The ``python -m repro mw-worker`` entrypoint: connects to the master
-    at ``url``, serves tasks until the master shuts down, and reports
+    at ``url``, declares its capability vector ``caps`` in the hello,
+    serves tasks until the master shuts down, and reports
     ``{"rank", "executed", "errors", "refused"}``.
     """
-    return TcpWorkerEndpoint(url, executor=executor, connect_timeout=connect_timeout).run()
+    return TcpWorkerEndpoint(
+        url, executor=executor, connect_timeout=connect_timeout, caps=caps
+    ).run()

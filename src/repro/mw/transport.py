@@ -33,7 +33,7 @@ import multiprocessing as mp
 import queue
 import threading
 from collections import deque
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -55,6 +55,28 @@ TransportEvent = Tuple[str, int]
 
 EVENT_JOINED = "joined"
 EVENT_DIED = "died"
+
+#: The empty capability vector (shared; capability sets are immutable).
+NO_CAPS: FrozenSet[str] = frozenset()
+
+
+def normalize_caps(caps: Any) -> FrozenSet[str]:
+    """Coerce a capability declaration to a ``frozenset`` of names.
+
+    Accepts any iterable of strings (or ``None`` → empty).  Names are
+    stripped; empty names are dropped, so ``"md,,fast".split(",")`` and
+    ``["md", "fast"]`` normalize identically.
+    """
+    if not caps:
+        return NO_CAPS
+    return frozenset(s for s in (str(c).strip() for c in caps) if s)
+
+
+def normalize_caps_map(worker_caps: Optional[Mapping[int, Any]]) -> Dict[int, FrozenSet[str]]:
+    """Normalize a ``{rank: caps}`` config mapping (``None`` → empty dict)."""
+    if not worker_caps:
+        return {}
+    return {int(rank): normalize_caps(caps) for rank, caps in worker_caps.items()}
 
 
 class Transport:
@@ -88,6 +110,16 @@ class Transport:
         """Ranks that are connected and usable immediately after ``start``."""
         raise NotImplementedError
 
+    def worker_caps(self, rank: int) -> FrozenSet[str]:
+        """Capability vector worker ``rank`` declared (empty if none/unknown).
+
+        Local transports learn caps from the ``worker_caps`` config option
+        of :func:`make_transport`; the TCP transport learns them from each
+        worker's hello handshake.  The driver matches task constraints
+        against this set when picking a worker.
+        """
+        return NO_CAPS
+
     def send(self, rank: int, message: Message) -> None:
         """Deliver ``message`` to worker ``rank`` (best-effort for dead ranks)."""
         raise NotImplementedError
@@ -120,10 +152,14 @@ class InprocTransport(Transport):
     synchronous = True
 
     def __init__(
-        self, executor: Executor, seed_seqs: Sequence[np.random.SeedSequence]
+        self,
+        executor: Executor,
+        seed_seqs: Sequence[np.random.SeedSequence],
+        worker_caps: Optional[Mapping[int, Any]] = None,
     ) -> None:
+        self._caps = normalize_caps_map(worker_caps)
         self.workers: Dict[int, MWWorker] = {
-            rank: MWWorker(rank, executor, seq)
+            rank: MWWorker(rank, executor, seq, caps=self._caps.get(rank))
             for rank, seq in enumerate(seed_seqs, start=1)
         }
         self._replies: deque[Message] = deque()
@@ -131,6 +167,10 @@ class InprocTransport(Transport):
     def initially_live(self) -> Set[int]:
         """All ranks: in-process workers exist from construction."""
         return set(self.workers)
+
+    def worker_caps(self, rank: int) -> FrozenSet[str]:
+        """Caps from the ``worker_caps`` config mapping (empty default)."""
+        return self._caps.get(rank, NO_CAPS)
 
     def send(self, rank: int, message: Message) -> None:
         """Execute a task message synchronously, buffering the reply."""
@@ -156,10 +196,14 @@ class ThreadedTransport(Transport):
     """
 
     def __init__(
-        self, executor: Executor, seed_seqs: Sequence[np.random.SeedSequence]
+        self,
+        executor: Executor,
+        seed_seqs: Sequence[np.random.SeedSequence],
+        worker_caps: Optional[Mapping[int, Any]] = None,
     ) -> None:
+        self._caps = normalize_caps_map(worker_caps)
         self.workers: Dict[int, MWWorker] = {
-            rank: MWWorker(rank, executor, seq)
+            rank: MWWorker(rank, executor, seq, caps=self._caps.get(rank))
             for rank, seq in enumerate(seed_seqs, start=1)
         }
         self._inboxes: Dict[int, queue.Queue] = {r: queue.Queue() for r in self.workers}
@@ -182,6 +226,10 @@ class ThreadedTransport(Transport):
         """All ranks: threads are running once ``start`` returns."""
         return set(self.workers)
 
+    def worker_caps(self, rank: int) -> FrozenSet[str]:
+        """Caps from the ``worker_caps`` config mapping (empty default)."""
+        return self._caps.get(rank, NO_CAPS)
+
     def send(self, rank: int, message: Message) -> None:
         """Enqueue the message on the rank's inbox."""
         self._inboxes[rank].put(message)
@@ -203,10 +251,11 @@ class ThreadedTransport(Transport):
             t.join(timeout=5.0)
 
 
-def _process_worker_main(rank, executor, entropy, spawn_key, inbox, outbox) -> None:
+def _process_worker_main(rank, executor, entropy, spawn_key, inbox, outbox,
+                         caps=()) -> None:
     """Entry point of a process-backend worker: decode frames, run the loop."""
     seq = np.random.SeedSequence(entropy, spawn_key=tuple(spawn_key))
-    worker = MWWorker(rank, executor, seq)
+    worker = MWWorker(rank, executor, seq, caps=caps)
     while True:
         frame = inbox.get()
         message = decode_message(frame)
@@ -227,10 +276,14 @@ class ProcessTransport(Transport):
     """
 
     def __init__(
-        self, executor: Executor, seed_seqs: Sequence[np.random.SeedSequence]
+        self,
+        executor: Executor,
+        seed_seqs: Sequence[np.random.SeedSequence],
+        worker_caps: Optional[Mapping[int, Any]] = None,
     ) -> None:
         self._executor = executor
         self._seed_seqs = list(seed_seqs)
+        self._caps = normalize_caps_map(worker_caps)
         self._ranks = range(1, len(self._seed_seqs) + 1)
         ctx = mp.get_context("fork")
         self._inboxes = {r: ctx.Queue() for r in self._ranks}
@@ -252,6 +305,7 @@ class ProcessTransport(Transport):
                     tuple(seq.spawn_key),
                     self._inboxes[rank],
                     self._outbox,
+                    sorted(self._caps.get(rank, NO_CAPS)),
                 ),
                 daemon=True,
                 name=f"mw-worker-{rank}",
@@ -262,6 +316,10 @@ class ProcessTransport(Transport):
     def initially_live(self) -> Set[int]:
         """All ranks: the processes are forked by ``start``."""
         return set(self._ranks)
+
+    def worker_caps(self, rank: int) -> FrozenSet[str]:
+        """Caps from the ``worker_caps`` config mapping (empty default)."""
+        return self._caps.get(rank, NO_CAPS)
 
     def send(self, rank: int, message: Message) -> None:
         """Encode the message and enqueue it on the rank's inbox."""
@@ -407,16 +465,23 @@ def make_transport(
     ``spec`` is ``"inproc"``, ``"threaded"``, ``"process"`` or a
     ``tcp://host:port`` URL (the master listens there; ``port`` may be 0
     for an ephemeral port).  ``options`` are forwarded to the TCP
-    transport (heartbeat tuning); the same-host transports take none.
+    transport (heartbeat tuning); the same-host transports accept only
+    ``worker_caps`` — a ``{rank: [capability, …]}`` mapping standing in
+    for the capability declaration TCP workers make in their hello
+    handshake.
     """
-    if spec in ("inproc", "threaded", "process") and options:
-        raise ValueError(f"transport {spec!r} accepts no options, got {options}")
-    if spec == "inproc":
-        return InprocTransport(executor, seed_seqs)
-    if spec == "threaded":
-        return ThreadedTransport(executor, seed_seqs)
-    if spec == "process":
-        return ProcessTransport(executor, seed_seqs)
+    if spec in ("inproc", "threaded", "process"):
+        worker_caps = options.pop("worker_caps", None)
+        if options:
+            raise ValueError(
+                f"transport {spec!r} accepts only the worker_caps option, "
+                f"got {options}"
+            )
+        if spec == "inproc":
+            return InprocTransport(executor, seed_seqs, worker_caps=worker_caps)
+        if spec == "threaded":
+            return ThreadedTransport(executor, seed_seqs, worker_caps=worker_caps)
+        return ProcessTransport(executor, seed_seqs, worker_caps=worker_caps)
     if is_tcp_spec(spec):
         from repro.mw.tcp import TcpMasterTransport
 

@@ -9,8 +9,8 @@ noise is reproducible and independent across workers, the standard
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, FrozenSet, Iterable, Optional
 
 import numpy as np
 
@@ -25,10 +25,17 @@ from repro.mw.messages import (
 
 @dataclass
 class WorkerContext:
-    """Per-worker execution context handed to the executor."""
+    """Per-worker execution context handed to the executor.
+
+    ``caps`` is the worker's declared capability set (e.g.
+    ``frozenset({"md", "fast"})``) — the same vector the master matched
+    against the task's constraints, so executors can stamp placement
+    evidence (audit logs, records) with where they actually ran.
+    """
 
     rank: int
     rng: np.random.Generator
+    caps: FrozenSet[str] = field(default_factory=frozenset)
 
 
 Executor = Callable[[Any, WorkerContext], Any]
@@ -45,6 +52,8 @@ class MWWorker:
         ``executor(work, context) -> result``.
     seed_seq:
         ``numpy.random.SeedSequence`` for this worker's private RNG stream.
+    caps:
+        Capability names this worker advertises (``None`` → none).
     """
 
     def __init__(
@@ -52,6 +61,7 @@ class MWWorker:
         rank: int,
         executor: Executor,
         seed_seq: Optional[np.random.SeedSequence] = None,
+        caps: Optional[Iterable[str]] = None,
     ) -> None:
         if rank < 1:
             raise ValueError(f"worker rank must be >= 1, got {rank}")
@@ -60,6 +70,7 @@ class MWWorker:
         self.context = WorkerContext(
             rank=rank,
             rng=np.random.default_rng(seed_seq),
+            caps=frozenset(str(c) for c in (caps or ())),
         )
         self.n_executed = 0
         self.n_errors = 0

@@ -27,6 +27,16 @@ else:
         deadline=None,
         suppress_health_check=[HealthCheck.too_slow],
     )
+    # The nightly schedule leg runs the property suite at full strength:
+    # fresh randomness every night and the library-default example count
+    # (no derandomize, so regressions the bounded ci profile would never
+    # reach still get hunted down over time).
+    hyp_settings.register_profile(
+        "nightly",
+        max_examples=200,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
     if os.environ.get("HYPOTHESIS_PROFILE"):
         hyp_settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 

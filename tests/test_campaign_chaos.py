@@ -57,7 +57,7 @@ def fast_spec(n_seeds=25, **overrides) -> CampaignSpec:
 
 
 def audit_entries(path) -> list:
-    """``(job_id, run_id, span_id)`` tuples in execution order.
+    """``(job_id, run_id, span_id, worker)`` tuples in execution order.
 
     Empty if the log was never written.  Each line is written whole under
     ``O_APPEND``, so entries from concurrent runners never interleave.
@@ -210,7 +210,7 @@ class TestRunnerProcessChaos:
         # exactly-once holds per *span* too: every execution attempt minted
         # a distinct span id, and each job appears under exactly one of them
         entries = audit_entries(audit)
-        spans = [span_id for _, _, span_id in entries]
+        spans = [entry[2] for entry in entries]
         assert len(set(spans)) == len(spans)
         # the store_backend fixture enables telemetry, so the audit log
         # must correlate with the runners' job-lifecycle trace: every
@@ -223,7 +223,7 @@ class TestRunnerProcessChaos:
         job_events = [e for e in events if e["event"] == "job"]
         assert {e["job_id"] for e in job_events} == set(expected)
         assert {e["span_id"] for e in job_events} <= set(spans)
-        assert {run_id for _, run_id, _ in entries} == {
+        assert {entry[1] for entry in entries} == {
             e["run_id"] for e in events if e["event"] == "run_start"
         }
 

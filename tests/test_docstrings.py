@@ -22,6 +22,7 @@ MODULES = [
     "repro.campaign.execution",
     "repro.campaign.progress",
     "repro.campaign.runner",
+    "repro.campaign.scheduler",
     "repro.campaign.sharding",
     "repro.campaign.spec",
     "repro.campaign.store",

@@ -284,3 +284,86 @@ class TestBatchAccounting:
             rows = driver.utilization()
             assert sum(r["inflight"] for r in rows) == 8
             driver.wait_all(timeout=30)
+
+
+class TestCapsAndConstraints:
+    """Hard constraint vectors vs soft affinity (the scheduling seam
+    ``campaign serve`` builds on)."""
+
+    def caps_driver(self, executor=rank_reporter, n_workers=3,
+                    backend="inproc", **caps):
+        worker_caps = {1: ["md"], 2: ["md", "fast"]}  # rank 3: no caps
+        worker_caps.update(caps)
+        return MWDriver(executor, n_workers=n_workers, backend=backend,
+                        seed=0, transport_options={"worker_caps": worker_caps})
+
+    def test_constrained_task_lands_on_capable_worker(self):
+        with self.caps_driver() as driver:
+            tasks = [driver.submit(None, constraints=["md"]) for _ in range(6)]
+            driver.wait_all(timeout=30)
+            assert all(t.result in (1, 2) for t in tasks)
+
+    def test_unconstrained_tasks_prefer_plain_workers(self):
+        """The fewest-caps eligible worker wins, so unconstrained work
+        doesn't burn the capable ranks constrained work needs."""
+        with self.caps_driver() as driver:
+            task = driver.submit(None)
+            driver.wait_all(timeout=30)
+            assert task.result == 3
+
+    def test_unsatisfiable_constraints_fail_on_static_transport(self):
+        with self.caps_driver() as driver:
+            task = driver.submit(None, constraints=["gpu"])
+            driver.wait_all(timeout=30)
+            assert task.failed
+            assert "no live worker satisfies constraints" in task.error
+            assert "gpu" in task.error
+
+    def test_constraints_do_not_block_tasks_behind_them(self):
+        """A deferred constrained task must not head-of-line block the
+        dispatchable tasks submitted after it."""
+        with self.caps_driver() as driver:
+            doomed = driver.submit(None, constraints=["gpu"])
+            fine = [driver.submit(None) for _ in range(4)]
+            driver.wait_all(timeout=30)
+            assert doomed.failed
+            assert all(t.done for t in fine)
+
+    def test_worker_caps_surface_in_utilization(self):
+        with self.caps_driver() as driver:
+            driver.submit(None)
+            driver.wait_all(timeout=30)
+            caps = {r["rank"]: r["caps"] for r in driver.utilization()}
+            assert caps == {1: ["md"], 2: ["fast", "md"], 3: []}
+
+    def test_dead_affinity_falls_back_with_counter(self):
+        """Satellite fix: a task pinned to a dead rank is dispatched
+        elsewhere with a warning and a repro_sched_fallbacks_total tick
+        (never silently, never stuck)."""
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry.create()
+        with MWDriver(rank_reporter, n_workers=2, backend="process", seed=0,
+                      telemetry=telemetry) as driver:
+            os.kill(driver._procs[1].pid, signal.SIGKILL)
+            deadline = time.monotonic() + 10
+            while driver._alive.get(1, False) and time.monotonic() < deadline:
+                driver.pump(timeout=0.05)
+            assert not driver._alive[1], "death never detected"
+            task = driver.submit(None, affinity=1)
+            driver.wait_all(timeout=30)
+            assert task.done and task.result == 2
+        assert telemetry.counter("repro_sched_fallbacks_total").value >= 1
+
+    def test_live_busy_affinity_is_not_a_fallback(self):
+        """Waiting for a busy (but alive) preferred rank is normal
+        scheduling, not a fallback: the counter must stay silent."""
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry.create()
+        with MWDriver(square, n_workers=2, backend="inproc", seed=0,
+                      telemetry=telemetry) as driver:
+            tasks = [driver.submit(k, affinity=1) for k in range(4)]
+            driver.wait_all(timeout=30)
+            assert all(t.done for t in tasks)
+        assert telemetry.counter("repro_sched_fallbacks_total").value == 0

@@ -347,3 +347,45 @@ class TestShutdownAndRefusal:
         with pytest.raises(OSError):
             run_worker(f"tcp://127.0.0.1:{port}", executor=square,
                        connect_timeout=0.5)
+
+
+class TestCapabilityHandshake:
+    def test_worker_caps_declared_in_hello_reach_the_master(self):
+        """A worker's --caps vector rides its hello and gates placement:
+        constrained tasks land only on workers whose caps cover them."""
+
+        def rank_reporter(work, ctx):
+            return ctx.rank
+
+        with tcp_driver(rank_reporter, n_workers=2) as driver:
+            addr = driver.transport.address
+            t1, h1 = start_worker(addr, rank_reporter, caps=["md", "fast"])
+            t2, h2 = start_worker(addr, rank_reporter)
+            constrained = [driver.submit(None, constraints=["md"])
+                           for _ in range(4)]
+            plain = [driver.submit(None) for _ in range(4)]
+            driver.wait_all(timeout=30)
+            # whichever rank the caps worker got, all constrained tasks
+            # ran there — and its caps surface in stats/utilization
+            caps_by_rank = driver.transport.stats()["caps"]
+            assert list(caps_by_rank.values()) == [["fast", "md"]]
+            (md_rank,) = caps_by_rank
+            assert {t.result for t in constrained} == {md_rank}
+            assert all(t.done for t in plain)
+            rows = {r["rank"]: r["caps"] for r in driver.utilization()}
+            assert rows[md_rank] == ["fast", "md"]
+        t1.join(timeout=10)
+        t2.join(timeout=10)
+
+    def test_capless_worker_declares_nothing(self):
+        """An old-style worker (no caps) still handshakes fine — the caps
+        field is additive and absent means the empty vector."""
+        with tcp_driver(square, n_workers=1) as driver:
+            addr = driver.transport.address
+            t, holder = start_worker(addr, square)
+            task = driver.submit(3)
+            driver.wait_all(timeout=30)
+            assert task.result == 9
+            assert driver.transport.stats()["caps"] == {}
+            assert driver.worker_caps(1) == frozenset()
+        t.join(timeout=10)

@@ -56,10 +56,16 @@ class TestFactory:
             make_transport("carrier-pigeon", executor=square, n_workers=1,
                            seed_seqs=_seqs(1))
 
-    def test_same_host_transports_take_no_options(self):
-        with pytest.raises(ValueError, match="accepts no options"):
+    def test_same_host_transports_take_only_worker_caps(self):
+        with pytest.raises(ValueError, match="accepts only the worker_caps"):
             make_transport("inproc", executor=square, n_workers=1,
                            seed_seqs=_seqs(1), heartbeat_interval=1.0)
+
+    def test_same_host_transports_accept_worker_caps(self):
+        t = make_transport("inproc", executor=square, n_workers=2,
+                           seed_seqs=_seqs(2), worker_caps={1: ["md", "fast"]})
+        assert t.worker_caps(1) == frozenset({"md", "fast"})
+        assert t.worker_caps(2) == frozenset()
 
     def test_tcp_spec_detection(self):
         assert is_tcp_spec("tcp://127.0.0.1:5555")
